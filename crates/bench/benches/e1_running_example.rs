@@ -1,0 +1,73 @@
+//! E1 — the running example (Table 1 / Remark 1) as a microbenchmark.
+//!
+//! Measures the full "buses per hour in the morning in low-income
+//! neighborhoods" pipeline on the Figure 1 instance for each evaluation
+//! strategy, and the same query on a scaled-up bus fleet.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gisolap_core::engine::{
+    dedupe_oid_t, IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine,
+};
+use gisolap_core::result as agg;
+use gisolap_datagen::movers::RandomWaypoint;
+use gisolap_datagen::Fig1Scenario;
+use gisolap_geom::BBox;
+use gisolap_olap::time::{TimeId, TimeLevel};
+
+fn remark1_rate(engine: &dyn QueryEngine) -> f64 {
+    let region = Fig1Scenario::remark1_region();
+    let tuples = dedupe_oid_t(engine.eval(&region).expect("query evaluates"));
+    let reference: Vec<TimeId> =
+        engine.time_filtered(&region.time).iter().map(|r| r.t).collect();
+    agg::per_granule_rate(&tuples, reference, engine.gis().time(), TimeLevel::Hour)
+}
+
+fn bench_e1(c: &mut Criterion) {
+    let s = Fig1Scenario::build();
+    let naive = NaiveEngine::new(&s.gis, &s.moft);
+    let indexed = IndexedEngine::new(&s.gis, &s.moft);
+    let overlay = OverlayEngine::new(&s.gis, &s.moft);
+
+    let mut group = c.benchmark_group("e1_remark1_fig1");
+    for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
+        group.bench_function(engine.name(), |b| {
+            b.iter(|| {
+                let rate = remark1_rate(black_box(engine));
+                assert!((rate - 4.0 / 3.0).abs() < 1e-9);
+                rate
+            })
+        });
+    }
+    group.finish();
+
+    // The same query shape over a 600-bus fleet on the Figure 1 map.
+    let fleet = RandomWaypoint {
+        start: TimeId::from_ymd_hms(2006, 1, 9, 6, 0, 0),
+        sample_interval: 300,
+        ..RandomWaypoint::new(BBox::new(0.0, 0.0, 80.0, 40.0), 600, 24)
+    }
+    .generate(100);
+    let naive = NaiveEngine::new(&s.gis, &fleet);
+    let indexed = IndexedEngine::new(&s.gis, &fleet);
+    let overlay = OverlayEngine::new(&s.gis, &fleet);
+    let mut group = c.benchmark_group("e1_remark1_fleet600");
+    for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(engine.name()),
+            &engine,
+            |b, engine| b.iter(|| remark1_rate(black_box(*engine))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_e1
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E2 — sample-based vs interpolated semantics.
+//!
+//! Figure 1's O6 motivates interpolation: objects crossing a region
+//! between samples are invisible to sample-based evaluation. This bench
+//! measures the *cost* of that extra fidelity: region evaluation under
+//! `SampleBased` vs `Interpolated` semantics, plus the passes-through and
+//! time-in-region trajectory operators, across sampling densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gisolap_bench::scenario;
+use gisolap_core::engine::{OverlayEngine, QueryEngine};
+use gisolap_core::region::{GeoFilter, RegionC, SpatialPredicate};
+
+fn bench_e2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_sample_vs_lit");
+    for samples in [10usize, 40, 160] {
+        let s = scenario(6, 4, 100, samples);
+        let engine = OverlayEngine::new(&s.gis, &s.moft);
+        let spatial = SpatialPredicate::in_layer(
+            "Ln",
+            GeoFilter::IntersectsLayer { layer: "Lr".into() },
+        );
+        let sample_region = RegionC::all().with_spatial(spatial.clone());
+        let lit_region = sample_region.clone().interpolated();
+
+        group.bench_with_input(
+            BenchmarkId::new("sample_based", samples),
+            &samples,
+            |b, _| b.iter(|| engine.eval(black_box(&sample_region)).expect("evaluates")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("interpolated", samples),
+            &samples,
+            |b, _| b.iter(|| engine.eval(black_box(&lit_region)).expect("evaluates")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("passes_through", samples),
+            &samples,
+            |b, _| {
+                b.iter(|| {
+                    engine
+                        .objects_passing_through(black_box(&spatial), &[])
+                        .expect("evaluates")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("time_in_region", samples),
+            &samples,
+            |b, _| {
+                b.iter(|| {
+                    engine
+                        .time_in_region_per_object(black_box(&spatial), &[])
+                        .expect("evaluates")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_e2
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! E4 — the Section 4 worked queries as a benchmark suite.
+//!
+//! One case per §4 query shape, all on the same mid-size synthetic city,
+//! evaluated with the overlay engine (plus the naive engine on the
+//! first query as the reference point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gisolap_bench::scenario;
+use gisolap_core::engine::{NaiveEngine, OverlayEngine, QueryEngine};
+use gisolap_core::region::{CmpOp, GeoFilter, RegionC, SpatialPredicate, TimePredicate};
+use gisolap_olap::time::{DayOfWeek, TimeId, TimeOfDay, TypeOfDay};
+use gisolap_olap::value::Value;
+use gisolap_olap::AggFn;
+
+fn bench_e4(c: &mut Criterion) {
+    let s = scenario(8, 4, 300, 40);
+    let overlay = OverlayEngine::new(&s.gis, &s.moft);
+    let naive = NaiveEngine::new(&s.gis, &s.moft);
+
+    let q1 = RegionC::all()
+        .with_time(TimePredicate::DayOfWeekIs(DayOfWeek::Monday))
+        .with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning))
+        .with_spatial(SpatialPredicate::in_layer(
+            "Lc",
+            GeoFilter::Member { category: "region".into(), member: "South".into() },
+        ));
+    let q2 = RegionC::all()
+        .with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning))
+        .with_spatial(SpatialPredicate::in_layer("Ls_streets", GeoFilter::All));
+    let q3 = RegionC::all()
+        .with_spatial(SpatialPredicate::in_layer(
+            "Ln",
+            GeoFilter::AttrCompare {
+                category: "neighborhood".into(),
+                attr: "population".into(),
+                op: CmpOp::Ge,
+                value: Value::Int(50_000),
+            },
+        ))
+        .with_forbid(SpatialPredicate::in_layer(
+            "Ln",
+            GeoFilter::AttrCompare {
+                category: "neighborhood".into(),
+                attr: "population".into(),
+                op: CmpOp::Lt,
+                value: Value::Int(50_000),
+            },
+        ));
+    let q4 = RegionC::all()
+        .with_time(TimePredicate::AtInstant(TimeId::from_ymd_hms(2006, 1, 9, 6, 30, 0)))
+        .with_spatial(SpatialPredicate::in_layer("Ln", GeoFilter::All));
+    let q6 = RegionC::all()
+        .with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning))
+        .with_spatial(SpatialPredicate::near_layer("Lschools", GeoFilter::All, 50.0));
+    let q7 = RegionC::all()
+        .with_time(TimePredicate::TypeOfDayIs(TypeOfDay::Weekday))
+        .with_time(TimePredicate::HourOfDayIn { lo: 8, hi: 10 })
+        .with_spatial(SpatialPredicate::near_layer("Lstores", GeoFilter::All, 20.0));
+    let q5_type5 = RegionC::all().with_spatial(SpatialPredicate::in_layer(
+        "Ln",
+        GeoFilter::FactAggCompare {
+            table: "census".into(),
+            column: "neighborhood".into(),
+            category: "neighborhood".into(),
+            measure: "people".into(),
+            agg: AggFn::Max,
+            op: CmpOp::Gt,
+            value: 40_000.0,
+        },
+    ));
+
+    let mut group = c.benchmark_group("e4_section4_queries");
+    for (name, region) in [
+        ("q1_region_south_morning", &q1),
+        ("q2_streets_morning", &q2),
+        ("q3_big_only_with_negation", &q3),
+        ("q4_snapshot_instant", &q4),
+        ("q5_nested_aggregation", &q5_type5),
+        ("q6_near_schools", &q6),
+        ("q7_waiting_at_stop", &q7),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| overlay.eval(black_box(region)).expect("evaluates"))
+        });
+    }
+    // Reference: the naive engine on q1 (the comparison EXPERIMENTS.md
+    // quotes).
+    group.bench_function("q1_region_south_morning/naive", |b| {
+        b.iter(|| naive.eval(black_box(&q1)).expect("evaluates"))
+    });
+    // Query 5's trajectory variant: time-in-region.
+    let spatial = SpatialPredicate::in_layer(
+        "Lc",
+        GeoFilter::Member { category: "region".into(), member: "South".into() },
+    );
+    group.bench_function("q5_time_in_region", |b| {
+        b.iter(|| {
+            overlay
+                .time_in_region_per_object(black_box(&spatial), &[])
+                .expect("evaluates")
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_e4
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E5 — the Section 5 claim: overlay precomputation pays off.
+//!
+//! Measures the paper's Piet-QL example — "total number of cars passing
+//! through cities crossed by a river, containing at least one store" —
+//! under the three strategies, plus (a) the one-time precomputation cost
+//! and (b) the geometric sub-query alone, which is where precomputation
+//! bites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gisolap_bench::scenario;
+use gisolap_core::engine::{IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine};
+use gisolap_core::overlay_cache::OverlayCache;
+use gisolap_core::region::GeoFilter;
+use gisolap_pietql::exec::run;
+
+const QUERY: &str = "SELECT layer.Ln; FROM City; \
+     WHERE intersection(layer.Ln, layer.Lr, subplevel.Linestring) \
+     AND (layer.Ln) CONTAINS (layer.Ln, layer.Lstores, subplevel.Point) \
+     | COUNT(PASSES)";
+
+fn bench_e5(c: &mut Criterion) {
+    let s = scenario(8, 4, 200, 30);
+    let naive = NaiveEngine::new(&s.gis, &s.moft);
+    let indexed = IndexedEngine::new(&s.gis, &s.moft);
+    let overlay = OverlayEngine::new(&s.gis, &s.moft);
+
+    // (a) The full Piet-QL query.
+    let mut group = c.benchmark_group("e5_pietql_full_query");
+    for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(engine.name()),
+            &engine,
+            |b, engine| b.iter(|| run(black_box(*engine), QUERY).expect("query runs")),
+        );
+    }
+    group.finish();
+
+    // (b) The geometric sub-query alone — the part Section 5 precomputes.
+    let filter = GeoFilter::IntersectsLayer { layer: "Lr".into() }
+        .and(GeoFilter::ContainsNodeOf { layer: "Lstores".into() });
+    let ln = s.gis.layer_id("Ln").expect("layer exists");
+    let mut group = c.benchmark_group("e5_geometric_subquery");
+    for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(engine.name()),
+            &engine,
+            |b, engine| {
+                b.iter(|| engine.resolve_filter(ln, black_box(&filter)).expect("resolves"))
+            },
+        );
+    }
+    group.finish();
+
+    // (c) The one-time precomputation cost, per city size.
+    let mut group = c.benchmark_group("e5_overlay_precompute_cost");
+    for blocks in [4usize, 8, 16] {
+        let s = scenario(blocks, 4, 10, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, _| {
+            b.iter(|| OverlayCache::precompute(black_box(&s.gis)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_e5
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! E7 — scaling: evaluation latency vs workload size.
+//!
+//! Sweeps (a) the number of moving objects, (b) samples per object and
+//! (c) the number of layer geometries, measuring region evaluation with
+//! all three strategies. The *shape* claim from the paper's Section 5 is
+//! that precomputation + filtering beats naive evaluation and the gap
+//! widens with geometry count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use gisolap_bench::scenario;
+use gisolap_core::engine::{IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine};
+use gisolap_core::region::{GeoFilter, RegionC, SpatialPredicate};
+
+fn region() -> RegionC {
+    RegionC::all().with_spatial(SpatialPredicate::in_layer(
+        "Ln",
+        GeoFilter::IntersectsLayer { layer: "Lr".into() },
+    ))
+}
+
+fn bench_objects_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_objects_sweep");
+    for objects in [100usize, 400, 1600] {
+        let s = scenario(8, 4, objects, 20);
+        let naive = NaiveEngine::new(&s.gis, &s.moft);
+        let indexed = IndexedEngine::new(&s.gis, &s.moft);
+        let overlay = OverlayEngine::new(&s.gis, &s.moft);
+        let r = region();
+        group.throughput(Throughput::Elements(s.moft.len() as u64));
+        for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), objects),
+                &engine,
+                |b, engine| b.iter(|| engine.eval(black_box(&r)).expect("evaluates")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_samples_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_samples_sweep");
+    for samples in [10usize, 40, 160] {
+        let s = scenario(8, 4, 200, samples);
+        let naive = NaiveEngine::new(&s.gis, &s.moft);
+        let overlay = OverlayEngine::new(&s.gis, &s.moft);
+        let r = region();
+        group.throughput(Throughput::Elements(s.moft.len() as u64));
+        for engine in [&naive as &dyn QueryEngine, &overlay] {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), samples),
+                &engine,
+                |b, engine| b.iter(|| engine.eval(black_box(&r)).expect("evaluates")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_geometry_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_geometry_sweep");
+    for blocks_x in [4usize, 8, 16, 32] {
+        let s = scenario(blocks_x, 4, 200, 20);
+        let polys = blocks_x * 4;
+        let naive = NaiveEngine::new(&s.gis, &s.moft);
+        let indexed = IndexedEngine::new(&s.gis, &s.moft);
+        let overlay = OverlayEngine::new(&s.gis, &s.moft);
+        let r = region();
+        for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), polys),
+                &engine,
+                |b, engine| b.iter(|| engine.eval(black_box(&r)).expect("evaluates")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_objects_sweep, bench_samples_sweep, bench_geometry_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E8 — the aRB-tree aggregate index vs exact evaluation.
+//!
+//! Papadias et al.'s structure (paper ref [11]) answers region×time COUNT
+//! queries from pre-aggregates. This bench compares: aRB lookup, the
+//! model's exact sample scan, and aRB construction cost, across region
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gisolap_bench::scenario;
+use gisolap_geom::BBox;
+use gisolap_index::arb::{ArbTree, RegionId};
+use gisolap_olap::time::TimeLevel;
+
+fn build_inputs(blocks_x: usize) -> (Vec<BBox>, Vec<(RegionId, i64, f64)>, gisolap_bench::BenchScenario) {
+    let s = scenario(blocks_x, 4, 300, 20);
+    let ln = s.gis.layer_by_name("Ln").expect("layer exists");
+    let polys = ln.as_polygons().expect("polygon layer");
+    let boxes: Vec<BBox> = polys.iter().map(|p| p.bbox()).collect();
+    let time = s.gis.time();
+    let mut obs = Vec::new();
+    for r in s.moft.records() {
+        for (i, poly) in polys.iter().enumerate() {
+            if poly.contains(r.pos()) {
+                obs.push((RegionId(i as u32), time.granule(r.t, TimeLevel::Hour), 1.0));
+            }
+        }
+    }
+    (boxes, obs, s)
+}
+
+fn bench_e8(c: &mut Criterion) {
+    let mut build_group = c.benchmark_group("e8_arb_build");
+    for blocks_x in [8usize, 16, 32] {
+        let (boxes, obs, _s) = build_inputs(blocks_x);
+        build_group.bench_with_input(
+            BenchmarkId::from_parameter(blocks_x * 4),
+            &blocks_x,
+            |b, _| b.iter(|| ArbTree::build(black_box(&boxes), obs.iter().copied())),
+        );
+    }
+    build_group.finish();
+
+    let mut query_group = c.benchmark_group("e8_region_time_count");
+    for blocks_x in [8usize, 16, 32] {
+        let (boxes, obs, s) = build_inputs(blocks_x);
+        let arb = ArbTree::build(&boxes, obs);
+        let time = s.gis.time();
+        let (t0, t1) = s.moft.time_bounds().expect("non-empty");
+        let (h0, h1) = (
+            time.granule(t0, TimeLevel::Hour),
+            time.granule(t1, TimeLevel::Hour),
+        );
+        let window = {
+            let bb = s.moft.bbox();
+            BBox::new(bb.min_x, bb.min_y, bb.min_x + bb.width() / 2.0, bb.max_y)
+        };
+
+        query_group.bench_with_input(
+            BenchmarkId::new("arb_lookup", blocks_x * 4),
+            &arb,
+            |b, arb| b.iter(|| arb.count(black_box(&window), h0, h1)),
+        );
+        // Exact scan baseline: walk the MOFT and test the window.
+        query_group.bench_with_input(
+            BenchmarkId::new("exact_scan", blocks_x * 4),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    s.moft
+                        .records()
+                        .iter()
+                        .filter(|r| window.contains(r.pos()))
+                        .count()
+                })
+            },
+        );
+    }
+    query_group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_e8
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! E9 — Definition 4's geometric aggregation.
+//!
+//! Measures the summable evaluation `Σ_{g∈C} h'(g)` — the per-polygon
+//! density integral — against the geometry count and shape, plus the
+//! boolean overlay primitive it relies on for boundary cells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gisolap_bench::scenario;
+use gisolap_core::engine::{NaiveEngine, QueryEngine};
+use gisolap_core::facts::BaseFactTable;
+use gisolap_core::geoagg::{integrate_density_over_polygon, integrate_over, summable_sum};
+use gisolap_core::layer::LayerId;
+use gisolap_core::region::GeoFilter;
+use gisolap_geom::point::pt;
+use gisolap_geom::{BooleanOp, MultiPolygon, Polygon};
+
+fn bench_integral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_polygon_integral");
+    // Axis-aligned rectangle: all-interior cells (fast path).
+    let rect = Polygon::rectangle(0.0, 0.0, 100.0, 100.0);
+    group.bench_function("rectangle_constant", |b| {
+        b.iter(|| integrate_density_over_polygon(black_box(&rect), |_| 2.0))
+    });
+    group.bench_function("rectangle_linear", |b| {
+        b.iter(|| integrate_density_over_polygon(black_box(&rect), |p| p.x + p.y))
+    });
+    // Triangle: a band of boundary cells needs exact clipping.
+    let tri = Polygon::from_exterior(vec![pt(0.0, 0.0), pt(100.0, 0.0), pt(0.0, 100.0)])
+        .expect("valid triangle");
+    group.bench_function("triangle_constant", |b| {
+        b.iter(|| integrate_density_over_polygon(black_box(&tri), |_| 2.0))
+    });
+    group.finish();
+}
+
+fn bench_summable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_summable_query");
+    for blocks_x in [4usize, 8, 16] {
+        let s = scenario(blocks_x, 4, 10, 5);
+        let engine = NaiveEngine::new(&s.gis, &s.moft);
+        let ln = s.gis.layer_id("Ln").expect("layer exists");
+        let crossed = engine
+            .resolve_filter(ln, &GeoFilter::IntersectsLayer { layer: "Lr".into() })
+            .expect("resolves");
+        let density = BaseFactTable::constant("density", LayerId(0), 3.0);
+        let layer = s.gis.layer(ln);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(crossed.len()),
+            &crossed,
+            |b, crossed| {
+                b.iter(|| {
+                    summable_sum(
+                        crossed.iter().map(|&g| layer.geometry(g).expect("valid id")),
+                        |g| integrate_over(black_box(g), &density),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_overlay_primitive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_boolean_overlay");
+    for n in [8usize, 16, 32] {
+        // Two n-gon "cog" shapes offset against each other.
+        let gon = |cx: f64, cy: f64| {
+            let pts: Vec<_> = (0..n)
+                .map(|i| {
+                    let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                    let r = if i % 2 == 0 { 10.0 } else { 7.0 };
+                    pt(cx + r * a.cos(), cy + r * a.sin())
+                })
+                .collect();
+            MultiPolygon::from_polygon(Polygon::from_exterior(pts).expect("valid gon"))
+        };
+        let a = gon(0.0, 0.0);
+        let b_shape = gon(5.0, 3.0);
+        for (name, op) in [
+            ("intersection", BooleanOp::Intersection),
+            ("union", BooleanOp::Union),
+            ("difference", BooleanOp::Difference),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(&a, &b_shape),
+                |bench, (a, b_shape)| {
+                    bench.iter(|| a.boolean_op(black_box(b_shape), op))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_integral, bench_summable, bench_overlay_primitive
+}
+criterion_main!(benches);

@@ -1,0 +1,1212 @@
+//! The aggregate query engine.
+//!
+//! Evaluates spatio-temporal regions `C` ([`crate::region::RegionC`]) over
+//! a MOFT, with three interchangeable strategies:
+//!
+//! * [`NaiveEngine`] — reference semantics: full scans, geometric
+//!   relations computed per query.
+//! * [`IndexedEngine`] — R-trees over every layer filter point/segment
+//!   candidates; layer×layer relations still computed per query (with
+//!   index acceleration).
+//! * [`OverlayEngine`] — the paper's Section 5 strategy: layer×layer
+//!   relations (and polygon overlay cells) are **precomputed once**
+//!   ([`crate::overlay_cache::OverlayCache`]); the geometric sub-query of
+//!   a Piet-QL style query becomes a lookup, and only the
+//!   trajectory-vs-qualifying-geometry step runs at query time.
+//!
+//! All three implement [`QueryEngine`] and must agree on every query —
+//! integration tests enforce this; the benchmarks measure the difference.
+
+use std::collections::{HashMap, HashSet};
+
+use gisolap_geom::{BBox, Point};
+use gisolap_olap::time::{TimeDimension, TimeId};
+use gisolap_index::RTree;
+use gisolap_traj::bead::{Bead, Reachability};
+use gisolap_traj::moft::{Moft, ObjectId, Record};
+use gisolap_traj::ops::{self, TimeInterval};
+use gisolap_traj::trajectory::{Lit, TimedSegment};
+
+use crate::gis::Gis;
+use crate::layer::{GeoId, GeometryKind, LayerId};
+use crate::overlay_cache::{georef_intersects, OverlayCache};
+use crate::region::{
+    eval_time, CmpOp, GeoFilter, RegionC, SpatialPredicate, SpatialSemantics, TimePredicate,
+};
+use crate::result::CTuple;
+use crate::{CoreError, Result};
+
+/// The common interface of the three evaluation strategies.
+pub trait QueryEngine {
+    /// Strategy name (for reports and benchmarks).
+    fn name(&self) -> &'static str;
+
+    /// The GIS this engine answers over.
+    fn gis(&self) -> &Gis;
+
+    /// The MOFT this engine answers over.
+    fn moft(&self) -> &Moft;
+
+    /// Candidate elements of `layer` whose bbox intersects `bbox`.
+    /// Strategies differ: scan vs. R-tree.
+    fn candidates(&self, layer: LayerId, bbox: &BBox) -> Vec<GeoId>;
+
+    /// All intersecting element pairs between two layers. Strategies
+    /// differ: computed per call vs. precomputed lookup.
+    fn layer_pairs(&self, a: LayerId, b: LayerId) -> Result<Vec<(GeoId, GeoId)>>;
+
+    /// Resolves a [`GeoFilter`] to the sorted element ids of `layer` that
+    /// satisfy it — the geometric sub-query of Section 5.
+    fn resolve_filter(&self, layer: LayerId, filter: &GeoFilter) -> Result<Vec<GeoId>> {
+        let gis = self.gis();
+        match filter {
+            GeoFilter::All => Ok(gis.layer(layer).ids().collect()),
+            GeoFilter::Member { category, member } => {
+                let (l, g) = gis.alpha_geo(category, member)?;
+                Ok(if l == layer { vec![g] } else { vec![] })
+            }
+            GeoFilter::AttrCompare { category, attr, op, value } => {
+                let binding = gis.alpha(category)?;
+                if binding.layer != layer {
+                    return Ok(vec![]);
+                }
+                gis.geos_where_attr(category, attr, |v| op.eval(v.compare(value)))
+            }
+            GeoFilter::Ids(ids) => {
+                let mut v = ids.clone();
+                v.sort();
+                v.dedup();
+                Ok(v)
+            }
+            GeoFilter::IntersectsLayer { layer: other } => {
+                let other_id = gis.layer_id(other)?;
+                let mut v: Vec<GeoId> =
+                    self.layer_pairs(layer, other_id)?.into_iter().map(|(a, _)| a).collect();
+                v.sort();
+                v.dedup();
+                Ok(v)
+            }
+            GeoFilter::ContainsNodeOf { layer: other } => {
+                let other_id = gis.layer_id(other)?;
+                gis.expect_kind(other_id, GeometryKind::Node)?;
+                let mut v: Vec<GeoId> =
+                    self.layer_pairs(layer, other_id)?.into_iter().map(|(a, _)| a).collect();
+                v.sort();
+                v.dedup();
+                Ok(v)
+            }
+            GeoFilter::FactAggCompare { table, column, category, measure, agg, op, value } => {
+                // γ inside C: aggregate the fact table per category member,
+                // compare, then map qualifying members to geometries via α.
+                let ft = gis.fact_table(table)?;
+                let grouped = ft.aggregate(*agg, &[(column.as_str(), category.as_str())], measure)?;
+                let binding = gis.alpha(category)?;
+                if binding.layer != layer {
+                    return Ok(vec![]);
+                }
+                let mut out = Vec::new();
+                for (key, v) in grouped {
+                    if op.eval(v.partial_cmp(value)) {
+                        if let Some(g) = binding.geo_of(&key[0]) {
+                            out.push(g);
+                        }
+                    }
+                }
+                out.sort();
+                out.dedup();
+                Ok(out)
+            }
+            GeoFilter::And(a, b) => {
+                let va = self.resolve_filter(layer, a)?;
+                let vb: HashSet<GeoId> = self.resolve_filter(layer, b)?.into_iter().collect();
+                Ok(va.into_iter().filter(|g| vb.contains(g)).collect())
+            }
+            GeoFilter::Not(inner) => {
+                let excluded: HashSet<GeoId> =
+                    self.resolve_filter(layer, inner)?.into_iter().collect();
+                Ok(gis.layer(layer).ids().filter(|g| !excluded.contains(g)).collect())
+            }
+        }
+    }
+
+    /// The MOFT records passing the region's time predicates, in
+    /// `(oid, t)` order.
+    fn time_filtered(&self, time_preds: &[TimePredicate]) -> Vec<Record> {
+        let time = self.gis().time();
+        self.moft()
+            .records()
+            .iter()
+            .filter(|r| eval_time(time_preds, time, r.t))
+            .copied()
+            .collect()
+    }
+
+    /// Materializes the region `C` as tuples.
+    ///
+    /// Sample-based semantics emit one tuple per `(record, matching
+    /// geometry)` pair — the `(Oid, t, street)` triples of query 2; use
+    /// [`crate::result`] helpers (or [`dedupe_oid_t`]) for `(Oid, t)` set
+    /// semantics. Interpolated semantics emit one tuple per *entry event*
+    /// (the instant a trajectory leg first enters a qualifying geometry).
+    fn eval(&self, region: &RegionC) -> Result<Vec<CTuple>> {
+        let records = self.time_filtered(&region.time);
+
+        // Resolve the forbidden set first (query 3): any object with a
+        // time-filtered sample matching `forbid` is excluded wholesale.
+        let excluded: HashSet<ObjectId> = match &region.forbid {
+            None => HashSet::new(),
+            Some(forbid) => {
+                let layer = self.gis().layer_id(&forbid.layer)?;
+                let geos = self.resolve_filter(layer, &forbid.filter)?;
+                let geo_set: HashSet<GeoId> = geos.iter().copied().collect();
+                records
+                    .iter()
+                    .filter(|r| {
+                        !self
+                            .matching_geos(layer, &geo_set, r.pos(), forbid.within_distance)
+                            .is_empty()
+                    })
+                    .map(|r| r.oid)
+                    .collect()
+            }
+        };
+
+        let Some(spatial) = &region.spatial else {
+            // Type 3: no spatial condition; C is the time-filtered MOFT.
+            return Ok(records
+                .iter()
+                .filter(|r| !excluded.contains(&r.oid))
+                .map(|r| CTuple { oid: r.oid, t: r.t, pos: r.pos(), geo: None })
+                .collect());
+        };
+
+        let layer = self.gis().layer_id(&spatial.layer)?;
+        let geos = self.resolve_filter(layer, &spatial.filter)?;
+        let geo_set: HashSet<GeoId> = geos.iter().copied().collect();
+
+        match region.semantics {
+            SpatialSemantics::SampleBased => {
+                let mut out = Vec::new();
+                for r in &records {
+                    if excluded.contains(&r.oid) {
+                        continue;
+                    }
+                    for g in self.matching_geos(layer, &geo_set, r.pos(), spatial.within_distance)
+                    {
+                        out.push(CTuple {
+                            oid: r.oid,
+                            t: r.t,
+                            pos: r.pos(),
+                            geo: Some((layer, g)),
+                        });
+                    }
+                }
+                Ok(out)
+            }
+            SpatialSemantics::Interpolated => {
+                let mut out = Vec::new();
+                for oid in self.moft().objects() {
+                    if excluded.contains(&oid) {
+                        continue;
+                    }
+                    let Ok(lit) = self.moft().trajectory(oid) else { continue };
+                    let legs = time_filtered_legs(&lit, &region.time, self.gis().time());
+                    for &g in &geos {
+                        let ivs = self.legs_intersect_geo(&legs, layer, g, spatial.within_distance)?;
+                        for iv in ivs {
+                            let t = TimeId(iv.start.round() as i64);
+                            let pos = lit
+                                .position_at(iv.start)
+                                .unwrap_or_else(|| lit.sample().points()[0].pos);
+                            out.push(CTuple { oid, t, pos, geo: Some((layer, g)) });
+                        }
+                    }
+                }
+                out.sort_by_key(|t| (t.oid, t.t));
+                Ok(out)
+            }
+        }
+    }
+
+    /// The geometry elements of `geo_set` matched by position `p` (by
+    /// membership, or by distance when `within` is set).
+    fn matching_geos(
+        &self,
+        layer: LayerId,
+        geo_set: &HashSet<GeoId>,
+        p: Point,
+        within: Option<f64>,
+    ) -> Vec<GeoId> {
+        let l = self.gis().layer(layer);
+        let probe = match within {
+            None => BBox::from_point(p),
+            Some(d) => BBox::from_point(p).inflated(d),
+        };
+        let mut out: Vec<GeoId> = self
+            .candidates(layer, &probe)
+            .into_iter()
+            .filter(|g| geo_set.contains(g))
+            .filter(|&g| {
+                let geo = l.geometry(g).expect("candidate ids are valid");
+                match within {
+                    None => geo.covers(p),
+                    Some(d) => match geo {
+                        crate::layer::GeoRef::Node(q) => q.distance(p) <= d,
+                        crate::layer::GeoRef::Polyline(line) => line.distance_to_point(p) <= d,
+                        crate::layer::GeoRef::Polygon(poly) => {
+                            poly.contains(p)
+                                || poly.edges().any(|e| e.distance_to_point(p) <= d)
+                        }
+                    },
+                }
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Interval intersection of time-filtered legs with one geometry.
+    fn legs_intersect_geo(
+        &self,
+        legs: &[TimedSegment],
+        layer: LayerId,
+        geo: GeoId,
+        within: Option<f64>,
+    ) -> Result<Vec<TimeInterval>> {
+        let l = self.gis().layer(layer);
+        let geo_ref = l.geometry(geo)?;
+        let mut ivs: Vec<TimeInterval> = Vec::new();
+        for leg in legs {
+            match (&geo_ref, within) {
+                (crate::layer::GeoRef::Polygon(poly), None) => {
+                    for p in gisolap_geom::clip::clip_segment_to_polygon(&leg.seg, poly) {
+                        ivs.push(TimeInterval {
+                            start: leg.param_to_time(p.start),
+                            end: leg.param_to_time(p.end),
+                        });
+                    }
+                }
+                (crate::layer::GeoRef::Node(q), Some(d)) => {
+                    // Solve |p(t) − q| ≤ d on this leg via a one-leg LIT.
+                    let t0 = leg.t0.round() as i64;
+                    let t1 = leg.t1.round() as i64;
+                    if t1 <= t0 {
+                        continue;
+                    }
+                    let mini = Lit::new(
+                        gisolap_traj::sample::TrajectorySample::from_triples(&[
+                            (t0, leg.seg.a.x, leg.seg.a.y),
+                            (t1, leg.seg.b.x, leg.seg.b.y),
+                        ])
+                        .expect("two increasing instants"),
+                    );
+                    ivs.extend(ops::intervals_within_distance(&mini, *q, d));
+                }
+                _ => {
+                    // Generic fallback: membership of the leg midpoint.
+                    let mid = leg.seg.midpoint();
+                    let hit = match within {
+                        None => geo_ref.covers(mid),
+                        Some(d) => match &geo_ref {
+                            crate::layer::GeoRef::Node(q) => q.distance(mid) <= d,
+                            crate::layer::GeoRef::Polyline(line) => {
+                                line.distance_to_point(mid) <= d
+                            }
+                            crate::layer::GeoRef::Polygon(poly) => poly.contains(mid),
+                        },
+                    };
+                    if hit {
+                        ivs.push(TimeInterval { start: leg.t0, end: leg.t1 });
+                    }
+                }
+            }
+        }
+        ivs.sort_by(|a, b| a.start.total_cmp(&b.start));
+        // Merge adjacent.
+        let mut merged: Vec<TimeInterval> = Vec::with_capacity(ivs.len());
+        for iv in ivs {
+            match merged.last_mut() {
+                Some(last) if iv.start <= last.end + 1e-9 => last.end = last.end.max(iv.end),
+                _ => merged.push(iv),
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Objects whose interpolated trajectory touches a qualifying
+    /// geometry during the time-filtered windows — the paper's type-7
+    /// "passes through" queries (catches Figure 1's O6).
+    fn objects_passing_through(
+        &self,
+        spatial: &SpatialPredicate,
+        time_preds: &[TimePredicate],
+    ) -> Result<Vec<ObjectId>> {
+        let layer = self.gis().layer_id(&spatial.layer)?;
+        let geos = self.resolve_filter(layer, &spatial.filter)?;
+        let mut out = Vec::new();
+        for oid in self.moft().objects() {
+            let Ok(lit) = self.moft().trajectory(oid) else { continue };
+            let legs = time_filtered_legs(&lit, time_preds, self.gis().time());
+            if legs.is_empty() {
+                continue;
+            }
+            let hit = geos.iter().any(|&g| {
+                !self
+                    .legs_intersect_geo(&legs, layer, g, spatial.within_distance)
+                    .map(|v| v.is_empty())
+                    .unwrap_or(true)
+            });
+            if hit {
+                out.push(oid);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Uncertainty-aware variant of passes-through, under the lifeline-
+    /// bead model (Hornsby & Egenhofer, paper §2): given a maximum speed
+    /// `vmax`, classifies each object as [`Reachability::Possible`] (some
+    /// reachable point between consecutive samples lies in a qualifying
+    /// geometry), [`Reachability::Impossible`] (an alibi), or
+    /// [`Reachability::Unknown`]. Only polygon layers are supported.
+    ///
+    /// Sample pairs that would *require* exceeding `vmax` use the
+    /// required speed instead (the observation overrides the assumed
+    /// bound), so recorded data is never classified impossible.
+    fn objects_possibly_passing_through(
+        &self,
+        spatial: &SpatialPredicate,
+        vmax: f64,
+    ) -> Result<Vec<(ObjectId, Reachability)>> {
+        let layer = self.gis().layer_id(&spatial.layer)?;
+        self.gis().expect_kind(layer, GeometryKind::Polygon)?;
+        let geos = self.resolve_filter(layer, &spatial.filter)?;
+        let polys = self
+            .gis()
+            .layer(layer)
+            .as_polygons()
+            .expect("kind checked above");
+
+        let mut out = Vec::new();
+        for oid in self.moft().objects() {
+            let Some(track) = self.moft().track(oid) else { continue };
+            let mut verdict = Reachability::Impossible;
+            'pairs: for w in track.windows(2) {
+                let (t1, t2) = (w[0].t.0 as f64, w[1].t.0 as f64);
+                let (p1, p2) = (w[0].pos(), w[1].pos());
+                let required = p1.distance(p2) / (t2 - t1);
+                let bead =
+                    match Bead::new(t1, p1, t2, p2, vmax.max(required)) {
+                        Ok(b) => b,
+                        Err(_) => continue, // duplicate timestamps cannot occur post-index
+                    };
+                for &g in &geos {
+                    match bead.region_reachability(&polys[g.0 as usize]) {
+                        Reachability::Possible => {
+                            verdict = Reachability::Possible;
+                            break 'pairs;
+                        }
+                        Reachability::Unknown => verdict = Reachability::Unknown,
+                        Reachability::Impossible => {}
+                    }
+                }
+            }
+            // Single-sample objects: membership of the lone observation.
+            if track.len() == 1 {
+                let inside = geos
+                    .iter()
+                    .any(|&g| polys[g.0 as usize].contains(track[0].pos()));
+                verdict = if inside {
+                    Reachability::Possible
+                } else {
+                    Reachability::Impossible
+                };
+            }
+            out.push((oid, verdict));
+        }
+        Ok(out)
+    }
+
+    /// Per-object total time (seconds) spent inside qualifying geometries
+    /// during the time-filtered windows — query 5 of Section 4. Objects
+    /// spending no time are omitted.
+    fn time_in_region_per_object(
+        &self,
+        spatial: &SpatialPredicate,
+        time_preds: &[TimePredicate],
+    ) -> Result<Vec<(ObjectId, f64)>> {
+        let layer = self.gis().layer_id(&spatial.layer)?;
+        let geos = self.resolve_filter(layer, &spatial.filter)?;
+        let mut out = Vec::new();
+        for oid in self.moft().objects() {
+            let Ok(lit) = self.moft().trajectory(oid) else { continue };
+            let legs = time_filtered_legs(&lit, time_preds, self.gis().time());
+            if legs.is_empty() {
+                continue;
+            }
+            // Merge per-geometry intervals so overlapping geometries don't
+            // double-count time.
+            let mut all: Vec<TimeInterval> = Vec::new();
+            for &g in &geos {
+                all.extend(self.legs_intersect_geo(&legs, layer, g, spatial.within_distance)?);
+            }
+            all.sort_by(|a, b| a.start.total_cmp(&b.start));
+            let mut total = 0.0;
+            let mut cur: Option<TimeInterval> = None;
+            for iv in all {
+                match &mut cur {
+                    Some(c) if iv.start <= c.end + 1e-9 => c.end = c.end.max(iv.end),
+                    _ => {
+                        if let Some(c) = cur.take() {
+                            total += c.end - c.start;
+                        }
+                        cur = Some(iv);
+                    }
+                }
+            }
+            if let Some(c) = cur {
+                total += c.end - c.start;
+            }
+            if total > 0.0 {
+                out.push((oid, total));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A human-readable account of how an engine would evaluate a region —
+/// which rollups apply, how the geometric sub-query resolves, and which
+/// semantics drive the moving-object phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explain {
+    /// The engine strategy.
+    pub engine: &'static str,
+    /// Ordered step descriptions.
+    pub steps: Vec<String>,
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "plan [{}]", self.engine)?;
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f,"  {}. {s}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+fn describe_filter(filter: &GeoFilter) -> String {
+    match filter {
+        GeoFilter::All => "all elements".into(),
+        GeoFilter::Member { category, member } => format!("α({category}, {member:?})"),
+        GeoFilter::AttrCompare { category, attr, op, value } => {
+            format!("{category}.{attr} {op:?} {value}")
+        }
+        GeoFilter::Ids(ids) => format!("{} explicit ids", ids.len()),
+        GeoFilter::IntersectsLayer { layer } => format!("intersects layer {layer}"),
+        GeoFilter::ContainsNodeOf { layer } => format!("contains a node of {layer}"),
+        GeoFilter::FactAggCompare { table, measure, agg, op, value, .. } => {
+            format!("γ_{agg}({table}.{measure}) {op:?} {value} (nested aggregation)")
+        }
+        GeoFilter::And(a, b) => format!("({}) AND ({})", describe_filter(a), describe_filter(b)),
+        GeoFilter::Not(inner) => format!("NOT ({})", describe_filter(inner)),
+    }
+}
+
+/// Default `explain` implementation shared by every engine (free function
+/// so the trait stays object-safe and uncluttered).
+pub fn explain<E: QueryEngine + ?Sized>(engine: &E, region: &RegionC) -> Result<Explain> {
+    let mut steps = Vec::new();
+    if region.time.is_empty() {
+        steps.push("scan the full MOFT (no time predicates)".to_string());
+    } else {
+        let preds: Vec<String> = region.time.iter().map(|p| format!("{p:?}")).collect();
+        steps.push(format!(
+            "filter the MOFT through Time-dimension rollups: {}",
+            preds.join(" ∧ ")
+        ));
+    }
+    if let Some(forbid) = &region.forbid {
+        let layer = engine.gis().layer_id(&forbid.layer)?;
+        let n = engine.resolve_filter(layer, &forbid.filter)?.len();
+        steps.push(format!(
+            "exclude objects sampled in {} forbidden element(s) of {} [{}]",
+            n,
+            forbid.layer,
+            describe_filter(&forbid.filter)
+        ));
+    }
+    match &region.spatial {
+        None => steps.push("no spatial atom: C = the time-filtered MOFT (type 3)".into()),
+        Some(spatial) => {
+            let layer = engine.gis().layer_id(&spatial.layer)?;
+            let n = engine.resolve_filter(layer, &spatial.filter)?.len();
+            let how = match engine.name() {
+                "overlay" => "precomputed overlay lookup",
+                "indexed" => "computed with R-tree filtering",
+                _ => "computed by full scan",
+            };
+            steps.push(format!(
+                "geometric sub-query on {}: {} → {} element(s) ({how})",
+                spatial.layer,
+                describe_filter(&spatial.filter),
+                n
+            ));
+            let probe = match engine.name() {
+                "naive" => "layer scan per record",
+                _ => "R-tree stab per record",
+            };
+            match (region.semantics, spatial.within_distance) {
+                (SpatialSemantics::SampleBased, None) => steps.push(format!(
+                    "match each record against r^Pt,G via {probe} (sample semantics)"
+                )),
+                (SpatialSemantics::SampleBased, Some(d)) => steps.push(format!(
+                    "match each record within distance {d} via inflated {probe}"
+                )),
+                (SpatialSemantics::Interpolated, d) => steps.push(format!(
+                    "interpolate each trajectory (LIT) and intersect legs{} (type-7 semantics)",
+                    d.map_or(String::new(), |d| format!(" within distance {d}"))
+                )),
+            }
+        }
+    }
+    steps.push("apply γ aggregation over the resulting (Oid, t) tuples".into());
+    Ok(Explain { engine: engine.name(), steps })
+}
+
+/// Cuts a trajectory's legs at hour boundaries and keeps the sub-legs
+/// whose instants pass all time predicates (evaluated at the sub-leg
+/// midpoint — exact for the hour-aligned predicates of the paper's
+/// examples; `Between`/`AtInstant` bounds are honoured by additional
+/// cuts).
+pub fn time_filtered_legs(
+    lit: &Lit,
+    preds: &[TimePredicate],
+    time: &TimeDimension,
+) -> Vec<TimedSegment> {
+    const HOUR: f64 = 3600.0;
+    let mut extra_cuts: Vec<f64> = Vec::new();
+    for p in preds {
+        match p {
+            TimePredicate::Between(a, b) => {
+                extra_cuts.push(a.0 as f64);
+                extra_cuts.push(b.0 as f64);
+            }
+            TimePredicate::AtInstant(t) => {
+                extra_cuts.push(t.0 as f64);
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    for leg in lit.segments() {
+        // Cut points: hour boundaries within the leg plus predicate
+        // bounds.
+        let mut cuts = vec![leg.t0, leg.t1];
+        let mut h = (leg.t0 / HOUR).floor() * HOUR + HOUR;
+        while h < leg.t1 {
+            cuts.push(h);
+            h += HOUR;
+        }
+        for &c in &extra_cuts {
+            if c > leg.t0 && c < leg.t1 {
+                cuts.push(c);
+            }
+        }
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup();
+        for w in cuts.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let mid = TimeId(((a + b) / 2.0) as i64);
+            if eval_time(preds, time, mid) {
+                out.push(TimedSegment {
+                    t0: a,
+                    t1: b,
+                    seg: gisolap_geom::Segment::new(leg.position_at(a), leg.position_at(b)),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Removes duplicate `(oid, t)` pairs, keeping the first geometry match —
+/// the paper's `(Oid, t)` *set* semantics.
+pub fn dedupe_oid_t(mut tuples: Vec<CTuple>) -> Vec<CTuple> {
+    tuples.sort_by_key(|t| (t.oid, t.t));
+    tuples.dedup_by_key(|t| (t.oid, t.t));
+    tuples
+}
+
+// --- the three strategies ---------------------------------------------------
+
+/// Reference strategy: no indexes, no precomputation.
+pub struct NaiveEngine<'a> {
+    gis: &'a Gis,
+    moft: &'a Moft,
+}
+
+impl<'a> NaiveEngine<'a> {
+    /// Creates the engine.
+    pub fn new(gis: &'a Gis, moft: &'a Moft) -> NaiveEngine<'a> {
+        NaiveEngine { gis, moft }
+    }
+}
+
+impl QueryEngine for NaiveEngine<'_> {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+    fn gis(&self) -> &Gis {
+        self.gis
+    }
+    fn moft(&self) -> &Moft {
+        self.moft
+    }
+
+    fn candidates(&self, layer: LayerId, bbox: &BBox) -> Vec<GeoId> {
+        // Full scan with bbox rejection only.
+        self.gis
+            .layer(layer)
+            .iter()
+            .filter(|(_, g)| g.bbox().intersects(bbox))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    fn layer_pairs(&self, a: LayerId, b: LayerId) -> Result<Vec<(GeoId, GeoId)>> {
+        let la = self.gis.layer(a);
+        let lb = self.gis.layer(b);
+        let mut out = Vec::new();
+        for (ga, ra) in la.iter() {
+            for (gb, rb) in lb.iter() {
+                if georef_intersects(&ra, &rb) {
+                    out.push((ga, gb));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// R-tree accelerated strategy.
+pub struct IndexedEngine<'a> {
+    gis: &'a Gis,
+    moft: &'a Moft,
+    rtrees: HashMap<LayerId, RTree<GeoId>>,
+}
+
+impl<'a> IndexedEngine<'a> {
+    /// Creates the engine, building one R-tree per layer.
+    pub fn new(gis: &'a Gis, moft: &'a Moft) -> IndexedEngine<'a> {
+        let rtrees = build_layer_rtrees(gis);
+        IndexedEngine { gis, moft, rtrees }
+    }
+}
+
+/// Builds one STR-packed R-tree per layer of the GIS.
+pub fn build_layer_rtrees(gis: &Gis) -> HashMap<LayerId, RTree<GeoId>> {
+    gis.layers()
+        .map(|(id, layer)| {
+            let items: Vec<(BBox, GeoId)> =
+                layer.iter().map(|(g, r)| (r.bbox(), g)).collect();
+            (id, RTree::bulk_load(items))
+        })
+        .collect()
+}
+
+impl QueryEngine for IndexedEngine<'_> {
+    fn name(&self) -> &'static str {
+        "indexed"
+    }
+    fn gis(&self) -> &Gis {
+        self.gis
+    }
+    fn moft(&self) -> &Moft {
+        self.moft
+    }
+
+    fn candidates(&self, layer: LayerId, bbox: &BBox) -> Vec<GeoId> {
+        self.rtrees[&layer].search(bbox).into_iter().copied().collect()
+    }
+
+    fn layer_pairs(&self, a: LayerId, b: LayerId) -> Result<Vec<(GeoId, GeoId)>> {
+        let la = self.gis.layer(a);
+        let lb = self.gis.layer(b);
+        let tree_b = &self.rtrees[&b];
+        let mut out = Vec::new();
+        for (ga, ra) in la.iter() {
+            for &gb in tree_b.search(&ra.bbox()) {
+                let rb = lb.geometry(gb)?;
+                if georef_intersects(&ra, &rb) {
+                    out.push((ga, gb));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The Piet strategy: precomputed overlay + R-trees.
+pub struct OverlayEngine<'a> {
+    gis: &'a Gis,
+    moft: &'a Moft,
+    rtrees: HashMap<LayerId, RTree<GeoId>>,
+    cache: OverlayCache,
+}
+
+impl<'a> OverlayEngine<'a> {
+    /// Creates the engine, precomputing the full layer overlay.
+    pub fn new(gis: &'a Gis, moft: &'a Moft) -> OverlayEngine<'a> {
+        OverlayEngine {
+            gis,
+            moft,
+            rtrees: build_layer_rtrees(gis),
+            cache: OverlayCache::precompute(gis),
+        }
+    }
+
+    /// Creates the engine with an externally precomputed cache (e.g.
+    /// shared across MOFTs).
+    pub fn with_cache(gis: &'a Gis, moft: &'a Moft, cache: OverlayCache) -> OverlayEngine<'a> {
+        OverlayEngine { gis, moft, rtrees: build_layer_rtrees(gis), cache }
+    }
+
+    /// The precomputed overlay.
+    pub fn cache(&self) -> &OverlayCache {
+        &self.cache
+    }
+}
+
+impl QueryEngine for OverlayEngine<'_> {
+    fn name(&self) -> &'static str {
+        "overlay"
+    }
+    fn gis(&self) -> &Gis {
+        self.gis
+    }
+    fn moft(&self) -> &Moft {
+        self.moft
+    }
+
+    fn candidates(&self, layer: LayerId, bbox: &BBox) -> Vec<GeoId> {
+        self.rtrees[&layer].search(bbox).into_iter().copied().collect()
+    }
+
+    fn layer_pairs(&self, a: LayerId, b: LayerId) -> Result<Vec<(GeoId, GeoId)>> {
+        self.cache.pairs_for(a, b).ok_or_else(|| {
+            CoreError::InvalidSchema(format!(
+                "overlay cache missing layer pair ({}, {})",
+                self.gis.layer(a).name(),
+                self.gis.layer(b).name()
+            ))
+        })
+    }
+}
+
+/// Convenience: evaluates `region` with all three engines and checks they
+/// agree on the deduplicated `(oid, t, geo)` sets; returns the naive
+/// result. Intended for tests.
+pub fn eval_all_engines_checked(gis: &Gis, moft: &Moft, region: &RegionC) -> Result<Vec<CTuple>> {
+    let naive = NaiveEngine::new(gis, moft).eval(region)?;
+    let indexed = IndexedEngine::new(gis, moft).eval(region)?;
+    let overlay = OverlayEngine::new(gis, moft).eval(region)?;
+    type TupleKey = (ObjectId, TimeId, Option<(LayerId, GeoId)>);
+    let key = |v: &[CTuple]| {
+        let mut k: Vec<TupleKey> = v.iter().map(|t| (t.oid, t.t, t.geo)).collect();
+        k.sort();
+        k
+    };
+    if key(&naive) != key(&indexed) {
+        return Err(CoreError::InvalidSchema("naive vs indexed disagreement".into()));
+    }
+    if key(&naive) != key(&overlay) {
+        return Err(CoreError::InvalidSchema("naive vs overlay disagreement".into()));
+    }
+    Ok(naive)
+}
+
+/// Helper mirroring the region's attribute comparison for values already
+/// materialized as `f64` (used by Piet-QL execution).
+pub fn cmp_f64(op: CmpOp, a: f64, b: f64) -> bool {
+    op.eval(a.partial_cmp(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::region::GeoFilter;
+    use gisolap_geom::point::pt;
+    use gisolap_geom::{Polygon, Polyline};
+    use gisolap_olap::schema::SchemaBuilder;
+    use gisolap_olap::value::Value;
+    use gisolap_olap::DimensionInstance;
+    use gisolap_olap::time::TimeOfDay;
+
+    const H: i64 = 3600;
+
+    /// Two neighborhoods (poor west, rich east), a river, two schools.
+    fn test_gis() -> Gis {
+        let mut gis = Gis::new();
+        gis.add_layer(Layer::polygons(
+            "Ln",
+            vec![
+                Polygon::rectangle(0.0, 0.0, 10.0, 10.0),
+                Polygon::rectangle(10.0, 0.0, 20.0, 10.0),
+            ],
+        ));
+        gis.add_layer(Layer::polylines(
+            "Lr",
+            vec![Polyline::new(vec![pt(-1.0, 5.0), pt(11.0, 5.0)]).unwrap()],
+        ));
+        gis.add_layer(Layer::nodes("Ls", vec![pt(2.0, 2.0), pt(15.0, 5.0)]));
+
+        let schema = SchemaBuilder::new("Neighbourhoods")
+            .chain(&["neighborhood", "city"])
+            .build()
+            .unwrap();
+        let dim = DimensionInstance::builder(schema)
+            .rollup("neighborhood", "West", "city", "Antwerp")
+            .unwrap()
+            .rollup("neighborhood", "East", "city", "Antwerp")
+            .unwrap()
+            .attribute("neighborhood", "West", "income", 1200i64)
+            .unwrap()
+            .attribute("neighborhood", "East", "income", 2200i64)
+            .unwrap()
+            .build()
+            .unwrap();
+        gis.add_dimension(dim);
+        gis.bind_alpha(
+            "neighborhood",
+            "Neighbourhoods",
+            "Ln",
+            &[("West", GeoId(0)), ("East", GeoId(1))],
+        )
+        .unwrap();
+        gis
+    }
+
+    fn test_moft() -> Moft {
+        // Object 1 stays in the west; object 2 moves west→east at t=1h;
+        // object 3 is far away.
+        Moft::from_tuples([
+            (1, 0, 2.0, 2.0),
+            (1, H, 3.0, 3.0),
+            (2, 0, 5.0, 5.0),
+            (2, H, 15.0, 5.0),
+            (3, 0, 100.0, 100.0),
+        ])
+    }
+
+    fn engines<'a>(
+        gis: &'a Gis,
+        moft: &'a Moft,
+    ) -> (NaiveEngine<'a>, IndexedEngine<'a>, OverlayEngine<'a>) {
+        (
+            NaiveEngine::new(gis, moft),
+            IndexedEngine::new(gis, moft),
+            OverlayEngine::new(gis, moft),
+        )
+    }
+
+    #[test]
+    fn engines_agree_on_membership_region() {
+        let gis = test_gis();
+        let moft = test_moft();
+        let region = RegionC::all().with_spatial(SpatialPredicate::in_layer(
+            "Ln",
+            GeoFilter::AttrCompare {
+                category: "neighborhood".into(),
+                attr: "income".into(),
+                op: CmpOp::Lt,
+                value: Value::Int(1500),
+            },
+        ));
+        let result = eval_all_engines_checked(&gis, &moft, &region).unwrap();
+        // West polygon: samples of object 1 (both) + object 2 at t=0.
+        assert_eq!(result.len(), 3);
+        assert!(result.iter().all(|t| t.geo == Some((LayerId(0), GeoId(0)))));
+    }
+
+    #[test]
+    fn filter_resolution_variants() {
+        let gis = test_gis();
+        let moft = test_moft();
+        let (naive, _, overlay) = engines(&gis, &moft);
+        let ln = gis.layer_id("Ln").unwrap();
+
+        assert_eq!(naive.resolve_filter(ln, &GeoFilter::All).unwrap().len(), 2);
+        assert_eq!(
+            naive
+                .resolve_filter(
+                    ln,
+                    &GeoFilter::Member { category: "neighborhood".into(), member: "East".into() }
+                )
+                .unwrap(),
+            vec![GeoId(1)]
+        );
+        // Crossed by the river: only the west polygon (river ends at x=11
+        // which is inside East? The river spans x∈[-1,11] at y=5 — it
+        // enters East (x=10..11) too.
+        let crossed = naive
+            .resolve_filter(ln, &GeoFilter::IntersectsLayer { layer: "Lr".into() })
+            .unwrap();
+        assert_eq!(crossed, vec![GeoId(0), GeoId(1)]);
+        assert_eq!(
+            overlay
+                .resolve_filter(ln, &GeoFilter::IntersectsLayer { layer: "Lr".into() })
+                .unwrap(),
+            crossed
+        );
+        // Contains a school: both polygons have one.
+        let with_school = naive
+            .resolve_filter(ln, &GeoFilter::ContainsNodeOf { layer: "Ls".into() })
+            .unwrap();
+        assert_eq!(with_school, vec![GeoId(0), GeoId(1)]);
+        // Combinators.
+        let both = naive
+            .resolve_filter(
+                ln,
+                &GeoFilter::IntersectsLayer { layer: "Lr".into() }.and(GeoFilter::Member {
+                    category: "neighborhood".into(),
+                    member: "West".into(),
+                }),
+            )
+            .unwrap();
+        assert_eq!(both, vec![GeoId(0)]);
+        let not_west = naive
+            .resolve_filter(
+                ln,
+                &GeoFilter::Member { category: "neighborhood".into(), member: "West".into() }
+                    .negate(),
+            )
+            .unwrap();
+        assert_eq!(not_west, vec![GeoId(1)]);
+    }
+
+    #[test]
+    fn time_predicates_filter_records() {
+        let gis = test_gis();
+        let moft = test_moft();
+        let naive = NaiveEngine::new(&gis, &moft);
+        // t=0 epoch is 1970-01-01 00:00 Thursday Night; t=1h is 01:00.
+        let region = RegionC::all().with_time(TimePredicate::Between(TimeId(0), TimeId(0)));
+        let r = naive.eval(&region).unwrap();
+        assert_eq!(r.len(), 3); // three objects sampled at t=0
+        let morning =
+            RegionC::all().with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning));
+        assert!(naive.eval(&morning).unwrap().is_empty()); // all samples at night
+    }
+
+    #[test]
+    fn forbid_excludes_whole_object() {
+        let gis = test_gis();
+        let moft = test_moft();
+        let naive = NaiveEngine::new(&gis, &moft);
+        // Objects in West that never have a sample in East: object 1
+        // qualifies; object 2 is excluded (its t=1h sample is in East).
+        let region = RegionC::all()
+            .with_spatial(SpatialPredicate::in_layer(
+                "Ln",
+                GeoFilter::Member { category: "neighborhood".into(), member: "West".into() },
+            ))
+            .with_forbid(SpatialPredicate::in_layer(
+                "Ln",
+                GeoFilter::Member { category: "neighborhood".into(), member: "East".into() },
+            ));
+        let r = naive.eval(&region).unwrap();
+        let oids: HashSet<ObjectId> = r.iter().map(|t| t.oid).collect();
+        assert_eq!(oids, HashSet::from([ObjectId(1)]));
+    }
+
+    #[test]
+    fn within_distance_sample_based() {
+        let gis = test_gis();
+        let moft = test_moft();
+        let naive = NaiveEngine::new(&gis, &moft);
+        // Samples within distance 1.5 of a school: object 1 at (2,2) and
+        // (3,3) vs school (2,2): distances 0 and √2 ≈ 1.41 — both hit.
+        // Object 2 at (15,5) is exactly on school 2 → hit.
+        let region = RegionC::all().with_spatial(SpatialPredicate::near_layer(
+            "Ls",
+            GeoFilter::All,
+            1.5,
+        ));
+        let r = naive.eval(&region).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn interpolated_entry_events() {
+        let gis = test_gis();
+        let moft = test_moft();
+        let naive = NaiveEngine::new(&gis, &moft);
+        // Object 2 crosses into East between samples; interpolated
+        // semantics must produce an entry event for East.
+        let region = RegionC::all()
+            .with_spatial(SpatialPredicate::in_layer(
+                "Ln",
+                GeoFilter::Member { category: "neighborhood".into(), member: "East".into() },
+            ))
+            .interpolated();
+        let r = naive.eval(&region).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].oid, ObjectId(2));
+        // Crossing x=10 happens at fraction (10-5)/10 of the hour leg.
+        assert_eq!(r[0].t, TimeId(H / 2));
+    }
+
+    #[test]
+    fn passes_through_vs_samples() {
+        let gis = test_gis();
+        // An object whose samples straddle the river's polygon… use a
+        // region-crossing object with no sample inside (Figure 1's O6).
+        let moft = Moft::from_tuples([(6, 0, -5.0, 5.0), (6, H, 25.0, 5.0)]);
+        let naive = NaiveEngine::new(&gis, &moft);
+        let spatial = SpatialPredicate::in_layer(
+            "Ln",
+            GeoFilter::Member { category: "neighborhood".into(), member: "West".into() },
+        );
+        // Sample-based: nothing.
+        let sample_region = RegionC::all().with_spatial(spatial.clone());
+        assert!(naive.eval(&sample_region).unwrap().is_empty());
+        // Interpolated: passes through.
+        let oids = naive.objects_passing_through(&spatial, &[]).unwrap();
+        assert_eq!(oids, vec![ObjectId(6)]);
+    }
+
+    #[test]
+    fn time_in_region_totals() {
+        let gis = test_gis();
+        // Crosses West (x∈[0,10] at y=5) in one hour-long leg spanning
+        // x∈[-5,25]: fraction 10/30 of 3600 s = 1200 s.
+        let moft = Moft::from_tuples([(7, 0, -5.0, 5.0), (7, H, 25.0, 5.0)]);
+        let naive = NaiveEngine::new(&gis, &moft);
+        let spatial = SpatialPredicate::in_layer(
+            "Ln",
+            GeoFilter::Member { category: "neighborhood".into(), member: "West".into() },
+        );
+        let totals = naive.time_in_region_per_object(&spatial, &[]).unwrap();
+        assert_eq!(totals.len(), 1);
+        assert!((totals[0].1 - 1200.0).abs() < 1.0);
+        // Whole layer (West+East): x∈[0,20] → 2400 s, merged without
+        // double counting at the shared boundary.
+        let spatial_all = SpatialPredicate::in_layer("Ln", GeoFilter::All);
+        let totals = naive.time_in_region_per_object(&spatial_all, &[]).unwrap();
+        assert!((totals[0].1 - 2400.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn possibly_passing_through_three_values() {
+        let gis = test_gis();
+        const HOUR: i64 = 3600;
+        // Object 1: samples 20 apart in one hour (required speed ~0.006);
+        // with vmax 0.01 the slack is tiny — it can reach West (it is in
+        // it) but not a far-away region.
+        // Object 2: far away with no slack to reach anything.
+        let moft = Moft::from_tuples([
+            (1, 0, 2.0, 5.0),
+            (1, HOUR, 8.0, 5.0),
+            (2, 0, 100.0, 100.0),
+            (2, HOUR, 105.0, 100.0),
+        ]);
+        let naive = NaiveEngine::new(&gis, &moft);
+        let west = SpatialPredicate::in_layer(
+            "Ln",
+            GeoFilter::Member { category: "neighborhood".into(), member: "West".into() },
+        );
+        let verdicts = naive.objects_possibly_passing_through(&west, 0.01).unwrap();
+        let m: std::collections::HashMap<u64, Reachability> =
+            verdicts.into_iter().map(|(o, v)| (o.0, v)).collect();
+        assert_eq!(m[&1], Reachability::Possible);
+        assert_eq!(m[&2], Reachability::Impossible);
+
+        // A generous vmax turns the far object's verdict around: with
+        // enough speed budget it could have detoured through West.
+        let verdicts = naive.objects_possibly_passing_through(&west, 1.0).unwrap();
+        let m: std::collections::HashMap<u64, Reachability> =
+            verdicts.into_iter().map(|(o, v)| (o.0, v)).collect();
+        assert_eq!(m[&2], Reachability::Possible);
+
+        // Non-polygon layers are rejected.
+        let schools = SpatialPredicate::in_layer("Ls", GeoFilter::All);
+        assert!(naive.objects_possibly_passing_through(&schools, 1.0).is_err());
+    }
+
+    #[test]
+    fn dedupe_oid_t_sets() {
+        let mk = |oid, t, geo| CTuple {
+            oid: ObjectId(oid),
+            t: TimeId(t),
+            pos: pt(0.0, 0.0),
+            geo: Some((LayerId(0), GeoId(geo))),
+        };
+        let v = vec![mk(1, 0, 0), mk(1, 0, 1), mk(2, 0, 0)];
+        assert_eq!(dedupe_oid_t(v).len(), 2);
+    }
+
+    #[test]
+    fn explain_describes_the_plan() {
+        let gis = test_gis();
+        let moft = test_moft();
+        let region = RegionC::all()
+            .with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning))
+            .with_spatial(SpatialPredicate::in_layer(
+                "Ln",
+                GeoFilter::IntersectsLayer { layer: "Lr".into() },
+            ))
+            .with_forbid(SpatialPredicate::in_layer(
+                "Ln",
+                GeoFilter::Member { category: "neighborhood".into(), member: "East".into() },
+            ));
+        let naive = NaiveEngine::new(&gis, &moft);
+        let overlay = OverlayEngine::new(&gis, &moft);
+        let pn = explain(&naive, &region).unwrap();
+        let po = explain(&overlay, &region).unwrap();
+        assert_eq!(pn.engine, "naive");
+        assert_eq!(po.engine, "overlay");
+        let pn_text = pn.to_string();
+        let po_text = po.to_string();
+        assert!(pn_text.contains("full scan"), "{pn_text}");
+        assert!(po_text.contains("precomputed overlay lookup"), "{po_text}");
+        assert!(pn_text.contains("forbidden"), "{pn_text}");
+        assert!(pn_text.contains("Morning"), "{pn_text}");
+        // Type-3 and interpolated variants render their markers.
+        let t3 = explain(&naive, &RegionC::all()).unwrap().to_string();
+        assert!(t3.contains("type 3"), "{t3}");
+        let t7 = explain(
+            &naive,
+            &RegionC::all()
+                .with_spatial(SpatialPredicate::in_layer("Ln", GeoFilter::All))
+                .interpolated(),
+        )
+        .unwrap()
+        .to_string();
+        assert!(t7.contains("type-7"), "{t7}");
+    }
+
+    #[test]
+    fn time_filtered_legs_cut_at_hours() {
+        let gis = test_gis();
+        let time = gis.time();
+        // A 3-hour leg; keep only the middle hour via Between.
+        let lit = Lit::new(
+            gisolap_traj::sample::TrajectorySample::from_triples(&[
+                (0, 0.0, 0.0),
+                (3 * H, 30.0, 0.0),
+            ])
+            .unwrap(),
+        );
+        let legs = time_filtered_legs(
+            &lit,
+            &[TimePredicate::Between(TimeId(H), TimeId(2 * H))],
+            time,
+        );
+        let total: f64 = legs.iter().map(|l| l.t1 - l.t0).sum();
+        assert!((total - 3600.0).abs() < 1e-6);
+        assert!(legs.iter().all(|l| l.t0 >= H as f64 - 1e-9 && l.t1 <= 2.0 * H as f64 + 1e-9));
+    }
+}

@@ -1,0 +1,210 @@
+//! The paper's query-type taxonomy (Section 3.1).
+//!
+//! Section 3.1 "characterize[s] the different situations that may arise"
+//! in eight classes. [`QueryType`] names them; [`classify`] assigns a
+//! class to a concrete query description, mirroring the criteria the
+//! paper uses.
+
+use crate::region::{GeoFilter, RegionC, SpatialSemantics};
+
+/// The eight query types of Section 3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryType {
+    /// 1 — Spatial aggregation: a density fact table in the geometric
+    /// part; pure geometric aggregation ("total population of provinces
+    /// crossed by a river").
+    SpatialAggregation,
+    /// 2 — Spatial aggregation with numeric information from the
+    /// application part in the region condition ("airports with more than
+    /// one hundred arrivals per day").
+    SpatialAggregationWithNumeric,
+    /// 3 — Trajectory samples only; no spatial data ("maximum number of
+    /// buses per hour on Monday morning").
+    TrajectorySamples,
+    /// 4 — Trajectory samples plus a condition over the geometry (the
+    /// running example).
+    SamplesWithGeometry,
+    /// 5 — Trajectory samples where the region `C` itself contains an
+    /// aggregation ("second order" aggregate query).
+    SamplesWithAggregationInC,
+    /// 6 — The trajectory treated as a static spatial object ("how many
+    /// cars in Berchem at 9:15 on Jan 7th, 2006").
+    TrajectoryAsSpatialObject,
+    /// 7 — Trajectory (interpolation) query ("average number of cars that
+    /// pass through Berchem in the morning").
+    TrajectoryQuery,
+    /// 8 — Aggregation over a trajectory defined by a moving object.
+    TrajectoryAggregation,
+}
+
+impl QueryType {
+    /// The paper's ordinal for the type (1–8).
+    pub fn ordinal(self) -> u8 {
+        match self {
+            QueryType::SpatialAggregation => 1,
+            QueryType::SpatialAggregationWithNumeric => 2,
+            QueryType::TrajectorySamples => 3,
+            QueryType::SamplesWithGeometry => 4,
+            QueryType::SamplesWithAggregationInC => 5,
+            QueryType::TrajectoryAsSpatialObject => 6,
+            QueryType::TrajectoryQuery => 7,
+            QueryType::TrajectoryAggregation => 8,
+        }
+    }
+
+    /// Short description quoting the paper's characterization.
+    pub fn description(self) -> &'static str {
+        match self {
+            QueryType::SpatialAggregation => {
+                "spatial aggregation over a density fact table (geometric part)"
+            }
+            QueryType::SpatialAggregationWithNumeric => {
+                "spatial aggregation with numeric information from the application part"
+            }
+            QueryType::TrajectorySamples => {
+                "aggregation over trajectory samples, no spatial condition"
+            }
+            QueryType::SamplesWithGeometry => {
+                "trajectory samples with a condition over the geometry"
+            }
+            QueryType::SamplesWithAggregationInC => {
+                "trajectory samples with spatial aggregation inside C"
+            }
+            QueryType::TrajectoryAsSpatialObject => {
+                "the trajectory treated as a static spatial object"
+            }
+            QueryType::TrajectoryQuery => "query over the interpolated trajectory",
+            QueryType::TrajectoryAggregation => "aggregation over a trajectory",
+        }
+    }
+}
+
+/// Does a filter tree contain a nested aggregation (type-5 marker)?
+fn has_nested_aggregation(f: &GeoFilter) -> bool {
+    match f {
+        GeoFilter::FactAggCompare { .. } => true,
+        GeoFilter::And(a, b) => has_nested_aggregation(a) || has_nested_aggregation(b),
+        GeoFilter::Not(inner) => has_nested_aggregation(inner),
+        _ => false,
+    }
+}
+
+/// Classifies a moving-object region query into the taxonomy (types 3–7;
+/// types 1, 2 and 8 concern geometric/trajectory aggregations outside the
+/// region algebra and are produced by their dedicated APIs).
+pub fn classify(region: &RegionC) -> QueryType {
+    let nested = region
+        .spatial
+        .iter()
+        .chain(region.forbid.iter())
+        .any(|s| has_nested_aggregation(&s.filter));
+    match (&region.spatial, region.semantics) {
+        (None, _) => QueryType::TrajectorySamples,
+        (Some(_), SpatialSemantics::Interpolated) => QueryType::TrajectoryQuery,
+        (Some(_), SpatialSemantics::SampleBased) if nested => {
+            QueryType::SamplesWithAggregationInC
+        }
+        (Some(_), SpatialSemantics::SampleBased) => {
+            // An exact-instant query over positions is the paper's
+            // "trajectory as a spatial object" (type 6).
+            let at_instant = region
+                .time
+                .iter()
+                .any(|p| matches!(p, crate::region::TimePredicate::AtInstant(_)));
+            if at_instant {
+                QueryType::TrajectoryAsSpatialObject
+            } else {
+                QueryType::SamplesWithGeometry
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{CmpOp, RegionC, SpatialPredicate, TimePredicate};
+    use gisolap_olap::agg::AggFn;
+    use gisolap_olap::time::{TimeId, TimeOfDay};
+
+    fn spatial() -> SpatialPredicate {
+        SpatialPredicate::in_layer("Ln", GeoFilter::All)
+    }
+
+    #[test]
+    fn ordinals_and_descriptions() {
+        let all = [
+            QueryType::SpatialAggregation,
+            QueryType::SpatialAggregationWithNumeric,
+            QueryType::TrajectorySamples,
+            QueryType::SamplesWithGeometry,
+            QueryType::SamplesWithAggregationInC,
+            QueryType::TrajectoryAsSpatialObject,
+            QueryType::TrajectoryQuery,
+            QueryType::TrajectoryAggregation,
+        ];
+        for (i, t) in all.iter().enumerate() {
+            assert_eq!(t.ordinal() as usize, i + 1);
+            assert!(!t.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn classify_type3() {
+        let r = RegionC::all().with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning));
+        assert_eq!(classify(&r), QueryType::TrajectorySamples);
+    }
+
+    #[test]
+    fn classify_type4() {
+        let r = RegionC::all().with_spatial(spatial());
+        assert_eq!(classify(&r), QueryType::SamplesWithGeometry);
+    }
+
+    #[test]
+    fn classify_type5() {
+        let r = RegionC::all().with_spatial(SpatialPredicate::in_layer(
+            "Ln",
+            GeoFilter::FactAggCompare {
+                table: "census".into(),
+                column: "neighborhood".into(),
+                category: "neighborhood".into(),
+                measure: "people".into(),
+                agg: AggFn::Sum,
+                op: CmpOp::Gt,
+                value: 50_000.0,
+            },
+        ));
+        assert_eq!(classify(&r), QueryType::SamplesWithAggregationInC);
+    }
+
+    #[test]
+    fn classify_type6() {
+        let r = RegionC::all()
+            .with_spatial(spatial())
+            .with_time(TimePredicate::AtInstant(TimeId(42)));
+        assert_eq!(classify(&r), QueryType::TrajectoryAsSpatialObject);
+    }
+
+    #[test]
+    fn classify_type7() {
+        let r = RegionC::all().with_spatial(spatial()).interpolated();
+        assert_eq!(classify(&r), QueryType::TrajectoryQuery);
+    }
+
+    #[test]
+    fn nested_aggregation_detection_recurses() {
+        let inner = GeoFilter::FactAggCompare {
+            table: "t".into(),
+            column: "c".into(),
+            category: "c".into(),
+            measure: "m".into(),
+            agg: AggFn::Count,
+            op: CmpOp::Gt,
+            value: 1.0,
+        };
+        assert!(has_nested_aggregation(&GeoFilter::All.and(inner.clone())));
+        assert!(has_nested_aggregation(&inner.negate()));
+        assert!(!has_nested_aggregation(&GeoFilter::All));
+    }
+}

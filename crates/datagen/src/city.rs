@@ -1,0 +1,419 @@
+//! A parameterized synthetic city.
+//!
+//! Generates the layer structure of the paper's motivating example
+//! (Section 1.1): neighborhoods (polygons), a river (polyline), streets
+//! (polylines), schools / stores / gas stations / tram stops (points) —
+//! plus the application-part dimensions and attributes the example
+//! queries need. Deterministic under a fixed seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gisolap_core::gis::Gis;
+use gisolap_core::layer::{GeoId, Layer};
+use gisolap_core::schema::{AttBinding, GisSchema, HierarchyGraph};
+use gisolap_geom::point::pt;
+use gisolap_geom::{BBox, Point, Polygon, Polyline};
+use gisolap_olap::schema::SchemaBuilder;
+use gisolap_olap::{DimensionInstance, FactTable};
+
+/// Configuration of the synthetic city.
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// Neighborhood blocks along x.
+    pub blocks_x: usize,
+    /// Neighborhood blocks along y (must be even so the river can run
+    /// through the middle).
+    pub blocks_y: usize,
+    /// Side length of one block.
+    pub block_size: f64,
+    /// Schools to scatter.
+    pub schools: usize,
+    /// Stores to scatter.
+    pub stores: usize,
+    /// Gas stations to scatter.
+    pub gas_stations: usize,
+    /// Relative jitter of the neighborhood grid lines in `[0, 0.4]`:
+    /// `0.0` gives a regular grid, larger values give irregular blocks
+    /// (still a partition — grid lines are shared).
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CityConfig {
+    fn default() -> CityConfig {
+        CityConfig {
+            blocks_x: 8,
+            blocks_y: 4,
+            block_size: 100.0,
+            schools: 12,
+            stores: 20,
+            gas_stations: 8,
+            jitter: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// The generated city.
+#[derive(Debug, Clone)]
+pub struct CityScenario {
+    /// The assembled GIS.
+    pub gis: Gis,
+    /// The configuration used.
+    pub config: CityConfig,
+    /// The city's bounding box.
+    pub bbox: BBox,
+    /// Neighborhood names, indexed by [`GeoId`] within layer `Ln`.
+    pub neighborhood_names: Vec<String>,
+    /// Street-grid cut positions along x (the vertical streets).
+    pub x_cuts: Vec<f64>,
+    /// Street-grid cut positions along y (the horizontal streets).
+    pub y_cuts: Vec<f64>,
+}
+
+impl CityScenario {
+    /// Generates a city.
+    pub fn generate(config: CityConfig) -> CityScenario {
+        assert!(config.blocks_y >= 2 && config.blocks_y % 2 == 0, "blocks_y must be even ≥ 2");
+        assert!(config.blocks_x >= 1, "blocks_x must be positive");
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+
+        let width = config.blocks_x as f64 * config.block_size;
+        let height = config.blocks_y as f64 * config.block_size;
+        let bbox = BBox::new(0.0, 0.0, width, height);
+        let mut gis = Gis::new();
+
+        // --- neighborhoods: a partition into blocks ---------------------
+        // Grid lines are jittered (shared between adjacent cells, so the
+        // result stays a partition); borders stay fixed so the river and
+        // the bounding box keep their invariants. The y cut at the city's
+        // middle also stays fixed so the river divides whole blocks.
+        assert!(
+            (0.0..=0.4).contains(&config.jitter),
+            "jitter must be within [0, 0.4]"
+        );
+        let jittered_cuts = |count: usize, size: f64, rng: &mut SmallRng, keep_mid: bool| {
+            let mut cuts: Vec<f64> = (0..=count)
+                .map(|i| {
+                    let base = i as f64 * size;
+                    let interior = i > 0 && i < count && !(keep_mid && 2 * i == count);
+                    if interior && config.jitter > 0.0 {
+                        base + rng.gen_range(-config.jitter..config.jitter) * size
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            cuts.sort_by(f64::total_cmp);
+            cuts
+        };
+        let x_cuts = jittered_cuts(config.blocks_x, config.block_size, &mut rng, false);
+        let y_cuts = jittered_cuts(config.blocks_y, config.block_size, &mut rng, true);
+
+        let mut polys = Vec::with_capacity(config.blocks_x * config.blocks_y);
+        let mut names = Vec::with_capacity(polys.capacity());
+        for row in 0..config.blocks_y {
+            for col in 0..config.blocks_x {
+                polys.push(Polygon::rectangle(
+                    x_cuts[col],
+                    y_cuts[row],
+                    x_cuts[col + 1],
+                    y_cuts[row + 1],
+                ));
+                names.push(format!("nb_{row}_{col}"));
+            }
+        }
+        gis.add_layer(Layer::polygons("Ln", polys.clone()));
+
+        // --- river: horizontal through the middle with slight meanders --
+        let river_y = height / 2.0;
+        let mut river_pts = vec![pt(-config.block_size * 0.1, river_y)];
+        let meanders = (config.blocks_x * 2).max(2);
+        for i in 1..=meanders {
+            let x = width * i as f64 / meanders as f64;
+            let dy = rng.gen_range(-0.2..0.2) * config.block_size;
+            river_pts.push(pt(x, river_y + dy));
+        }
+        river_pts.push(pt(width + config.block_size * 0.1, river_y));
+        gis.add_layer(Layer::polylines(
+            "Lr",
+            vec![Polyline::new(river_pts).expect("river has many points")],
+        ));
+
+        // --- city regions: north / south of the river -------------------
+        gis.add_layer(Layer::polygons(
+            "Lc",
+            vec![
+                Polygon::rectangle(0.0, 0.0, width, river_y),
+                Polygon::rectangle(0.0, river_y, width, height),
+            ],
+        ));
+
+        // --- streets: the (jittered) block grid lines -------------------
+        let mut streets = Vec::new();
+        let mut street_names = Vec::new();
+        for (col, &x) in x_cuts.iter().enumerate() {
+            streets.push(Polyline::new(vec![pt(x, 0.0), pt(x, height)]).expect("two points"));
+            street_names.push(format!("street_v{col}"));
+        }
+        for (row, &y) in y_cuts.iter().enumerate() {
+            streets.push(Polyline::new(vec![pt(0.0, y), pt(width, y)]).expect("two points"));
+            street_names.push(format!("street_h{row}"));
+        }
+        gis.add_layer(Layer::polylines("Ls_streets", streets));
+
+        // --- demographic attributes (drive the weighted placement) -----
+        let mut incomes = Vec::with_capacity(names.len());
+        let mut populations = Vec::with_capacity(names.len());
+        for _ in &names {
+            incomes.push(rng.gen_range(900i64..3500));
+            populations.push(rng.gen_range(5_000i64..80_000));
+        }
+
+        // --- point layers: amenities follow population ------------------
+        // Each amenity picks a neighborhood with probability proportional
+        // to population, then a uniform point inside it (sampled via
+        // triangulation, so irregular blocks are covered correctly).
+        let total_pop: i64 = populations.iter().sum::<i64>().max(1);
+        let polys_ref = &polys;
+        let populations_ref = &populations;
+        let scatter = |n: usize, rng: &mut SmallRng| -> Vec<Point> {
+            (0..n)
+                .map(|_| {
+                    let mut pick = rng.gen_range(0..total_pop);
+                    let mut idx = populations_ref.len() - 1;
+                    for (i, &p) in populations_ref.iter().enumerate() {
+                        if pick < p {
+                            idx = i;
+                            break;
+                        }
+                        pick -= p;
+                    }
+                    gisolap_geom::triangulate::sample_point(&polys_ref[idx], || rng.gen::<f64>())
+                        .expect("neighborhoods have positive area")
+                })
+                .collect()
+        };
+        let school_pts = scatter(config.schools, &mut rng);
+        let store_pts = scatter(config.stores, &mut rng);
+        let gas_pts = scatter(config.gas_stations, &mut rng);
+        gis.add_layer(Layer::nodes("Lschools", school_pts));
+        gis.add_layer(Layer::nodes("Lstores", store_pts));
+        gis.add_layer(Layer::nodes("Lgas", gas_pts));
+
+        // --- formal schema ------------------------------------------------
+        let schema = GisSchema::new(
+            vec![
+                HierarchyGraph::polygon_layer("Ln"),
+                HierarchyGraph::polyline_layer("Lr"),
+                HierarchyGraph::polygon_layer("Lc"),
+                HierarchyGraph::polyline_layer("Ls_streets"),
+                HierarchyGraph::node_layer("Lschools"),
+                HierarchyGraph::node_layer("Lstores"),
+                HierarchyGraph::node_layer("Lgas"),
+            ],
+            vec![
+                AttBinding {
+                    category: "neighborhood".into(),
+                    kind: "polygon".into(),
+                    layer: "Ln".into(),
+                },
+                AttBinding { category: "region".into(), kind: "polygon".into(), layer: "Lc".into() },
+                AttBinding {
+                    category: "street".into(),
+                    kind: "polyline".into(),
+                    layer: "Ls_streets".into(),
+                },
+            ],
+            vec!["Neighbourhoods".into(), "Regions".into(), "Streets".into()],
+        )
+        .expect("generated schema is valid");
+        gis.set_schema(schema);
+
+        // --- application dimensions + attributes --------------------------
+        let n_schema = SchemaBuilder::new("Neighbourhoods")
+            .chain(&["neighborhood", "city"])
+            .build()
+            .expect("valid schema");
+        let mut nb = DimensionInstance::builder(n_schema);
+        for (i, name) in names.iter().enumerate() {
+            nb = nb
+                .rollup("neighborhood", name.clone(), "city", "Antwerp")
+                .expect("valid rollup")
+                .attribute("neighborhood", name, "income", incomes[i])
+                .expect("valid attribute")
+                .attribute("neighborhood", name, "population", populations[i])
+                .expect("valid attribute");
+        }
+        gis.add_dimension(nb.build().expect("consistent instance"));
+
+        let r_schema =
+            SchemaBuilder::new("Regions").chain(&["region", "city"]).build().expect("valid");
+        gis.add_dimension(
+            DimensionInstance::builder(r_schema)
+                .rollup("region", "South", "city", "Antwerp")
+                .expect("valid")
+                .rollup("region", "North", "city", "Antwerp")
+                .expect("valid")
+                .build()
+                .expect("consistent"),
+        );
+
+        let s_schema =
+            SchemaBuilder::new("Streets").chain(&["street", "city"]).build().expect("valid");
+        let mut sb = DimensionInstance::builder(s_schema);
+        for sname in &street_names {
+            sb = sb.rollup("street", sname.clone(), "city", "Antwerp").expect("valid");
+        }
+        gis.add_dimension(sb.build().expect("consistent"));
+
+        // --- α bindings ----------------------------------------------------
+        let n_pairs: Vec<(&str, GeoId)> =
+            names.iter().enumerate().map(|(i, n)| (n.as_str(), GeoId(i as u32))).collect();
+        gis.bind_alpha("neighborhood", "Neighbourhoods", "Ln", &n_pairs)
+            .expect("valid binding");
+        gis.bind_alpha("region", "Regions", "Lc", &[("South", GeoId(0)), ("North", GeoId(1))])
+            .expect("valid binding");
+        let s_pairs: Vec<(&str, GeoId)> = street_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), GeoId(i as u32)))
+            .collect();
+        gis.bind_alpha("street", "Streets", "Ls_streets", &s_pairs).expect("valid binding");
+
+        // --- census fact table ----------------------------------------------
+        let bracket_schema =
+            SchemaBuilder::new("Brackets").chain(&["bracket"]).build().expect("valid");
+        let brackets = DimensionInstance::builder(bracket_schema)
+            .member("bracket", "low")
+            .expect("valid")
+            .member("bracket", "high")
+            .expect("valid")
+            .build()
+            .expect("consistent");
+        let n_dim = gis.dimension("Neighbourhoods").expect("registered").clone();
+        let mut census = FactTable::new(
+            "census",
+            vec![n_dim, brackets],
+            &[("neighborhood", 0, "neighborhood"), ("bracket", 1, "bracket")],
+            &["people"],
+        )
+        .expect("valid fact table");
+        for (i, name) in names.iter().enumerate() {
+            let pop = populations[i] as f64;
+            let low_share = if incomes[i] < 1500 { 0.9 } else { 0.2 };
+            census.insert(&[name, "low"], &[pop * low_share]).expect("valid row");
+            census.insert(&[name, "high"], &[pop * (1.0 - low_share)]).expect("valid row");
+        }
+        gis.add_fact_table(census);
+
+        CityScenario { gis, config, bbox, neighborhood_names: names, x_cuts, y_cuts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gisolap_core::engine::{NaiveEngine, QueryEngine};
+    use gisolap_core::region::GeoFilter;
+
+    #[test]
+    fn default_city_structure() {
+        let city = CityScenario::generate(CityConfig::default());
+        assert_eq!(city.gis.layer_count(), 7);
+        let ln = city.gis.layer_by_name("Ln").unwrap();
+        assert_eq!(ln.len(), 32);
+        assert_eq!(city.neighborhood_names.len(), 32);
+        assert_eq!(city.gis.layer_by_name("Lschools").unwrap().len(), 12);
+        assert!(city.gis.schema().is_some());
+        assert!(city.gis.fact_table("census").is_ok());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = CityScenario::generate(CityConfig { seed: 42, ..CityConfig::default() });
+        let b = CityScenario::generate(CityConfig { seed: 42, ..CityConfig::default() });
+        let pa = a.gis.layer_by_name("Lschools").unwrap().as_nodes().unwrap().to_vec();
+        let pb = b.gis.layer_by_name("Lschools").unwrap().as_nodes().unwrap().to_vec();
+        assert_eq!(pa, pb);
+        let c = CityScenario::generate(CityConfig { seed: 43, ..CityConfig::default() });
+        let pc = c.gis.layer_by_name("Lschools").unwrap().as_nodes().unwrap().to_vec();
+        assert_ne!(pa, pc);
+    }
+
+    #[test]
+    fn river_crosses_middle_neighborhoods() {
+        let city = CityScenario::generate(CityConfig::default());
+        let engine_gis = &city.gis;
+        let moft = gisolap_traj::Moft::new();
+        let engine = NaiveEngine::new(engine_gis, &moft);
+        let ln = engine_gis.layer_id("Ln").unwrap();
+        let crossed = engine
+            .resolve_filter(ln, &GeoFilter::IntersectsLayer { layer: "Lr".into() })
+            .unwrap();
+        // The river meanders around the middle; it must cross at least
+        // one full row of neighborhoods (8) and at most two rows (16).
+        assert!(crossed.len() >= 8, "crossed {}", crossed.len());
+        assert!(crossed.len() <= 16, "crossed {}", crossed.len());
+    }
+
+    #[test]
+    fn partition_covers_bbox() {
+        let city = CityScenario::generate(CityConfig::default());
+        let ln = city.gis.layer_by_name("Ln").unwrap();
+        let total: f64 = ln.as_polygons().unwrap().iter().map(Polygon::area).sum();
+        assert!((total - city.bbox.area()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_rows_rejected() {
+        CityScenario::generate(CityConfig { blocks_y: 3, ..CityConfig::default() });
+    }
+
+    #[test]
+    fn jittered_grid_remains_a_partition() {
+        let city = CityScenario::generate(CityConfig {
+            jitter: 0.3,
+            seed: 17,
+            ..CityConfig::default()
+        });
+        let ln = city.gis.layer_by_name("Ln").unwrap();
+        let total: f64 = ln.as_polygons().unwrap().iter().map(Polygon::area).sum();
+        assert!((total - city.bbox.area()).abs() < 1e-6, "partition covers bbox");
+        // Blocks are genuinely irregular: areas differ.
+        let areas: Vec<f64> = ln.as_polygons().unwrap().iter().map(Polygon::area).collect();
+        let min = areas.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = areas.iter().copied().fold(0.0_f64, f64::max);
+        assert!(max / min > 1.05, "jitter produced irregular blocks");
+        // The river still divides whole blocks (the middle cut is fixed).
+        let engine_moft = gisolap_traj::Moft::new();
+        let engine = NaiveEngine::new(&city.gis, &engine_moft);
+        let lc = city.gis.layer_id("Lc").unwrap();
+        let south = engine.resolve_filter(lc, &GeoFilter::All).unwrap();
+        assert_eq!(south.len(), 2);
+    }
+
+    #[test]
+    fn amenities_lie_inside_the_city() {
+        let city = CityScenario::generate(CityConfig {
+            jitter: 0.25,
+            seed: 3,
+            ..CityConfig::default()
+        });
+        for layer in ["Lschools", "Lstores", "Lgas"] {
+            let pts = city.gis.layer_by_name(layer).unwrap().as_nodes().unwrap();
+            for p in pts {
+                assert!(city.bbox.contains(*p), "{layer} point {p} escaped");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn excessive_jitter_rejected() {
+        CityScenario::generate(CityConfig { jitter: 0.6, ..CityConfig::default() });
+    }
+}

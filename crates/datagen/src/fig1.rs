@@ -1,0 +1,344 @@
+//! The paper's running example: Figure 1, Table 1, Remark 1.
+//!
+//! Reconstructs the scenario exactly as described:
+//!
+//! * a city split into eight neighborhoods, two of them with monthly
+//!   income below €1500 (the "low income region" — shaded in Figure 1);
+//! * a river dividing the city into a northern and a southern part;
+//! * a bounding box around the city;
+//! * six buses O1–O6 sampled per hour (Table 1's twelve tuples):
+//!   - **O1** remains always within a low-income region,
+//!   - **O2** starts high-income, enters a low-income neighborhood, and
+//!     gets out of it again,
+//!   - **O3, O4, O5** are always in high-income neighborhoods,
+//!   - **O6** passes through a low-income region *between* samples but
+//!     was not sampled inside it.
+//!
+//! Sample instants map `t_k` of Table 1 to Monday 2006-01-09 at 05:00,
+//! 06:00, 07:00, 08:00, 12:00 and 13:00 — so the Morning window
+//! (06:00–11:59) contains exactly the hours of `t₂, t₃, t₄`, making the
+//! Remark 1 denominator three hours.
+
+use gisolap_core::gis::Gis;
+use gisolap_core::layer::{GeoId, Layer};
+use gisolap_core::region::{CmpOp, GeoFilter, RegionC, SpatialPredicate, TimePredicate};
+use gisolap_core::schema::{AttBinding, GisSchema, HierarchyGraph};
+use gisolap_geom::point::pt;
+use gisolap_geom::{Polygon, Polyline};
+use gisolap_olap::schema::SchemaBuilder;
+use gisolap_olap::time::{TimeId, TimeOfDay};
+use gisolap_olap::value::Value;
+use gisolap_olap::{DimensionInstance, FactTable};
+use gisolap_traj::{Moft, ObjectId};
+
+/// The assembled running example.
+#[derive(Debug, Clone)]
+pub struct Fig1Scenario {
+    /// The GIS (layers, dimensions, α bindings, census fact table).
+    pub gis: Gis,
+    /// Table 1's MOFT (`FM_bus`).
+    pub moft: Moft,
+    /// The six sample instants `t₁…t₆` (index 0 = `t₁`).
+    pub t: [TimeId; 6],
+}
+
+/// Neighborhood layout: a 4×2 grid of 20×20 blocks over the bounding box
+/// (0,0)–(80,40). Southern row: n0–n3, northern row: n4–n7. Low-income:
+/// n0 (south-west) and n5 (north, second block).
+const NEIGHBORHOOD_NAMES: [&str; 8] = ["n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7"];
+const INCOMES: [i64; 8] = [1200, 1800, 2200, 2600, 1900, 1400, 2400, 3000];
+const POPULATIONS: [i64; 8] = [60_000, 35_000, 30_000, 20_000, 40_000, 55_000, 25_000, 15_000];
+
+impl Fig1Scenario {
+    /// Builds the scenario.
+    pub fn build() -> Fig1Scenario {
+        let mut gis = Gis::new();
+
+        // --- layers ---------------------------------------------------
+        let mut neighborhoods = Vec::with_capacity(8);
+        for row in 0..2 {
+            for col in 0..4 {
+                let (x0, y0) = (col as f64 * 20.0, row as f64 * 20.0);
+                neighborhoods.push(Polygon::rectangle(x0, y0, x0 + 20.0, y0 + 20.0));
+            }
+        }
+        gis.add_layer(Layer::polygons("Ln", neighborhoods));
+
+        // The river divides the city at y = 20.
+        gis.add_layer(Layer::polylines(
+            "Lr",
+            vec![Polyline::new(vec![pt(-2.0, 20.0), pt(40.0, 20.0), pt(82.0, 20.0)]).unwrap()],
+        ));
+
+        // City regions north/south of the river.
+        gis.add_layer(Layer::polygons(
+            "Lc",
+            vec![
+                Polygon::rectangle(0.0, 0.0, 80.0, 20.0),  // South
+                Polygon::rectangle(0.0, 20.0, 80.0, 40.0), // North
+            ],
+        ));
+
+        // Schools and stores (for queries 6–7 of §4).
+        gis.add_layer(Layer::nodes("Ls", vec![pt(10.0, 10.0), pt(60.0, 35.0)]));
+        gis.add_layer(Layer::nodes("Lstores", vec![pt(30.0, 10.0), pt(70.0, 30.0)]));
+
+        // --- formal schema (Figure 2) ----------------------------------
+        let schema = GisSchema::new(
+            vec![
+                HierarchyGraph::polygon_layer("Ln"),
+                HierarchyGraph::polyline_layer("Lr"),
+                HierarchyGraph::polygon_layer("Lc"),
+                HierarchyGraph::node_layer("Ls"),
+                HierarchyGraph::node_layer("Lstores"),
+            ],
+            vec![
+                AttBinding {
+                    category: "neighborhood".into(),
+                    kind: "polygon".into(),
+                    layer: "Ln".into(),
+                },
+                AttBinding { category: "river".into(), kind: "polyline".into(), layer: "Lr".into() },
+                AttBinding { category: "region".into(), kind: "polygon".into(), layer: "Lc".into() },
+                AttBinding { category: "school".into(), kind: "node".into(), layer: "Ls".into() },
+            ],
+            vec!["Neighbourhoods".into(), "Regions".into()],
+        )
+        .expect("figure 2 schema is valid");
+        gis.set_schema(schema);
+
+        // --- application dimensions ------------------------------------
+        let n_schema = SchemaBuilder::new("Neighbourhoods")
+            .chain(&["neighborhood", "city"])
+            .build()
+            .expect("valid schema");
+        let mut nb = DimensionInstance::builder(n_schema);
+        for (i, name) in NEIGHBORHOOD_NAMES.iter().enumerate() {
+            nb = nb
+                .rollup("neighborhood", *name, "city", "Antwerp")
+                .expect("valid rollup")
+                .attribute("neighborhood", name, "income", INCOMES[i])
+                .expect("valid attribute")
+                .attribute("neighborhood", name, "population", POPULATIONS[i])
+                .expect("valid attribute");
+        }
+        gis.add_dimension(nb.build().expect("consistent instance"));
+
+        let r_schema = SchemaBuilder::new("Regions")
+            .chain(&["region", "city"])
+            .build()
+            .expect("valid schema");
+        let regions = DimensionInstance::builder(r_schema)
+            .rollup("region", "South", "city", "Antwerp")
+            .expect("valid rollup")
+            .rollup("region", "North", "city", "Antwerp")
+            .expect("valid rollup")
+            .build()
+            .expect("consistent instance");
+        gis.add_dimension(regions);
+
+        let river_schema =
+            SchemaBuilder::new("Rivers").chain(&["river"]).build().expect("valid schema");
+        gis.add_dimension(
+            DimensionInstance::builder(river_schema)
+                .member("river", "Scheldt")
+                .expect("valid member")
+                .build()
+                .expect("consistent instance"),
+        );
+        let school_schema =
+            SchemaBuilder::new("Schools").chain(&["school"]).build().expect("valid schema");
+        gis.add_dimension(
+            DimensionInstance::builder(school_schema)
+                .member("school", "s0")
+                .expect("valid member")
+                .member("school", "s1")
+                .expect("valid member")
+                .build()
+                .expect("consistent instance"),
+        );
+
+        // --- α bindings -------------------------------------------------
+        let n_pairs: Vec<(&str, GeoId)> = NEIGHBORHOOD_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (*n, GeoId(i as u32)))
+            .collect();
+        gis.bind_alpha("neighborhood", "Neighbourhoods", "Ln", &n_pairs)
+            .expect("valid binding");
+        gis.bind_alpha("region", "Regions", "Lc", &[("South", GeoId(0)), ("North", GeoId(1))])
+            .expect("valid binding");
+        gis.bind_alpha("river", "Rivers", "Lr", &[("Scheldt", GeoId(0))])
+            .expect("valid binding");
+        gis.bind_alpha("school", "Schools", "Ls", &[("s0", GeoId(0)), ("s1", GeoId(1))])
+            .expect("valid binding");
+
+        // --- census fact table (for type-5 queries) ---------------------
+        // (neighborhood, income bracket) → number of people. The "people
+        // with a monthly income of less than €1500" of the paper's type-5
+        // example are the rows of the "low" bracket.
+        let bracket_schema = SchemaBuilder::new("Brackets").chain(&["bracket"]).build().unwrap();
+        let brackets = DimensionInstance::builder(bracket_schema)
+            .member("bracket", "low")
+            .unwrap()
+            .member("bracket", "high")
+            .unwrap()
+            .build()
+            .unwrap();
+        let n_dim = gis.dimension("Neighbourhoods").expect("registered").clone();
+        let mut census = FactTable::new(
+            "census",
+            vec![n_dim, brackets],
+            &[("neighborhood", 0, "neighborhood"), ("bracket", 1, "bracket")],
+            &["people"],
+        )
+        .expect("valid fact table");
+        for (i, name) in NEIGHBORHOOD_NAMES.iter().enumerate() {
+            // Low-income neighborhoods have most of their population in
+            // the low bracket.
+            let pop = POPULATIONS[i] as f64;
+            let low_share = if INCOMES[i] < 1500 { 0.95 } else { 0.25 };
+            census
+                .insert(&[name, "low"], &[pop * low_share])
+                .expect("valid row");
+            census
+                .insert(&[name, "high"], &[pop * (1.0 - low_share)])
+                .expect("valid row");
+        }
+        gis.add_fact_table(census);
+
+        // --- Table 1: the MOFT ------------------------------------------
+        let t: [TimeId; 6] = [
+            TimeId::from_ymd_hms(2006, 1, 9, 5, 0, 0),  // t1 (night)
+            TimeId::from_ymd_hms(2006, 1, 9, 6, 0, 0),  // t2 (morning)
+            TimeId::from_ymd_hms(2006, 1, 9, 7, 0, 0),  // t3 (morning)
+            TimeId::from_ymd_hms(2006, 1, 9, 8, 0, 0),  // t4 (morning)
+            TimeId::from_ymd_hms(2006, 1, 9, 12, 0, 0), // t5 (afternoon)
+            TimeId::from_ymd_hms(2006, 1, 9, 13, 0, 0), // t6 (afternoon)
+        ];
+        let mut moft = Moft::new();
+        // O1: always inside low-income n0 (x,y ∈ [0,20]²).
+        moft.push(ObjectId(1), t[0], 5.0, 5.0);
+        moft.push(ObjectId(1), t[1], 10.0, 8.0);
+        moft.push(ObjectId(1), t[2], 12.0, 12.0);
+        moft.push(ObjectId(1), t[3], 8.0, 15.0);
+        // O2: high (n1) → low (n0) → high (n1).
+        moft.push(ObjectId(2), t[1], 30.0, 10.0);
+        moft.push(ObjectId(2), t[2], 15.0, 10.0);
+        moft.push(ObjectId(2), t[3], 30.0, 15.0);
+        // O3: high-income n2 at t5.
+        moft.push(ObjectId(3), t[4], 50.0, 10.0);
+        // O4: high-income n3 at t6.
+        moft.push(ObjectId(4), t[5], 70.0, 10.0);
+        // O5: high-income n6 at t3.
+        moft.push(ObjectId(5), t[2], 50.0, 30.0);
+        // O6: crosses low-income n5 (x∈[20,40], y∈[20,40]) between its
+        // two samples, both of which lie in high-income neighborhoods.
+        moft.push(ObjectId(6), t[1], 15.0, 35.0);
+        moft.push(ObjectId(6), t[2], 45.0, 35.0);
+        moft.rebuild_index();
+        debug_assert_eq!(moft.len(), 12, "Table 1 has twelve tuples");
+
+        Fig1Scenario { gis, moft, t }
+    }
+
+    /// The "low income region" filter of the running example:
+    /// `n.income < 1500`.
+    pub fn low_income_filter() -> GeoFilter {
+        GeoFilter::AttrCompare {
+            category: "neighborhood".into(),
+            attr: "income".into(),
+            op: CmpOp::Lt,
+            value: Value::Int(1500),
+        }
+    }
+
+    /// The Morning time predicate (`R^{timeOfDay}_{timeId}(t) =
+    /// "Morning"`).
+    pub fn morning() -> TimePredicate {
+        TimePredicate::TimeOfDayIs(TimeOfDay::Morning)
+    }
+
+    /// The running example's region `C`: "buses … in the morning in the
+    /// Antwerp neighborhoods with a monthly income of less than €1500".
+    pub fn remark1_region() -> RegionC {
+        RegionC::all()
+            .with_time(Self::morning())
+            .with_spatial(SpatialPredicate::in_layer("Ln", Self::low_income_filter()))
+    }
+
+    /// Names of the low-income neighborhoods.
+    pub fn low_income_names() -> Vec<&'static str> {
+        NEIGHBORHOOD_NAMES
+            .iter()
+            .zip(INCOMES)
+            .filter(|&(_, inc)| inc < 1500)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gisolap_core::engine::{NaiveEngine, QueryEngine};
+
+    #[test]
+    fn table1_shape() {
+        let s = Fig1Scenario::build();
+        assert_eq!(s.moft.len(), 12);
+        assert_eq!(s.moft.object_count(), 6);
+        assert_eq!(s.moft.track(ObjectId(1)).unwrap().len(), 4);
+        assert_eq!(s.moft.track(ObjectId(2)).unwrap().len(), 3);
+        assert_eq!(s.moft.track(ObjectId(6)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn low_income_region_is_n0_n5() {
+        let s = Fig1Scenario::build();
+        assert_eq!(Fig1Scenario::low_income_names(), vec!["n0", "n5"]);
+        let engine = NaiveEngine::new(&s.gis, &s.moft);
+        let ln = s.gis.layer_id("Ln").unwrap();
+        let low = engine.resolve_filter(ln, &Fig1Scenario::low_income_filter()).unwrap();
+        assert_eq!(low, vec![GeoId(0), GeoId(5)]);
+    }
+
+    #[test]
+    fn morning_covers_t2_t3_t4() {
+        let s = Fig1Scenario::build();
+        let time = s.gis.time();
+        let morning: Vec<bool> = s
+            .t
+            .iter()
+            .map(|&t| Fig1Scenario::morning().eval(time, t))
+            .collect();
+        assert_eq!(morning, vec![false, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn bus_classification_matches_figure1() {
+        let s = Fig1Scenario::build();
+        let ln = s.gis.layer_by_name("Ln").unwrap();
+        let low: Vec<GeoId> = vec![GeoId(0), GeoId(5)];
+        let in_low = |x: f64, y: f64| {
+            low.iter().any(|&g| {
+                ln.geometry(g).unwrap().covers(gisolap_geom::Point::new(x, y))
+            })
+        };
+        // O1 always in low; O2 only at t3; O3–O6 never (by samples).
+        let samples_in_low = |oid: u64| -> usize {
+            s.moft
+                .track(ObjectId(oid))
+                .unwrap()
+                .iter()
+                .filter(|r| in_low(r.x, r.y))
+                .count()
+        };
+        assert_eq!(samples_in_low(1), 4);
+        assert_eq!(samples_in_low(2), 1);
+        assert_eq!(samples_in_low(3), 0);
+        assert_eq!(samples_in_low(4), 0);
+        assert_eq!(samples_in_low(5), 0);
+        assert_eq!(samples_in_low(6), 0);
+    }
+}

@@ -1,0 +1,472 @@
+//! Moving-object generators.
+//!
+//! Deterministic (seeded) generators for the traffic the paper's
+//! motivating applications track: random city movement, bus routes, and
+//! commuters. All produce MOFT tuples — the only interface the model
+//! consumes — so any real GPS feed could be substituted.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gisolap_geom::{BBox, Point};
+use gisolap_geom::polyline::Polyline;
+use gisolap_olap::time::TimeId;
+use gisolap_traj::{Moft, ObjectId};
+
+/// Random-waypoint movement: each object repeatedly picks a random target
+/// in the box and moves toward it at its speed; positions are sampled
+/// every `sample_interval` seconds.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    /// Movement area.
+    pub bbox: BBox,
+    /// Number of objects.
+    pub objects: usize,
+    /// Samples per object.
+    pub samples_per_object: usize,
+    /// Seconds between samples.
+    pub sample_interval: i64,
+    /// Speed range (units per second).
+    pub speed: (f64, f64),
+    /// First sample instant.
+    pub start: TimeId,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomWaypoint {
+    /// A reasonable default over the given box.
+    pub fn new(bbox: BBox, objects: usize, samples_per_object: usize) -> RandomWaypoint {
+        RandomWaypoint {
+            bbox,
+            objects,
+            samples_per_object,
+            sample_interval: 60,
+            speed: (5.0, 15.0),
+            start: TimeId::from_ymd_hms(2006, 1, 9, 6, 0, 0),
+            seed: 11,
+        }
+    }
+
+    /// Generates the MOFT. Object ids start at `first_oid`.
+    pub fn generate(&self, first_oid: u64) -> Moft {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut moft = Moft::new();
+        for k in 0..self.objects {
+            let oid = ObjectId(first_oid + k as u64);
+            let mut pos = Point::new(
+                rng.gen_range(self.bbox.min_x..self.bbox.max_x),
+                rng.gen_range(self.bbox.min_y..self.bbox.max_y),
+            );
+            let speed = rng.gen_range(self.speed.0..self.speed.1);
+            let mut target = pos;
+            let mut t = self.start;
+            for _ in 0..self.samples_per_object {
+                moft.push(oid, t, pos.x, pos.y);
+                // Move toward the target; pick a new one when reached.
+                let step = speed * self.sample_interval as f64;
+                let mut remaining = step;
+                while remaining > 0.0 {
+                    let d = pos.distance(target);
+                    if d <= remaining {
+                        remaining -= d;
+                        pos = target;
+                        target = Point::new(
+                            rng.gen_range(self.bbox.min_x..self.bbox.max_x),
+                            rng.gen_range(self.bbox.min_y..self.bbox.max_y),
+                        );
+                        if pos.distance(target) == 0.0 {
+                            break;
+                        }
+                    } else {
+                        let dir = (target - pos).normalized().expect("distinct points");
+                        pos = pos + dir * remaining;
+                        remaining = 0.0;
+                    }
+                }
+                t = TimeId(t.0 + self.sample_interval);
+            }
+        }
+        moft.rebuild_index();
+        moft
+    }
+}
+
+/// Buses following a fixed route polyline back and forth, sampled on a
+/// fixed interval — Figure 1's data-collection regime ("the position of
+/// six buses at each hour").
+#[derive(Debug, Clone)]
+pub struct BusRoute {
+    /// The route.
+    pub route: Polyline,
+    /// Number of buses on the route (staggered along it).
+    pub buses: usize,
+    /// Samples per bus.
+    pub samples_per_bus: usize,
+    /// Seconds between samples.
+    pub sample_interval: i64,
+    /// Bus speed (units per second).
+    pub speed: f64,
+    /// First sample instant.
+    pub start: TimeId,
+}
+
+impl BusRoute {
+    /// Generates the MOFT. Object ids start at `first_oid`.
+    pub fn generate(&self, first_oid: u64) -> Moft {
+        let mut moft = Moft::new();
+        let route_len = self.route.length();
+        assert!(route_len > 0.0, "route must have positive length");
+        for k in 0..self.buses {
+            let oid = ObjectId(first_oid + k as u64);
+            // Stagger starting offsets along the route.
+            let offset = route_len * k as f64 / self.buses.max(1) as f64;
+            let mut t = self.start;
+            for s in 0..self.samples_per_bus {
+                let travelled =
+                    offset + self.speed * (s as i64 * self.sample_interval) as f64;
+                // Ping-pong along the route.
+                let cycle = 2.0 * route_len;
+                let m = travelled % cycle;
+                let arc = if m <= route_len { m } else { cycle - m };
+                let pos = self.route.point_at_length(arc);
+                moft.push(oid, t, pos.x, pos.y);
+                t = TimeId(t.0 + self.sample_interval);
+            }
+        }
+        moft.rebuild_index();
+        moft
+    }
+}
+
+/// Commuters: home → work in the morning, work → home in the evening,
+/// stationary otherwise. Sampled every `sample_interval` seconds across
+/// one day.
+#[derive(Debug, Clone)]
+pub struct Commuters {
+    /// Home/work area.
+    pub bbox: BBox,
+    /// Number of commuters.
+    pub objects: usize,
+    /// Seconds between samples.
+    pub sample_interval: i64,
+    /// The day (midnight instant).
+    pub midnight: TimeId,
+    /// Departure hour for the morning commute.
+    pub morning_hour: u32,
+    /// Departure hour for the evening commute.
+    pub evening_hour: u32,
+    /// Commute duration in seconds.
+    pub commute_seconds: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Commuters {
+    /// Sensible defaults over the box.
+    pub fn new(bbox: BBox, objects: usize) -> Commuters {
+        Commuters {
+            bbox,
+            objects,
+            sample_interval: 900,
+            midnight: TimeId::from_ymd_hms(2006, 1, 9, 0, 0, 0),
+            morning_hour: 8,
+            evening_hour: 17,
+            commute_seconds: 1800,
+            seed: 23,
+        }
+    }
+
+    /// Generates the MOFT. Object ids start at `first_oid`.
+    pub fn generate(&self, first_oid: u64) -> Moft {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut moft = Moft::new();
+        let day = 86_400i64;
+        for k in 0..self.objects {
+            let oid = ObjectId(first_oid + k as u64);
+            let home = Point::new(
+                rng.gen_range(self.bbox.min_x..self.bbox.max_x),
+                rng.gen_range(self.bbox.min_y..self.bbox.max_y),
+            );
+            let work = Point::new(
+                rng.gen_range(self.bbox.min_x..self.bbox.max_x),
+                rng.gen_range(self.bbox.min_y..self.bbox.max_y),
+            );
+            let m_start = (self.morning_hour as i64) * 3600;
+            let e_start = (self.evening_hour as i64) * 3600;
+            let mut s = 0i64;
+            while s < day {
+                let pos = if s < m_start {
+                    home
+                } else if s < m_start + self.commute_seconds {
+                    let u = (s - m_start) as f64 / self.commute_seconds as f64;
+                    home.lerp(work, u)
+                } else if s < e_start {
+                    work
+                } else if s < e_start + self.commute_seconds {
+                    let u = (s - e_start) as f64 / self.commute_seconds as f64;
+                    work.lerp(home, u)
+                } else {
+                    home
+                };
+                moft.push(oid, TimeId(self.midnight.0 + s), pos.x, pos.y);
+                s += self.sample_interval;
+            }
+        }
+        moft.rebuild_index();
+        moft
+    }
+}
+
+/// Network-constrained walkers: objects that move only along the street
+/// grid (the paper's cars "on all roads in Antwerp", §4 query 2). At
+/// every intersection a walker picks a random neighbouring intersection
+/// (never immediately backtracking unless at a dead end) and proceeds at
+/// its speed.
+#[derive(Debug, Clone)]
+pub struct GridWalkers {
+    /// Vertical street positions (x cuts).
+    pub x_cuts: Vec<f64>,
+    /// Horizontal street positions (y cuts).
+    pub y_cuts: Vec<f64>,
+    /// Number of walkers.
+    pub objects: usize,
+    /// Samples per walker.
+    pub samples_per_object: usize,
+    /// Seconds between samples.
+    pub sample_interval: i64,
+    /// Walker speed (units per second).
+    pub speed: f64,
+    /// First sample instant.
+    pub start: TimeId,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GridWalkers {
+    /// Walkers over a city's street grid.
+    pub fn new(x_cuts: Vec<f64>, y_cuts: Vec<f64>, objects: usize) -> GridWalkers {
+        GridWalkers {
+            x_cuts,
+            y_cuts,
+            objects,
+            samples_per_object: 30,
+            sample_interval: 60,
+            speed: 8.0,
+            start: TimeId::from_ymd_hms(2006, 1, 9, 7, 0, 0),
+            seed: 31,
+        }
+    }
+
+    fn node_pos(&self, c: usize, r: usize) -> Point {
+        Point::new(self.x_cuts[c], self.y_cuts[r])
+    }
+
+    /// Generates the MOFT. Object ids start at `first_oid`.
+    ///
+    /// # Panics
+    /// Panics if the grid has fewer than two cuts per axis.
+    pub fn generate(&self, first_oid: u64) -> Moft {
+        assert!(
+            self.x_cuts.len() >= 2 && self.y_cuts.len() >= 2,
+            "grid needs at least two cuts per axis"
+        );
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let (nx, ny) = (self.x_cuts.len(), self.y_cuts.len());
+        let mut moft = Moft::new();
+        for k in 0..self.objects {
+            let oid = ObjectId(first_oid + k as u64);
+            let mut cur = (rng.gen_range(0..nx), rng.gen_range(0..ny));
+            let mut prev = cur;
+            let mut target = cur;
+            let mut pos = self.node_pos(cur.0, cur.1);
+            let mut t = self.start;
+            for _ in 0..self.samples_per_object {
+                moft.push(oid, t, pos.x, pos.y);
+                let mut remaining = self.speed * self.sample_interval as f64;
+                while remaining > 0.0 {
+                    if target == cur {
+                        // Choose the next intersection.
+                        let mut options: Vec<(usize, usize)> = Vec::with_capacity(4);
+                        if cur.0 > 0 {
+                            options.push((cur.0 - 1, cur.1));
+                        }
+                        if cur.0 + 1 < nx {
+                            options.push((cur.0 + 1, cur.1));
+                        }
+                        if cur.1 > 0 {
+                            options.push((cur.0, cur.1 - 1));
+                        }
+                        if cur.1 + 1 < ny {
+                            options.push((cur.0, cur.1 + 1));
+                        }
+                        let non_backtrack: Vec<(usize, usize)> =
+                            options.iter().copied().filter(|&o| o != prev).collect();
+                        let pool = if non_backtrack.is_empty() { &options } else { &non_backtrack };
+                        target = pool[rng.gen_range(0..pool.len())];
+                    }
+                    let goal = self.node_pos(target.0, target.1);
+                    let d = pos.distance(goal);
+                    if d <= remaining {
+                        remaining -= d;
+                        pos = goal;
+                        prev = cur;
+                        cur = target;
+                    } else {
+                        let dir = (goal - pos).normalized().expect("distinct nodes");
+                        pos = pos + dir * remaining;
+                        remaining = 0.0;
+                    }
+                }
+                t = TimeId(t.0 + self.sample_interval);
+            }
+        }
+        moft.rebuild_index();
+        moft
+    }
+}
+
+/// Merges several MOFTs into one (object ids must already be disjoint).
+pub fn merge_mofts(mofts: &[Moft]) -> Moft {
+    let mut out = Moft::new();
+    for m in mofts {
+        out.merge(m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area() -> BBox {
+        BBox::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn random_waypoint_counts_and_bounds() {
+        let gen = RandomWaypoint::new(area(), 5, 20);
+        let moft = gen.generate(0);
+        assert_eq!(moft.object_count(), 5);
+        assert_eq!(moft.len(), 100);
+        let bb = moft.bbox();
+        assert!(area().inflated(1e-9).contains_box(&bb));
+        // Deterministic.
+        let again = gen.generate(0);
+        assert_eq!(moft.records(), again.records());
+    }
+
+    #[test]
+    fn random_waypoint_speed_bound_holds() {
+        let gen = RandomWaypoint::new(area(), 3, 30);
+        let moft = gen.generate(0);
+        for oid in moft.objects() {
+            let lit = moft.trajectory(oid).unwrap();
+            // Max leg speed cannot exceed the generator's max speed.
+            if let Some(v) = lit.max_speed() {
+                assert!(v <= 15.0 + 1e-9, "speed {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bus_route_follows_route() {
+        let route = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 50.0),
+        ])
+        .unwrap();
+        let gen = BusRoute {
+            route: route.clone(),
+            buses: 3,
+            samples_per_bus: 25,
+            sample_interval: 10,
+            speed: 5.0,
+            start: TimeId(0),
+        };
+        let moft = gen.generate(100);
+        assert_eq!(moft.object_count(), 3);
+        assert_eq!(moft.len(), 75);
+        // Every sample lies on the route.
+        for r in moft.records() {
+            assert!(
+                route.distance_to_point(r.pos()) < 1e-6,
+                "sample {:?} off route",
+                r.pos()
+            );
+        }
+        // Objects are staggered: first samples differ.
+        let p0 = moft.track(ObjectId(100)).unwrap()[0].pos();
+        let p1 = moft.track(ObjectId(101)).unwrap()[0].pos();
+        assert_ne!(p0, p1);
+    }
+
+    #[test]
+    fn commuters_at_home_and_work() {
+        let gen = Commuters::new(area(), 4);
+        let moft = gen.generate(0);
+        assert_eq!(moft.object_count(), 4);
+        for oid in moft.objects() {
+            let track = moft.track(oid).unwrap();
+            let first = track[0].pos(); // midnight: home
+            let noon = track
+                .iter()
+                .find(|r| {
+                    r.t.0 - gen.midnight.0 >= 12 * 3600
+                })
+                .unwrap()
+                .pos(); // noon: at work
+            let last = track[track.len() - 1].pos(); // late: home again
+            assert_eq!(first, last);
+            assert_ne!(first, noon);
+        }
+    }
+
+    #[test]
+    fn grid_walkers_stay_on_the_grid() {
+        let x_cuts = vec![0.0, 50.0, 100.0, 150.0];
+        let y_cuts = vec![0.0, 60.0, 120.0];
+        let gen = GridWalkers::new(x_cuts.clone(), y_cuts.clone(), 6);
+        let moft = gen.generate(0);
+        assert_eq!(moft.object_count(), 6);
+        assert_eq!(moft.len(), 6 * 30);
+        for r in moft.records() {
+            let on_vertical = x_cuts.iter().any(|&x| (r.x - x).abs() < 1e-9);
+            let on_horizontal = y_cuts.iter().any(|&y| (r.y - y).abs() < 1e-9);
+            assert!(
+                on_vertical || on_horizontal,
+                "({}, {}) is off the street grid",
+                r.x,
+                r.y
+            );
+        }
+        // Deterministic.
+        assert_eq!(gen.generate(0).records(), moft.records());
+    }
+
+    #[test]
+    fn grid_walkers_actually_move() {
+        let gen = GridWalkers::new(vec![0.0, 100.0], vec![0.0, 100.0], 3);
+        let moft = gen.generate(0);
+        for oid in moft.objects() {
+            let lit = moft.trajectory(oid).unwrap();
+            assert!(lit.length() > 0.0, "{oid} never moved");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two cuts")]
+    fn degenerate_grid_rejected() {
+        GridWalkers::new(vec![0.0], vec![0.0, 1.0], 1).generate(0);
+    }
+
+    #[test]
+    fn merge_combines_objects() {
+        let a = RandomWaypoint::new(area(), 2, 5).generate(0);
+        let b = RandomWaypoint::new(area(), 3, 5).generate(10);
+        let merged = merge_mofts(&[a, b]);
+        assert_eq!(merged.object_count(), 5);
+        assert_eq!(merged.len(), 25);
+    }
+}

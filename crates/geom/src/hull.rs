@@ -1,0 +1,104 @@
+//! Convex hulls (Andrew's monotone chain).
+
+use crate::point::Point;
+use crate::predicates::{orient2d, Orientation};
+
+/// Convex hull of a point set, as a counter-clockwise vertex list without a
+/// repeated closing vertex.
+///
+/// Collinear points on the hull boundary are dropped (strict hull). Returns
+/// fewer than three points for degenerate inputs (empty, single point, or
+/// all-collinear sets return the extreme points).
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.lex_cmp(*b));
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    if hull.len() == 2 && hull[0] == hull[1] {
+        hull.pop();
+    }
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::polygon::Ring;
+
+    #[test]
+    fn square_with_interior_points() {
+        let hull = convex_hull(&[
+            pt(0.0, 0.0),
+            pt(2.0, 0.0),
+            pt(2.0, 2.0),
+            pt(0.0, 2.0),
+            pt(1.0, 1.0),
+            pt(0.5, 0.5),
+        ]);
+        assert_eq!(hull.len(), 4);
+        let ring = Ring::new(hull).unwrap();
+        assert_eq!(ring.area(), 4.0);
+        assert!(ring.is_convex());
+    }
+
+    #[test]
+    fn collinear_boundary_points_dropped() {
+        let hull = convex_hull(&[
+            pt(0.0, 0.0),
+            pt(1.0, 0.0), // on the bottom edge
+            pt(2.0, 0.0),
+            pt(2.0, 2.0),
+            pt(0.0, 2.0),
+        ]);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.contains(&pt(1.0, 0.0)));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[pt(1.0, 1.0)]), vec![pt(1.0, 1.0)]);
+        assert_eq!(
+            convex_hull(&[pt(1.0, 1.0), pt(1.0, 1.0)]),
+            vec![pt(1.0, 1.0)]
+        );
+        // All collinear: extremes only.
+        let h = convex_hull(&[pt(0.0, 0.0), pt(1.0, 1.0), pt(2.0, 2.0), pt(3.0, 3.0)]);
+        assert_eq!(h, vec![pt(0.0, 0.0), pt(3.0, 3.0)]);
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let hull = convex_hull(&[pt(0.0, 0.0), pt(4.0, 1.0), pt(3.0, 5.0), pt(-1.0, 3.0), pt(2.0, 2.0)]);
+        let area = Ring::new(hull).unwrap().signed_area();
+        assert!(area > 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Ramer–Douglas–Peucker polyline simplification.
+//!
+//! Trajectory samples are often oversampled relative to the analysis
+//! granularity (the paper's Section 1.2 notes samples arrive "at a given
+//! time interval, with a certain granularity"); simplification reduces a
+//! dense vertex chain to one within a spatial tolerance.
+
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// Simplifies `points` with the Ramer–Douglas–Peucker algorithm.
+///
+/// Keeps the first and last points and every intermediate point whose
+/// perpendicular distance from the simplified chain exceeds `epsilon`.
+/// `epsilon` must be non-negative. Inputs with fewer than three points are
+/// returned unchanged.
+pub fn douglas_peucker(points: &[Point], epsilon: f64) -> Vec<Point> {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    if points.len() < 3 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    // Explicit stack instead of recursion: trajectories can be long.
+    let mut stack: Vec<(usize, usize)> = vec![(0, points.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let chord = Segment::new(points[lo], points[hi]);
+        let mut max_d = -1.0;
+        let mut max_i = lo;
+        for (i, &p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = chord.distance_to_point(p);
+            if d > max_d {
+                max_d = d;
+                max_i = i;
+            }
+        }
+        if max_d > epsilon {
+            keep[max_i] = true;
+            stack.push((lo, max_i));
+            stack.push((max_i, hi));
+        }
+    }
+    points
+        .iter()
+        .zip(&keep)
+        .filter_map(|(&p, &k)| k.then_some(p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let pts: Vec<Point> = (0..10).map(|i| pt(i as f64, 0.0)).collect();
+        assert_eq!(douglas_peucker(&pts, 0.01), vec![pt(0.0, 0.0), pt(9.0, 0.0)]);
+    }
+
+    #[test]
+    fn zero_epsilon_keeps_every_corner() {
+        let pts = vec![pt(0.0, 0.0), pt(1.0, 1.0), pt(2.0, 0.0)];
+        assert_eq!(douglas_peucker(&pts, 0.0), pts);
+    }
+
+    #[test]
+    fn significant_detour_is_kept() {
+        let pts = vec![pt(0.0, 0.0), pt(5.0, 4.0), pt(10.0, 0.0)];
+        let out = douglas_peucker(&pts, 1.0);
+        assert_eq!(out.len(), 3);
+        // Below tolerance the detour goes away.
+        let out = douglas_peucker(&pts, 5.0);
+        assert_eq!(out, vec![pt(0.0, 0.0), pt(10.0, 0.0)]);
+    }
+
+    #[test]
+    fn short_inputs_unchanged() {
+        assert_eq!(douglas_peucker(&[], 1.0), Vec::<Point>::new());
+        assert_eq!(douglas_peucker(&[pt(1.0, 1.0)], 1.0), vec![pt(1.0, 1.0)]);
+        let two = vec![pt(0.0, 0.0), pt(1.0, 0.0)];
+        assert_eq!(douglas_peucker(&two, 1.0), two);
+    }
+
+    #[test]
+    fn nested_detail_resolved_recursively() {
+        // A saw-tooth; with moderate epsilon only the big teeth remain.
+        let pts = vec![
+            pt(0.0, 0.0),
+            pt(1.0, 0.1),
+            pt(2.0, 3.0),
+            pt(3.0, 0.1),
+            pt(4.0, 0.0),
+        ];
+        let out = douglas_peucker(&pts, 1.0);
+        assert!(out.contains(&pt(2.0, 3.0)));
+        assert!(!out.contains(&pt(1.0, 0.1)));
+        assert_eq!(out.first(), Some(&pt(0.0, 0.0)));
+        assert_eq!(out.last(), Some(&pt(4.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_epsilon_panics() {
+        douglas_peucker(&[pt(0.0, 0.0), pt(1.0, 0.0), pt(2.0, 0.0)], -1.0);
+    }
+}

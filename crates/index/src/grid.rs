@@ -1,0 +1,191 @@
+//! A uniform grid index.
+//!
+//! Divides a bounding box into `cols × rows` equal cells; each item is
+//! registered in every cell its rectangle overlaps. The structure behind
+//! Meratnia & de By's "homogeneous spatial units" (paper §2) and a useful
+//! baseline access method.
+
+use gisolap_geom::{BBox, Point};
+
+/// A uniform grid over a bounding box, mapping cells to item ids.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    bounds: BBox,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+    /// `cells[row * cols + col]` = item ids overlapping the cell.
+    cells: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Creates an empty grid of `cols × rows` cells over `bounds`.
+    ///
+    /// # Panics
+    /// Panics if `cols` or `rows` is zero or `bounds` is empty.
+    pub fn new(bounds: BBox, cols: usize, rows: usize) -> GridIndex {
+        assert!(cols > 0 && rows > 0, "grid must have at least one cell");
+        assert!(!bounds.is_empty(), "grid bounds must be non-empty");
+        GridIndex {
+            bounds,
+            cols,
+            rows,
+            cell_w: bounds.width() / cols as f64,
+            cell_h: bounds.height() / rows as f64,
+            cells: vec![Vec::new(); cols * rows],
+            len: 0,
+        }
+    }
+
+    /// Number of inserted items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    fn col_of(&self, x: f64) -> usize {
+        if self.cell_w == 0.0 {
+            return 0;
+        }
+        (((x - self.bounds.min_x) / self.cell_w) as isize).clamp(0, self.cols as isize - 1)
+            as usize
+    }
+
+    fn row_of(&self, y: f64) -> usize {
+        if self.cell_h == 0.0 {
+            return 0;
+        }
+        (((y - self.bounds.min_y) / self.cell_h) as isize).clamp(0, self.rows as isize - 1)
+            as usize
+    }
+
+    /// Cell range `(c0, r0, c1, r1)` overlapped by a rectangle (clamped to
+    /// the grid).
+    fn cell_range(&self, bbox: &BBox) -> (usize, usize, usize, usize) {
+        (
+            self.col_of(bbox.min_x),
+            self.row_of(bbox.min_y),
+            self.col_of(bbox.max_x),
+            self.row_of(bbox.max_y),
+        )
+    }
+
+    /// Registers item `id` under every cell overlapped by `bbox`.
+    pub fn insert(&mut self, bbox: &BBox, id: u32) {
+        let (c0, r0, c1, r1) = self.cell_range(bbox);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                self.cells[r * self.cols + c].push(id);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Candidate item ids for a rectangle query (superset of the true
+    /// result; deduplicated, sorted).
+    pub fn candidates(&self, query: &BBox) -> Vec<u32> {
+        if !self.bounds.intersects(query) {
+            return Vec::new();
+        }
+        let (c0, r0, c1, r1) = self.cell_range(query);
+        let mut out = Vec::new();
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                out.extend_from_slice(&self.cells[r * self.cols + c]);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Candidate item ids for a point query.
+    pub fn candidates_at(&self, p: Point) -> Vec<u32> {
+        self.candidates(&BBox::from_point(p))
+    }
+
+    /// The bounding box of one cell.
+    pub fn cell_bbox(&self, col: usize, row: usize) -> BBox {
+        let x = self.bounds.min_x + col as f64 * self.cell_w;
+        let y = self.bounds.min_y + row as f64 * self.cell_h;
+        BBox::new(x, y, x + self.cell_w, y + self.cell_h)
+    }
+
+    /// Per-cell occupancy counts — the "number of times any object passes
+    /// through" histogram of Meratnia & de By's aggregation (§2 of the
+    /// paper) when items are trajectory segments.
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.cells.iter().map(Vec::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridIndex {
+        GridIndex::new(BBox::new(0.0, 0.0, 10.0, 10.0), 5, 5)
+    }
+
+    #[test]
+    fn insert_and_query_point_item() {
+        let mut g = grid();
+        g.insert(&BBox::from_point(Point::new(1.0, 1.0)), 7);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.candidates_at(Point::new(1.5, 1.5)), vec![7]);
+        assert!(g.candidates_at(Point::new(9.0, 9.0)).is_empty());
+    }
+
+    #[test]
+    fn spanning_item_registered_in_all_cells() {
+        let mut g = grid();
+        g.insert(&BBox::new(0.0, 0.0, 10.0, 0.1), 1); // bottom strip
+        // Appears in all 5 bottom cells…
+        let occ = g.occupancy();
+        assert_eq!(occ.iter().filter(|&&c| c > 0).count(), 5);
+        // …and any bottom query finds it.
+        assert_eq!(g.candidates(&BBox::new(7.0, 0.0, 8.0, 0.05)), vec![1]);
+    }
+
+    #[test]
+    fn candidates_are_deduplicated() {
+        let mut g = grid();
+        g.insert(&BBox::new(0.0, 0.0, 10.0, 10.0), 3); // everywhere
+        assert_eq!(g.candidates(&BBox::new(0.0, 0.0, 10.0, 10.0)), vec![3]);
+    }
+
+    #[test]
+    fn out_of_bounds_handling() {
+        let mut g = grid();
+        // Items outside the bounds clamp to edge cells.
+        g.insert(&BBox::new(20.0, 20.0, 21.0, 21.0), 9);
+        assert_eq!(g.candidates(&BBox::new(9.9, 9.9, 30.0, 30.0)), vec![9]);
+        // Query fully outside the grid bounds is empty.
+        assert!(g.candidates(&BBox::new(-5.0, -5.0, -1.0, -1.0)).is_empty());
+    }
+
+    #[test]
+    fn cell_bbox_tiles_the_bounds() {
+        let g = grid();
+        assert_eq!(g.cell_bbox(0, 0), BBox::new(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(g.cell_bbox(4, 4), BBox::new(8.0, 8.0, 10.0, 10.0));
+        assert_eq!(g.shape(), (5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_panics() {
+        GridIndex::new(BBox::new(0.0, 0.0, 1.0, 1.0), 0, 5);
+    }
+}

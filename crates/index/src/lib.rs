@@ -1,0 +1,26 @@
+//! # gisolap-index
+//!
+//! Access methods for the GISOLAP-MO workspace:
+//!
+//! * [`rtree::RTree`] — an R-tree with STR bulk loading and quadratic-split
+//!   insertion, used by the query engine's indexed evaluation strategy to
+//!   filter candidate geometries.
+//! * [`grid::GridIndex`] — a uniform grid, the simplest spatial filter
+//!   (and the structure behind Meratnia & de By's "homogeneous spatial
+//!   units" trajectory aggregation discussed in the paper's Section 2).
+//! * [`arb::ArbTree`] — an aRB-tree-style aggregate spatio-temporal index
+//!   after Papadias et al. (the paper's reference \[11\]): an R-tree over
+//!   regions whose nodes carry time-bucketed pre-aggregates, answering
+//!   COUNT/SUM over region × time-window queries without touching raw
+//!   samples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arb;
+pub mod grid;
+pub mod rtree;
+
+pub use arb::ArbTree;
+pub use grid::GridIndex;
+pub use rtree::RTree;

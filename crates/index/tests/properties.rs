@@ -1,0 +1,132 @@
+//! Property-based tests for the access methods.
+
+use gisolap_geom::{BBox, Point};
+use gisolap_index::arb::{ArbTree, RegionId};
+use gisolap_index::{GridIndex, RTree};
+use proptest::prelude::*;
+
+fn boxes() -> impl Strategy<Value = Vec<(BBox, u32)>> {
+    proptest::collection::vec(
+        ((-100i32..100), (-100i32..100), (1u8..30), (1u8..30)),
+        0..120,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, h))| {
+                let (x, y) = (x as f64, y as f64);
+                (BBox::new(x, y, x + w as f64, y + h as f64), i as u32)
+            })
+            .collect()
+    })
+}
+
+fn query_box() -> impl Strategy<Value = BBox> {
+    ((-120i32..120), (-120i32..120), (1u8..80), (1u8..80)).prop_map(|(x, y, w, h)| {
+        BBox::new(x as f64, y as f64, x as f64 + w as f64, y as f64 + h as f64)
+    })
+}
+
+proptest! {
+    #[test]
+    fn rtree_bulk_matches_bruteforce(items in boxes(), q in query_box()) {
+        let tree = RTree::bulk_load(items.clone());
+        let mut expected: Vec<u32> = items
+            .iter()
+            .filter(|(b, _)| b.intersects(&q))
+            .map(|&(_, id)| id)
+            .collect();
+        let mut got: Vec<u32> = tree.search(&q).into_iter().copied().collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rtree_insert_matches_bruteforce(items in boxes(), q in query_box()) {
+        let mut tree = RTree::new();
+        for &(b, id) in &items {
+            tree.insert(b, id);
+        }
+        let mut expected: Vec<u32> = items
+            .iter()
+            .filter(|(b, _)| b.intersects(&q))
+            .map(|&(_, id)| id)
+            .collect();
+        let mut got: Vec<u32> = tree.search(&q).into_iter().copied().collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rtree_nearest_is_truly_nearest(items in boxes(), px in -150f64..150.0, py in -150f64..150.0) {
+        let tree = RTree::bulk_load(items.clone());
+        let p = Point::new(px, py);
+        match tree.nearest(p) {
+            None => prop_assert!(items.is_empty()),
+            Some((_, dist)) => {
+                let best = items
+                    .iter()
+                    .map(|(b, _)| b.distance_to_point(p))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!((dist - best).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_candidates_are_a_superset(items in boxes(), q in query_box()) {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let bounds = items
+            .iter()
+            .fold(BBox::empty(), |b, (bb, _)| b.union(bb));
+        let mut grid = GridIndex::new(bounds, 8, 8);
+        for (b, id) in &items {
+            grid.insert(b, *id);
+        }
+        let candidates = grid.candidates(&q);
+        for (b, id) in &items {
+            if b.intersects(&q) {
+                prop_assert!(
+                    candidates.contains(id),
+                    "grid lost a true hit: {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arb_bounds_bracket_exact(obs in proptest::collection::vec((0u32..16, 0i64..8, 1u32..5), 0..100), q in query_box()) {
+        // 4×4 unit regions at integer positions scaled by 50.
+        let regions: Vec<BBox> = (0..16)
+            .map(|i| {
+                let x = (i % 4) as f64 * 50.0 - 100.0;
+                let y = (i / 4) as f64 * 50.0 - 100.0;
+                BBox::new(x, y, x + 50.0, y + 50.0)
+            })
+            .collect();
+        let tree = ArbTree::build(
+            &regions,
+            obs.iter().map(|&(r, b, v)| (RegionId(r), b, v as f64)),
+        );
+        let (lo, hi) = tree.count_bounds(&q, 0, 7);
+        prop_assert!(lo <= hi + 1e-9);
+        // The exact answer for *fully contained* regions is the lower
+        // bound; for *intersecting* regions the upper bound.
+        let exact_contained: f64 = obs
+            .iter()
+            .filter(|&&(r, _, _)| q.contains_box(&regions[r as usize]))
+            .map(|&(_, _, v)| v as f64)
+            .sum();
+        let exact_intersecting: f64 = obs
+            .iter()
+            .filter(|&&(r, _, _)| q.intersects(&regions[r as usize]))
+            .map(|&(_, _, v)| v as f64)
+            .sum();
+        prop_assert!((lo - exact_contained).abs() < 1e-9, "lower bound");
+        prop_assert!((hi - exact_intersecting).abs() < 1e-9, "upper bound");
+    }
+}

@@ -1,0 +1,244 @@
+//! Aggregate functions and the γ operator.
+//!
+//! Implements the paper's Definition 7 (after Consens & Mendelzon): the
+//! aggregate operation `γ_{f A(X)}(r)` groups relation `r` by attributes
+//! `X` and aggregates attribute `A` with `f ∈ AGG = {MIN, MAX, COUNT,
+//! SUM, AVG}`.
+
+use std::collections::HashMap;
+
+/// The aggregate function set `AGG` of Definition 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFn {
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Count of (non-skipped) values.
+    Count,
+    /// Sum.
+    Sum,
+    /// Arithmetic mean.
+    Avg,
+}
+
+impl AggFn {
+    /// Aggregates a slice of values; `None` on empty input for `Min`,
+    /// `Max` and `Avg` (SQL semantics), `Some(0.0)` for `Count` and `Sum`.
+    pub fn apply(self, values: &[f64]) -> Option<f64> {
+        let mut acc = Accumulator::new(self);
+        for &v in values {
+            acc.push(v);
+        }
+        acc.finish()
+    }
+
+    /// Parses a function name (case-insensitive).
+    pub fn parse(name: &str) -> Option<AggFn> {
+        match name.to_ascii_uppercase().as_str() {
+            "MIN" => Some(AggFn::Min),
+            "MAX" => Some(AggFn::Max),
+            "COUNT" => Some(AggFn::Count),
+            "SUM" => Some(AggFn::Sum),
+            "AVG" => Some(AggFn::Avg),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFn::Min => "MIN",
+            AggFn::Max => "MAX",
+            AggFn::Count => "COUNT",
+            AggFn::Sum => "SUM",
+            AggFn::Avg => "AVG",
+        }
+    }
+}
+
+impl std::fmt::Display for AggFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Incremental aggregation state for one group.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    f: AggFn,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Fresh accumulator for `f`.
+    pub fn new(f: AggFn) -> Accumulator {
+        Accumulator { f, count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Feeds one value.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of values fed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Final value.
+    pub fn finish(&self) -> Option<f64> {
+        match self.f {
+            AggFn::Count => Some(self.count as f64),
+            AggFn::Sum => Some(self.sum),
+            AggFn::Min => (self.count > 0).then_some(self.min),
+            AggFn::Max => (self.count > 0).then_some(self.max),
+            AggFn::Avg => (self.count > 0).then(|| self.sum / self.count as f64),
+        }
+    }
+
+    /// Merges another accumulator of the same function into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        debug_assert_eq!(self.f, other.f, "cannot merge different functions");
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The γ operator over an iterator of `(group_key, value)` pairs:
+/// `γ_{f A(X)}` where the iterator yields `X`-tuples (as `K`) with their
+/// `A` values. Returns one `(key, aggregate)` pair per group.
+///
+/// Group order follows first appearance, making results deterministic.
+pub fn gamma<K, I>(f: AggFn, rows: I) -> Vec<(K, f64)>
+where
+    K: Eq + std::hash::Hash + Clone,
+    I: IntoIterator<Item = (K, f64)>,
+{
+    let mut order: Vec<K> = Vec::new();
+    let mut groups: HashMap<K, Accumulator> = HashMap::new();
+    for (k, v) in rows {
+        groups
+            .entry(k.clone())
+            .or_insert_with(|| {
+                order.push(k.clone());
+                Accumulator::new(f)
+            })
+            .push(v);
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let agg = groups[&k].finish().expect("non-empty group always aggregates");
+            (k, agg)
+        })
+        .collect()
+}
+
+/// `γ` counting *distinct* values per group — needed for the paper's
+/// "number of buses" style queries where the same object may contribute
+/// several tuples to a group but must be counted once.
+pub fn gamma_count_distinct<K, V, I>(rows: I) -> Vec<(K, f64)>
+where
+    K: Eq + std::hash::Hash + Clone,
+    V: Eq + std::hash::Hash,
+    I: IntoIterator<Item = (K, V)>,
+{
+    let mut order: Vec<K> = Vec::new();
+    let mut groups: HashMap<K, std::collections::HashSet<V>> = HashMap::new();
+    for (k, v) in rows {
+        groups
+            .entry(k.clone())
+            .or_insert_with(|| {
+                order.push(k.clone());
+                Default::default()
+            })
+            .insert(v);
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let n = groups[&k].len() as f64;
+            (k, n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_each_function() {
+        let vals = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(AggFn::Min.apply(&vals), Some(1.0));
+        assert_eq!(AggFn::Max.apply(&vals), Some(5.0));
+        assert_eq!(AggFn::Count.apply(&vals), Some(5.0));
+        assert_eq!(AggFn::Sum.apply(&vals), Some(14.0));
+        assert_eq!(AggFn::Avg.apply(&vals), Some(2.8));
+    }
+
+    #[test]
+    fn empty_input_semantics() {
+        assert_eq!(AggFn::Min.apply(&[]), None);
+        assert_eq!(AggFn::Max.apply(&[]), None);
+        assert_eq!(AggFn::Avg.apply(&[]), None);
+        assert_eq!(AggFn::Count.apply(&[]), Some(0.0));
+        assert_eq!(AggFn::Sum.apply(&[]), Some(0.0));
+    }
+
+    #[test]
+    fn parse_and_name_roundtrip() {
+        for f in [AggFn::Min, AggFn::Max, AggFn::Count, AggFn::Sum, AggFn::Avg] {
+            assert_eq!(AggFn::parse(f.name()), Some(f));
+            assert_eq!(AggFn::parse(&f.name().to_lowercase()), Some(f));
+        }
+        assert_eq!(AggFn::parse("MEDIAN"), None);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_batch() {
+        let values = [2.0, 7.0, -1.0, 4.0, 9.0, 0.5];
+        for f in [AggFn::Min, AggFn::Max, AggFn::Count, AggFn::Sum, AggFn::Avg] {
+            let mut left = Accumulator::new(f);
+            let mut right = Accumulator::new(f);
+            for &v in &values[..3] {
+                left.push(v);
+            }
+            for &v in &values[3..] {
+                right.push(v);
+            }
+            left.merge(&right);
+            assert_eq!(left.finish(), f.apply(&values), "merge mismatch for {f}");
+        }
+    }
+
+    #[test]
+    fn gamma_groups_and_orders_deterministically() {
+        let rows = vec![("b", 1.0), ("a", 2.0), ("b", 3.0), ("a", 4.0), ("c", 5.0)];
+        let out = gamma(AggFn::Sum, rows);
+        assert_eq!(out, vec![("b", 4.0), ("a", 6.0), ("c", 5.0)]);
+    }
+
+    #[test]
+    fn gamma_single_group() {
+        let rows = vec![((), 1.0), ((), 2.0)];
+        assert_eq!(gamma(AggFn::Avg, rows), vec![((), 1.5)]);
+    }
+
+    #[test]
+    fn gamma_count_distinct_dedups_within_group() {
+        // Bus O1 sampled three times in hour 9; counted once.
+        let rows = vec![(9, "O1"), (9, "O1"), (9, "O1"), (9, "O2"), (10, "O1")];
+        let out = gamma_count_distinct(rows);
+        assert_eq!(out, vec![(9, 2.0), (10, 1.0)]);
+    }
+}

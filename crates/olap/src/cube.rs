@@ -1,0 +1,204 @@
+//! Cube views: pivoting fact tables along dimension hierarchies.
+//!
+//! A thin layer on top of [`FactTable::aggregate`] that models the data
+//! cube of Kimball's presentation (the paper's reference \[8\]): a cube is
+//! a fact table viewed at chosen levels of each dimension; roll-up and
+//! drill-down move between levels, slice fixes a member.
+
+use crate::agg::AggFn;
+use crate::facts::FactTable;
+use crate::{OlapError, Result};
+
+/// A cube view: a fact table plus a current level per dimension column and
+/// a chosen measure/aggregate.
+#[derive(Debug, Clone)]
+pub struct CubeView<'a> {
+    facts: &'a FactTable,
+    /// Current level name per dimension column.
+    levels: Vec<String>,
+    measure: String,
+    agg: AggFn,
+}
+
+/// One cell of a materialized cube view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Group member names (one per dimension column, at the view's levels).
+    pub coordinates: Vec<String>,
+    /// Aggregated value.
+    pub value: f64,
+}
+
+impl<'a> CubeView<'a> {
+    /// Creates a view at the fact table's stored levels.
+    pub fn new(facts: &'a FactTable, measure: &str, agg: AggFn) -> Result<CubeView<'a>> {
+        facts.measure_index(measure)?; // validate
+        let levels = facts
+            .dim_cols()
+            .iter()
+            .map(|c| {
+                let dim = &facts.dimensions()[c.dimension];
+                dim.schema().level_name(c.level).to_string()
+            })
+            .collect();
+        Ok(CubeView { facts, levels, measure: measure.to_string(), agg })
+    }
+
+    /// Current level of a dimension column.
+    pub fn level_of(&self, col: &str) -> Result<&str> {
+        let ci = self.facts.dim_col_index(col)?;
+        Ok(&self.levels[ci])
+    }
+
+    /// Rolls the view up: `col` moves to coarser `level`.
+    pub fn roll_up(mut self, col: &str, level: &str) -> Result<CubeView<'a>> {
+        let ci = self.facts.dim_col_index(col)?;
+        let dcol = &self.facts.dim_cols()[ci];
+        let dim = &self.facts.dimensions()[dcol.dimension];
+        let cur = dim.schema().level_id(&self.levels[ci])?;
+        let target = dim.schema().level_id(level)?;
+        if !dim.schema().precedes(cur, target) {
+            return Err(OlapError::UnknownLevel(format!(
+                "roll-up must move to a coarser level ({} ⋠ {level})",
+                self.levels[ci]
+            )));
+        }
+        self.levels[ci] = level.to_string();
+        Ok(self)
+    }
+
+    /// Drills the view down: `col` moves to finer `level` (must be at or
+    /// above the stored level of the column).
+    pub fn drill_down(mut self, col: &str, level: &str) -> Result<CubeView<'a>> {
+        let ci = self.facts.dim_col_index(col)?;
+        let dcol = &self.facts.dim_cols()[ci];
+        let dim = &self.facts.dimensions()[dcol.dimension];
+        let cur = dim.schema().level_id(&self.levels[ci])?;
+        let target = dim.schema().level_id(level)?;
+        if !dim.schema().precedes(target, cur) {
+            return Err(OlapError::UnknownLevel(format!(
+                "drill-down must move to a finer level ({level} ⋠ {})",
+                self.levels[ci]
+            )));
+        }
+        if !dim.schema().precedes(dcol.level, target) {
+            return Err(OlapError::UnknownLevel(format!(
+                "cannot drill below the stored level {}",
+                dim.schema().level_name(dcol.level)
+            )));
+        }
+        self.levels[ci] = level.to_string();
+        Ok(self)
+    }
+
+    /// Materializes the view into cells.
+    pub fn cells(&self) -> Result<Vec<Cell>> {
+        let group: Vec<(&str, &str)> = self
+            .facts
+            .dim_cols()
+            .iter()
+            .zip(&self.levels)
+            .map(|(c, l)| (c.name.as_str(), l.as_str()))
+            .collect();
+        Ok(self
+            .facts
+            .aggregate(self.agg, &group, &self.measure)?
+            .into_iter()
+            .map(|(coordinates, value)| Cell { coordinates, value })
+            .collect())
+    }
+
+    /// Slices the underlying facts on `col = member` at the view's current
+    /// level of that column, returning a new owned fact table.
+    pub fn slice(&self, col: &str, member: &str) -> Result<FactTable> {
+        let ci = self.facts.dim_col_index(col)?;
+        self.facts.slice(col, &self.levels[ci], member)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::DimensionInstance;
+    use crate::schema::SchemaBuilder;
+    use std::collections::HashMap;
+
+    fn table() -> FactTable {
+        let geo = {
+            let schema = SchemaBuilder::new("Geo").chain(&["store", "city"]).build().unwrap();
+            DimensionInstance::builder(schema)
+                .rollup("store", "S1", "city", "A")
+                .unwrap()
+                .rollup("store", "S2", "city", "A")
+                .unwrap()
+                .rollup("store", "S3", "city", "B")
+                .unwrap()
+                .build()
+                .unwrap()
+        };
+        let mut ft =
+            FactTable::new("sales", vec![geo], &[("store", 0, "store")], &["amount"]).unwrap();
+        ft.insert(&["S1"], &[10.0]).unwrap();
+        ft.insert(&["S2"], &[20.0]).unwrap();
+        ft.insert(&["S3"], &[40.0]).unwrap();
+        ft
+    }
+
+    #[test]
+    fn base_view_then_rollup() {
+        let ft = table();
+        let view = CubeView::new(&ft, "amount", AggFn::Sum).unwrap();
+        assert_eq!(view.cells().unwrap().len(), 3);
+
+        let city = view.roll_up("store", "city").unwrap();
+        let cells: HashMap<_, _> = city
+            .cells()
+            .unwrap()
+            .into_iter()
+            .map(|c| (c.coordinates[0].clone(), c.value))
+            .collect();
+        assert_eq!(cells["A"], 30.0);
+        assert_eq!(cells["B"], 40.0);
+
+        let all = city.roll_up("store", "All").unwrap();
+        assert_eq!(all.cells().unwrap()[0].value, 70.0);
+    }
+
+    #[test]
+    fn drill_down_returns() {
+        let ft = table();
+        let view = CubeView::new(&ft, "amount", AggFn::Sum)
+            .unwrap()
+            .roll_up("store", "All")
+            .unwrap()
+            .drill_down("store", "city")
+            .unwrap();
+        assert_eq!(view.level_of("store").unwrap(), "city");
+        assert_eq!(view.cells().unwrap().len(), 2);
+        // Cannot drill below the stored level... store IS the stored level.
+        let base = view.drill_down("store", "store").unwrap();
+        assert_eq!(base.cells().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn invalid_moves_rejected() {
+        let ft = table();
+        let view = CubeView::new(&ft, "amount", AggFn::Sum).unwrap();
+        // Roll-up to a finer level is invalid.
+        let up = view.clone().roll_up("store", "city").unwrap();
+        assert!(up.clone().roll_up("store", "store").is_err());
+        // Unknown measure.
+        assert!(CubeView::new(&ft, "ghost", AggFn::Sum).is_err());
+    }
+
+    #[test]
+    fn slice_through_view() {
+        let ft = table();
+        let view = CubeView::new(&ft, "amount", AggFn::Sum)
+            .unwrap()
+            .roll_up("store", "city")
+            .unwrap();
+        let sliced = view.slice("store", "A").unwrap();
+        assert_eq!(sliced.len(), 2);
+    }
+}

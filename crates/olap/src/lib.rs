@@ -1,0 +1,113 @@
+//! # gisolap-olap
+//!
+//! Classical OLAP substrate for the GISOLAP-MO workspace: dimension
+//! schemas and instances in the style of Hurtado–Mendelzon–Vaisman
+//! (the paper's reference \[7\] for the application part), fact tables,
+//! the aggregate operator `γ_{f A(X)}` of Definition 7 with
+//! `AGG = {MIN, MAX, COUNT, SUM, AVG}`, cube operations (roll-up, slice,
+//! dice), and the paper's distinguished **Time dimension** with the
+//! `timeId → hour → timeOfDay`, `timeId → day → dayOfWeek/typeOfDay` and
+//! `day → month → year` rollup structure used throughout Section 4.
+//!
+//! ```
+//! use gisolap_olap::agg::AggFn;
+//! use gisolap_olap::time::{TimeDimension, TimeId};
+//!
+//! let time = TimeDimension::new();
+//! let t = TimeId::from_ymd_hms(2006, 1, 7, 9, 15, 0);
+//! assert_eq!(time.time_of_day(t).as_str(), "Morning");
+//! assert_eq!(time.day_of_week(t).as_str(), "Saturday");
+//! assert_eq!(AggFn::Avg.apply(&[1.0, 2.0, 3.0]), Some(2.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod cube;
+pub mod facts;
+pub mod instance;
+pub mod schema;
+pub mod time;
+pub mod value;
+
+pub use agg::AggFn;
+pub use facts::FactTable;
+pub use instance::DimensionInstance;
+pub use schema::DimensionSchema;
+pub use time::{TimeDimension, TimeId};
+pub use value::Value;
+
+/// Errors for dimension / fact-table construction and querying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OlapError {
+    /// A level name appears twice in a schema.
+    DuplicateLevel(String),
+    /// A referenced level does not exist.
+    UnknownLevel(String),
+    /// The rollup graph has a cycle.
+    CyclicSchema,
+    /// The schema must have exactly one bottom level; these were found.
+    BadBottom(Vec<String>),
+    /// Every level must reach the distinguished top level `All`.
+    UnreachableTop(String),
+    /// A member is missing a rollup assignment to a parent level.
+    PartialRollup {
+        /// The member lacking an assignment.
+        member: String,
+        /// The source level.
+        from: String,
+        /// The target level.
+        to: String,
+    },
+    /// Two rollup paths from the same member disagree.
+    InconsistentRollup {
+        /// The member with the ambiguity.
+        member: String,
+        /// The level where the paths diverge in value.
+        at: String,
+    },
+    /// A referenced member does not exist.
+    UnknownMember(String),
+    /// A fact-table column reference is invalid.
+    UnknownColumn(String),
+    /// Row arity does not match the fact-table schema.
+    ArityMismatch {
+        /// Expected number of values.
+        expected: usize,
+        /// Provided number of values.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for OlapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OlapError::DuplicateLevel(l) => write!(f, "duplicate level {l:?}"),
+            OlapError::UnknownLevel(l) => write!(f, "unknown level {l:?}"),
+            OlapError::CyclicSchema => write!(f, "rollup graph has a cycle"),
+            OlapError::BadBottom(ls) => {
+                write!(f, "schema must have exactly one bottom level, found {ls:?}")
+            }
+            OlapError::UnreachableTop(l) => {
+                write!(f, "level {l:?} cannot reach the top level All")
+            }
+            OlapError::PartialRollup { member, from, to } => {
+                write!(f, "member {member:?} of {from:?} has no rollup to {to:?}")
+            }
+            OlapError::InconsistentRollup { member, at } => {
+                write!(f, "rollup paths for member {member:?} disagree at level {at:?}")
+            }
+            OlapError::UnknownMember(m) => write!(f, "unknown member {m:?}"),
+            OlapError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            OlapError::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} values, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OlapError {}
+
+/// Result alias for OLAP operations.
+pub type Result<T> = std::result::Result<T, OlapError>;

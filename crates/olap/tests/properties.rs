@@ -1,0 +1,114 @@
+//! Property-based tests for the OLAP substrate.
+
+use gisolap_olap::agg::{gamma, gamma_count_distinct, Accumulator, AggFn};
+use gisolap_olap::time::{days_from_civil, civil_from_days, TimeDimension, TimeId, TimeLevel};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn aggregates_match_reference_folds(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let sum: f64 = values.iter().sum();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(AggFn::Count.apply(&values), Some(values.len() as f64));
+        prop_assert!((AggFn::Sum.apply(&values).unwrap() - sum).abs() < 1e-6);
+        prop_assert_eq!(AggFn::Min.apply(&values), Some(min));
+        prop_assert_eq!(AggFn::Max.apply(&values), Some(max));
+        let avg = AggFn::Avg.apply(&values).unwrap();
+        prop_assert!((avg - sum / values.len() as f64).abs() < 1e-6);
+        prop_assert!(min - 1e-9 <= avg && avg <= max + 1e-9);
+    }
+
+    #[test]
+    fn accumulator_merge_is_associative_enough(
+        a in proptest::collection::vec(-1e5f64..1e5, 0..50),
+        b in proptest::collection::vec(-1e5f64..1e5, 0..50),
+    ) {
+        for f in [AggFn::Min, AggFn::Max, AggFn::Count, AggFn::Sum, AggFn::Avg] {
+            let mut left = Accumulator::new(f);
+            a.iter().for_each(|&v| left.push(v));
+            let mut right = Accumulator::new(f);
+            b.iter().for_each(|&v| right.push(v));
+            left.merge(&right);
+
+            let mut combined: Vec<f64> = a.clone();
+            combined.extend_from_slice(&b);
+            let expected = f.apply(&combined);
+            match (left.finish(), expected) {
+                (None, None) => {}
+                (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-6, "{f}: {x} vs {y}"),
+                other => prop_assert!(false, "{f}: mismatch {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_partitions_the_input(rows in proptest::collection::vec((0u8..6, -100f64..100.0), 0..200)) {
+        let out = gamma(AggFn::Count, rows.clone());
+        // Every row lands in exactly one group.
+        let total: f64 = out.iter().map(|(_, v)| v).sum();
+        prop_assert_eq!(total, rows.len() as f64);
+        // Keys are unique.
+        let mut keys: Vec<u8> = out.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(before, keys.len());
+        // SUM of group sums equals the global sum.
+        let sums = gamma(AggFn::Sum, rows.clone());
+        let grand: f64 = sums.iter().map(|(_, v)| v).sum();
+        let direct: f64 = rows.iter().map(|&(_, v)| v).sum();
+        prop_assert!((grand - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn count_distinct_never_exceeds_count(rows in proptest::collection::vec((0u8..4, 0u8..10), 0..200)) {
+        let plain = gamma(AggFn::Count, rows.iter().map(|&(k, _)| (k, 1.0)));
+        let distinct = gamma_count_distinct(rows.clone());
+        for (k, d) in &distinct {
+            let c = plain.iter().find(|(pk, _)| pk == k).map(|&(_, v)| v).unwrap_or(0.0);
+            prop_assert!(*d <= c);
+            prop_assert!(*d >= 1.0);
+        }
+    }
+
+    #[test]
+    fn civil_date_roundtrip(days in -200_000i64..200_000) {
+        let (y, m, d) = civil_from_days(days);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+        prop_assert_eq!(days_from_civil(y, m, d), days);
+    }
+
+    #[test]
+    fn time_granules_are_monotone(a in -1_000_000_000i64..2_000_000_000, delta in 0i64..100_000) {
+        let dim = TimeDimension::new();
+        let t1 = TimeId(a);
+        let t2 = TimeId(a + delta);
+        for level in [TimeLevel::Minute, TimeLevel::Hour, TimeLevel::Day, TimeLevel::Month, TimeLevel::Year] {
+            prop_assert!(dim.granule(t1, level) <= dim.granule(t2, level), "{level:?}");
+        }
+    }
+
+    #[test]
+    fn granule_refinement_consistency(a in -1_000_000_000i64..2_000_000_000, b in -1_000_000_000i64..2_000_000_000) {
+        // Same minute ⇒ same hour ⇒ same day ⇒ same month ⇒ same year.
+        let dim = TimeDimension::new();
+        let (t1, t2) = (TimeId(a), TimeId(b));
+        let chain = [TimeLevel::Minute, TimeLevel::Hour, TimeLevel::Day, TimeLevel::Month, TimeLevel::Year];
+        for w in chain.windows(2) {
+            if dim.granule(t1, w[0]) == dim.granule(t2, w[0]) {
+                prop_assert_eq!(dim.granule(t1, w[1]), dim.granule(t2, w[1]),
+                    "{:?} equal but {:?} differ", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn day_of_week_cycles(day in -100_000i64..100_000) {
+        let dim = TimeDimension::new();
+        let t = TimeId(day * 86_400);
+        let t_next = TimeId((day + 7) * 86_400);
+        prop_assert_eq!(dim.day_of_week(t), dim.day_of_week(t_next));
+    }
+}

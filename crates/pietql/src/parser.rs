@@ -1,0 +1,449 @@
+//! Recursive-descent parser for Piet-QL.
+//!
+//! Grammar (keywords case-insensitive; `;` after SELECT/FROM mirrors the
+//! paper's listing and the final `;` is optional):
+//!
+//! ```text
+//! query      := geo_part ( '|' OLAP olap_part )? ( '|' mo_part )?
+//! olap_part  := ident '(' ident '.' ident ')' ( BY ident )? ( VIA ident )?
+//! geo_part   := SELECT layer_ref (',' layer_ref)* ';'
+//!               FROM ident ';'
+//!               ( WHERE geo_cond (AND geo_cond)* ';'? )?
+//! layer_ref  := 'layer' '.' ident
+//! geo_cond   := 'intersection' '(' layer_ref ',' layer_ref
+//!                                (',' 'subplevel' '.' ident)? ')'
+//!             | '(' layer_ref ')' CONTAINS '(' layer_ref ',' layer_ref
+//!                                (',' 'subplevel' '.' ident)? ')'
+//!             | 'attr' '(' layer_ref ',' ident '.' ident cmp literal ')'
+//! mo_part    := ident '(' target ')' ( WITHIN number )? ( PER granule )?
+//!               ( WHERE mo_cond (AND mo_cond)* )?
+//!               ( EXCLUDING geo_cond (AND geo_cond)* )?
+//! target     := TUPLES | OBJECTS | PASSES
+//! granule    := HOUR | DAY
+//! mo_cond    := 'timeOfDay' '=' string | 'dayOfWeek' '=' string
+//!             | 'typeOfDay' '=' string | 'day' '=' string
+//!             | 'hour' ('>=' | '<=') number
+//! cmp        := '<' | '<=' | '=' | '!=' | '>=' | '>'
+//! ```
+
+use gisolap_core::region::CmpOp;
+
+use crate::ast::{
+    AttrValue, GeoCondition, Granule, LayerRef, MoAggregate, MoTarget, MoTimeCondition,
+    OlapAggregate, PietQuery,
+};
+use crate::lexer::{lex, Token};
+use crate::{PietError, Result};
+
+/// Parses a Piet-QL query.
+pub fn parse(input: &str) -> Result<PietQuery> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> PietError {
+        PietError::Parse { at: self.pos, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        match self.next() {
+            Some(got) if got == *t => Ok(()),
+            got => Err(self.err(format!("expected {t:?}, got {got:?}"))),
+        }
+    }
+
+    /// Consumes an identifier and returns it.
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            got => Err(self.err(format!("expected identifier, got {got:?}"))),
+        }
+    }
+
+    /// `true` if the next token is the given keyword (case-insensitive);
+    /// consumes it.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}, got {:?}", self.peek())))
+        }
+    }
+
+    fn layer_ref(&mut self) -> Result<LayerRef> {
+        self.expect_kw("layer")?;
+        self.expect(&Token::Dot)?;
+        Ok(LayerRef(self.ident()?))
+    }
+
+    fn subplevel_opt(&mut self) -> Result<Option<String>> {
+        if matches!(self.peek(), Some(Token::Comma)) {
+            self.expect(&Token::Comma)?;
+            self.expect_kw("subplevel")?;
+            self.expect(&Token::Dot)?;
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        match self.next() {
+            Some(Token::Lt) => Ok(CmpOp::Lt),
+            Some(Token::Le) => Ok(CmpOp::Le),
+            Some(Token::Eq) => Ok(CmpOp::Eq),
+            Some(Token::Ne) => Ok(CmpOp::Ne),
+            Some(Token::Ge) => Ok(CmpOp::Ge),
+            Some(Token::Gt) => Ok(CmpOp::Gt),
+            got => Err(self.err(format!("expected comparison operator, got {got:?}"))),
+        }
+    }
+
+    fn geo_condition(&mut self) -> Result<GeoCondition> {
+        if self.eat_kw("intersection") {
+            self.expect(&Token::LParen)?;
+            let a = self.layer_ref()?;
+            self.expect(&Token::Comma)?;
+            let b = self.layer_ref()?;
+            let subplevel = self.subplevel_opt()?;
+            self.expect(&Token::RParen)?;
+            return Ok(GeoCondition::Intersection { a, b, subplevel });
+        }
+        if self.eat_kw("attr") {
+            self.expect(&Token::LParen)?;
+            let layer = self.layer_ref()?;
+            self.expect(&Token::Comma)?;
+            let category = self.ident()?;
+            self.expect(&Token::Dot)?;
+            let attribute = self.ident()?;
+            let op = self.cmp_op()?;
+            let value = match self.next() {
+                Some(Token::Number(n)) => AttrValue::Number(n),
+                Some(Token::Str(s)) => AttrValue::Str(s),
+                got => return Err(self.err(format!("expected literal, got {got:?}"))),
+            };
+            self.expect(&Token::RParen)?;
+            return Ok(GeoCondition::Attr { layer, category, attribute, op, value });
+        }
+        // '(' layer ')' CONTAINS '(' layer ',' layer [',' subplevel] ')'
+        self.expect(&Token::LParen)?;
+        let subject = self.layer_ref()?;
+        self.expect(&Token::RParen)?;
+        self.expect_kw("contains")?;
+        self.expect(&Token::LParen)?;
+        let repeated = self.layer_ref()?;
+        if repeated != subject {
+            return Err(self.err(format!(
+                "CONTAINS must repeat the subject layer ({} vs {})",
+                subject.0, repeated.0
+            )));
+        }
+        self.expect(&Token::Comma)?;
+        let contained = self.layer_ref()?;
+        let subplevel = self.subplevel_opt()?;
+        self.expect(&Token::RParen)?;
+        Ok(GeoCondition::Contains { subject, contained, subplevel })
+    }
+
+    fn mo_time_condition(&mut self) -> Result<MoTimeCondition> {
+        let field = self.ident()?;
+        match field.as_str() {
+            f if f.eq_ignore_ascii_case("hour") => {
+                let op = self.cmp_op()?;
+                let n = match self.next() {
+                    Some(Token::Number(n)) => n as u32,
+                    got => return Err(self.err(format!("expected hour number, got {got:?}"))),
+                };
+                match op {
+                    CmpOp::Ge => Ok(MoTimeCondition::HourRange { lo: n, hi: 23 }),
+                    CmpOp::Le => Ok(MoTimeCondition::HourRange { lo: 0, hi: n }),
+                    CmpOp::Eq => Ok(MoTimeCondition::HourRange { lo: n, hi: n }),
+                    _ => Err(self.err("hour supports >=, <=, =")),
+                }
+            }
+            f => {
+                self.expect(&Token::Eq)?;
+                let s = match self.next() {
+                    Some(Token::Str(s)) => s,
+                    got => return Err(self.err(format!("expected string, got {got:?}"))),
+                };
+                if f.eq_ignore_ascii_case("timeofday") {
+                    Ok(MoTimeCondition::TimeOfDay(s))
+                } else if f.eq_ignore_ascii_case("dayofweek") {
+                    Ok(MoTimeCondition::DayOfWeek(s))
+                } else if f.eq_ignore_ascii_case("typeofday") {
+                    Ok(MoTimeCondition::TypeOfDay(s))
+                } else if f.eq_ignore_ascii_case("day") {
+                    Ok(MoTimeCondition::Day(s))
+                } else {
+                    Err(self.err(format!("unknown time field {f:?}")))
+                }
+            }
+        }
+    }
+
+    fn mo_part(&mut self) -> Result<MoAggregate> {
+        let func = self.ident()?;
+        if !func.eq_ignore_ascii_case("count") {
+            return Err(self.err(format!(
+                "moving-objects aggregate {func:?} not supported (use COUNT)"
+            )));
+        }
+        self.expect(&Token::LParen)?;
+        let target_kw = self.ident()?;
+        let target = if target_kw.eq_ignore_ascii_case("tuples") {
+            MoTarget::Tuples
+        } else if target_kw.eq_ignore_ascii_case("objects") {
+            MoTarget::Objects
+        } else if target_kw.eq_ignore_ascii_case("passes") {
+            MoTarget::Passes
+        } else {
+            return Err(self.err(format!(
+                "expected TUPLES | OBJECTS | PASSES, got {target_kw:?}"
+            )));
+        };
+        self.expect(&Token::RParen)?;
+
+        let within = if self.eat_kw("within") {
+            match self.next() {
+                Some(Token::Number(d)) if d >= 0.0 => Some(d),
+                got => return Err(self.err(format!("expected a distance, got {got:?}"))),
+            }
+        } else {
+            None
+        };
+
+        let per = if self.eat_kw("per") {
+            let g = self.ident()?;
+            if g.eq_ignore_ascii_case("hour") {
+                Some(Granule::Hour)
+            } else if g.eq_ignore_ascii_case("day") {
+                Some(Granule::Day)
+            } else {
+                return Err(self.err(format!("expected HOUR | DAY, got {g:?}")));
+            }
+        } else {
+            None
+        };
+
+        let mut time = Vec::new();
+        if self.eat_kw("where") {
+            time.push(self.mo_time_condition()?);
+            while self.eat_kw("and") {
+                time.push(self.mo_time_condition()?);
+            }
+        }
+        // Merge consecutive hour bounds (>= lo AND <= hi).
+        let time = merge_hour_ranges(time);
+
+        let mut excluding = Vec::new();
+        if self.eat_kw("excluding") {
+            excluding.push(self.geo_condition()?);
+            while self.eat_kw("and") {
+                excluding.push(self.geo_condition()?);
+            }
+        }
+        Ok(MoAggregate { func: func.to_ascii_uppercase(), target, within, per, time, excluding })
+    }
+
+    fn query(&mut self) -> Result<PietQuery> {
+        self.expect_kw("select")?;
+        let mut select = vec![self.layer_ref()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.expect(&Token::Comma)?;
+            select.push(self.layer_ref()?);
+        }
+        self.expect(&Token::Semi)?;
+        self.expect_kw("from")?;
+        let from = self.ident()?;
+        self.expect(&Token::Semi)?;
+
+        let mut conditions = Vec::new();
+        if self.eat_kw("where") {
+            conditions.push(self.geo_condition()?);
+            while self.eat_kw("and") {
+                conditions.push(self.geo_condition()?);
+            }
+            // Optional trailing semicolon after the WHERE clause.
+            if matches!(self.peek(), Some(Token::Semi)) {
+                self.pos += 1;
+            }
+        }
+
+        // `| OLAP …` then `| <mo part>` — either, both, or neither.
+        let mut olap = None;
+        let mut mo = None;
+        while matches!(self.peek(), Some(Token::Pipe)) {
+            self.pos += 1;
+            if self.eat_kw("olap") {
+                if olap.is_some() {
+                    return Err(self.err("duplicate OLAP part"));
+                }
+                olap = Some(self.olap_part()?);
+            } else {
+                if mo.is_some() {
+                    return Err(self.err("duplicate moving-objects part"));
+                }
+                mo = Some(self.mo_part()?);
+            }
+        }
+
+        Ok(PietQuery { select, from, conditions, olap, mo })
+    }
+
+    fn olap_part(&mut self) -> Result<OlapAggregate> {
+        let func = self.ident()?;
+        if gisolap_olap::AggFn::parse(&func).is_none() {
+            return Err(self.err(format!("unknown aggregate function {func:?}")));
+        }
+        self.expect(&Token::LParen)?;
+        let table = self.ident()?;
+        self.expect(&Token::Dot)?;
+        let measure = self.ident()?;
+        self.expect(&Token::RParen)?;
+        let by = if self.eat_kw("by") { Some(self.ident()?) } else { None };
+        let via = if self.eat_kw("via") { Some(self.ident()?) } else { None };
+        Ok(OlapAggregate { func: func.to_ascii_uppercase(), table, measure, by, via })
+    }
+}
+
+/// Collapses `hour >= lo` and `hour <= hi` pairs into a single range.
+fn merge_hour_ranges(conds: Vec<MoTimeCondition>) -> Vec<MoTimeCondition> {
+    let mut out: Vec<MoTimeCondition> = Vec::with_capacity(conds.len());
+    for c in conds {
+        if let MoTimeCondition::HourRange { lo, hi } = c {
+            if let Some(MoTimeCondition::HourRange { lo: plo, hi: phi }) = out.last_mut() {
+                *plo = (*plo).max(lo);
+                *phi = (*phi).min(hi);
+                continue;
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example() {
+        // Section 5's listing, modulo dataset names.
+        let q = parse(
+            "SELECT layer.usa_rivers, layer.usa_cities, layer.usa_stores;\n\
+             FROM PietSchema;\n\
+             WHERE intersection(layer.usa_rivers, layer.usa_cities, subplevel.Linestring)\n\
+             AND (layer.usa_cities) CONTAINS (layer.usa_cities, layer.usa_stores, subplevel.Point);",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.from, "PietSchema");
+        assert_eq!(q.conditions.len(), 2);
+        assert!(q.mo.is_none());
+        assert!(matches!(q.conditions[0], GeoCondition::Intersection { .. }));
+        assert!(matches!(q.conditions[1], GeoCondition::Contains { .. }));
+    }
+
+    #[test]
+    fn parses_mo_part() {
+        let q = parse(
+            "SELECT layer.cities; FROM S; \
+             WHERE intersection(layer.cities, layer.rivers) \
+             | COUNT(PASSES) PER HOUR WHERE timeOfDay = 'Morning' AND dayOfWeek = 'Monday'",
+        )
+        .unwrap();
+        let mo = q.mo.unwrap();
+        assert_eq!(mo.target, MoTarget::Passes);
+        assert_eq!(mo.per, Some(Granule::Hour));
+        assert_eq!(mo.time.len(), 2);
+    }
+
+    #[test]
+    fn parses_attr_condition() {
+        let q = parse(
+            "SELECT layer.Ln; FROM S; WHERE attr(layer.Ln, neighborhood.income < 1500)",
+        )
+        .unwrap();
+        match &q.conditions[0] {
+            GeoCondition::Attr { category, attribute, op, value, .. } => {
+                assert_eq!(category, "neighborhood");
+                assert_eq!(attribute, "income");
+                assert_eq!(*op, CmpOp::Lt);
+                assert_eq!(*value, AttrValue::Number(1500.0));
+            }
+            other => panic!("expected attr condition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hour_range_merging() {
+        let q = parse(
+            "SELECT layer.L; FROM S; | COUNT(TUPLES) WHERE hour >= 8 AND hour <= 10",
+        )
+        .unwrap();
+        assert_eq!(
+            q.mo.unwrap().time,
+            vec![MoTimeCondition::HourRange { lo: 8, hi: 10 }]
+        );
+    }
+
+    #[test]
+    fn no_where_clause() {
+        let q = parse("SELECT layer.L; FROM S;").unwrap();
+        assert!(q.conditions.is_empty());
+        assert!(q.mo.is_none());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("SELECT x; FROM S;").is_err()); // not a layer ref
+        assert!(parse("SELECT layer.L FROM S;").is_err()); // missing ;
+        assert!(parse("SELECT layer.L; FROM S; | SUM(TUPLES)").is_err()); // only COUNT
+        assert!(parse("SELECT layer.L; FROM S; | COUNT(THINGS)").is_err());
+        assert!(parse(
+            "SELECT layer.L; FROM S; WHERE (layer.L) CONTAINS (layer.M, layer.N)"
+        )
+        .is_err()); // subject mismatch
+        assert!(parse("SELECT layer.L; FROM S; trailing").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert!(parse("select layer.L; from S;").is_ok());
+        assert!(parse("SELECT layer.L; FROM S; | count(tuples) per day").is_ok());
+    }
+}

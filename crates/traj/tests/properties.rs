@@ -1,0 +1,142 @@
+//! Property-based tests for the trajectory substrate.
+
+use gisolap_geom::{Point, Polygon};
+use gisolap_traj::moft::{Moft, ObjectId};
+use gisolap_traj::ops;
+use gisolap_traj::sample::TrajectorySample;
+use gisolap_traj::trajectory::Lit;
+use proptest::prelude::*;
+
+/// Strategy: a valid sample with strictly increasing integer times and
+/// bounded coordinates.
+fn sample() -> impl Strategy<Value = TrajectorySample> {
+    proptest::collection::vec(((1i64..50), (-50i32..50), (-50i32..50)), 1..20).prop_map(
+        |steps| {
+            let mut t = 0i64;
+            let triples: Vec<(i64, f64, f64)> = steps
+                .into_iter()
+                .map(|(dt, x, y)| {
+                    t += dt;
+                    (t, x as f64, y as f64)
+                })
+                .collect();
+            TrajectorySample::from_triples(&triples).expect("constructed valid")
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn lit_passes_through_all_samples(s in sample()) {
+        let lit = Lit::new(s.clone());
+        for p in s.points() {
+            let at = lit.position_at(p.t.0 as f64).expect("inside domain");
+            prop_assert!(at.distance(p.pos) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lit_position_is_continuous(s in sample(), u in 0.0f64..1.0) {
+        let lit = Lit::new(s);
+        let (t0, t1) = lit.time_domain();
+        let t = t0 + (t1 - t0) * u;
+        let eps = 1e-6;
+        if let (Some(a), Some(b)) = (lit.position_at(t), lit.position_at((t + eps).min(t1))) {
+            // Max speed bounds the discontinuity.
+            let bound = lit.max_speed().unwrap_or(0.0) * eps + 1e-9;
+            prop_assert!(a.distance(b) <= bound + 1e-6);
+        }
+    }
+
+    #[test]
+    fn length_at_least_straight_line(s in sample()) {
+        let lit = Lit::new(s.clone());
+        let first = s.points().first().expect("non-empty").pos;
+        let last = s.points().last().expect("non-empty").pos;
+        prop_assert!(lit.length() + 1e-9 >= first.distance(last));
+    }
+
+    #[test]
+    fn time_in_region_bounded_by_domain(s in sample(), x0 in -60f64..40.0, y0 in -60f64..40.0) {
+        let lit = Lit::new(s);
+        let region = Polygon::rectangle(x0, y0, x0 + 30.0, y0 + 30.0);
+        let t = ops::time_in_region(&lit, &region);
+        let (d0, d1) = lit.time_domain();
+        prop_assert!(t >= 0.0);
+        prop_assert!(t <= (d1 - d0) + 1e-6);
+        // Consistency: positive time implies passes-through.
+        if t > 0.0 {
+            prop_assert!(ops::passes_through(&lit, &region));
+        }
+    }
+
+    #[test]
+    fn intervals_are_disjoint_and_sorted(s in sample(), x0 in -60f64..40.0) {
+        let lit = Lit::new(s);
+        let region = Polygon::rectangle(x0, -60.0, x0 + 25.0, 60.0);
+        let ivs = ops::intervals_in_region(&lit, &region);
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].end <= w[1].start + 1e-9);
+        }
+        for iv in &ivs {
+            prop_assert!(iv.start <= iv.end + 1e-12);
+        }
+    }
+
+    #[test]
+    fn within_distance_monotone_in_radius(s in sample(), cx in -50f64..50.0, cy in -50f64..50.0) {
+        let lit = Lit::new(s);
+        let c = Point::new(cx, cy);
+        let t_small = ops::time_within_distance(&lit, c, 10.0);
+        let t_large = ops::time_within_distance(&lit, c, 30.0);
+        prop_assert!(t_small <= t_large + 1e-9);
+    }
+
+    #[test]
+    fn moft_roundtrip_preserves_tracks(
+        tracks in proptest::collection::vec(
+            proptest::collection::vec((1i64..100, -100i32..100, -100i32..100), 1..15),
+            1..8
+        )
+    ) {
+        let mut moft = Moft::new();
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        for (i, steps) in tracks.iter().enumerate() {
+            let oid = ObjectId(i as u64);
+            let mut t = 0i64;
+            let mut distinct = std::collections::HashSet::new();
+            for &(dt, x, y) in steps {
+                t += dt;
+                distinct.insert(t);
+                moft.push(oid, gisolap_olap::time::TimeId(t), x as f64, y as f64);
+            }
+            expected.push((i as u64, distinct.len()));
+        }
+        moft.rebuild_index();
+        prop_assert_eq!(moft.object_count(), tracks.len());
+        for (oid, n) in expected {
+            let track = moft.track(ObjectId(oid)).expect("object exists");
+            prop_assert_eq!(track.len(), n);
+            prop_assert!(track.windows(2).all(|w| w[0].t < w[1].t));
+        }
+    }
+
+    #[test]
+    fn time_range_matches_filter(
+        times in proptest::collection::vec(0i64..1000, 1..100),
+        lo in 0i64..1000,
+        len in 0i64..500,
+    ) {
+        let mut moft = Moft::new();
+        for (i, &t) in times.iter().enumerate() {
+            moft.push(ObjectId(i as u64), gisolap_olap::time::TimeId(t), 0.0, 0.0);
+        }
+        moft.rebuild_index();
+        let hi = lo + len;
+        let from = gisolap_olap::time::TimeId(lo);
+        let to = gisolap_olap::time::TimeId(hi);
+        let via_index = moft.time_range(from, to).count();
+        let via_scan = moft.records().iter().filter(|r| r.t >= from && r.t <= to).count();
+        prop_assert_eq!(via_index, via_scan);
+    }
+}

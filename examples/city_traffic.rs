@@ -1,0 +1,151 @@
+//! City traffic analysis: §4-style queries over a synthetic city.
+//!
+//! Generates a city (neighborhood partition, river, streets, amenities)
+//! and mixed traffic (random drivers, bus lines, commuters), then answers
+//! a batch of the paper's Section 4 queries with all three engines,
+//! printing per-engine timings — a miniature of the EXPERIMENTS.md E7
+//! benchmark.
+//!
+//! Run with: `cargo run --release --bin city_traffic`
+
+use std::time::Instant;
+
+use gisolap_core::engine::{
+    dedupe_oid_t, IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine,
+};
+use gisolap_core::region::{CmpOp, GeoFilter, RegionC, SpatialPredicate, TimePredicate};
+use gisolap_core::result as agg;
+use gisolap_datagen::movers::{merge_mofts, BusRoute, Commuters, GridWalkers, RandomWaypoint};
+use gisolap_datagen::{CityConfig, CityScenario};
+use gisolap_olap::time::{TimeLevel, TimeOfDay};
+use gisolap_olap::value::Value;
+
+fn main() {
+    println!("== GISOLAP-MO city traffic example ==\n");
+
+    // A 10×6 city with 2,000+ movers.
+    let city = CityScenario::generate(CityConfig {
+        blocks_x: 10,
+        blocks_y: 6,
+        schools: 20,
+        stores: 40,
+        gas_stations: 12,
+        jitter: 0.2,
+        seed: 2006,
+        ..CityConfig::default()
+    });
+    let drivers = RandomWaypoint::new(city.bbox, 1200, 40).generate(0);
+    let street_cars =
+        GridWalkers::new(city.x_cuts.clone(), city.y_cuts.clone(), 200).generate(30_000);
+    let street = city.gis.layer_by_name("Ls_streets").unwrap().as_polylines().unwrap()[2].clone();
+    let buses = BusRoute {
+        route: street,
+        buses: 30,
+        samples_per_bus: 40,
+        sample_interval: 120,
+        speed: 8.0,
+        start: gisolap_olap::time::TimeId::from_ymd_hms(2006, 1, 9, 6, 0, 0),
+    }
+    .generate(10_000);
+    let commuters = Commuters::new(city.bbox, 800).generate(20_000);
+    let moft = merge_mofts(&[drivers, buses, commuters, street_cars]);
+    println!(
+        "city: {} neighborhoods; traffic: {} objects, {} samples\n",
+        city.neighborhood_names.len(),
+        moft.object_count(),
+        moft.len()
+    );
+
+    // Build the engines (overlay construction includes the Piet
+    // precomputation — report its one-time cost).
+    let naive = NaiveEngine::new(&city.gis, &moft);
+    let indexed = IndexedEngine::new(&city.gis, &moft);
+    let t0 = Instant::now();
+    let overlay = OverlayEngine::new(&city.gis, &moft);
+    println!(
+        "overlay precomputation: {:?} ({} intersecting layer pairs cached)\n",
+        t0.elapsed(),
+        overlay.cache().relation_size()
+    );
+
+    let queries: Vec<(&str, RegionC)> = vec![
+        (
+            "Q-A: morning tuples in low-income neighborhoods (running example)",
+            RegionC::all()
+                .with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning))
+                .with_spatial(SpatialPredicate::in_layer(
+                    "Ln",
+                    GeoFilter::AttrCompare {
+                        category: "neighborhood".into(),
+                        attr: "income".into(),
+                        op: CmpOp::Lt,
+                        value: Value::Int(1500),
+                    },
+                )),
+        ),
+        (
+            "Q-B: objects in neighborhoods crossed by the river",
+            RegionC::all().with_spatial(SpatialPredicate::in_layer(
+                "Ln",
+                GeoFilter::IntersectsLayer { layer: "Lr".into() },
+            )),
+        ),
+        (
+            "Q-C: tuples near schools (within 30 units), morning",
+            RegionC::all()
+                .with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning))
+                .with_spatial(SpatialPredicate::near_layer(
+                    "Lschools",
+                    GeoFilter::All,
+                    30.0,
+                )),
+        ),
+        (
+            "Q-D: tuples in store-bearing neighborhoods crossed by the river",
+            RegionC::all().with_spatial(SpatialPredicate::in_layer(
+                "Ln",
+                GeoFilter::IntersectsLayer { layer: "Lr".into() }
+                    .and(GeoFilter::ContainsNodeOf { layer: "Lstores".into() }),
+            )),
+        ),
+    ];
+
+    println!(
+        "{:<66} {:>10} {:>10} {:>10}   result",
+        "query", "naive", "indexed", "overlay"
+    );
+    for (label, region) in &queries {
+        let mut timings = Vec::new();
+        let mut result = None;
+        for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
+            let t = Instant::now();
+            let tuples = dedupe_oid_t(engine.eval(region).expect("query evaluates"));
+            timings.push(t.elapsed());
+            let summary = (
+                tuples.len(),
+                agg::count_distinct_objects(&tuples) as usize,
+            );
+            match &result {
+                None => result = Some(summary),
+                Some(prev) => assert_eq!(*prev, summary, "engines disagree on {label}"),
+            }
+        }
+        let (tuples, objects) = result.expect("ran at least one engine");
+        println!(
+            "{:<66} {:>10?} {:>10?} {:>10?}   {} tuples / {} objects",
+            label, timings[0], timings[1], timings[2], tuples, objects
+        );
+    }
+
+    // A per-hour profile for the running-example region, printed as a tiny
+    // histogram.
+    println!("\nper-hour object counts, Q-A region:");
+    let tuples = dedupe_oid_t(overlay.eval(&queries[0].1).expect("query evaluates"));
+    let per_hour = agg::distinct_objects_per_granule(&tuples, city.gis.time(), TimeLevel::Hour);
+    let max = per_hour.iter().map(|&(_, n)| n).fold(1.0_f64, f64::max);
+    for (hour, n) in per_hour {
+        let label = gisolap_olap::time::TimeId(hour * 3600).label();
+        let bar = ((n / max) * 60.0).round() as usize;
+        println!("  {label}  {:>4}  {}", n, "#".repeat(bar));
+    }
+}

@@ -1,0 +1,126 @@
+//! A tiny Piet-QL REPL over the Figure 1 scenario.
+//!
+//! Type Piet-QL queries (Section 5 of the paper) and see the parse tree
+//! and results. The geometric part is answered from the precomputed
+//! overlay. Reads from stdin; with no terminal attached it runs a demo
+//! script instead.
+//!
+//! Run with: `cargo run --bin pietql_repl`
+
+use std::io::{BufRead, IsTerminal, Write};
+
+use gisolap_core::engine::{OverlayEngine, QueryEngine};
+use gisolap_datagen::Fig1Scenario;
+use gisolap_pietql::exec::run;
+use gisolap_pietql::{parse, QueryOutput};
+
+const DEMO: &[&str] = &[
+    // The Section 5 query on the Figure 1 data.
+    "SELECT layer.Ln; FROM Fig1; \
+     WHERE intersection(layer.Ln, layer.Lr, subplevel.Linestring) \
+     AND (layer.Ln) CONTAINS (layer.Ln, layer.Lstores, subplevel.Point) \
+     | COUNT(PASSES)",
+    // The running example, Piet-QL style.
+    "SELECT layer.Ln; FROM Fig1; \
+     WHERE attr(layer.Ln, neighborhood.income < 1500) \
+     | COUNT(TUPLES) PER HOUR WHERE timeOfDay = 'Morning'",
+    // Geometric part only.
+    "SELECT layer.Ln; FROM Fig1; \
+     WHERE (layer.Ln) CONTAINS (layer.Ln, layer.Ls, subplevel.Point)",
+    // The full three-part query: geometric | OLAP | moving objects.
+    "SELECT layer.Ln; FROM Fig1; \
+     WHERE attr(layer.Ln, neighborhood.income < 1500) \
+     | OLAP SUM(census.people) BY neighborhood \
+     | COUNT(OBJECTS) WHERE timeOfDay = 'Morning'",
+];
+
+fn describe(engine: &OverlayEngine<'_>, text: &str) {
+    match parse(text) {
+        Err(e) => println!("  parse error: {e}"),
+        Ok(q) => {
+            println!("  parsed:\n{}", indent(&q.to_string(), 4));
+            match run(engine, text) {
+                Err(e) => println!("  {e}"),
+                Ok(QueryOutput::Scalar(v)) => println!("  => {v}"),
+                Ok(QueryOutput::Table(rows)) => {
+                    for (k, v) in rows {
+                        println!("  => {k}: {v}");
+                    }
+                }
+                Ok(QueryOutput::Combined { olap, mo }) => {
+                    for (k, v) in olap {
+                        println!("  => OLAP {k}: {v}");
+                    }
+                    println!("  => MO {mo}");
+                }
+                Ok(QueryOutput::GeoIds(ids)) => {
+                    // Pretty-print with α⁻¹ names where available.
+                    let layer = &q.select[0].0;
+                    let names: Vec<String> = ids
+                        .iter()
+                        .map(|g| {
+                            lookup_name(engine, layer, *g)
+                                .unwrap_or_else(|| format!("#{}", g.0))
+                        })
+                        .collect();
+                    println!("  => {} geometries: [{}]", ids.len(), names.join(", "));
+                }
+            }
+        }
+    }
+}
+
+fn lookup_name(engine: &OverlayEngine<'_>, layer: &str, g: gisolap_core::GeoId) -> Option<String> {
+    // Try every α binding targeting this layer.
+    let gis = engine.gis();
+    let layer_id = gis.layer_id(layer).ok()?;
+    for category in ["neighborhood", "region", "river", "school", "street", "city"] {
+        if let Ok(binding) = gis.alpha(category) {
+            if binding.layer == layer_id {
+                if let Some(name) = binding.member_of(g) {
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn indent(s: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    s.lines().map(|l| format!("{pad}{l}")).collect::<Vec<_>>().join("\n")
+}
+
+fn main() {
+    let s = Fig1Scenario::build();
+    let engine = OverlayEngine::new(&s.gis, &s.moft);
+    println!("== Piet-QL over the Figure 1 scenario ==");
+    println!(
+        "layers: {}",
+        s.gis.layers().map(|(_, l)| l.name().to_string()).collect::<Vec<_>>().join(", ")
+    );
+
+    let stdin = std::io::stdin();
+    if !stdin.is_terminal() {
+        println!("\n(no terminal — running the demo script)\n");
+        for q in DEMO {
+            println!("piet> {q}");
+            describe(&engine, q);
+            println!();
+        }
+        return;
+    }
+
+    println!("Enter Piet-QL queries (empty line or Ctrl-D to quit).\n");
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("piet> ");
+        std::io::stdout().flush().expect("stdout flush");
+        match lines.next() {
+            Some(Ok(line)) if !line.trim().is_empty() => {
+                describe(&engine, line.trim());
+            }
+            _ => break,
+        }
+    }
+}

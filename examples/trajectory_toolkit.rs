@@ -1,0 +1,113 @@
+//! Trajectory toolkit tour: samples, LIT interpolation, beads,
+//! simplification and region operations (paper §3, Definitions 5–6).
+//!
+//! Run with: `cargo run --bin trajectory_toolkit`
+
+use gisolap_geom::simplify::douglas_peucker;
+use gisolap_geom::{Point, Polygon};
+use gisolap_olap::time::TimeId;
+use gisolap_traj::bead::Bead;
+use gisolap_traj::ops;
+use gisolap_traj::sample::TrajectorySample;
+use gisolap_traj::trajectory::Lit;
+
+fn main() {
+    println!("== trajectory toolkit ==\n");
+
+    // --- a sampled trajectory (Definition 6) -------------------------
+    let sample = TrajectorySample::from_triples(&[
+        (0, 0.0, 0.0),
+        (60, 50.0, 10.0),
+        (120, 100.0, 0.0),
+        (180, 150.0, 30.0),
+        (240, 200.0, 0.0),
+    ])
+    .expect("valid sample");
+    println!(
+        "sample: {} observations over {} s, closed: {}",
+        sample.len(),
+        sample.duration(),
+        sample.is_closed()
+    );
+
+    // --- the linear-interpolation trajectory LIT(S) -------------------
+    let lit = Lit::new(sample);
+    println!("LIT length: {:.1}", lit.length());
+    println!(
+        "average speed: {:.3} u/s, max leg speed: {:.3} u/s",
+        lit.average_speed().expect("multi-sample"),
+        lit.max_speed().expect("multi-sample"),
+    );
+    for t in [0.0, 30.0, 90.0, 210.0] {
+        let p = lit.position_at(t).expect("inside time domain");
+        println!("  position at t={t:>5}: ({:.1}, {:.1})", p.x, p.y);
+    }
+
+    // --- region operations (query types 6–8) --------------------------
+    let region = Polygon::rectangle(40.0, -5.0, 110.0, 15.0);
+    println!("\nregion: x ∈ [40, 110], y ∈ [-5, 15]");
+    println!("passes through: {}", ops::passes_through(&lit, &region));
+    println!("time inside: {:.1} s", ops::time_in_region(&lit, &region));
+    for iv in ops::intervals_in_region(&lit, &region) {
+        println!("  visit: t ∈ [{:.1}, {:.1}]", iv.start, iv.end);
+    }
+    let stop = Point::new(100.0, 0.0);
+    println!(
+        "time within 20 units of ({}, {}): {:.1} s",
+        stop.x,
+        stop.y,
+        ops::time_within_distance(&lit, stop, 20.0)
+    );
+
+    // --- lifeline beads (uncertainty between samples) ------------------
+    println!("\nlifeline bead between the first two samples, vmax = 1.2 u/s:");
+    let pts = lit.sample().points();
+    let bead = Bead::new(
+        pts[0].t.0 as f64,
+        pts[0].pos,
+        pts[1].t.0 as f64,
+        pts[1].pos,
+        1.2,
+    )
+    .expect("samples are reachable at vmax");
+    println!("  projected ellipse major axis: {:.1}", bead.major_axis());
+    for probe in [Point::new(25.0, 5.0), Point::new(25.0, 30.0), Point::new(0.0, 60.0)] {
+        match bead.visit_window(probe) {
+            Some((lo, hi)) => println!(
+                "  ({:>5.1}, {:>5.1}) reachable during t ∈ [{lo:.1}, {hi:.1}]",
+                probe.x, probe.y
+            ),
+            None => println!("  ({:>5.1}, {:>5.1}) unreachable (alibi)", probe.x, probe.y),
+        }
+    }
+
+    // --- simplification -------------------------------------------------
+    let dense: Vec<Point> = (0..=100)
+        .map(|i| {
+            let x = i as f64 * 2.0;
+            Point::new(x, (x / 15.0).sin() * 8.0)
+        })
+        .collect();
+    for eps in [0.1, 1.0, 4.0] {
+        let simplified = douglas_peucker(&dense, eps);
+        println!(
+            "Douglas–Peucker ε = {eps:>4}: {} → {} vertices",
+            dense.len(),
+            simplified.len()
+        );
+    }
+
+    // --- a MOFT round-trip ----------------------------------------------
+    let mut moft = gisolap_traj::Moft::new();
+    for p in lit.sample().points() {
+        moft.push(gisolap_traj::ObjectId(7), TimeId(p.t.0), p.pos.x, p.pos.y);
+    }
+    moft.rebuild_index();
+    let lit2 = moft.trajectory(gisolap_traj::ObjectId(7)).expect("object exists");
+    println!(
+        "\nMOFT round-trip: {} records, LIT length {:.1} (identical: {})",
+        moft.len(),
+        lit2.length(),
+        (lit2.length() - lit.length()).abs() < 1e-12
+    );
+}

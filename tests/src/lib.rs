@@ -1,0 +1,35 @@
+//! Shared helpers for the gisolap integration-test suite.
+//!
+//! The test files under `tests/` implement the experiment index of
+//! DESIGN.md §5 (E1–E9), each reproducing one artifact of Kuijpers &
+//! Vaisman (ICDE 2007). EXPERIMENTS.md records paper-vs-measured.
+
+use gisolap_core::engine::{IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine};
+use gisolap_core::gis::Gis;
+use gisolap_traj::Moft;
+
+/// Runs a closure against all three engine strategies, asserting they
+/// produce the same value.
+pub fn for_all_engines<T, F>(gis: &Gis, moft: &Moft, f: F) -> T
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn(&dyn QueryEngine) -> T,
+{
+    let naive = NaiveEngine::new(gis, moft);
+    let indexed = IndexedEngine::new(gis, moft);
+    let overlay = OverlayEngine::new(gis, moft);
+    let a = f(&naive);
+    let b = f(&indexed);
+    let c = f(&overlay);
+    assert_eq!(a, b, "naive vs indexed disagree");
+    assert_eq!(a, c, "naive vs overlay disagree");
+    a
+}
+
+/// Asserts two floats agree to a tolerance.
+pub fn assert_close(got: f64, want: f64, tol: f64) {
+    assert!(
+        (got - want).abs() <= tol,
+        "expected {want} ± {tol}, got {got}"
+    );
+}

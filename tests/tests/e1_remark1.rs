@@ -1,0 +1,79 @@
+//! E1 — Table 1 + Remark 1: the running example.
+//!
+//! "Give me the number of buses per hour in the morning in the Antwerp
+//! neighborhoods with a monthly income of less than €1500,00."
+//!
+//! Paper (Remark 1): "the query result, given the instance of Figure 1
+//! will be 4/3 = 1.333. This is because O1 will contribute three times,
+//! O2 will contribute once, and the time span is three hours."
+
+use gisolap_core::engine::dedupe_oid_t;
+use gisolap_core::qtypes::{classify, QueryType};
+use gisolap_core::result as agg;
+use gisolap_datagen::Fig1Scenario;
+use gisolap_olap::time::TimeLevel;
+use gisolap_tests::{assert_close, for_all_engines};
+use gisolap_traj::ObjectId;
+
+#[test]
+fn remark1_answer_is_four_thirds() {
+    let s = Fig1Scenario::build();
+    let region = Fig1Scenario::remark1_region();
+
+    let rate = for_all_engines(&s.gis, &s.moft, |engine| {
+        let tuples = dedupe_oid_t(engine.eval(&region).unwrap());
+        // Reference span: the morning-filtered MOFT instants.
+        let reference: Vec<_> = engine
+            .time_filtered(&region.time)
+            .iter()
+            .map(|r| r.t)
+            .collect();
+        let rate = agg::per_granule_rate(&tuples, reference, s.gis.time(), TimeLevel::Hour);
+        // Round for exact cross-engine comparison.
+        (rate * 1e9).round() as i64
+    });
+    assert_close(rate as f64 / 1e9, 4.0 / 3.0, 1e-6);
+}
+
+#[test]
+fn contributions_match_remark1() {
+    let s = Fig1Scenario::build();
+    let region = Fig1Scenario::remark1_region();
+    let tuples = for_all_engines(&s.gis, &s.moft, |engine| {
+        let mut v = dedupe_oid_t(engine.eval(&region).unwrap());
+        v.sort_by_key(|t| (t.oid, t.t));
+        v.iter().map(|t| (t.oid, t.t)).collect::<Vec<_>>()
+    });
+    // O1 contributes three times (t2, t3, t4), O2 once (t3).
+    assert_eq!(tuples.len(), 4);
+    let o1: Vec<_> = tuples.iter().filter(|(o, _)| *o == ObjectId(1)).collect();
+    let o2: Vec<_> = tuples.iter().filter(|(o, _)| *o == ObjectId(2)).collect();
+    assert_eq!(o1.len(), 3);
+    assert_eq!(o2.len(), 1);
+    assert_eq!(o2[0].1, s.t[2]); // O2's low-income sample is t3
+    // O3–O6 contribute nothing.
+    assert!(tuples.iter().all(|(o, _)| o.0 == 1 || o.0 == 2));
+}
+
+#[test]
+fn query_is_type_4() {
+    let region = Fig1Scenario::remark1_region();
+    assert_eq!(classify(&region), QueryType::SamplesWithGeometry);
+}
+
+#[test]
+fn morning_span_is_three_hours() {
+    let s = Fig1Scenario::build();
+    let region = Fig1Scenario::remark1_region();
+    let hours = for_all_engines(&s.gis, &s.moft, |engine| {
+        let mut h: Vec<i64> = engine
+            .time_filtered(&region.time)
+            .iter()
+            .map(|r| s.gis.time().granule(r.t, TimeLevel::Hour))
+            .collect();
+        h.sort_unstable();
+        h.dedup();
+        h
+    });
+    assert_eq!(hours.len(), 3, "the time span is three hours");
+}

@@ -1,0 +1,109 @@
+//! E2 — Figure 1: the six buses behave as the paper describes.
+//!
+//! "Object O1 remains always within a low income region. Object O2 starts
+//! its trajectory in a high income region, then enters a low-income
+//! neighborhood, and then gets out of it again. Objects O3, O4 and O5 are
+//! always in high-income neighborhoods, while object O6 passes through a
+//! low-income region, but was not sampled inside it."
+
+use gisolap_core::region::{RegionC, SpatialPredicate};
+use gisolap_datagen::Fig1Scenario;
+use gisolap_tests::for_all_engines;
+use gisolap_traj::ops;
+use gisolap_traj::ObjectId;
+
+fn low_income_spatial() -> SpatialPredicate {
+    SpatialPredicate::in_layer("Ln", Fig1Scenario::low_income_filter())
+}
+
+#[test]
+fn o1_always_within_low_income() {
+    let s = Fig1Scenario::build();
+    let lit = s.moft.trajectory(ObjectId(1)).unwrap();
+    let ln = s.gis.layer_by_name("Ln").unwrap();
+    let n0 = ln.as_polygons().unwrap()[0].clone();
+    assert!(ops::always_inside(&lit, &n0));
+}
+
+#[test]
+fn o2_enters_and_leaves() {
+    let s = Fig1Scenario::build();
+    let lit = s.moft.trajectory(ObjectId(2)).unwrap();
+    let ln = s.gis.layer_by_name("Ln").unwrap();
+    let n0 = ln.as_polygons().unwrap()[0].clone();
+    assert!(ops::passes_through(&lit, &n0));
+    assert!(!ops::always_inside(&lit, &n0));
+    // One maximal visit: in, then out again.
+    assert_eq!(ops::visit_count(&lit, &n0), 1);
+    // Starts outside, ends outside.
+    let (t0, t1) = lit.time_domain();
+    assert!(!n0.contains(lit.position_at(t0).unwrap()));
+    assert!(!n0.contains(lit.position_at(t1).unwrap()));
+}
+
+#[test]
+fn o3_o4_o5_never_in_low_income() {
+    let s = Fig1Scenario::build();
+    let ln = s.gis.layer_by_name("Ln").unwrap();
+    let polys = ln.as_polygons().unwrap();
+    for oid in [3, 4, 5] {
+        let lit = s.moft.trajectory(ObjectId(oid)).unwrap();
+        for low in [&polys[0], &polys[5]] {
+            assert!(
+                !ops::passes_through(&lit, low),
+                "O{oid} must stay out of low-income regions"
+            );
+        }
+    }
+}
+
+#[test]
+fn o6_passes_through_without_a_sample_inside() {
+    let s = Fig1Scenario::build();
+    let ln = s.gis.layer_by_name("Ln").unwrap();
+    let n5 = ln.as_polygons().unwrap()[5].clone();
+    let lit = s.moft.trajectory(ObjectId(6)).unwrap();
+    // No sample inside…
+    let samples = ops::samples_in_region(s.moft.track(ObjectId(6)).unwrap(), &n5);
+    assert!(samples.is_empty());
+    // …but the interpolated trajectory crosses it.
+    assert!(ops::passes_through(&lit, &n5));
+    // It spends real time inside: crosses x∈[20,40] of a 30-unit-long
+    // leg lasting one hour → 2/3 hour = 2400 s.
+    let t = ops::time_in_region(&lit, &n5);
+    assert!((t - 2400.0).abs() < 1.0, "time inside: {t}");
+}
+
+#[test]
+fn sample_vs_interpolated_count_differs_exactly_by_o6() {
+    let s = Fig1Scenario::build();
+    let spatial = low_income_spatial();
+
+    // Sample-based objects ever in low-income regions (any time): O1, O2.
+    let sample_objects = for_all_engines(&s.gis, &s.moft, |engine| {
+        let region = RegionC::all().with_spatial(spatial.clone());
+        let mut oids: Vec<u64> = engine
+            .eval(&region)
+            .unwrap()
+            .iter()
+            .map(|t| t.oid.0)
+            .collect();
+        oids.sort_unstable();
+        oids.dedup();
+        oids
+    });
+    assert_eq!(sample_objects, vec![1, 2]);
+
+    // Interpolated: O6 joins.
+    let lit_objects = for_all_engines(&s.gis, &s.moft, |engine| {
+        let mut oids: Vec<u64> = engine
+            .objects_passing_through(&spatial, &[])
+            .unwrap()
+            .iter()
+            .map(|o| o.0)
+            .collect();
+        oids.sort_unstable();
+        oids
+    });
+    assert_eq!(lit_objects, vec![1, 2, 6]);
+}

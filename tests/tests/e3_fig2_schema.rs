@@ -1,0 +1,128 @@
+//! E3 — Figure 2: the GIS dimension schema.
+//!
+//! Builds the paper's example schema — hierarchies for rivers (Lr),
+//! schools (Ls) and neighborhoods (Ln); attribute functions
+//! `Att(neighborhood) = (polygon, Ln)`, `Att(river) = (polyline, Lr)`;
+//! the rollup `neighborhood → city`; and the Time dimension of the
+//! figure — and validates every Definition 1 condition.
+
+use gisolap_core::schema::{AttBinding, GisSchema, HierarchyGraph};
+use gisolap_datagen::Fig1Scenario;
+use gisolap_olap::time::{TimeDimension, TimeId};
+
+#[test]
+fn figure2_schema_validates() {
+    // Gsch = ({H1(Lr), H2(Ln), H3(Ls)}, {Att(neighborhood), Att(river)},
+    //         {Rivers, Neighbourhoods})  — the paper's Example 2.
+    let schema = GisSchema::new(
+        vec![
+            HierarchyGraph::polyline_layer("Lr"),
+            HierarchyGraph::polygon_layer("Ln"),
+            HierarchyGraph::node_layer("Ls"),
+        ],
+        vec![
+            AttBinding { category: "neighborhood".into(), kind: "polygon".into(), layer: "Ln".into() },
+            AttBinding { category: "river".into(), kind: "polyline".into(), layer: "Lr".into() },
+        ],
+        vec!["Rivers".into(), "Neighbourhoods".into()],
+    )
+    .expect("Figure 2 schema is well-formed");
+
+    // Example 2's H1(Lr).
+    let h1 = schema.hierarchy("Lr").unwrap();
+    assert_eq!(h1.nodes(), &["point", "line", "polyline", "All"]);
+    assert_eq!(
+        h1.edge_names(),
+        vec![("point", "line"), ("line", "polyline"), ("polyline", "All")]
+    );
+
+    // Att bindings resolve.
+    assert_eq!(schema.att("neighborhood").unwrap().layer, "Ln");
+    assert_eq!(schema.att("river").unwrap().kind, "polyline");
+    assert_eq!(schema.dimensions(), &["Rivers".to_string(), "Neighbourhoods".to_string()]);
+}
+
+#[test]
+fn fig1_scenario_carries_a_valid_schema() {
+    let s = Fig1Scenario::build();
+    let schema = s.gis.schema().expect("scenario attaches the formal schema");
+    for h in schema.hierarchies() {
+        h.validate().expect("every hierarchy satisfies Definition 1");
+        // Every hierarchy's layer exists in the GIS.
+        s.gis.layer_id(h.layer()).expect("schema layer exists");
+    }
+    // Every Att-bound category has a matching α instance.
+    for att in schema.atts() {
+        let binding = s.gis.alpha(&att.category).expect("α instance exists");
+        assert_eq!(s.gis.layer(binding.layer).name(), att.layer);
+    }
+}
+
+#[test]
+fn neighborhood_rolls_up_to_city() {
+    // The paper: "the level polygon in layer Ln is associated with two
+    // application-dependent categories, neighborhood and city, such that
+    // neighborhood → city."
+    let s = Fig1Scenario::build();
+    let dim = s.gis.dimension("Neighbourhoods").unwrap();
+    let sch = dim.schema();
+    let n = sch.level_id("neighborhood").unwrap();
+    let c = sch.level_id("city").unwrap();
+    assert!(sch.precedes(n, c));
+    let m = dim.member_id(n, "n3").unwrap();
+    let city = dim.rollup(n, c, m).unwrap();
+    assert_eq!(dim.member_name(c, city), "Antwerp");
+}
+
+#[test]
+fn time_dimension_structure_matches_figure2() {
+    // Figure 2 shows the Time dimension with timeId rolling up through
+    // hour/timeOfDay and day/month/year paths. Materialize and verify.
+    let dim = TimeDimension::new();
+    let instants: Vec<TimeId> = (0..48)
+        .map(|h: u32| TimeId::from_ymd_hms(2006, 1, 7 + h / 24, h % 24, 0, 0))
+        .collect();
+    let inst = dim.materialize(&instants).unwrap();
+    let sch = inst.schema();
+    for (lo, hi) in [
+        ("timeId", "hour"),
+        ("hour", "timeOfDay"),
+        ("timeId", "day"),
+        ("day", "dayOfWeek"),
+        ("day", "typeOfDay"),
+        ("day", "month"),
+        ("month", "year"),
+    ] {
+        let l = sch.level_id(lo).unwrap();
+        let h = sch.level_id(hi).unwrap();
+        assert!(sch.precedes(l, h), "{lo} must roll up to {hi}");
+    }
+    // 48 instants over two days.
+    assert_eq!(inst.members(sch.level_id("day").unwrap()).len(), 2);
+    assert_eq!(inst.members(sch.level_id("hour").unwrap()).len(), 48);
+    assert_eq!(inst.members(sch.level_id("year").unwrap()).len(), 1);
+    // Jan 7 2006 was a Saturday; Jan 8 a Sunday → both weekend.
+    let tod = sch.level_id("typeOfDay").unwrap();
+    assert_eq!(inst.members(tod).len(), 1);
+    assert_eq!(inst.members(tod)[0], "Weekend");
+}
+
+#[test]
+fn definition1_violations_are_rejected() {
+    // No `point` bottom.
+    assert!(HierarchyGraph::new("L", &["polygon", "All"], &[("polygon", "All")]).is_err());
+    // All with outgoing edge.
+    assert!(HierarchyGraph::new(
+        "L",
+        &["point", "All"],
+        &[("point", "All"), ("All", "point")]
+    )
+    .is_err());
+    // Unknown layer in Att.
+    assert!(GisSchema::new(
+        vec![HierarchyGraph::polygon_layer("Ln")],
+        vec![AttBinding { category: "x".into(), kind: "polygon".into(), layer: "nope".into() }],
+        vec![],
+    )
+    .is_err());
+}

@@ -1,0 +1,162 @@
+//! E6 — one representative query per §3.1 type, classified and executed.
+
+use gisolap_core::engine::{dedupe_oid_t, NaiveEngine, QueryEngine};
+use gisolap_core::facts::BaseFactTable;
+use gisolap_core::geoagg::{integrate_over, summable_sum};
+use gisolap_core::layer::LayerId;
+use gisolap_core::qtypes::{classify, QueryType};
+use gisolap_core::region::{CmpOp, GeoFilter, RegionC, SpatialPredicate, TimePredicate};
+use gisolap_core::result as agg;
+use gisolap_datagen::Fig1Scenario;
+use gisolap_olap::time::TimeOfDay;
+use gisolap_olap::value::Value;
+use gisolap_olap::AggFn;
+use gisolap_traj::ops;
+
+#[test]
+fn type1_spatial_aggregation_density() {
+    // "Total population of provinces crossed by a river", population as a
+    // density function (the geometric part's base fact table).
+    let s = Fig1Scenario::build();
+    let engine = NaiveEngine::new(&s.gis, &s.moft);
+    let ln = s.gis.layer_id("Ln").unwrap();
+    // Density: 10 people per unit area in the south, 5 in the north.
+    let density = BaseFactTable::new("pop_density", LayerId(0), |p| {
+        if p.y < 20.0 {
+            10.0
+        } else {
+            5.0
+        }
+    });
+    let crossed = engine
+        .resolve_filter(ln, &GeoFilter::IntersectsLayer { layer: "Lr".into() })
+        .unwrap();
+    let layer = s.gis.layer(ln);
+    let total = summable_sum(
+        crossed.iter().map(|&g| layer.geometry(g).unwrap()),
+        |g| integrate_over(g, &density),
+    );
+    // All 8 neighborhoods touch the river (it runs along their shared
+    // y=20 edge): 4 southern × 400 area × 10 + 4 northern × 400 × 5.
+    assert!((total - (4.0 * 4000.0 + 4.0 * 2000.0)).abs() < 1e-6, "got {total}");
+}
+
+#[test]
+fn type2_numeric_condition_in_region() {
+    // "Total number of airports with more than one hundred arrivals per
+    // day" → numeric info from the application part filters the element
+    // set; the aggregation is a count of qualifying geometries.
+    let s = Fig1Scenario::build();
+    let engine = NaiveEngine::new(&s.gis, &s.moft);
+    let ln = s.gis.layer_id("Ln").unwrap();
+    let qualifying = engine
+        .resolve_filter(
+            ln,
+            &GeoFilter::AttrCompare {
+                category: "neighborhood".into(),
+                attr: "population".into(),
+                op: CmpOp::Gt,
+                value: Value::Int(50_000),
+            },
+        )
+        .unwrap();
+    assert_eq!(qualifying.len(), 2); // n0 (60k) and n5 (55k)
+}
+
+#[test]
+fn type3_no_spatial_data() {
+    let s = Fig1Scenario::build();
+    let engine = NaiveEngine::new(&s.gis, &s.moft);
+    let region = RegionC::all().with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning));
+    assert_eq!(classify(&region), QueryType::TrajectorySamples);
+    let tuples = engine.eval(&region).unwrap();
+    assert_eq!(tuples.len(), 9); // O1×3 + O2×3 + O5×1 + O6×2
+}
+
+#[test]
+fn type4_samples_with_geometry() {
+    let region = Fig1Scenario::remark1_region();
+    assert_eq!(classify(&region), QueryType::SamplesWithGeometry);
+}
+
+#[test]
+fn type5_aggregation_inside_c() {
+    let region = RegionC::all().with_spatial(SpatialPredicate::in_layer(
+        "Ln",
+        GeoFilter::FactAggCompare {
+            table: "census".into(),
+            column: "neighborhood".into(),
+            category: "neighborhood".into(),
+            measure: "people".into(),
+            agg: AggFn::Sum,
+            op: CmpOp::Gt,
+            value: 50_000.0,
+        },
+    ));
+    assert_eq!(classify(&region), QueryType::SamplesWithAggregationInC);
+}
+
+#[test]
+fn type6_trajectory_as_spatial_object() {
+    let s = Fig1Scenario::build();
+    let region = RegionC::all()
+        .with_time(TimePredicate::AtInstant(s.t[2]))
+        .with_spatial(SpatialPredicate::in_layer("Ln", GeoFilter::All));
+    assert_eq!(classify(&region), QueryType::TrajectoryAsSpatialObject);
+    let engine = NaiveEngine::new(&s.gis, &s.moft);
+    let tuples = dedupe_oid_t(engine.eval(&region).unwrap());
+    // At t3, samples: O1, O2, O5, O6 — all inside some neighborhood.
+    assert_eq!(agg::count_distinct_objects(&tuples), 4.0);
+}
+
+#[test]
+fn type7_trajectory_query() {
+    let s = Fig1Scenario::build();
+    let region = RegionC::all()
+        .with_spatial(SpatialPredicate::in_layer(
+            "Ln",
+            Fig1Scenario::low_income_filter(),
+        ))
+        .interpolated();
+    assert_eq!(classify(&region), QueryType::TrajectoryQuery);
+    let engine = NaiveEngine::new(&s.gis, &s.moft);
+    let tuples = engine.eval(&region).unwrap();
+    // Entry events exist for O1 (starts inside n0), O2 (enters n0) and
+    // O6 (crosses n5).
+    let mut oids: Vec<u64> = tuples.iter().map(|t| t.oid.0).collect();
+    oids.sort_unstable();
+    oids.dedup();
+    assert_eq!(oids, vec![1, 2, 6]);
+}
+
+#[test]
+fn type8_trajectory_aggregation() {
+    // "Asks for an aggregation over a trajectory defined by a moving
+    // object": aggregate a per-trajectory metric — here the total length
+    // and time-weighted speed of each bus, then the fleet average.
+    let s = Fig1Scenario::build();
+    let mut speeds = Vec::new();
+    for oid in s.moft.objects() {
+        let lit = s.moft.trajectory(oid).unwrap();
+        if let Some(v) = lit.average_speed() {
+            speeds.push(v);
+        }
+    }
+    // O1, O2 and O6 have multi-sample trajectories.
+    assert_eq!(speeds.len(), 3);
+    let avg = AggFn::Avg.apply(&speeds).unwrap();
+    assert!(avg > 0.0);
+    // Per-trajectory time-in-region aggregate (MAX over objects of time
+    // spent in the low-income region).
+    let ln = s.gis.layer_by_name("Ln").unwrap();
+    let n0 = &ln.as_polygons().unwrap()[0];
+    let max_time = s
+        .moft
+        .objects()
+        .iter()
+        .filter_map(|&oid| s.moft.trajectory(oid).ok())
+        .map(|lit| ops::time_in_region(&lit, n0))
+        .fold(0.0_f64, f64::max);
+    // O1 spends its whole 3-hour domain inside n0.
+    assert!((max_time - 10_800.0).abs() < 1.0, "got {max_time}");
+}

@@ -1,0 +1,121 @@
+//! E8 — the aRB-tree baseline (Papadias et al., the paper's ref [11]).
+//!
+//! Shows (a) that the aggregate index answers region×time COUNT queries
+//! from pre-aggregates, agreeing with exact evaluation when the window
+//! aligns with regions, and (b) the two deficiencies the paper points out:
+//! no DISTINCT counting, and no way to answer "queries that involve more
+//! than one class of geometries, or involving trajectories" — which the
+//! model's engine handles.
+
+use gisolap_core::engine::{NaiveEngine, QueryEngine};
+use gisolap_core::region::{GeoFilter, RegionC, SpatialPredicate};
+use gisolap_datagen::Fig1Scenario;
+use gisolap_geom::BBox;
+use gisolap_index::arb::{ArbTree, RegionId};
+use gisolap_olap::time::TimeLevel;
+use gisolap_traj::ops;
+
+/// Builds the aRB-tree over the Figure 1 neighborhoods with one
+/// observation per (sample ∈ neighborhood, hour bucket).
+fn build_arb(s: &Fig1Scenario) -> ArbTree {
+    let ln = s.gis.layer_by_name("Ln").unwrap();
+    let polys = ln.as_polygons().unwrap();
+    let boxes: Vec<BBox> = polys.iter().map(|p| p.bbox()).collect();
+    let time = s.gis.time();
+    let mut obs: Vec<(RegionId, i64, f64)> = Vec::new();
+    for r in s.moft.records() {
+        for (i, poly) in polys.iter().enumerate() {
+            if poly.contains(r.pos()) {
+                obs.push((RegionId(i as u32), time.granule(r.t, TimeLevel::Hour), 1.0));
+            }
+        }
+    }
+    ArbTree::build(&boxes, obs)
+}
+
+#[test]
+fn arb_count_matches_exact_on_aligned_windows() {
+    let s = Fig1Scenario::build();
+    let arb = build_arb(&s);
+    let time = s.gis.time();
+    let (h2, h4) = (
+        time.granule(s.t[1], TimeLevel::Hour),
+        time.granule(s.t[3], TimeLevel::Hour),
+    );
+
+    // Whole-city window over the morning hours: every sample in a
+    // neighborhood counts. Exact answer: 9 morning samples; the window
+    // fully covers every region, so lower and upper bounds coincide.
+    let window = BBox::new(-1.0, -1.0, 81.0, 41.0);
+    let (lo, hi) = arb.count_bounds(&window, h2, h4);
+    assert_eq!(lo, hi, "fully covering window is exact");
+    assert_eq!(hi, 9.0);
+
+    // Compare against the model's exact engine.
+    let engine = NaiveEngine::new(&s.gis, &s.moft);
+    let mut region = RegionC::all().with_spatial(SpatialPredicate::in_layer(
+        "Ln",
+        GeoFilter::All,
+    ));
+    region.time = vec![Fig1Scenario::morning()];
+    let tuples = engine.eval(&region).unwrap();
+    assert_eq!(tuples.len() as f64, hi);
+}
+
+#[test]
+fn arb_cannot_count_distinct_objects() {
+    let s = Fig1Scenario::build();
+    let arb = build_arb(&s);
+    let time = s.gis.time();
+    let (h1, h6) = (
+        time.granule(s.t[0], TimeLevel::Hour),
+        time.granule(s.t[5], TimeLevel::Hour),
+    );
+    // n0's bounding box over the whole day: O1 contributes 4 samples and
+    // O2 one — the index reports 5 "cars", the true distinct count is 2.
+    let n0_window = BBox::new(0.0, 0.0, 19.0, 19.0).inflated(0.5);
+    let count = arb.count(&n0_window, h1, h6);
+    assert_eq!(count, 5.0, "observation count, not object count");
+}
+
+#[test]
+fn arb_misses_between_sample_crossings() {
+    let s = Fig1Scenario::build();
+    let arb = build_arb(&s);
+    let time = s.gis.time();
+    // O6 crosses n5 but has no sample inside: the aggregate index sees
+    // nothing there.
+    let n5_window = BBox::new(20.5, 20.5, 39.5, 39.5);
+    let whole_day = (
+        time.granule(s.t[0], TimeLevel::Hour),
+        time.granule(s.t[5], TimeLevel::Hour),
+    );
+    assert_eq!(arb.count(&n5_window, whole_day.0, whole_day.1), 0.0);
+    // …while the trajectory model knows better.
+    let ln = s.gis.layer_by_name("Ln").unwrap();
+    let n5 = &ln.as_polygons().unwrap()[5];
+    let lit = s.moft.trajectory(gisolap_traj::ObjectId(6)).unwrap();
+    assert!(ops::passes_through(&lit, n5));
+}
+
+#[test]
+fn arb_query_cost_scales_sublinearly() {
+    // A larger synthetic region set: the index must touch far fewer
+    // nodes than the region count for a covering window.
+    let n = 64usize;
+    let boxes: Vec<BBox> = (0..n)
+        .map(|i| {
+            let x = (i % 8) as f64 * 10.0;
+            let y = (i / 8) as f64 * 10.0;
+            BBox::new(x, y, x + 10.0, y + 10.0)
+        })
+        .collect();
+    let obs = (0..n as u32).map(|r| (RegionId(r), 0, 1.0));
+    let arb = ArbTree::build(&boxes, obs);
+    let covering = BBox::new(-1.0, -1.0, 81.0, 81.0);
+    assert_eq!(arb.count(&covering, 0, 0), 64.0);
+    assert_eq!(arb.nodes_visited(&covering), 1);
+    // A quadrant window visits a path, not everything.
+    let quadrant = BBox::new(-1.0, -1.0, 41.0, 41.0);
+    assert!(arb.nodes_visited(&quadrant) < arb.node_count());
+}

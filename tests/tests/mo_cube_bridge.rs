@@ -1,0 +1,108 @@
+//! Integration: the MO → OLAP cube bridge on the Figure 1 scenario.
+//!
+//! Materializes Table 1 into a classical fact table and answers the
+//! running example (and roll-ups the paper's Example 1 promises —
+//! "aggregate these facts along geometric dimensions") with plain OLAP
+//! machinery.
+
+use gisolap_core::cube_bridge::{materialize_mo_cube, MoCubeSpec};
+use gisolap_datagen::Fig1Scenario;
+use gisolap_olap::cube::CubeView;
+use gisolap_olap::time::TimeLevel;
+use gisolap_olap::AggFn;
+use std::collections::HashMap;
+
+#[test]
+fn table1_materializes_per_neighborhood_hour() {
+    let s = Fig1Scenario::build();
+    let ft = materialize_mo_cube(&s.gis, &s.moft, &MoCubeSpec::default()).unwrap();
+    // Cells: (n0, 05) (n0, 06) (n0, 07) (n0, 08) from O1/O2, (n1, 06/08)
+    // from O2, (n2, 12), (n3, 13), (n6, 07), (n4, 06), (n6, 07)...
+    assert!(ft.len() >= 8, "got {} cells", ft.len());
+    let total = ft
+        .aggregate(AggFn::Sum, &[("neighborhood", "All")], "observations")
+        .unwrap();
+    // All 12 samples land in exactly one neighborhood each.
+    assert_eq!(total[0].1, 12.0);
+}
+
+#[test]
+fn remark1_from_the_cube() {
+    let s = Fig1Scenario::build();
+    let ft = materialize_mo_cube(&s.gis, &s.moft, &MoCubeSpec::default()).unwrap();
+    // Low-income neighborhoods are n0 and n5; morning hours are
+    // 06:00–08:00 on 2006-01-09.
+    let mut morning_low = 0.0;
+    let mut hours = std::collections::HashSet::new();
+    let rows = ft
+        .aggregate(
+            AggFn::Sum,
+            &[("neighborhood", "neighborhood"), ("granule", "granule")],
+            "observations",
+        )
+        .unwrap();
+    for (key, v) in rows {
+        let (nb, hour_label) = (&key[0], &key[1]);
+        let is_low = Fig1Scenario::low_income_names().contains(&nb.as_str());
+        let is_morning = ["06:00", "07:00", "08:00", "09:00", "10:00", "11:00"]
+            .iter()
+            .any(|h| hour_label.ends_with(h));
+        if is_morning {
+            hours.insert(hour_label.clone());
+        }
+        if is_low && is_morning {
+            morning_low += v;
+        }
+    }
+    assert_eq!(morning_low, 4.0, "O1 three times + O2 once");
+    assert_eq!(hours.len(), 3, "the time span is three hours");
+    assert!((morning_low / hours.len() as f64 - 4.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn cube_view_rolls_up_to_city_and_day() {
+    let s = Fig1Scenario::build();
+    let ft = materialize_mo_cube(&s.gis, &s.moft, &MoCubeSpec::default()).unwrap();
+    let view = CubeView::new(&ft, "observations", AggFn::Sum)
+        .unwrap()
+        .roll_up("neighborhood", "city")
+        .unwrap()
+        .roll_up("granule", "day")
+        .unwrap();
+    let cells = view.cells().unwrap();
+    assert_eq!(cells.len(), 1); // one city, one day
+    assert_eq!(cells[0].coordinates, vec!["Antwerp".to_string(), "2006-01-09".to_string()]);
+    assert_eq!(cells[0].value, 12.0);
+}
+
+#[test]
+fn distinct_object_measure_differs_from_observations() {
+    let s = Fig1Scenario::build();
+    let ft = materialize_mo_cube(&s.gis, &s.moft, &MoCubeSpec::default()).unwrap();
+    let obs: HashMap<String, f64> = ft
+        .aggregate(AggFn::Sum, &[("neighborhood", "neighborhood")], "observations")
+        .unwrap()
+        .into_iter()
+        .map(|(k, v)| (k[0].clone(), v))
+        .collect();
+    // n0 hosts O1 (4 samples) + O2 (1 sample) = 5 observations…
+    assert_eq!(obs["n0"], 5.0);
+    // …but each hour-cell's `objects` measure stays ≤ 2 (O1 and O2).
+    for i in 0..ft.len() {
+        let row = ft.measure_row(i);
+        assert!(row[1] <= 2.0, "objects per cell bounded by reality");
+        assert!(row[1] <= row[0], "objects ≤ observations");
+    }
+}
+
+#[test]
+fn day_granularity_cube() {
+    let s = Fig1Scenario::build();
+    let spec = MoCubeSpec { granularity: TimeLevel::Day, ..MoCubeSpec::default() };
+    let ft = materialize_mo_cube(&s.gis, &s.moft, &spec).unwrap();
+    // Six neighborhoods receive samples: n0, n1, n2, n3, n4, n6.
+    assert_eq!(ft.len(), 6);
+    let per_day = ft.aggregate(AggFn::Sum, &[("granule", "day")], "observations").unwrap();
+    assert_eq!(per_day.len(), 1);
+    assert_eq!(per_day[0].1, 12.0);
+}
