@@ -7,9 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use gisolap_core::engine::{
-    dedupe_oid_t, IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine,
-};
+use gisolap_core::engine::{dedupe_oid_t, IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine};
 use gisolap_core::result as agg;
 use gisolap_datagen::movers::RandomWaypoint;
 use gisolap_datagen::Fig1Scenario;
@@ -19,8 +17,11 @@ use gisolap_olap::time::{TimeId, TimeLevel};
 fn remark1_rate(engine: &dyn QueryEngine) -> f64 {
     let region = Fig1Scenario::remark1_region();
     let tuples = dedupe_oid_t(engine.eval(&region).expect("query evaluates"));
-    let reference: Vec<TimeId> =
-        engine.time_filtered(&region.time).iter().map(|r| r.t).collect();
+    let reference: Vec<TimeId> = engine
+        .time_filtered(&region.time)
+        .iter()
+        .map(|r| r.t)
+        .collect();
     agg::per_granule_rate(&tuples, reference, engine.gis().time(), TimeLevel::Hour)
 }
 

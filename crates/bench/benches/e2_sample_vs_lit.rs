@@ -18,10 +18,8 @@ fn bench_e2(c: &mut Criterion) {
     for samples in [10usize, 40, 160] {
         let s = scenario(6, 4, 100, samples);
         let engine = OverlayEngine::new(&s.gis, &s.moft);
-        let spatial = SpatialPredicate::in_layer(
-            "Ln",
-            GeoFilter::IntersectsLayer { layer: "Lr".into() },
-        );
+        let spatial =
+            SpatialPredicate::in_layer("Ln", GeoFilter::IntersectsLayer { layer: "Lr".into() });
         let sample_region = RegionC::all().with_spatial(spatial.clone());
         let lit_region = sample_region.clone().interpolated();
 

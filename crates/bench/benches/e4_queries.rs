@@ -24,7 +24,10 @@ fn bench_e4(c: &mut Criterion) {
         .with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning))
         .with_spatial(SpatialPredicate::in_layer(
             "Lc",
-            GeoFilter::Member { category: "region".into(), member: "South".into() },
+            GeoFilter::Member {
+                category: "region".into(),
+                member: "South".into(),
+            },
         ));
     let q2 = RegionC::all()
         .with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning))
@@ -49,15 +52,25 @@ fn bench_e4(c: &mut Criterion) {
             },
         ));
     let q4 = RegionC::all()
-        .with_time(TimePredicate::AtInstant(TimeId::from_ymd_hms(2006, 1, 9, 6, 30, 0)))
+        .with_time(TimePredicate::AtInstant(TimeId::from_ymd_hms(
+            2006, 1, 9, 6, 30, 0,
+        )))
         .with_spatial(SpatialPredicate::in_layer("Ln", GeoFilter::All));
     let q6 = RegionC::all()
         .with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning))
-        .with_spatial(SpatialPredicate::near_layer("Lschools", GeoFilter::All, 50.0));
+        .with_spatial(SpatialPredicate::near_layer(
+            "Lschools",
+            GeoFilter::All,
+            50.0,
+        ));
     let q7 = RegionC::all()
         .with_time(TimePredicate::TypeOfDayIs(TypeOfDay::Weekday))
         .with_time(TimePredicate::HourOfDayIn { lo: 8, hi: 10 })
-        .with_spatial(SpatialPredicate::near_layer("Lstores", GeoFilter::All, 20.0));
+        .with_spatial(SpatialPredicate::near_layer(
+            "Lstores",
+            GeoFilter::All,
+            20.0,
+        ));
     let q5_type5 = RegionC::all().with_spatial(SpatialPredicate::in_layer(
         "Ln",
         GeoFilter::FactAggCompare {
@@ -93,7 +106,10 @@ fn bench_e4(c: &mut Criterion) {
     // Query 5's trajectory variant: time-in-region.
     let spatial = SpatialPredicate::in_layer(
         "Lc",
-        GeoFilter::Member { category: "region".into(), member: "South".into() },
+        GeoFilter::Member {
+            category: "region".into(),
+            member: "South".into(),
+        },
     );
     group.bench_function("q5_time_in_region", |b| {
         b.iter(|| {

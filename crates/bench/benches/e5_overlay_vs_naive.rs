@@ -38,8 +38,9 @@ fn bench_e5(c: &mut Criterion) {
     group.finish();
 
     // (b) The geometric sub-query alone — the part Section 5 precomputes.
-    let filter = GeoFilter::IntersectsLayer { layer: "Lr".into() }
-        .and(GeoFilter::ContainsNodeOf { layer: "Lstores".into() });
+    let filter = GeoFilter::IntersectsLayer { layer: "Lr".into() }.and(GeoFilter::ContainsNodeOf {
+        layer: "Lstores".into(),
+    });
     let ln = s.gis.layer_id("Ln").expect("layer exists");
     let mut group = c.benchmark_group("e5_geometric_subquery");
     for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
@@ -47,7 +48,11 @@ fn bench_e5(c: &mut Criterion) {
             BenchmarkId::from_parameter(engine.name()),
             &engine,
             |b, engine| {
-                b.iter(|| engine.resolve_filter(ln, black_box(&filter)).expect("resolves"))
+                b.iter(|| {
+                    engine
+                        .resolve_filter(ln, black_box(&filter))
+                        .expect("resolves")
+                })
             },
         );
     }

@@ -13,7 +13,13 @@ use gisolap_geom::BBox;
 use gisolap_index::arb::{ArbTree, RegionId};
 use gisolap_olap::time::TimeLevel;
 
-fn build_inputs(blocks_x: usize) -> (Vec<BBox>, Vec<(RegionId, i64, f64)>, gisolap_bench::BenchScenario) {
+fn build_inputs(
+    blocks_x: usize,
+) -> (
+    Vec<BBox>,
+    Vec<(RegionId, i64, f64)>,
+    gisolap_bench::BenchScenario,
+) {
     let s = scenario(blocks_x, 4, 300, 20);
     let ln = s.gis.layer_by_name("Ln").expect("layer exists");
     let polys = ln.as_polygons().expect("polygon layer");
@@ -63,19 +69,15 @@ fn bench_e8(c: &mut Criterion) {
             |b, arb| b.iter(|| arb.count(black_box(&window), h0, h1)),
         );
         // Exact scan baseline: walk the MOFT and test the window.
-        query_group.bench_with_input(
-            BenchmarkId::new("exact_scan", blocks_x * 4),
-            &s,
-            |b, s| {
-                b.iter(|| {
-                    s.moft
-                        .records()
-                        .iter()
-                        .filter(|r| window.contains(r.pos()))
-                        .count()
-                })
-            },
-        );
+        query_group.bench_with_input(BenchmarkId::new("exact_scan", blocks_x * 4), &s, |b, s| {
+            b.iter(|| {
+                s.moft
+                    .records()
+                    .iter()
+                    .filter(|r| window.contains(r.pos()))
+                    .count()
+            })
+        });
     }
     query_group.finish();
 }

@@ -52,7 +52,9 @@ fn bench_summable(c: &mut Criterion) {
             |b, crossed| {
                 b.iter(|| {
                     summable_sum(
-                        crossed.iter().map(|&g| layer.geometry(g).expect("valid id")),
+                        crossed
+                            .iter()
+                            .map(|&g| layer.geometry(g).expect("valid id")),
                         |g| integrate_over(black_box(g), &density),
                     )
                 })
@@ -86,9 +88,7 @@ fn bench_overlay_primitive(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(name, n),
                 &(&a, &b_shape),
-                |bench, (a, b_shape)| {
-                    bench.iter(|| a.boolean_op(black_box(b_shape), op))
-                },
+                |bench, (a, b_shape)| bench.iter(|| a.boolean_op(black_box(b_shape), op)),
             );
         }
     }

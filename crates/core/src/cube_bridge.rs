@@ -35,7 +35,10 @@ pub struct MoCubeSpec {
 
 impl Default for MoCubeSpec {
     fn default() -> MoCubeSpec {
-        MoCubeSpec { category: "neighborhood".into(), granularity: TimeLevel::Hour }
+        MoCubeSpec {
+            category: "neighborhood".into(),
+            granularity: TimeLevel::Hour,
+        }
     }
 }
 
@@ -60,7 +63,9 @@ pub fn materialize_mo_cube(gis: &Gis, moft: &Moft, spec: &MoCubeSpec) -> Result<
     let mut cells: HashMap<(String, i64), Cell> = HashMap::new();
     for r in moft.records() {
         for geo in gis.covering(layer, r.pos()) {
-            let Some(member) = binding.member_of(geo) else { continue };
+            let Some(member) = binding.member_of(geo) else {
+                continue;
+            };
             let granule = time.granule(r.t, spec.granularity);
             let cell = cells.entry((member.to_string(), granule)).or_default();
             cell.observations += 1.0;
@@ -158,12 +163,12 @@ mod tests {
 
         const H: i64 = 3600;
         let moft = Moft::from_tuples([
-            (1, 0, 2.0, 2.0),      // West, hour 0
-            (1, 600, 3.0, 3.0),    // West, hour 0 (same object twice)
-            (2, 0, 4.0, 4.0),      // West, hour 0
-            (1, H, 15.0, 5.0),     // East, hour 1
-            (3, H, 16.0, 5.0),     // East, hour 1
-            (9, H, 99.0, 99.0),    // outside every neighborhood
+            (1, 0, 2.0, 2.0),   // West, hour 0
+            (1, 600, 3.0, 3.0), // West, hour 0 (same object twice)
+            (2, 0, 4.0, 4.0),   // West, hour 0
+            (1, H, 15.0, 5.0),  // East, hour 1
+            (3, H, 16.0, 5.0),  // East, hour 1
+            (9, H, 99.0, 99.0), // outside every neighborhood
         ]);
         (gis, moft)
     }
@@ -175,7 +180,11 @@ mod tests {
         assert_eq!(ft.len(), 2); // (West, h0), (East, h1)
 
         let obs = ft
-            .aggregate(AggFn::Sum, &[("neighborhood", "neighborhood")], "observations")
+            .aggregate(
+                AggFn::Sum,
+                &[("neighborhood", "neighborhood")],
+                "observations",
+            )
             .unwrap();
         let m: HashMap<_, _> = obs.into_iter().map(|(k, v)| (k[0].clone(), v)).collect();
         assert_eq!(m["West"], 3.0);
@@ -213,7 +222,10 @@ mod tests {
     #[test]
     fn day_granularity() {
         let (gis, moft) = setup();
-        let spec = MoCubeSpec { granularity: TimeLevel::Day, ..MoCubeSpec::default() };
+        let spec = MoCubeSpec {
+            granularity: TimeLevel::Day,
+            ..MoCubeSpec::default()
+        };
         let ft = materialize_mo_cube(&gis, &moft, &spec).unwrap();
         assert_eq!(ft.len(), 2); // West and East, one day each
         let total = ft
@@ -225,7 +237,10 @@ mod tests {
     #[test]
     fn unsupported_granularity_rejected() {
         let (gis, moft) = setup();
-        let spec = MoCubeSpec { granularity: TimeLevel::Year, ..MoCubeSpec::default() };
+        let spec = MoCubeSpec {
+            granularity: TimeLevel::Year,
+            ..MoCubeSpec::default()
+        };
         assert!(matches!(
             materialize_mo_cube(&gis, &moft, &spec),
             Err(CoreError::InvalidSchema(_))

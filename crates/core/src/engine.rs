@@ -16,12 +16,29 @@
 //!
 //! All three implement [`QueryEngine`] and must agree on every query —
 //! integration tests enforce this; the benchmarks measure the difference.
+//!
+//! ## Parallelism and observability
+//!
+//! Evaluation is data-parallel: [`QueryEngine::eval`] partitions the
+//! per-record (sample semantics) and per-trajectory (interpolated
+//! semantics) work across threads, and [`QueryEngine::eval_many`]
+//! additionally fans whole regions out after resolving their shared
+//! geometric sub-queries once. All parallel paths are order-preserving,
+//! so parallel and sequential evaluation produce **bit-identical**
+//! results; `GISOLAP_THREADS=1` forces sequential execution. Every
+//! engine owns an [`EngineStats`] ([`QueryEngine::stats`]) of cheap
+//! atomic counters — records scanned, bbox rejections, R-tree probes,
+//! overlay cache hits/misses, interpolated legs cut, per-phase wall
+//! times — also surfaced on [`Explain`].
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use rayon::prelude::*;
 
 use gisolap_geom::{BBox, Point};
-use gisolap_olap::time::{TimeDimension, TimeId};
 use gisolap_index::RTree;
+use gisolap_olap::time::{TimeDimension, TimeId};
 use gisolap_traj::bead::{Bead, Reachability};
 use gisolap_traj::moft::{Moft, ObjectId, Record};
 use gisolap_traj::ops::{self, TimeInterval};
@@ -34,10 +51,44 @@ use crate::region::{
     eval_time, CmpOp, GeoFilter, RegionC, SpatialPredicate, SpatialSemantics, TimePredicate,
 };
 use crate::result::CTuple;
+use crate::stats::{EngineStats, StatsSnapshot};
 use crate::{CoreError, Result};
 
+/// Geometric sub-queries resolved ahead of evaluation, keyed by
+/// `(layer name, filter)`. [`QueryEngine::eval_many`] fills one per
+/// batch so regions sharing a filter resolve it once; lookups fall back
+/// to on-demand resolution when a pair is absent.
+#[derive(Debug, Clone, Default)]
+pub struct ResolvedFilters {
+    entries: Vec<(String, GeoFilter, LayerId, Vec<GeoId>)>,
+}
+
+impl ResolvedFilters {
+    /// The resolved element set for `(layer, filter)`, if present.
+    pub fn get(&self, layer: &str, filter: &GeoFilter) -> Option<(LayerId, &[GeoId])> {
+        self.entries
+            .iter()
+            .find(|(l, f, _, _)| l == layer && f == filter)
+            .map(|(_, _, id, geos)| (*id, geos.as_slice()))
+    }
+
+    /// Records a resolved element set.
+    pub fn insert(
+        &mut self,
+        layer_name: impl Into<String>,
+        filter: GeoFilter,
+        layer: LayerId,
+        geos: Vec<GeoId>,
+    ) {
+        self.entries.push((layer_name.into(), filter, layer, geos));
+    }
+}
+
 /// The common interface of the three evaluation strategies.
-pub trait QueryEngine {
+///
+/// `Sync` is a supertrait so the default methods can partition work
+/// across threads while borrowing the engine.
+pub trait QueryEngine: Sync {
     /// Strategy name (for reports and benchmarks).
     fn name(&self) -> &'static str;
 
@@ -46,6 +97,9 @@ pub trait QueryEngine {
 
     /// The MOFT this engine answers over.
     fn moft(&self) -> &Moft;
+
+    /// This engine's evaluation counters.
+    fn stats(&self) -> &EngineStats;
 
     /// Candidate elements of `layer` whose bbox intersects `bbox`.
     /// Strategies differ: scan vs. R-tree.
@@ -65,7 +119,12 @@ pub trait QueryEngine {
                 let (l, g) = gis.alpha_geo(category, member)?;
                 Ok(if l == layer { vec![g] } else { vec![] })
             }
-            GeoFilter::AttrCompare { category, attr, op, value } => {
+            GeoFilter::AttrCompare {
+                category,
+                attr,
+                op,
+                value,
+            } => {
                 let binding = gis.alpha(category)?;
                 if binding.layer != layer {
                     return Ok(vec![]);
@@ -80,8 +139,11 @@ pub trait QueryEngine {
             }
             GeoFilter::IntersectsLayer { layer: other } => {
                 let other_id = gis.layer_id(other)?;
-                let mut v: Vec<GeoId> =
-                    self.layer_pairs(layer, other_id)?.into_iter().map(|(a, _)| a).collect();
+                let mut v: Vec<GeoId> = self
+                    .layer_pairs(layer, other_id)?
+                    .into_iter()
+                    .map(|(a, _)| a)
+                    .collect();
                 v.sort();
                 v.dedup();
                 Ok(v)
@@ -89,17 +151,29 @@ pub trait QueryEngine {
             GeoFilter::ContainsNodeOf { layer: other } => {
                 let other_id = gis.layer_id(other)?;
                 gis.expect_kind(other_id, GeometryKind::Node)?;
-                let mut v: Vec<GeoId> =
-                    self.layer_pairs(layer, other_id)?.into_iter().map(|(a, _)| a).collect();
+                let mut v: Vec<GeoId> = self
+                    .layer_pairs(layer, other_id)?
+                    .into_iter()
+                    .map(|(a, _)| a)
+                    .collect();
                 v.sort();
                 v.dedup();
                 Ok(v)
             }
-            GeoFilter::FactAggCompare { table, column, category, measure, agg, op, value } => {
+            GeoFilter::FactAggCompare {
+                table,
+                column,
+                category,
+                measure,
+                agg,
+                op,
+                value,
+            } => {
                 // γ inside C: aggregate the fact table per category member,
                 // compare, then map qualifying members to geometries via α.
                 let ft = gis.fact_table(table)?;
-                let grouped = ft.aggregate(*agg, &[(column.as_str(), category.as_str())], measure)?;
+                let grouped =
+                    ft.aggregate(*agg, &[(column.as_str(), category.as_str())], measure)?;
                 let binding = gis.alpha(category)?;
                 if binding.layer != layer {
                     return Ok(vec![]);
@@ -124,21 +198,45 @@ pub trait QueryEngine {
             GeoFilter::Not(inner) => {
                 let excluded: HashSet<GeoId> =
                     self.resolve_filter(layer, inner)?.into_iter().collect();
-                Ok(gis.layer(layer).ids().filter(|g| !excluded.contains(g)).collect())
+                Ok(gis
+                    .layer(layer)
+                    .ids()
+                    .filter(|g| !excluded.contains(g))
+                    .collect())
             }
         }
     }
 
     /// The MOFT records passing the region's time predicates, in
-    /// `(oid, t)` order.
+    /// `(oid, t)` order. Partitioned across threads by record chunk;
+    /// order-preserving, so the output matches the sequential scan.
     fn time_filtered(&self, time_preds: &[TimePredicate]) -> Vec<Record> {
+        let t0 = Instant::now();
         let time = self.gis().time();
-        self.moft()
-            .records()
-            .iter()
-            .filter(|r| eval_time(time_preds, time, r.t))
-            .copied()
-            .collect()
+        let records = self.moft().records();
+        let out: Vec<Record> = records
+            .par_iter()
+            .flat_map(|r| eval_time(time_preds, time, r.t).then_some(*r))
+            .collect();
+        let stats = self.stats();
+        stats.add_records_scanned(records.len() as u64);
+        stats.add_time_filter_ns(t0);
+        out
+    }
+
+    /// Resolves a spatial predicate's layer and element set, preferring
+    /// a batch-shared pre-resolution ([`ResolvedFilters`]).
+    fn resolve_spatial(
+        &self,
+        pred: &SpatialPredicate,
+        resolved: &ResolvedFilters,
+    ) -> Result<(LayerId, Vec<GeoId>)> {
+        if let Some((layer, geos)) = resolved.get(&pred.layer, &pred.filter) {
+            return Ok((layer, geos.to_vec()));
+        }
+        let layer = self.gis().layer_id(&pred.layer)?;
+        let geos = self.resolve_filter(layer, &pred.filter)?;
+        Ok((layer, geos))
     }
 
     /// Materializes the region `C` as tuples.
@@ -148,84 +246,151 @@ pub trait QueryEngine {
     /// [`crate::result`] helpers (or [`dedupe_oid_t`]) for `(Oid, t)` set
     /// semantics. Interpolated semantics emit one tuple per *entry event*
     /// (the instant a trajectory leg first enters a qualifying geometry).
+    ///
+    /// The per-record / per-trajectory work is partitioned across
+    /// threads in order-preserving chunks, so the result is identical to
+    /// a sequential evaluation (`GISOLAP_THREADS=1`).
     fn eval(&self, region: &RegionC) -> Result<Vec<CTuple>> {
+        self.eval_resolved(region, &ResolvedFilters::default())
+    }
+
+    /// Evaluates a batch of regions, resolving each distinct
+    /// `(layer, filter)` geometric sub-query once and fanning the
+    /// regions out in parallel. Returns one result per region, in input
+    /// order — each identical to what [`QueryEngine::eval`] returns for
+    /// that region alone.
+    fn eval_many(&self, regions: &[RegionC]) -> Result<Vec<Vec<CTuple>>> {
+        let t0 = Instant::now();
+        let mut resolved = ResolvedFilters::default();
+        for region in regions {
+            for pred in region.spatial.iter().chain(region.forbid.iter()) {
+                if resolved.get(&pred.layer, &pred.filter).is_none() {
+                    let layer = self.gis().layer_id(&pred.layer)?;
+                    let geos = self.resolve_filter(layer, &pred.filter)?;
+                    resolved.insert(pred.layer.clone(), pred.filter.clone(), layer, geos);
+                }
+            }
+        }
+        self.stats().add_filter_resolve_ns(t0);
+        regions
+            .par_iter()
+            .map(|region| self.eval_resolved(region, &resolved))
+            .collect()
+    }
+
+    /// [`QueryEngine::eval`] against pre-resolved geometric sub-queries;
+    /// pairs missing from `resolved` are resolved on demand.
+    fn eval_resolved(&self, region: &RegionC, resolved: &ResolvedFilters) -> Result<Vec<CTuple>> {
+        self.stats().add_query();
         let records = self.time_filtered(&region.time);
 
         // Resolve the forbidden set first (query 3): any object with a
         // time-filtered sample matching `forbid` is excluded wholesale.
+        let resolve_t0 = Instant::now();
         let excluded: HashSet<ObjectId> = match &region.forbid {
             None => HashSet::new(),
             Some(forbid) => {
-                let layer = self.gis().layer_id(&forbid.layer)?;
-                let geos = self.resolve_filter(layer, &forbid.filter)?;
+                let (layer, geos) = self.resolve_spatial(forbid, resolved)?;
                 let geo_set: HashSet<GeoId> = geos.iter().copied().collect();
                 records
-                    .iter()
-                    .filter(|r| {
-                        !self
+                    .par_iter()
+                    .flat_map(|r| {
+                        (!self
                             .matching_geos(layer, &geo_set, r.pos(), forbid.within_distance)
-                            .is_empty()
+                            .is_empty())
+                        .then_some(r.oid)
                     })
-                    .map(|r| r.oid)
                     .collect()
             }
         };
 
         let Some(spatial) = &region.spatial else {
             // Type 3: no spatial condition; C is the time-filtered MOFT.
+            self.stats().add_filter_resolve_ns(resolve_t0);
             return Ok(records
                 .iter()
                 .filter(|r| !excluded.contains(&r.oid))
-                .map(|r| CTuple { oid: r.oid, t: r.t, pos: r.pos(), geo: None })
+                .map(|r| CTuple {
+                    oid: r.oid,
+                    t: r.t,
+                    pos: r.pos(),
+                    geo: None,
+                })
                 .collect());
         };
 
-        let layer = self.gis().layer_id(&spatial.layer)?;
-        let geos = self.resolve_filter(layer, &spatial.filter)?;
+        let (layer, geos) = self.resolve_spatial(spatial, resolved)?;
         let geo_set: HashSet<GeoId> = geos.iter().copied().collect();
+        self.stats().add_filter_resolve_ns(resolve_t0);
 
-        match region.semantics {
+        let match_t0 = Instant::now();
+        let out = match region.semantics {
             SpatialSemantics::SampleBased => {
-                let mut out = Vec::new();
-                for r in &records {
-                    if excluded.contains(&r.oid) {
-                        continue;
-                    }
-                    for g in self.matching_geos(layer, &geo_set, r.pos(), spatial.within_distance)
-                    {
-                        out.push(CTuple {
-                            oid: r.oid,
-                            t: r.t,
-                            pos: r.pos(),
-                            geo: Some((layer, g)),
-                        });
-                    }
-                }
-                Ok(out)
+                // One task per record; order-preserving flat_map keeps
+                // the sequential (record, geometry) emission order.
+                let tuples: Vec<CTuple> = records
+                    .par_iter()
+                    .flat_map(|r| {
+                        if excluded.contains(&r.oid) {
+                            return Vec::new();
+                        }
+                        self.matching_geos(layer, &geo_set, r.pos(), spatial.within_distance)
+                            .into_iter()
+                            .map(|g| CTuple {
+                                oid: r.oid,
+                                t: r.t,
+                                pos: r.pos(),
+                                geo: Some((layer, g)),
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                Ok(tuples)
             }
             SpatialSemantics::Interpolated => {
-                let mut out = Vec::new();
-                for oid in self.moft().objects() {
-                    if excluded.contains(&oid) {
-                        continue;
-                    }
-                    let Ok(lit) = self.moft().trajectory(oid) else { continue };
-                    let legs = time_filtered_legs(&lit, &region.time, self.gis().time());
-                    for &g in &geos {
-                        let ivs = self.legs_intersect_geo(&legs, layer, g, spatial.within_distance)?;
-                        for iv in ivs {
-                            let t = TimeId(iv.start.round() as i64);
-                            let pos = lit
-                                .position_at(iv.start)
-                                .unwrap_or_else(|| lit.sample().points()[0].pos);
-                            out.push(CTuple { oid, t, pos, geo: Some((layer, g)) });
+                // One task per trajectory (ObjectId partition); the final
+                // sort is on a total key, so ordering is deterministic.
+                let oids: Vec<ObjectId> = self
+                    .moft()
+                    .objects()
+                    .into_iter()
+                    .filter(|oid| !excluded.contains(oid))
+                    .collect();
+                let per_object: Result<Vec<Vec<CTuple>>> = oids
+                    .par_iter()
+                    .map(|&oid| {
+                        let Ok(lit) = self.moft().trajectory(oid) else {
+                            return Ok(Vec::new());
+                        };
+                        let legs = time_filtered_legs(&lit, &region.time, self.gis().time());
+                        self.stats().add_legs_cut(legs.len() as u64);
+                        let mut out = Vec::new();
+                        for &g in &geos {
+                            let ivs =
+                                self.legs_intersect_geo(&legs, layer, g, spatial.within_distance)?;
+                            for iv in ivs {
+                                let t = TimeId(iv.start.round() as i64);
+                                let pos = lit
+                                    .position_at(iv.start)
+                                    .unwrap_or_else(|| lit.sample().points()[0].pos);
+                                out.push(CTuple {
+                                    oid,
+                                    t,
+                                    pos,
+                                    geo: Some((layer, g)),
+                                });
+                            }
                         }
-                    }
-                }
+                        Ok(out)
+                    })
+                    .collect();
+                let mut out: Vec<CTuple> = per_object?.into_iter().flatten().collect();
                 out.sort_by_key(|t| (t.oid, t.t));
                 Ok(out)
             }
-        }
+        };
+        self.stats().add_spatial_match_ns(match_t0);
+        out
     }
 
     /// The geometry elements of `geo_set` matched by position `p` (by
@@ -254,8 +419,7 @@ pub trait QueryEngine {
                         crate::layer::GeoRef::Node(q) => q.distance(p) <= d,
                         crate::layer::GeoRef::Polyline(line) => line.distance_to_point(p) <= d,
                         crate::layer::GeoRef::Polygon(poly) => {
-                            poly.contains(p)
-                                || poly.edges().any(|e| e.distance_to_point(p) <= d)
+                            poly.contains(p) || poly.edges().any(|e| e.distance_to_point(p) <= d)
                         }
                     },
                 }
@@ -316,7 +480,10 @@ pub trait QueryEngine {
                         },
                     };
                     if hit {
-                        ivs.push(TimeInterval { start: leg.t0, end: leg.t1 });
+                        ivs.push(TimeInterval {
+                            start: leg.t0,
+                            end: leg.t1,
+                        });
                     }
                 }
             }
@@ -343,23 +510,27 @@ pub trait QueryEngine {
     ) -> Result<Vec<ObjectId>> {
         let layer = self.gis().layer_id(&spatial.layer)?;
         let geos = self.resolve_filter(layer, &spatial.filter)?;
-        let mut out = Vec::new();
-        for oid in self.moft().objects() {
-            let Ok(lit) = self.moft().trajectory(oid) else { continue };
-            let legs = time_filtered_legs(&lit, time_preds, self.gis().time());
-            if legs.is_empty() {
-                continue;
-            }
-            let hit = geos.iter().any(|&g| {
-                !self
-                    .legs_intersect_geo(&legs, layer, g, spatial.within_distance)
-                    .map(|v| v.is_empty())
-                    .unwrap_or(true)
-            });
-            if hit {
-                out.push(oid);
-            }
-        }
+        let oids: Vec<ObjectId> = self.moft().objects();
+        let out: Vec<ObjectId> = oids
+            .par_iter()
+            .flat_map(|&oid| {
+                let Ok(lit) = self.moft().trajectory(oid) else {
+                    return None;
+                };
+                let legs = time_filtered_legs(&lit, time_preds, self.gis().time());
+                if legs.is_empty() {
+                    return None;
+                }
+                self.stats().add_legs_cut(legs.len() as u64);
+                let hit = geos.iter().any(|&g| {
+                    !self
+                        .legs_intersect_geo(&legs, layer, g, spatial.within_distance)
+                        .map(|v| v.is_empty())
+                        .unwrap_or(true)
+                });
+                hit.then_some(oid)
+            })
+            .collect();
         Ok(out)
     }
 
@@ -387,43 +558,45 @@ pub trait QueryEngine {
             .as_polygons()
             .expect("kind checked above");
 
-        let mut out = Vec::new();
-        for oid in self.moft().objects() {
-            let Some(track) = self.moft().track(oid) else { continue };
-            let mut verdict = Reachability::Impossible;
-            'pairs: for w in track.windows(2) {
-                let (t1, t2) = (w[0].t.0 as f64, w[1].t.0 as f64);
-                let (p1, p2) = (w[0].pos(), w[1].pos());
-                let required = p1.distance(p2) / (t2 - t1);
-                let bead =
-                    match Bead::new(t1, p1, t2, p2, vmax.max(required)) {
+        let oids: Vec<ObjectId> = self.moft().objects();
+        let out: Vec<(ObjectId, Reachability)> = oids
+            .par_iter()
+            .flat_map(|&oid| {
+                let track = self.moft().track(oid)?;
+                let mut verdict = Reachability::Impossible;
+                'pairs: for w in track.windows(2) {
+                    let (t1, t2) = (w[0].t.0 as f64, w[1].t.0 as f64);
+                    let (p1, p2) = (w[0].pos(), w[1].pos());
+                    let required = p1.distance(p2) / (t2 - t1);
+                    let bead = match Bead::new(t1, p1, t2, p2, vmax.max(required)) {
                         Ok(b) => b,
                         Err(_) => continue, // duplicate timestamps cannot occur post-index
                     };
-                for &g in &geos {
-                    match bead.region_reachability(&polys[g.0 as usize]) {
-                        Reachability::Possible => {
-                            verdict = Reachability::Possible;
-                            break 'pairs;
+                    for &g in &geos {
+                        match bead.region_reachability(&polys[g.0 as usize]) {
+                            Reachability::Possible => {
+                                verdict = Reachability::Possible;
+                                break 'pairs;
+                            }
+                            Reachability::Unknown => verdict = Reachability::Unknown,
+                            Reachability::Impossible => {}
                         }
-                        Reachability::Unknown => verdict = Reachability::Unknown,
-                        Reachability::Impossible => {}
                     }
                 }
-            }
-            // Single-sample objects: membership of the lone observation.
-            if track.len() == 1 {
-                let inside = geos
-                    .iter()
-                    .any(|&g| polys[g.0 as usize].contains(track[0].pos()));
-                verdict = if inside {
-                    Reachability::Possible
-                } else {
-                    Reachability::Impossible
-                };
-            }
-            out.push((oid, verdict));
-        }
+                // Single-sample objects: membership of the lone observation.
+                if track.len() == 1 {
+                    let inside = geos
+                        .iter()
+                        .any(|&g| polys[g.0 as usize].contains(track[0].pos()));
+                    verdict = if inside {
+                        Reachability::Possible
+                    } else {
+                        Reachability::Impossible
+                    };
+                }
+                Some((oid, verdict))
+            })
+            .collect();
         Ok(out)
     }
 
@@ -437,41 +610,50 @@ pub trait QueryEngine {
     ) -> Result<Vec<(ObjectId, f64)>> {
         let layer = self.gis().layer_id(&spatial.layer)?;
         let geos = self.resolve_filter(layer, &spatial.filter)?;
-        let mut out = Vec::new();
-        for oid in self.moft().objects() {
-            let Ok(lit) = self.moft().trajectory(oid) else { continue };
-            let legs = time_filtered_legs(&lit, time_preds, self.gis().time());
-            if legs.is_empty() {
-                continue;
-            }
-            // Merge per-geometry intervals so overlapping geometries don't
-            // double-count time.
-            let mut all: Vec<TimeInterval> = Vec::new();
-            for &g in &geos {
-                all.extend(self.legs_intersect_geo(&legs, layer, g, spatial.within_distance)?);
-            }
-            all.sort_by(|a, b| a.start.total_cmp(&b.start));
-            let mut total = 0.0;
-            let mut cur: Option<TimeInterval> = None;
-            for iv in all {
-                match &mut cur {
-                    Some(c) if iv.start <= c.end + 1e-9 => c.end = c.end.max(iv.end),
-                    _ => {
-                        if let Some(c) = cur.take() {
-                            total += c.end - c.start;
+        let oids: Vec<ObjectId> = self.moft().objects();
+        let per_object: Result<Vec<Option<(ObjectId, f64)>>> = oids
+            .par_iter()
+            .map(|&oid| {
+                let Ok(lit) = self.moft().trajectory(oid) else {
+                    return Ok(None);
+                };
+                let legs = time_filtered_legs(&lit, time_preds, self.gis().time());
+                if legs.is_empty() {
+                    return Ok(None);
+                }
+                self.stats().add_legs_cut(legs.len() as u64);
+                // Merge per-geometry intervals so overlapping geometries
+                // don't double-count time.
+                let mut all: Vec<TimeInterval> = Vec::new();
+                for &g in &geos {
+                    all.extend(self.legs_intersect_geo(
+                        &legs,
+                        layer,
+                        g,
+                        spatial.within_distance,
+                    )?);
+                }
+                all.sort_by(|a, b| a.start.total_cmp(&b.start));
+                let mut total = 0.0;
+                let mut cur: Option<TimeInterval> = None;
+                for iv in all {
+                    match &mut cur {
+                        Some(c) if iv.start <= c.end + 1e-9 => c.end = c.end.max(iv.end),
+                        _ => {
+                            if let Some(c) = cur.take() {
+                                total += c.end - c.start;
+                            }
+                            cur = Some(iv);
                         }
-                        cur = Some(iv);
                     }
                 }
-            }
-            if let Some(c) = cur {
-                total += c.end - c.start;
-            }
-            if total > 0.0 {
-                out.push((oid, total));
-            }
-        }
-        Ok(out)
+                if let Some(c) = cur {
+                    total += c.end - c.start;
+                }
+                Ok((total > 0.0).then_some((oid, total)))
+            })
+            .collect();
+        Ok(per_object?.into_iter().flatten().collect())
     }
 }
 
@@ -484,14 +666,17 @@ pub struct Explain {
     pub engine: &'static str,
     /// Ordered step descriptions.
     pub steps: Vec<String>,
+    /// The engine's cumulative counters at explain time.
+    pub stats: StatsSnapshot,
 }
 
 impl std::fmt::Display for Explain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "plan [{}]", self.engine)?;
         for (i, s) in self.steps.iter().enumerate() {
-            writeln!(f,"  {}. {s}", i + 1)?;
+            writeln!(f, "  {}. {s}", i + 1)?;
         }
+        writeln!(f, "  stats: {}", self.stats)?;
         Ok(())
     }
 }
@@ -500,13 +685,25 @@ fn describe_filter(filter: &GeoFilter) -> String {
     match filter {
         GeoFilter::All => "all elements".into(),
         GeoFilter::Member { category, member } => format!("α({category}, {member:?})"),
-        GeoFilter::AttrCompare { category, attr, op, value } => {
+        GeoFilter::AttrCompare {
+            category,
+            attr,
+            op,
+            value,
+        } => {
             format!("{category}.{attr} {op:?} {value}")
         }
         GeoFilter::Ids(ids) => format!("{} explicit ids", ids.len()),
         GeoFilter::IntersectsLayer { layer } => format!("intersects layer {layer}"),
         GeoFilter::ContainsNodeOf { layer } => format!("contains a node of {layer}"),
-        GeoFilter::FactAggCompare { table, measure, agg, op, value, .. } => {
+        GeoFilter::FactAggCompare {
+            table,
+            measure,
+            agg,
+            op,
+            value,
+            ..
+        } => {
             format!("γ_{agg}({table}.{measure}) {op:?} {value} (nested aggregation)")
         }
         GeoFilter::And(a, b) => format!("({}) AND ({})", describe_filter(a), describe_filter(b)),
@@ -572,7 +769,11 @@ pub fn explain<E: QueryEngine + ?Sized>(engine: &E, region: &RegionC) -> Result<
         }
     }
     steps.push("apply γ aggregation over the resulting (Oid, t) tuples".into());
-    Ok(Explain { engine: engine.name(), steps })
+    Ok(Explain {
+        engine: engine.name(),
+        steps,
+        stats: engine.stats().snapshot(),
+    })
 }
 
 /// Cuts a trajectory's legs at hour boundaries and keeps the sub-legs
@@ -618,7 +819,13 @@ pub fn time_filtered_legs(
         cuts.dedup();
         for w in cuts.windows(2) {
             let (a, b) = (w[0], w[1]);
-            let mid = TimeId(((a + b) / 2.0) as i64);
+            if b - a <= 1e-9 {
+                continue; // zero-width window: no sub-leg to classify
+            }
+            // Floor, not `as i64`: truncation rounds negative midpoints
+            // toward zero, shifting pre-epoch instants into the wrong
+            // hour (e.g. mid −0.5 → hour 0 instead of hour 23).
+            let mid = TimeId(((a + b) / 2.0).floor() as i64);
             if eval_time(preds, time, mid) {
                 out.push(TimedSegment {
                     t0: a,
@@ -645,12 +852,17 @@ pub fn dedupe_oid_t(mut tuples: Vec<CTuple>) -> Vec<CTuple> {
 pub struct NaiveEngine<'a> {
     gis: &'a Gis,
     moft: &'a Moft,
+    stats: EngineStats,
 }
 
 impl<'a> NaiveEngine<'a> {
     /// Creates the engine.
     pub fn new(gis: &'a Gis, moft: &'a Moft) -> NaiveEngine<'a> {
-        NaiveEngine { gis, moft }
+        NaiveEngine {
+            gis,
+            moft,
+            stats: EngineStats::new(),
+        }
     }
 }
 
@@ -664,18 +876,27 @@ impl QueryEngine for NaiveEngine<'_> {
     fn moft(&self) -> &Moft {
         self.moft
     }
+    fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
 
     fn candidates(&self, layer: LayerId, bbox: &BBox) -> Vec<GeoId> {
         // Full scan with bbox rejection only.
-        self.gis
+        let mut scanned = 0u64;
+        let out: Vec<GeoId> = self
+            .gis
             .layer(layer)
             .iter()
+            .inspect(|_| scanned += 1)
             .filter(|(_, g)| g.bbox().intersects(bbox))
             .map(|(id, _)| id)
-            .collect()
+            .collect();
+        self.stats.add_bbox_rejections(scanned - out.len() as u64);
+        out
     }
 
     fn layer_pairs(&self, a: LayerId, b: LayerId) -> Result<Vec<(GeoId, GeoId)>> {
+        self.stats.add_overlay_misses(1); // computed per call, no cache
         let la = self.gis.layer(a);
         let lb = self.gis.layer(b);
         let mut out = Vec::new();
@@ -695,22 +916,31 @@ pub struct IndexedEngine<'a> {
     gis: &'a Gis,
     moft: &'a Moft,
     rtrees: HashMap<LayerId, RTree<GeoId>>,
+    stats: EngineStats,
 }
 
 impl<'a> IndexedEngine<'a> {
     /// Creates the engine, building one R-tree per layer.
     pub fn new(gis: &'a Gis, moft: &'a Moft) -> IndexedEngine<'a> {
         let rtrees = build_layer_rtrees(gis);
-        IndexedEngine { gis, moft, rtrees }
+        IndexedEngine {
+            gis,
+            moft,
+            rtrees,
+            stats: EngineStats::new(),
+        }
     }
 }
 
-/// Builds one STR-packed R-tree per layer of the GIS.
+/// Builds one STR-packed R-tree per layer of the GIS — one bulk load
+/// per layer, run in parallel (order-irrelevant: the result is a map).
 pub fn build_layer_rtrees(gis: &Gis) -> HashMap<LayerId, RTree<GeoId>> {
-    gis.layers()
-        .map(|(id, layer)| {
+    let layers: Vec<LayerId> = gis.layers().map(|(id, _)| id).collect();
+    layers
+        .par_iter()
+        .map(|&id| {
             let items: Vec<(BBox, GeoId)> =
-                layer.iter().map(|(g, r)| (r.bbox(), g)).collect();
+                gis.layer(id).iter().map(|(g, r)| (r.bbox(), g)).collect();
             (id, RTree::bulk_load(items))
         })
         .collect()
@@ -726,17 +956,27 @@ impl QueryEngine for IndexedEngine<'_> {
     fn moft(&self) -> &Moft {
         self.moft
     }
+    fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
 
     fn candidates(&self, layer: LayerId, bbox: &BBox) -> Vec<GeoId> {
-        self.rtrees[&layer].search(bbox).into_iter().copied().collect()
+        self.stats.add_rtree_probes(1);
+        self.rtrees[&layer]
+            .search(bbox)
+            .into_iter()
+            .copied()
+            .collect()
     }
 
     fn layer_pairs(&self, a: LayerId, b: LayerId) -> Result<Vec<(GeoId, GeoId)>> {
+        self.stats.add_overlay_misses(1); // computed per call, no cache
         let la = self.gis.layer(a);
         let lb = self.gis.layer(b);
         let tree_b = &self.rtrees[&b];
         let mut out = Vec::new();
         for (ga, ra) in la.iter() {
+            self.stats.add_rtree_probes(1);
             for &gb in tree_b.search(&ra.bbox()) {
                 let rb = lb.geometry(gb)?;
                 if georef_intersects(&ra, &rb) {
@@ -754,23 +994,34 @@ pub struct OverlayEngine<'a> {
     moft: &'a Moft,
     rtrees: HashMap<LayerId, RTree<GeoId>>,
     cache: OverlayCache,
+    stats: EngineStats,
 }
 
 impl<'a> OverlayEngine<'a> {
     /// Creates the engine, precomputing the full layer overlay.
     pub fn new(gis: &'a Gis, moft: &'a Moft) -> OverlayEngine<'a> {
+        // The R-trees and the overlay are independent precomputations.
+        let (rtrees, cache) =
+            rayon::join(|| build_layer_rtrees(gis), || OverlayCache::precompute(gis));
         OverlayEngine {
             gis,
             moft,
-            rtrees: build_layer_rtrees(gis),
-            cache: OverlayCache::precompute(gis),
+            rtrees,
+            cache,
+            stats: EngineStats::new(),
         }
     }
 
     /// Creates the engine with an externally precomputed cache (e.g.
     /// shared across MOFTs).
     pub fn with_cache(gis: &'a Gis, moft: &'a Moft, cache: OverlayCache) -> OverlayEngine<'a> {
-        OverlayEngine { gis, moft, rtrees: build_layer_rtrees(gis), cache }
+        OverlayEngine {
+            gis,
+            moft,
+            rtrees: build_layer_rtrees(gis),
+            cache,
+            stats: EngineStats::new(),
+        }
     }
 
     /// The precomputed overlay.
@@ -789,19 +1040,34 @@ impl QueryEngine for OverlayEngine<'_> {
     fn moft(&self) -> &Moft {
         self.moft
     }
+    fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
 
     fn candidates(&self, layer: LayerId, bbox: &BBox) -> Vec<GeoId> {
-        self.rtrees[&layer].search(bbox).into_iter().copied().collect()
+        self.stats.add_rtree_probes(1);
+        self.rtrees[&layer]
+            .search(bbox)
+            .into_iter()
+            .copied()
+            .collect()
     }
 
     fn layer_pairs(&self, a: LayerId, b: LayerId) -> Result<Vec<(GeoId, GeoId)>> {
-        self.cache.pairs_for(a, b).ok_or_else(|| {
-            CoreError::InvalidSchema(format!(
-                "overlay cache missing layer pair ({}, {})",
-                self.gis.layer(a).name(),
-                self.gis.layer(b).name()
-            ))
-        })
+        match self.cache.pairs_for(a, b) {
+            Some(pairs) => {
+                self.stats.add_overlay_hits(1);
+                Ok(pairs)
+            }
+            None => {
+                self.stats.add_overlay_misses(1);
+                Err(CoreError::InvalidSchema(format!(
+                    "overlay cache missing layer pair ({}, {})",
+                    self.gis.layer(a).name(),
+                    self.gis.layer(b).name()
+                )))
+            }
+        }
     }
 }
 
@@ -819,10 +1085,16 @@ pub fn eval_all_engines_checked(gis: &Gis, moft: &Moft, region: &RegionC) -> Res
         k
     };
     if key(&naive) != key(&indexed) {
-        return Err(CoreError::InvalidSchema("naive vs indexed disagreement".into()));
+        return Err(CoreError::EngineMismatch {
+            a: "naive".into(),
+            b: "indexed".into(),
+        });
     }
     if key(&naive) != key(&overlay) {
-        return Err(CoreError::InvalidSchema("naive vs overlay disagreement".into()));
+        return Err(CoreError::EngineMismatch {
+            a: "naive".into(),
+            b: "overlay".into(),
+        });
     }
     Ok(naive)
 }
@@ -841,9 +1113,9 @@ mod tests {
     use gisolap_geom::point::pt;
     use gisolap_geom::{Polygon, Polyline};
     use gisolap_olap::schema::SchemaBuilder;
+    use gisolap_olap::time::TimeOfDay;
     use gisolap_olap::value::Value;
     use gisolap_olap::DimensionInstance;
-    use gisolap_olap::time::TimeOfDay;
 
     const H: i64 = 3600;
 
@@ -943,7 +1215,10 @@ mod tests {
             naive
                 .resolve_filter(
                     ln,
-                    &GeoFilter::Member { category: "neighborhood".into(), member: "East".into() }
+                    &GeoFilter::Member {
+                        category: "neighborhood".into(),
+                        member: "East".into()
+                    }
                 )
                 .unwrap(),
             vec![GeoId(1)]
@@ -980,8 +1255,11 @@ mod tests {
         let not_west = naive
             .resolve_filter(
                 ln,
-                &GeoFilter::Member { category: "neighborhood".into(), member: "West".into() }
-                    .negate(),
+                &GeoFilter::Member {
+                    category: "neighborhood".into(),
+                    member: "West".into(),
+                }
+                .negate(),
             )
             .unwrap();
         assert_eq!(not_west, vec![GeoId(1)]);
@@ -996,8 +1274,7 @@ mod tests {
         let region = RegionC::all().with_time(TimePredicate::Between(TimeId(0), TimeId(0)));
         let r = naive.eval(&region).unwrap();
         assert_eq!(r.len(), 3); // three objects sampled at t=0
-        let morning =
-            RegionC::all().with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning));
+        let morning = RegionC::all().with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning));
         assert!(naive.eval(&morning).unwrap().is_empty()); // all samples at night
     }
 
@@ -1011,11 +1288,17 @@ mod tests {
         let region = RegionC::all()
             .with_spatial(SpatialPredicate::in_layer(
                 "Ln",
-                GeoFilter::Member { category: "neighborhood".into(), member: "West".into() },
+                GeoFilter::Member {
+                    category: "neighborhood".into(),
+                    member: "West".into(),
+                },
             ))
             .with_forbid(SpatialPredicate::in_layer(
                 "Ln",
-                GeoFilter::Member { category: "neighborhood".into(), member: "East".into() },
+                GeoFilter::Member {
+                    category: "neighborhood".into(),
+                    member: "East".into(),
+                },
             ));
         let r = naive.eval(&region).unwrap();
         let oids: HashSet<ObjectId> = r.iter().map(|t| t.oid).collect();
@@ -1030,11 +1313,8 @@ mod tests {
         // Samples within distance 1.5 of a school: object 1 at (2,2) and
         // (3,3) vs school (2,2): distances 0 and √2 ≈ 1.41 — both hit.
         // Object 2 at (15,5) is exactly on school 2 → hit.
-        let region = RegionC::all().with_spatial(SpatialPredicate::near_layer(
-            "Ls",
-            GeoFilter::All,
-            1.5,
-        ));
+        let region =
+            RegionC::all().with_spatial(SpatialPredicate::near_layer("Ls", GeoFilter::All, 1.5));
         let r = naive.eval(&region).unwrap();
         assert_eq!(r.len(), 3);
     }
@@ -1049,7 +1329,10 @@ mod tests {
         let region = RegionC::all()
             .with_spatial(SpatialPredicate::in_layer(
                 "Ln",
-                GeoFilter::Member { category: "neighborhood".into(), member: "East".into() },
+                GeoFilter::Member {
+                    category: "neighborhood".into(),
+                    member: "East".into(),
+                },
             ))
             .interpolated();
         let r = naive.eval(&region).unwrap();
@@ -1068,7 +1351,10 @@ mod tests {
         let naive = NaiveEngine::new(&gis, &moft);
         let spatial = SpatialPredicate::in_layer(
             "Ln",
-            GeoFilter::Member { category: "neighborhood".into(), member: "West".into() },
+            GeoFilter::Member {
+                category: "neighborhood".into(),
+                member: "West".into(),
+            },
         );
         // Sample-based: nothing.
         let sample_region = RegionC::all().with_spatial(spatial.clone());
@@ -1087,7 +1373,10 @@ mod tests {
         let naive = NaiveEngine::new(&gis, &moft);
         let spatial = SpatialPredicate::in_layer(
             "Ln",
-            GeoFilter::Member { category: "neighborhood".into(), member: "West".into() },
+            GeoFilter::Member {
+                category: "neighborhood".into(),
+                member: "West".into(),
+            },
         );
         let totals = naive.time_in_region_per_object(&spatial, &[]).unwrap();
         assert_eq!(totals.len(), 1);
@@ -1116,7 +1405,10 @@ mod tests {
         let naive = NaiveEngine::new(&gis, &moft);
         let west = SpatialPredicate::in_layer(
             "Ln",
-            GeoFilter::Member { category: "neighborhood".into(), member: "West".into() },
+            GeoFilter::Member {
+                category: "neighborhood".into(),
+                member: "West".into(),
+            },
         );
         let verdicts = naive.objects_possibly_passing_through(&west, 0.01).unwrap();
         let m: std::collections::HashMap<u64, Reachability> =
@@ -1133,7 +1425,9 @@ mod tests {
 
         // Non-polygon layers are rejected.
         let schools = SpatialPredicate::in_layer("Ls", GeoFilter::All);
-        assert!(naive.objects_possibly_passing_through(&schools, 1.0).is_err());
+        assert!(naive
+            .objects_possibly_passing_through(&schools, 1.0)
+            .is_err());
     }
 
     #[test]
@@ -1160,7 +1454,10 @@ mod tests {
             ))
             .with_forbid(SpatialPredicate::in_layer(
                 "Ln",
-                GeoFilter::Member { category: "neighborhood".into(), member: "East".into() },
+                GeoFilter::Member {
+                    category: "neighborhood".into(),
+                    member: "East".into(),
+                },
             ));
         let naive = NaiveEngine::new(&gis, &moft);
         let overlay = OverlayEngine::new(&gis, &moft);
@@ -1207,6 +1504,173 @@ mod tests {
         );
         let total: f64 = legs.iter().map(|l| l.t1 - l.t0).sum();
         assert!((total - 3600.0).abs() < 1e-6);
-        assert!(legs.iter().all(|l| l.t0 >= H as f64 - 1e-9 && l.t1 <= 2.0 * H as f64 + 1e-9));
+        assert!(legs
+            .iter()
+            .all(|l| l.t0 >= H as f64 - 1e-9 && l.t1 <= 2.0 * H as f64 + 1e-9));
+    }
+
+    #[test]
+    fn time_filtered_legs_floor_negative_midpoint() {
+        // Regression: the sub-leg [-1, 0] has midpoint -0.5. Truncation
+        // (`as i64`) rounded it toward zero — TimeId(0), hour 0 — while
+        // the instant belongs to hour 23 of the previous day. Floor
+        // classifies it correctly, so HourOfDayIn{23,23} keeps the leg.
+        let gis = test_gis();
+        let lit = Lit::new(
+            gisolap_traj::sample::TrajectorySample::from_triples(&[(-H, 0.0, 0.0), (H, 20.0, 0.0)])
+                .unwrap(),
+        );
+        let legs = time_filtered_legs(
+            &lit,
+            &[
+                TimePredicate::Between(TimeId(-1), TimeId(2)),
+                TimePredicate::HourOfDayIn { lo: 23, hi: 23 },
+            ],
+            gis.time(),
+        );
+        assert_eq!(legs.len(), 1, "{legs:?}");
+        assert!((legs[0].t0 - (-1.0)).abs() < 1e-9);
+        assert!(legs[0].t1.abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_filtered_legs_at_instant_boundary() {
+        // An AtInstant predicate exactly on an hour boundary cut must
+        // not select either adjacent sub-leg (both midpoints differ from
+        // the instant) and must not produce zero-width legs.
+        let gis = test_gis();
+        let lit = Lit::new(
+            gisolap_traj::sample::TrajectorySample::from_triples(&[
+                (0, 0.0, 0.0),
+                (2 * H, 20.0, 0.0),
+            ])
+            .unwrap(),
+        );
+        let legs = time_filtered_legs(&lit, &[TimePredicate::AtInstant(TimeId(H))], gis.time());
+        assert!(legs.is_empty(), "{legs:?}");
+        // Sanity: every emitted leg anywhere has positive width.
+        let all = time_filtered_legs(&lit, &[], gis.time());
+        assert!(all.iter().all(|l| l.t1 > l.t0));
+    }
+
+    #[test]
+    fn time_filtered_legs_exact_hour_leg() {
+        // A leg spanning exactly one hour gets no interior cut and is
+        // classified by its own midpoint.
+        let gis = test_gis();
+        let lit = Lit::new(
+            gisolap_traj::sample::TrajectorySample::from_triples(&[
+                (H, 0.0, 0.0),
+                (2 * H, 10.0, 0.0),
+            ])
+            .unwrap(),
+        );
+        let legs = time_filtered_legs(
+            &lit,
+            &[TimePredicate::HourOfDayIn { lo: 1, hi: 1 }],
+            gis.time(),
+        );
+        assert_eq!(legs.len(), 1);
+        assert!((legs[0].t0 - H as f64).abs() < 1e-9);
+        assert!((legs[0].t1 - 2.0 * H as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eval_many_matches_individual_evals() {
+        let gis = test_gis();
+        let moft = test_moft();
+        let regions = vec![
+            RegionC::all().with_spatial(SpatialPredicate::in_layer(
+                "Ln",
+                GeoFilter::Member {
+                    category: "neighborhood".into(),
+                    member: "West".into(),
+                },
+            )),
+            RegionC::all().with_spatial(SpatialPredicate::in_layer(
+                "Ln",
+                GeoFilter::IntersectsLayer { layer: "Lr".into() },
+            )),
+            // Shares the first region's filter: resolved once per batch.
+            RegionC::all()
+                .with_spatial(SpatialPredicate::in_layer(
+                    "Ln",
+                    GeoFilter::Member {
+                        category: "neighborhood".into(),
+                        member: "West".into(),
+                    },
+                ))
+                .interpolated(),
+            RegionC::all(),
+        ];
+        let (naive, indexed, overlay) = engines(&gis, &moft);
+        for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
+            let batched = engine.eval_many(&regions).unwrap();
+            assert_eq!(batched.len(), regions.len());
+            for (region, batch_result) in regions.iter().zip(&batched) {
+                let single = engine.eval(region).unwrap();
+                assert_eq!(batch_result, &single, "engine {}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_engine_work() {
+        let gis = test_gis();
+        let moft = test_moft();
+        let region = RegionC::all().with_spatial(SpatialPredicate::in_layer(
+            "Ln",
+            GeoFilter::IntersectsLayer { layer: "Lr".into() },
+        ));
+
+        let naive = NaiveEngine::new(&gis, &moft);
+        naive.eval(&region).unwrap();
+        naive.eval(&region).unwrap();
+        let snap = naive.stats().snapshot();
+        assert_eq!(snap.queries, 2);
+        assert_eq!(snap.records_scanned, 2 * moft.records().len() as u64);
+        assert_eq!(snap.overlay_hits, 0); // naive computes pairs per call
+        assert!(snap.overlay_misses >= 2);
+
+        let indexed = IndexedEngine::new(&gis, &moft);
+        indexed.eval(&region).unwrap();
+        assert!(indexed.stats().snapshot().rtree_probes > 0);
+
+        let overlay = OverlayEngine::new(&gis, &moft);
+        overlay.eval(&region).unwrap();
+        overlay.eval(&region).unwrap();
+        let snap = overlay.stats().snapshot();
+        assert!(snap.overlay_hits >= 2, "{snap:?}");
+        assert_eq!(snap.overlay_misses, 0);
+
+        // Interpolated evaluation counts the cut legs.
+        let interp = RegionC::all()
+            .with_spatial(SpatialPredicate::in_layer("Ln", GeoFilter::All))
+            .interpolated();
+        naive.stats().reset();
+        naive.eval(&interp).unwrap();
+        assert!(naive.stats().snapshot().legs_cut > 0);
+    }
+
+    #[test]
+    fn explain_surfaces_stats() {
+        let gis = test_gis();
+        let moft = test_moft();
+        let naive = NaiveEngine::new(&gis, &moft);
+        naive.eval(&RegionC::all()).unwrap();
+        let plan = explain(&naive, &RegionC::all()).unwrap();
+        assert_eq!(plan.stats.queries, 1);
+        let text = plan.to_string();
+        assert!(text.contains("stats: queries=1"), "{text}");
+    }
+
+    #[test]
+    fn engine_mismatch_error_names_both_engines() {
+        let err = CoreError::EngineMismatch {
+            a: "naive".into(),
+            b: "overlay".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("naive") && text.contains("overlay"), "{text}");
     }
 }

@@ -118,7 +118,11 @@ impl BaseFactTable {
         layer: LayerId,
         density: impl Fn(Point) -> f64 + Send + Sync + 'static,
     ) -> BaseFactTable {
-        BaseFactTable { name: name.into(), layer, density: Arc::new(density) }
+        BaseFactTable {
+            name: name.into(),
+            layer,
+            density: Arc::new(density),
+        }
     }
 
     /// A constant density.

@@ -79,10 +79,7 @@ pub fn integrate_density_over_polygon(poly: &Polygon, density: impl Fn(Point) ->
 /// Line integral of a density along a polyline: the 1-D (Dirac×Heaviside)
 /// part of Definition 4. Midpoint rule per segment with `STEPS`
 /// subdivisions; exact for constant densities.
-pub fn integrate_density_along_polyline(
-    line: &Polyline,
-    density: impl Fn(Point) -> f64,
-) -> f64 {
+pub fn integrate_density_along_polyline(line: &Polyline, density: impl Fn(Point) -> f64) -> f64 {
     const STEPS: usize = 32;
     let mut acc = 0.0;
     for seg in line.segments() {
@@ -176,8 +173,7 @@ mod tests {
     #[test]
     fn polygon_with_hole_excludes_hole() {
         let ext = Ring::new(vec![pt(0.0, 0.0), pt(4.0, 0.0), pt(4.0, 4.0), pt(0.0, 4.0)]).unwrap();
-        let hole =
-            Ring::new(vec![pt(1.0, 1.0), pt(3.0, 1.0), pt(3.0, 3.0), pt(1.0, 3.0)]).unwrap();
+        let hole = Ring::new(vec![pt(1.0, 1.0), pt(3.0, 1.0), pt(3.0, 3.0), pt(1.0, 3.0)]).unwrap();
         let poly = Polygon::new(ext, vec![hole]).unwrap();
         let v = integrate_density_over_polygon(&poly, |_| 1.0);
         assert!((v - 12.0).abs() < 1e-9, "got {v}");

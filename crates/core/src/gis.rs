@@ -111,7 +111,10 @@ impl Gis {
 
     /// All layers with their ids.
     pub fn layers(&self) -> impl Iterator<Item = (LayerId, &Layer)> {
-        self.layers.iter().enumerate().map(|(i, l)| (LayerId(i as u32), l))
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LayerId(i as u32), l))
     }
 
     /// Number of layers.
@@ -348,7 +351,10 @@ mod tests {
         assert_eq!(gis.layer_count(), 1);
         let ln = gis.layer_id("Ln").unwrap();
         assert_eq!(gis.layer(ln).name(), "Ln");
-        assert!(matches!(gis.layer_id("??"), Err(CoreError::UnknownLayer(_))));
+        assert!(matches!(
+            gis.layer_id("??"),
+            Err(CoreError::UnknownLayer(_))
+        ));
         assert!(gis.layer_by_name("Ln").is_ok());
     }
 
@@ -357,29 +363,41 @@ mod tests {
         let gis = tiny_gis();
         let (layer, geo) = gis.alpha_geo("neighborhood", "South").unwrap();
         assert_eq!(geo, GeoId(0));
-        assert_eq!(gis.alpha_member("neighborhood", geo).unwrap(), Some("South"));
-        assert_eq!(gis.alpha_member("neighborhood", GeoId(1)).unwrap(), Some("Berchem"));
+        assert_eq!(
+            gis.alpha_member("neighborhood", geo).unwrap(),
+            Some("South")
+        );
+        assert_eq!(
+            gis.alpha_member("neighborhood", GeoId(1)).unwrap(),
+            Some("Berchem")
+        );
         assert_eq!(layer, gis.layer_id("Ln").unwrap());
         assert!(matches!(
             gis.alpha_geo("neighborhood", "Ghost"),
             Err(CoreError::UnboundMember { .. })
         ));
-        assert!(matches!(gis.alpha("??"), Err(CoreError::UnknownCategory(_))));
+        assert!(matches!(
+            gis.alpha("??"),
+            Err(CoreError::UnknownCategory(_))
+        ));
     }
 
     #[test]
     fn attributes_via_alpha() {
         let gis = tiny_gis();
         assert_eq!(
-            gis.member_attribute("neighborhood", "South", "income").unwrap(),
+            gis.member_attribute("neighborhood", "South", "income")
+                .unwrap(),
             Value::Int(1200)
         );
         assert_eq!(
-            gis.geo_attribute("neighborhood", GeoId(1), "income").unwrap(),
+            gis.geo_attribute("neighborhood", GeoId(1), "income")
+                .unwrap(),
             Value::Int(2500)
         );
         assert_eq!(
-            gis.geo_attribute("neighborhood", GeoId(0), "ghost").unwrap(),
+            gis.geo_attribute("neighborhood", GeoId(0), "ghost")
+                .unwrap(),
             Value::Null
         );
     }

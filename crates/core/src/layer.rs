@@ -91,17 +91,26 @@ impl<'a> GeoRef<'a> {
 impl Layer {
     /// A layer of point elements.
     pub fn nodes(name: impl Into<String>, points: Vec<Point>) -> Layer {
-        Layer { name: name.into(), data: LayerData::Nodes(points) }
+        Layer {
+            name: name.into(),
+            data: LayerData::Nodes(points),
+        }
     }
 
     /// A layer of polyline elements.
     pub fn polylines(name: impl Into<String>, lines: Vec<Polyline>) -> Layer {
-        Layer { name: name.into(), data: LayerData::Polylines(lines) }
+        Layer {
+            name: name.into(),
+            data: LayerData::Polylines(lines),
+        }
     }
 
     /// A layer of polygon elements.
     pub fn polygons(name: impl Into<String>, polys: Vec<Polygon>) -> Layer {
-        Layer { name: name.into(), data: LayerData::Polygons(polys) }
+        Layer {
+            name: name.into(),
+            data: LayerData::Polygons(polys),
+        }
     }
 
     /// The layer's name.
@@ -140,20 +149,29 @@ impl Layer {
             LayerData::Polylines(v) => v.get(i).map(GeoRef::Polyline),
             LayerData::Polygons(v) => v.get(i).map(GeoRef::Polygon),
         }
-        .ok_or_else(|| CoreError::UnknownGeometry { layer: self.name.clone(), id: id.0 })
+        .ok_or_else(|| CoreError::UnknownGeometry {
+            layer: self.name.clone(),
+            id: id.0,
+        })
     }
 
     /// Iterator over `(id, element)` pairs.
     pub fn iter(&self) -> Box<dyn Iterator<Item = (GeoId, GeoRef<'_>)> + '_> {
         match &self.data {
             LayerData::Nodes(v) => Box::new(
-                v.iter().enumerate().map(|(i, &p)| (GeoId(i as u32), GeoRef::Node(p))),
+                v.iter()
+                    .enumerate()
+                    .map(|(i, &p)| (GeoId(i as u32), GeoRef::Node(p))),
             ),
             LayerData::Polylines(v) => Box::new(
-                v.iter().enumerate().map(|(i, l)| (GeoId(i as u32), GeoRef::Polyline(l))),
+                v.iter()
+                    .enumerate()
+                    .map(|(i, l)| (GeoId(i as u32), GeoRef::Polyline(l))),
             ),
             LayerData::Polygons(v) => Box::new(
-                v.iter().enumerate().map(|(i, p)| (GeoId(i as u32), GeoRef::Polygon(p))),
+                v.iter()
+                    .enumerate()
+                    .map(|(i, p)| (GeoId(i as u32), GeoRef::Polygon(p))),
             ),
         }
     }
@@ -192,12 +210,16 @@ impl Layer {
     /// returned ("a point may belong to more than one geometry", paper
     /// Example 1).
     pub fn elements_covering(&self, p: Point) -> Vec<GeoId> {
-        self.iter().filter(|(_, g)| g.covers(p)).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(_, g)| g.covers(p))
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Bounding box of the whole layer.
     pub fn bbox(&self) -> BBox {
-        self.iter().fold(BBox::empty(), |b, (_, g)| b.union(&g.bbox()))
+        self.iter()
+            .fold(BBox::empty(), |b, (_, g)| b.union(&g.bbox()))
     }
 }
 

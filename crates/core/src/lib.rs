@@ -48,13 +48,15 @@ pub mod query;
 pub mod region;
 pub mod result;
 pub mod schema;
+pub mod stats;
 
-pub use engine::{IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine};
+pub use engine::{IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine, ResolvedFilters};
 pub use gis::Gis;
 pub use layer::{GeoId, GeometryKind, Layer, LayerId};
-pub use region::{GeoFilter, RegionC, SpatialPredicate, SpatialSemantics, TimePredicate};
 pub use query::{MoAggSpec, MoQuery, MoQueryResult};
+pub use region::{GeoFilter, RegionC, SpatialPredicate, SpatialSemantics, TimePredicate};
 pub use result::CTuple;
+pub use stats::{EngineStats, StatsSnapshot};
 
 /// Errors raised by the core model.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +94,14 @@ pub enum CoreError {
     },
     /// Schema validation failed (Definition 1 conditions).
     InvalidSchema(String),
+    /// Two evaluation strategies disagreed on a query that must be
+    /// engine-independent.
+    EngineMismatch {
+        /// First engine (the reference).
+        a: String,
+        /// Second engine (the one that diverged).
+        b: String,
+    },
     /// An underlying OLAP error.
     Olap(gisolap_olap::OlapError),
 }
@@ -109,10 +119,17 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::UnknownDimension(d) => write!(f, "unknown dimension {d:?}"),
             CoreError::UnknownFactTable(t) => write!(f, "unknown fact table {t:?}"),
-            CoreError::KindMismatch { layer, expected, got } => {
+            CoreError::KindMismatch {
+                layer,
+                expected,
+                got,
+            } => {
                 write!(f, "layer {layer:?} holds {got:?}, expected {expected:?}")
             }
             CoreError::InvalidSchema(msg) => write!(f, "invalid GIS schema: {msg}"),
+            CoreError::EngineMismatch { a, b } => {
+                write!(f, "engines {a:?} and {b:?} disagree on a query result")
+            }
             CoreError::Olap(e) => write!(f, "OLAP error: {e}"),
         }
     }

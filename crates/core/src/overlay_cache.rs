@@ -12,6 +12,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use rayon::prelude::*;
+
 use gisolap_geom::{MultiPolygon, Point};
 
 use crate::gis::Gis;
@@ -84,6 +86,16 @@ fn canon(a: LayerId, b: LayerId) -> ((LayerId, LayerId), bool) {
     }
 }
 
+/// Everything computed for one canonical layer pair — produced by
+/// [`compute_pair`] (pure, thus parallelizable) and merged into the
+/// cache's maps on the calling thread.
+struct PairData {
+    key: (LayerId, LayerId),
+    rel: HashSet<(u32, u32)>,
+    fragments: Option<Vec<LineFragment>>,
+    cells: Option<Vec<OverlayCell>>,
+}
+
 impl OverlayCache {
     /// Precomputes every pair of layers in the GIS (including the
     /// polygon×polygon overlay cells).
@@ -98,100 +110,130 @@ impl OverlayCache {
         OverlayCache::precompute_pairs(gis, &pairs)
     }
 
-    /// Precomputes selected layer pairs only.
+    /// Precomputes selected layer pairs only. Pairs are computed in
+    /// parallel (each is independent) and merged deterministically.
     pub fn precompute_pairs(gis: &Gis, pairs: &[(LayerId, LayerId)]) -> OverlayCache {
-        let mut cache = OverlayCache::default();
+        let mut canonical: Vec<(LayerId, LayerId)> = Vec::new();
         for &(a, b) in pairs {
-            cache.compute_pair(gis, a, b);
+            let (key, _) = canon(a, b);
+            if !canonical.contains(&key) {
+                canonical.push(key);
+            }
+        }
+        let computed: Vec<PairData> = canonical
+            .par_iter()
+            .map(|&(a, b)| compute_pair(gis, a, b))
+            .collect();
+        let mut cache = OverlayCache::default();
+        for data in computed {
+            cache.pairs.insert(data.key);
+            cache.intersects.insert(data.key, data.rel);
+            if let Some(frags) = data.fragments {
+                cache.fragments.insert(data.key, frags);
+            }
+            if let Some(cells) = data.cells {
+                cache.cells.insert(data.key, cells);
+            }
         }
         cache
     }
+}
 
-    fn compute_pair(&mut self, gis: &Gis, a: LayerId, b: LayerId) {
-        let ((la, lb), _) = canon(a, b);
-        if !self.pairs.insert((la, lb)) {
-            return;
-        }
-        let layer_a = gis.layer(la);
-        let layer_b = gis.layer(lb);
+/// Computes one canonical (`la <= lb`) layer pair's relation, fragments
+/// and cells. Pure with respect to the cache, so pairs parallelize.
+fn compute_pair(gis: &Gis, la: LayerId, lb: LayerId) -> PairData {
+    let layer_a = gis.layer(la);
+    let layer_b = gis.layer(lb);
+    let mut fragments: Option<Vec<LineFragment>> = None;
+    let mut overlay_cells: Option<Vec<OverlayCell>> = None;
 
-        let mut rel: HashSet<(u32, u32)> = HashSet::new();
-        for (ga, ra) in layer_a.iter() {
-            let bba = ra.bbox();
-            for (gb, rb) in layer_b.iter() {
-                if !bba.intersects(&rb.bbox()) {
-                    continue;
-                }
-                if georef_intersects(&ra, &rb) {
-                    rel.insert((ga.0, gb.0));
-                }
+    let mut rel: HashSet<(u32, u32)> = HashSet::new();
+    for (ga, ra) in layer_a.iter() {
+        let bba = ra.bbox();
+        for (gb, rb) in layer_b.iter() {
+            if !bba.intersects(&rb.bbox()) {
+                continue;
+            }
+            if georef_intersects(&ra, &rb) {
+                rel.insert((ga.0, gb.0));
             }
         }
-
-        // Polygon×polyline: materialize the 1-D fragments (arc-length
-        // intervals of each line inside each intersecting polygon).
-        let line_pair = match (layer_a.as_polygons(), layer_b.as_polylines()) {
-            (Some(polys), Some(lines)) => Some((polys, lines, false)),
-            _ => match (layer_b.as_polygons(), layer_a.as_polylines()) {
-                (Some(polys), Some(lines)) => Some((polys, lines, true)),
-                _ => None,
-            },
-        };
-        if let Some((polys, lines, swapped_roles)) = line_pair {
-            let mut frags = Vec::new();
-            for &(ia, ib) in &rel {
-                let (pi, li) = if swapped_roles { (ib, ia) } else { (ia, ib) };
-                let poly = &polys[pi as usize];
-                let line = &lines[li as usize];
-                let mut intervals: Vec<(f64, f64)> = Vec::new();
-                let mut offset = 0.0;
-                for seg in line.segments() {
-                    let len = seg.length();
-                    for iv in gisolap_geom::clip::clip_segment_to_polygon(&seg, poly) {
-                        if iv.length() > 0.0 {
-                            intervals
-                                .push((offset + iv.start * len, offset + iv.end * len));
-                        }
-                    }
-                    offset += len;
-                }
-                // Merge touching intervals across segment boundaries.
-                intervals.sort_by(|x, y| x.0.total_cmp(&y.0));
-                let mut merged: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
-                for iv in intervals {
-                    match merged.last_mut() {
-                        Some(last) if iv.0 <= last.1 + 1e-9 => last.1 = last.1.max(iv.1),
-                        _ => merged.push(iv),
-                    }
-                }
-                let length = merged.iter().map(|&(s, e)| e - s).sum();
-                frags.push(LineFragment {
-                    poly: GeoId(pi),
-                    line: GeoId(li),
-                    intervals: merged,
-                    length,
-                });
-            }
-            frags.sort_by_key(|f| (f.poly, f.line));
-            self.fragments.insert((la, lb), frags);
-        }
-
-        // Polygon×polygon: materialize the overlay cells.
-        if let (Some(pa), Some(pb)) = (layer_a.as_polygons(), layer_b.as_polygons()) {
-            let mut cells = Vec::new();
-            for &(ia, ib) in &rel {
-                let region = MultiPolygon::from_polygon(pa[ia as usize].clone())
-                    .intersection(&MultiPolygon::from_polygon(pb[ib as usize].clone()));
-                let area = region.area();
-                cells.push(OverlayCell { a: GeoId(ia), b: GeoId(ib), region, area });
-            }
-            cells.sort_by_key(|c| (c.a, c.b));
-            self.cells.insert((la, lb), cells);
-        }
-
-        self.intersects.insert((la, lb), rel);
     }
 
+    // Polygon×polyline: materialize the 1-D fragments (arc-length
+    // intervals of each line inside each intersecting polygon).
+    let line_pair = match (layer_a.as_polygons(), layer_b.as_polylines()) {
+        (Some(polys), Some(lines)) => Some((polys, lines, false)),
+        _ => match (layer_b.as_polygons(), layer_a.as_polylines()) {
+            (Some(polys), Some(lines)) => Some((polys, lines, true)),
+            _ => None,
+        },
+    };
+    if let Some((polys, lines, swapped_roles)) = line_pair {
+        let mut frags = Vec::new();
+        for &(ia, ib) in &rel {
+            let (pi, li) = if swapped_roles { (ib, ia) } else { (ia, ib) };
+            let poly = &polys[pi as usize];
+            let line = &lines[li as usize];
+            let mut intervals: Vec<(f64, f64)> = Vec::new();
+            let mut offset = 0.0;
+            for seg in line.segments() {
+                let len = seg.length();
+                for iv in gisolap_geom::clip::clip_segment_to_polygon(&seg, poly) {
+                    if iv.length() > 0.0 {
+                        intervals.push((offset + iv.start * len, offset + iv.end * len));
+                    }
+                }
+                offset += len;
+            }
+            // Merge touching intervals across segment boundaries.
+            intervals.sort_by(|x, y| x.0.total_cmp(&y.0));
+            let mut merged: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
+            for iv in intervals {
+                match merged.last_mut() {
+                    Some(last) if iv.0 <= last.1 + 1e-9 => last.1 = last.1.max(iv.1),
+                    _ => merged.push(iv),
+                }
+            }
+            let length = merged.iter().map(|&(s, e)| e - s).sum();
+            frags.push(LineFragment {
+                poly: GeoId(pi),
+                line: GeoId(li),
+                intervals: merged,
+                length,
+            });
+        }
+        frags.sort_by_key(|f| (f.poly, f.line));
+        fragments = Some(frags);
+    }
+
+    // Polygon×polygon: materialize the overlay cells.
+    if let (Some(pa), Some(pb)) = (layer_a.as_polygons(), layer_b.as_polygons()) {
+        let mut cells = Vec::new();
+        for &(ia, ib) in &rel {
+            let region = MultiPolygon::from_polygon(pa[ia as usize].clone())
+                .intersection(&MultiPolygon::from_polygon(pb[ib as usize].clone()));
+            let area = region.area();
+            cells.push(OverlayCell {
+                a: GeoId(ia),
+                b: GeoId(ib),
+                region,
+                area,
+            });
+        }
+        cells.sort_by_key(|c| (c.a, c.b));
+        overlay_cells = Some(cells);
+    }
+
+    PairData {
+        key: (la, lb),
+        rel,
+        fragments,
+        cells: overlay_cells,
+    }
+}
+
+impl OverlayCache {
     /// `true` iff this layer pair has been precomputed.
     pub fn has_pair(&self, a: LayerId, b: LayerId) -> bool {
         self.pairs.contains(&canon(a, b).0)
@@ -230,7 +272,13 @@ impl OverlayCache {
         let rel = self.intersects.get(&(la, lb))?;
         let mut out: Vec<(GeoId, GeoId)> = rel
             .iter()
-            .map(|&(x, y)| if swapped { (GeoId(y), GeoId(x)) } else { (GeoId(x), GeoId(y)) })
+            .map(|&(x, y)| {
+                if swapped {
+                    (GeoId(y), GeoId(x))
+                } else {
+                    (GeoId(x), GeoId(y))
+                }
+            })
             .collect();
         out.sort();
         Some(out)
@@ -319,14 +367,38 @@ mod tests {
         let poly = Polygon::rectangle(0.0, 0.0, 4.0, 4.0);
         let line = Polyline::new(vec![pt(-1.0, 2.0), pt(5.0, 2.0)]).unwrap();
         let far_line = Polyline::new(vec![pt(10.0, 10.0), pt(12.0, 12.0)]).unwrap();
-        assert!(georef_intersects(&GeoRef::Polygon(&poly), &GeoRef::Polyline(&line)));
-        assert!(!georef_intersects(&GeoRef::Polygon(&poly), &GeoRef::Polyline(&far_line)));
-        assert!(georef_intersects(&GeoRef::Node(pt(2.0, 2.0)), &GeoRef::Polygon(&poly)));
-        assert!(georef_intersects(&GeoRef::Node(pt(2.0, 2.0)), &GeoRef::Polyline(&line)));
-        assert!(!georef_intersects(&GeoRef::Node(pt(9.0, 9.0)), &GeoRef::Polygon(&poly)));
-        assert!(georef_intersects(&GeoRef::Node(pt(1.0, 1.0)), &GeoRef::Node(pt(1.0, 1.0))));
-        assert!(!georef_intersects(&GeoRef::Node(pt(1.0, 1.0)), &GeoRef::Node(pt(2.0, 1.0))));
-        assert!(georef_intersects(&GeoRef::Polyline(&line), &GeoRef::Polyline(&line)));
+        assert!(georef_intersects(
+            &GeoRef::Polygon(&poly),
+            &GeoRef::Polyline(&line)
+        ));
+        assert!(!georef_intersects(
+            &GeoRef::Polygon(&poly),
+            &GeoRef::Polyline(&far_line)
+        ));
+        assert!(georef_intersects(
+            &GeoRef::Node(pt(2.0, 2.0)),
+            &GeoRef::Polygon(&poly)
+        ));
+        assert!(georef_intersects(
+            &GeoRef::Node(pt(2.0, 2.0)),
+            &GeoRef::Polyline(&line)
+        ));
+        assert!(!georef_intersects(
+            &GeoRef::Node(pt(9.0, 9.0)),
+            &GeoRef::Polygon(&poly)
+        ));
+        assert!(georef_intersects(
+            &GeoRef::Node(pt(1.0, 1.0)),
+            &GeoRef::Node(pt(1.0, 1.0))
+        ));
+        assert!(!georef_intersects(
+            &GeoRef::Node(pt(1.0, 1.0)),
+            &GeoRef::Node(pt(2.0, 1.0))
+        ));
+        assert!(georef_intersects(
+            &GeoRef::Polyline(&line),
+            &GeoRef::Polyline(&line)
+        ));
     }
 
     #[test]
@@ -341,8 +413,14 @@ mod tests {
             cache.elements_intersecting_layer(cities, rivers).unwrap(),
             vec![GeoId(0)]
         );
-        assert_eq!(cache.intersects(cities, GeoId(0), rivers, GeoId(0)), Some(true));
-        assert_eq!(cache.intersects(cities, GeoId(1), rivers, GeoId(0)), Some(false));
+        assert_eq!(
+            cache.intersects(cities, GeoId(0), rivers, GeoId(0)),
+            Some(true)
+        );
+        assert_eq!(
+            cache.intersects(cities, GeoId(1), rivers, GeoId(0)),
+            Some(false)
+        );
 
         // Stores: one in each city, one outside.
         let pairs = cache.pairs_for(cities, stores).unwrap();
@@ -404,7 +482,10 @@ mod tests {
             cache.length_inside(cities, GeoId(0), rivers, GeoId(0)),
             Some(frags[0].length)
         );
-        assert_eq!(cache.length_inside(cities, GeoId(1), rivers, GeoId(0)), Some(0.0));
+        assert_eq!(
+            cache.length_inside(cities, GeoId(1), rivers, GeoId(0)),
+            Some(0.0)
+        );
         // Works with arguments in either order.
         assert!(cache.line_fragments(rivers, cities).is_some());
     }
@@ -438,7 +519,9 @@ mod tests {
         assert!(cache.has_pair(cities, rivers));
         assert!(!cache.has_pair(cities, stores));
         assert!(cache.elements_intersecting_layer(cities, stores).is_none());
-        assert!(cache.intersects(cities, GeoId(0), stores, GeoId(0)).is_none());
+        assert!(cache
+            .intersects(cities, GeoId(0), stores, GeoId(0))
+            .is_none());
         assert!(cache.relation_size() >= 1);
     }
 }

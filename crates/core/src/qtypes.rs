@@ -101,9 +101,7 @@ pub fn classify(region: &RegionC) -> QueryType {
     match (&region.spatial, region.semantics) {
         (None, _) => QueryType::TrajectorySamples,
         (Some(_), SpatialSemantics::Interpolated) => QueryType::TrajectoryQuery,
-        (Some(_), SpatialSemantics::SampleBased) if nested => {
-            QueryType::SamplesWithAggregationInC
-        }
+        (Some(_), SpatialSemantics::SampleBased) if nested => QueryType::SamplesWithAggregationInC,
         (Some(_), SpatialSemantics::SampleBased) => {
             // An exact-instant query over positions is the paper's
             // "trajectory as a spatial object" (type 6).

@@ -82,7 +82,11 @@ impl MoQueryResult {
 impl MoQuery {
     /// A query with the default `(Oid, t)` set semantics.
     pub fn new(region: RegionC, agg: MoAggSpec) -> MoQuery {
-        MoQuery { region, agg, dedupe: true }
+        MoQuery {
+            region,
+            agg,
+            dedupe: true,
+        }
     }
 
     /// Keeps per-geometry multiplicity (one tuple per matched geometry).
@@ -104,8 +108,11 @@ impl MoQuery {
                 MoQueryResult::Scalar(agg::count_distinct_objects(&tuples))
             }
             MoAggSpec::RatePerGranule(level) => {
-                let reference: Vec<_> =
-                    engine.time_filtered(&self.region.time).iter().map(|r| r.t).collect();
+                let reference: Vec<_> = engine
+                    .time_filtered(&self.region.time)
+                    .iter()
+                    .map(|r| r.t)
+                    .collect();
                 MoQueryResult::Scalar(agg::per_granule_rate(&tuples, reference, time, *level))
             }
             MoAggSpec::CountPerGranule(level) => {
@@ -164,13 +171,17 @@ mod tests {
     fn scalar_aggregations() {
         let (gis, moft) = setup();
         let engine = NaiveEngine::new(&gis, &moft);
-        let count = MoQuery::new(region(), MoAggSpec::CountTuples).run(&engine).unwrap();
+        let count = MoQuery::new(region(), MoAggSpec::CountTuples)
+            .run(&engine)
+            .unwrap();
         assert_eq!(count, MoQueryResult::Scalar(4.0));
         let distinct = MoQuery::new(region(), MoAggSpec::CountDistinctObjects)
             .run(&engine)
             .unwrap();
         assert_eq!(distinct, MoQueryResult::Scalar(2.0));
-        let objects = MoQuery::new(region(), MoAggSpec::Objects).run(&engine).unwrap();
+        let objects = MoQuery::new(region(), MoAggSpec::Objects)
+            .run(&engine)
+            .unwrap();
         assert_eq!(
             objects,
             MoQueryResult::Objects(vec![ObjectId(1), ObjectId(2)])
@@ -214,7 +225,9 @@ mod tests {
         ));
         let moft = Moft::from_tuples([(1, 0, 5.0, 5.0)]);
         let engine = NaiveEngine::new(&gis, &moft);
-        let set = MoQuery::new(region(), MoAggSpec::CountTuples).run(&engine).unwrap();
+        let set = MoQuery::new(region(), MoAggSpec::CountTuples)
+            .run(&engine)
+            .unwrap();
         assert_eq!(set, MoQueryResult::Scalar(1.0)); // (Oid, t) set semantics
         let multi = MoQuery::new(region(), MoAggSpec::CountTuples)
             .keep_geometry_multiplicity()

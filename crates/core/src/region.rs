@@ -212,7 +212,11 @@ pub struct SpatialPredicate {
 impl SpatialPredicate {
     /// Membership in an element of `layer` passing `filter`.
     pub fn in_layer(layer: impl Into<String>, filter: GeoFilter) -> SpatialPredicate {
-        SpatialPredicate { layer: layer.into(), filter, within_distance: None }
+        SpatialPredicate {
+            layer: layer.into(),
+            filter,
+            within_distance: None,
+        }
     }
 
     /// Within `distance` of an element of `layer` passing `filter`.
@@ -221,7 +225,11 @@ impl SpatialPredicate {
         filter: GeoFilter,
         distance: f64,
     ) -> SpatialPredicate {
-        SpatialPredicate { layer: layer.into(), filter, within_distance: Some(distance) }
+        SpatialPredicate {
+            layer: layer.into(),
+            filter,
+            within_distance: Some(distance),
+        }
     }
 }
 
@@ -306,7 +314,14 @@ mod tests {
         assert!(CmpOp::Gt.eval(Some(Greater)));
         assert!(!CmpOp::Gt.eval(Some(Less)));
         // Incomparable (e.g. NULL) fails every operator.
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Ge, CmpOp::Gt] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Ge,
+            CmpOp::Gt,
+        ] {
             assert!(!op.eval(None));
         }
     }
@@ -323,8 +338,10 @@ mod tests {
         assert!(TimePredicate::HourOfDayIn { lo: 8, hi: 10 }.eval(&time, sat_morning));
         assert!(!TimePredicate::HourOfDayIn { lo: 10, hi: 12 }.eval(&time, sat_morning));
         assert!(TimePredicate::AtInstant(sat_morning).eval(&time, sat_morning));
-        assert!(TimePredicate::Between(TimeId(sat_morning.0 - 10), TimeId(sat_morning.0 + 10))
-            .eval(&time, sat_morning));
+        assert!(
+            TimePredicate::Between(TimeId(sat_morning.0 - 10), TimeId(sat_morning.0 + 10))
+                .eval(&time, sat_morning)
+        );
         // Conjunction.
         assert!(eval_time(
             &[

@@ -42,17 +42,18 @@ pub fn count_distinct_objects(c: &[CTuple]) -> f64 {
 
 /// Distinct objects in `C`, ascending.
 pub fn objects(c: &[CTuple]) -> Vec<ObjectId> {
-    let mut v: Vec<ObjectId> = c.iter().map(|t| t.oid).collect::<HashSet<_>>().into_iter().collect();
+    let mut v: Vec<ObjectId> = c
+        .iter()
+        .map(|t| t.oid)
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
     v.sort();
     v
 }
 
 /// Tuple count per time granule, keyed by granule id, ascending.
-pub fn count_per_granule(
-    c: &[CTuple],
-    time: &TimeDimension,
-    level: TimeLevel,
-) -> Vec<(i64, f64)> {
+pub fn count_per_granule(c: &[CTuple], time: &TimeDimension, level: TimeLevel) -> Vec<(i64, f64)> {
     let mut m: HashMap<i64, f64> = HashMap::new();
     for t in c {
         *m.entry(time.granule(t.t, level)).or_insert(0.0) += 1.0;
@@ -89,8 +90,10 @@ pub fn per_granule_rate(
     time: &TimeDimension,
     level: TimeLevel,
 ) -> f64 {
-    let granules: HashSet<i64> =
-        reference.into_iter().map(|t| time.granule(t, level)).collect();
+    let granules: HashSet<i64> = reference
+        .into_iter()
+        .map(|t| time.granule(t, level))
+        .collect();
     if granules.is_empty() {
         return 0.0;
     }
@@ -148,7 +151,12 @@ mod tests {
     use gisolap_olap::time::TimeId;
 
     fn tup(oid: u64, t: i64) -> CTuple {
-        CTuple { oid: ObjectId(oid), t: TimeId(t), pos: Point::new(0.0, 0.0), geo: None }
+        CTuple {
+            oid: ObjectId(oid),
+            t: TimeId(t),
+            pos: Point::new(0.0, 0.0),
+            geo: None,
+        }
     }
 
     fn tup_geo(oid: u64, t: i64, geo: u32) -> CTuple {
@@ -178,7 +186,10 @@ mod tests {
         assert_eq!(per_hour, vec![(0, 2.0), (1, 2.0)]);
         let distinct = distinct_objects_per_granule(&c, &time, TimeLevel::Hour);
         assert_eq!(distinct, vec![(0, 2.0), (1, 1.0)]);
-        assert_eq!(max_distinct_per_granule(&c, &time, TimeLevel::Hour), Some(2.0));
+        assert_eq!(
+            max_distinct_per_granule(&c, &time, TimeLevel::Hour),
+            Some(2.0)
+        );
         assert_eq!(max_distinct_per_granule(&[], &time, TimeLevel::Hour), None);
     }
 
@@ -203,14 +214,16 @@ mod tests {
     #[test]
     fn geometry_grouping() {
         let time = TimeDimension::new();
-        let c = vec![tup_geo(1, 0, 7), tup_geo(2, 0, 7), tup_geo(1, H, 9), tup(3, 0)];
+        let c = vec![
+            tup_geo(1, 0, 7),
+            tup_geo(2, 0, 7),
+            tup_geo(1, H, 9),
+            tup(3, 0),
+        ];
         let per_geo = count_per_geometry(&c);
         assert_eq!(
             per_geo,
-            vec![
-                ((LayerId(0), GeoId(7)), 2.0),
-                ((LayerId(0), GeoId(9)), 1.0),
-            ]
+            vec![((LayerId(0), GeoId(7)), 2.0), ((LayerId(0), GeoId(9)), 1.0),]
         );
         let per_both = count_per_granule_geometry(&c, &time, TimeLevel::Hour);
         assert_eq!(per_both.len(), 2);

@@ -43,8 +43,11 @@ impl HierarchyGraph {
     ) -> Result<HierarchyGraph> {
         let layer = layer.into();
         let nodes: Vec<KindName> = nodes.iter().map(|s| s.to_string()).collect();
-        let index: HashMap<&str, usize> =
-            nodes.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+        let index: HashMap<&str, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
         if index.len() != nodes.len() {
             return Err(CoreError::InvalidSchema(format!(
                 "duplicate geometry kind in H({layer})"
@@ -60,7 +63,11 @@ impl HierarchyGraph {
             })?;
             e.push((ai, bi));
         }
-        let g = HierarchyGraph { layer, nodes, edges: e };
+        let g = HierarchyGraph {
+            layer,
+            nodes,
+            edges: e,
+        };
         g.validate()?;
         Ok(g)
     }
@@ -140,7 +147,10 @@ impl HierarchyGraph {
         }
         // (c) All has no outgoing edges.
         if outdeg[all] != 0 {
-            return fail(format!("H({}): All must have no outgoing edges", self.layer));
+            return fail(format!(
+                "H({}): All must have no outgoing edges",
+                self.layer
+            ));
         }
         // (d) exactly one node with no incoming edges, and it is `point`.
         let sources: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
@@ -249,7 +259,11 @@ impl GisSchema {
                 )));
             }
         }
-        Ok(GisSchema { hierarchies, atts, dimensions })
+        Ok(GisSchema {
+            hierarchies,
+            atts,
+            dimensions,
+        })
     }
 
     /// The hierarchy graphs.
@@ -355,8 +369,16 @@ mod tests {
                     kind: "polygon".into(),
                     layer: "Ln".into(),
                 },
-                AttBinding { category: "river".into(), kind: "polyline".into(), layer: "Lr".into() },
-                AttBinding { category: "school".into(), kind: "node".into(), layer: "Ls".into() },
+                AttBinding {
+                    category: "river".into(),
+                    kind: "polyline".into(),
+                    layer: "Lr".into(),
+                },
+                AttBinding {
+                    category: "school".into(),
+                    kind: "node".into(),
+                    layer: "Ls".into(),
+                },
             ],
             vec!["Rivers".into(), "Neighbourhoods".into()],
         )
@@ -372,13 +394,21 @@ mod tests {
     fn att_must_reference_known_layer_and_kind() {
         let err = GisSchema::new(
             vec![HierarchyGraph::polygon_layer("Ln")],
-            vec![AttBinding { category: "x".into(), kind: "polygon".into(), layer: "??".into() }],
+            vec![AttBinding {
+                category: "x".into(),
+                kind: "polygon".into(),
+                layer: "??".into(),
+            }],
             vec![],
         );
         assert!(matches!(err, Err(CoreError::InvalidSchema(_))));
         let err = GisSchema::new(
             vec![HierarchyGraph::polygon_layer("Ln")],
-            vec![AttBinding { category: "x".into(), kind: "polyline".into(), layer: "Ln".into() }],
+            vec![AttBinding {
+                category: "x".into(),
+                kind: "polyline".into(),
+                layer: "Ln".into(),
+            }],
             vec![],
         );
         assert!(matches!(err, Err(CoreError::InvalidSchema(_))));

@@ -1,0 +1,215 @@
+//! Engine observability: cheap atomic counters threaded through every
+//! [`crate::engine::QueryEngine`].
+//!
+//! Each engine owns an [`EngineStats`] whose counters are bumped with
+//! `Relaxed` atomics on the hot paths (record scans, bbox rejections,
+//! R-tree probes, overlay cache lookups, trajectory leg cutting) plus
+//! per-phase wall times. Relaxed ordering is sufficient: the counters
+//! are monotone tallies read only through [`EngineStats::snapshot`],
+//! never used for synchronization — and atomics keep them sound under
+//! the parallel evaluation paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotone evaluation counters owned by an engine. Cheap to bump from
+/// parallel workers; read via [`EngineStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    records_scanned: AtomicU64,
+    bbox_rejections: AtomicU64,
+    rtree_probes: AtomicU64,
+    overlay_hits: AtomicU64,
+    overlay_misses: AtomicU64,
+    legs_cut: AtomicU64,
+    queries: AtomicU64,
+    time_filter_ns: AtomicU64,
+    filter_resolve_ns: AtomicU64,
+    spatial_match_ns: AtomicU64,
+}
+
+impl EngineStats {
+    /// A fresh, all-zero counter set.
+    pub fn new() -> EngineStats {
+        EngineStats::default()
+    }
+
+    /// MOFT records examined by time filtering.
+    pub fn add_records_scanned(&self, n: u64) {
+        self.records_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Geometry elements discarded on bounding box alone.
+    pub fn add_bbox_rejections(&self, n: u64) {
+        self.bbox_rejections.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// R-tree searches issued.
+    pub fn add_rtree_probes(&self, n: u64) {
+        self.rtree_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Layer-pair lookups answered from the precomputed overlay.
+    pub fn add_overlay_hits(&self, n: u64) {
+        self.overlay_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Layer-pair requests the overlay could not answer (computed per
+    /// call, or missing from a selective precomputation).
+    pub fn add_overlay_misses(&self, n: u64) {
+        self.overlay_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Trajectory sub-legs produced by time-window cutting.
+    pub fn add_legs_cut(&self, n: u64) {
+        self.legs_cut.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Region evaluations started.
+    pub fn add_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds wall time spent filtering the MOFT by time predicates.
+    pub fn add_time_filter_ns(&self, since: Instant) {
+        self.time_filter_ns
+            .fetch_add(elapsed_ns(since), Ordering::Relaxed);
+    }
+
+    /// Adds wall time spent resolving geometric sub-queries.
+    pub fn add_filter_resolve_ns(&self, since: Instant) {
+        self.filter_resolve_ns
+            .fetch_add(elapsed_ns(since), Ordering::Relaxed);
+    }
+
+    /// Adds wall time spent matching records/trajectories spatially.
+    pub fn add_spatial_match_ns(&self, since: Instant) {
+        self.spatial_match_ns
+            .fetch_add(elapsed_ns(since), Ordering::Relaxed);
+    }
+
+    /// A consistent point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            records_scanned: self.records_scanned.load(Ordering::Relaxed),
+            bbox_rejections: self.bbox_rejections.load(Ordering::Relaxed),
+            rtree_probes: self.rtree_probes.load(Ordering::Relaxed),
+            overlay_hits: self.overlay_hits.load(Ordering::Relaxed),
+            overlay_misses: self.overlay_misses.load(Ordering::Relaxed),
+            legs_cut: self.legs_cut.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            time_filter_ns: self.time_filter_ns.load(Ordering::Relaxed),
+            filter_resolve_ns: self.filter_resolve_ns.load(Ordering::Relaxed),
+            spatial_match_ns: self.spatial_match_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter (e.g. between benchmark phases).
+    pub fn reset(&self) {
+        self.records_scanned.store(0, Ordering::Relaxed);
+        self.bbox_rejections.store(0, Ordering::Relaxed);
+        self.rtree_probes.store(0, Ordering::Relaxed);
+        self.overlay_hits.store(0, Ordering::Relaxed);
+        self.overlay_misses.store(0, Ordering::Relaxed);
+        self.legs_cut.store(0, Ordering::Relaxed);
+        self.queries.store(0, Ordering::Relaxed);
+        self.time_filter_ns.store(0, Ordering::Relaxed);
+        self.filter_resolve_ns.store(0, Ordering::Relaxed);
+        self.spatial_match_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A point-in-time copy of an engine's [`EngineStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// MOFT records examined by time filtering.
+    pub records_scanned: u64,
+    /// Geometry elements discarded on bounding box alone.
+    pub bbox_rejections: u64,
+    /// R-tree searches issued.
+    pub rtree_probes: u64,
+    /// Layer-pair lookups answered from the precomputed overlay.
+    pub overlay_hits: u64,
+    /// Layer-pair requests computed per call (no precomputation).
+    pub overlay_misses: u64,
+    /// Trajectory sub-legs produced by time-window cutting.
+    pub legs_cut: u64,
+    /// Region evaluations started.
+    pub queries: u64,
+    /// Wall time (ns) filtering the MOFT by time predicates.
+    pub time_filter_ns: u64,
+    /// Wall time (ns) resolving geometric sub-queries.
+    pub filter_resolve_ns: u64,
+    /// Wall time (ns) matching records/trajectories spatially.
+    pub spatial_match_ns: u64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queries={} records_scanned={} bbox_rejections={} rtree_probes={} \
+             overlay_hits={} overlay_misses={} legs_cut={} \
+             time_filter={:.3}ms filter_resolve={:.3}ms spatial_match={:.3}ms",
+            self.queries,
+            self.records_scanned,
+            self.bbox_rejections,
+            self.rtree_probes,
+            self.overlay_hits,
+            self.overlay_misses,
+            self.legs_cut,
+            self.time_filter_ns as f64 / 1e6,
+            self.filter_resolve_ns as f64 / 1e6,
+            self.spatial_match_ns as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let stats = EngineStats::new();
+        stats.add_records_scanned(10);
+        stats.add_records_scanned(5);
+        stats.add_bbox_rejections(3);
+        stats.add_rtree_probes(2);
+        stats.add_overlay_hits(1);
+        stats.add_overlay_misses(4);
+        stats.add_legs_cut(7);
+        stats.add_query();
+        let snap = stats.snapshot();
+        assert_eq!(snap.records_scanned, 15);
+        assert_eq!(snap.bbox_rejections, 3);
+        assert_eq!(snap.rtree_probes, 2);
+        assert_eq!(snap.overlay_hits, 1);
+        assert_eq!(snap.overlay_misses, 4);
+        assert_eq!(snap.legs_cut, 7);
+        assert_eq!(snap.queries, 1);
+        stats.reset();
+        assert_eq!(stats.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn phase_timers_record_elapsed() {
+        let stats = EngineStats::new();
+        let t0 = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        stats.add_time_filter_ns(t0);
+        assert!(stats.snapshot().time_filter_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn snapshot_is_display() {
+        let stats = EngineStats::new();
+        stats.add_query();
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("queries=1"), "{text}");
+    }
+}

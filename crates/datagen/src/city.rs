@@ -76,7 +76,10 @@ pub struct CityScenario {
 impl CityScenario {
     /// Generates a city.
     pub fn generate(config: CityConfig) -> CityScenario {
-        assert!(config.blocks_y >= 2 && config.blocks_y % 2 == 0, "blocks_y must be even ≥ 2");
+        assert!(
+            config.blocks_y >= 2 && config.blocks_y % 2 == 0,
+            "blocks_y must be even ≥ 2"
+        );
         assert!(config.blocks_x >= 1, "blocks_x must be positive");
         let mut rng = SmallRng::seed_from_u64(config.seed);
 
@@ -220,7 +223,11 @@ impl CityScenario {
                     kind: "polygon".into(),
                     layer: "Ln".into(),
                 },
-                AttBinding { category: "region".into(), kind: "polygon".into(), layer: "Lc".into() },
+                AttBinding {
+                    category: "region".into(),
+                    kind: "polygon".into(),
+                    layer: "Lc".into(),
+                },
                 AttBinding {
                     category: "street".into(),
                     kind: "polyline".into(),
@@ -249,8 +256,10 @@ impl CityScenario {
         }
         gis.add_dimension(nb.build().expect("consistent instance"));
 
-        let r_schema =
-            SchemaBuilder::new("Regions").chain(&["region", "city"]).build().expect("valid");
+        let r_schema = SchemaBuilder::new("Regions")
+            .chain(&["region", "city"])
+            .build()
+            .expect("valid");
         gis.add_dimension(
             DimensionInstance::builder(r_schema)
                 .rollup("region", "South", "city", "Antwerp")
@@ -261,31 +270,46 @@ impl CityScenario {
                 .expect("consistent"),
         );
 
-        let s_schema =
-            SchemaBuilder::new("Streets").chain(&["street", "city"]).build().expect("valid");
+        let s_schema = SchemaBuilder::new("Streets")
+            .chain(&["street", "city"])
+            .build()
+            .expect("valid");
         let mut sb = DimensionInstance::builder(s_schema);
         for sname in &street_names {
-            sb = sb.rollup("street", sname.clone(), "city", "Antwerp").expect("valid");
+            sb = sb
+                .rollup("street", sname.clone(), "city", "Antwerp")
+                .expect("valid");
         }
         gis.add_dimension(sb.build().expect("consistent"));
 
         // --- α bindings ----------------------------------------------------
-        let n_pairs: Vec<(&str, GeoId)> =
-            names.iter().enumerate().map(|(i, n)| (n.as_str(), GeoId(i as u32))).collect();
+        let n_pairs: Vec<(&str, GeoId)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), GeoId(i as u32)))
+            .collect();
         gis.bind_alpha("neighborhood", "Neighbourhoods", "Ln", &n_pairs)
             .expect("valid binding");
-        gis.bind_alpha("region", "Regions", "Lc", &[("South", GeoId(0)), ("North", GeoId(1))])
-            .expect("valid binding");
+        gis.bind_alpha(
+            "region",
+            "Regions",
+            "Lc",
+            &[("South", GeoId(0)), ("North", GeoId(1))],
+        )
+        .expect("valid binding");
         let s_pairs: Vec<(&str, GeoId)> = street_names
             .iter()
             .enumerate()
             .map(|(i, n)| (n.as_str(), GeoId(i as u32)))
             .collect();
-        gis.bind_alpha("street", "Streets", "Ls_streets", &s_pairs).expect("valid binding");
+        gis.bind_alpha("street", "Streets", "Ls_streets", &s_pairs)
+            .expect("valid binding");
 
         // --- census fact table ----------------------------------------------
-        let bracket_schema =
-            SchemaBuilder::new("Brackets").chain(&["bracket"]).build().expect("valid");
+        let bracket_schema = SchemaBuilder::new("Brackets")
+            .chain(&["bracket"])
+            .build()
+            .expect("valid");
         let brackets = DimensionInstance::builder(bracket_schema)
             .member("bracket", "low")
             .expect("valid")
@@ -297,19 +321,33 @@ impl CityScenario {
         let mut census = FactTable::new(
             "census",
             vec![n_dim, brackets],
-            &[("neighborhood", 0, "neighborhood"), ("bracket", 1, "bracket")],
+            &[
+                ("neighborhood", 0, "neighborhood"),
+                ("bracket", 1, "bracket"),
+            ],
             &["people"],
         )
         .expect("valid fact table");
         for (i, name) in names.iter().enumerate() {
             let pop = populations[i] as f64;
             let low_share = if incomes[i] < 1500 { 0.9 } else { 0.2 };
-            census.insert(&[name, "low"], &[pop * low_share]).expect("valid row");
-            census.insert(&[name, "high"], &[pop * (1.0 - low_share)]).expect("valid row");
+            census
+                .insert(&[name, "low"], &[pop * low_share])
+                .expect("valid row");
+            census
+                .insert(&[name, "high"], &[pop * (1.0 - low_share)])
+                .expect("valid row");
         }
         gis.add_fact_table(census);
 
-        CityScenario { gis, config, bbox, neighborhood_names: names, x_cuts, y_cuts }
+        CityScenario {
+            gis,
+            config,
+            bbox,
+            neighborhood_names: names,
+            x_cuts,
+            y_cuts,
+        }
     }
 }
 
@@ -333,13 +371,40 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let a = CityScenario::generate(CityConfig { seed: 42, ..CityConfig::default() });
-        let b = CityScenario::generate(CityConfig { seed: 42, ..CityConfig::default() });
-        let pa = a.gis.layer_by_name("Lschools").unwrap().as_nodes().unwrap().to_vec();
-        let pb = b.gis.layer_by_name("Lschools").unwrap().as_nodes().unwrap().to_vec();
+        let a = CityScenario::generate(CityConfig {
+            seed: 42,
+            ..CityConfig::default()
+        });
+        let b = CityScenario::generate(CityConfig {
+            seed: 42,
+            ..CityConfig::default()
+        });
+        let pa = a
+            .gis
+            .layer_by_name("Lschools")
+            .unwrap()
+            .as_nodes()
+            .unwrap()
+            .to_vec();
+        let pb = b
+            .gis
+            .layer_by_name("Lschools")
+            .unwrap()
+            .as_nodes()
+            .unwrap()
+            .to_vec();
         assert_eq!(pa, pb);
-        let c = CityScenario::generate(CityConfig { seed: 43, ..CityConfig::default() });
-        let pc = c.gis.layer_by_name("Lschools").unwrap().as_nodes().unwrap().to_vec();
+        let c = CityScenario::generate(CityConfig {
+            seed: 43,
+            ..CityConfig::default()
+        });
+        let pc = c
+            .gis
+            .layer_by_name("Lschools")
+            .unwrap()
+            .as_nodes()
+            .unwrap()
+            .to_vec();
         assert_ne!(pa, pc);
     }
 
@@ -370,7 +435,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be even")]
     fn odd_rows_rejected() {
-        CityScenario::generate(CityConfig { blocks_y: 3, ..CityConfig::default() });
+        CityScenario::generate(CityConfig {
+            blocks_y: 3,
+            ..CityConfig::default()
+        });
     }
 
     #[test]
@@ -382,9 +450,17 @@ mod tests {
         });
         let ln = city.gis.layer_by_name("Ln").unwrap();
         let total: f64 = ln.as_polygons().unwrap().iter().map(Polygon::area).sum();
-        assert!((total - city.bbox.area()).abs() < 1e-6, "partition covers bbox");
+        assert!(
+            (total - city.bbox.area()).abs() < 1e-6,
+            "partition covers bbox"
+        );
         // Blocks are genuinely irregular: areas differ.
-        let areas: Vec<f64> = ln.as_polygons().unwrap().iter().map(Polygon::area).collect();
+        let areas: Vec<f64> = ln
+            .as_polygons()
+            .unwrap()
+            .iter()
+            .map(Polygon::area)
+            .collect();
         let min = areas.iter().copied().fold(f64::INFINITY, f64::min);
         let max = areas.iter().copied().fold(0.0_f64, f64::max);
         assert!(max / min > 1.05, "jitter produced irregular blocks");
@@ -414,6 +490,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "jitter")]
     fn excessive_jitter_rejected() {
-        CityScenario::generate(CityConfig { jitter: 0.6, ..CityConfig::default() });
+        CityScenario::generate(CityConfig {
+            jitter: 0.6,
+            ..CityConfig::default()
+        });
     }
 }

@@ -47,7 +47,9 @@ pub struct Fig1Scenario {
 /// n0 (south-west) and n5 (north, second block).
 const NEIGHBORHOOD_NAMES: [&str; 8] = ["n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7"];
 const INCOMES: [i64; 8] = [1200, 1800, 2200, 2600, 1900, 1400, 2400, 3000];
-const POPULATIONS: [i64; 8] = [60_000, 35_000, 30_000, 20_000, 40_000, 55_000, 25_000, 15_000];
+const POPULATIONS: [i64; 8] = [
+    60_000, 35_000, 30_000, 20_000, 40_000, 55_000, 25_000, 15_000,
+];
 
 impl Fig1Scenario {
     /// Builds the scenario.
@@ -81,7 +83,10 @@ impl Fig1Scenario {
 
         // Schools and stores (for queries 6–7 of §4).
         gis.add_layer(Layer::nodes("Ls", vec![pt(10.0, 10.0), pt(60.0, 35.0)]));
-        gis.add_layer(Layer::nodes("Lstores", vec![pt(30.0, 10.0), pt(70.0, 30.0)]));
+        gis.add_layer(Layer::nodes(
+            "Lstores",
+            vec![pt(30.0, 10.0), pt(70.0, 30.0)],
+        ));
 
         // --- formal schema (Figure 2) ----------------------------------
         let schema = GisSchema::new(
@@ -98,9 +103,21 @@ impl Fig1Scenario {
                     kind: "polygon".into(),
                     layer: "Ln".into(),
                 },
-                AttBinding { category: "river".into(), kind: "polyline".into(), layer: "Lr".into() },
-                AttBinding { category: "region".into(), kind: "polygon".into(), layer: "Lc".into() },
-                AttBinding { category: "school".into(), kind: "node".into(), layer: "Ls".into() },
+                AttBinding {
+                    category: "river".into(),
+                    kind: "polyline".into(),
+                    layer: "Lr".into(),
+                },
+                AttBinding {
+                    category: "region".into(),
+                    kind: "polygon".into(),
+                    layer: "Lc".into(),
+                },
+                AttBinding {
+                    category: "school".into(),
+                    kind: "node".into(),
+                    layer: "Ls".into(),
+                },
             ],
             vec!["Neighbourhoods".into(), "Regions".into()],
         )
@@ -137,8 +154,10 @@ impl Fig1Scenario {
             .expect("consistent instance");
         gis.add_dimension(regions);
 
-        let river_schema =
-            SchemaBuilder::new("Rivers").chain(&["river"]).build().expect("valid schema");
+        let river_schema = SchemaBuilder::new("Rivers")
+            .chain(&["river"])
+            .build()
+            .expect("valid schema");
         gis.add_dimension(
             DimensionInstance::builder(river_schema)
                 .member("river", "Scheldt")
@@ -146,8 +165,10 @@ impl Fig1Scenario {
                 .build()
                 .expect("consistent instance"),
         );
-        let school_schema =
-            SchemaBuilder::new("Schools").chain(&["school"]).build().expect("valid schema");
+        let school_schema = SchemaBuilder::new("Schools")
+            .chain(&["school"])
+            .build()
+            .expect("valid schema");
         gis.add_dimension(
             DimensionInstance::builder(school_schema)
                 .member("school", "s0")
@@ -166,18 +187,31 @@ impl Fig1Scenario {
             .collect();
         gis.bind_alpha("neighborhood", "Neighbourhoods", "Ln", &n_pairs)
             .expect("valid binding");
-        gis.bind_alpha("region", "Regions", "Lc", &[("South", GeoId(0)), ("North", GeoId(1))])
-            .expect("valid binding");
+        gis.bind_alpha(
+            "region",
+            "Regions",
+            "Lc",
+            &[("South", GeoId(0)), ("North", GeoId(1))],
+        )
+        .expect("valid binding");
         gis.bind_alpha("river", "Rivers", "Lr", &[("Scheldt", GeoId(0))])
             .expect("valid binding");
-        gis.bind_alpha("school", "Schools", "Ls", &[("s0", GeoId(0)), ("s1", GeoId(1))])
-            .expect("valid binding");
+        gis.bind_alpha(
+            "school",
+            "Schools",
+            "Ls",
+            &[("s0", GeoId(0)), ("s1", GeoId(1))],
+        )
+        .expect("valid binding");
 
         // --- census fact table (for type-5 queries) ---------------------
         // (neighborhood, income bracket) → number of people. The "people
         // with a monthly income of less than €1500" of the paper's type-5
         // example are the rows of the "low" bracket.
-        let bracket_schema = SchemaBuilder::new("Brackets").chain(&["bracket"]).build().unwrap();
+        let bracket_schema = SchemaBuilder::new("Brackets")
+            .chain(&["bracket"])
+            .build()
+            .unwrap();
         let brackets = DimensionInstance::builder(bracket_schema)
             .member("bracket", "low")
             .unwrap()
@@ -189,7 +223,10 @@ impl Fig1Scenario {
         let mut census = FactTable::new(
             "census",
             vec![n_dim, brackets],
-            &[("neighborhood", 0, "neighborhood"), ("bracket", 1, "bracket")],
+            &[
+                ("neighborhood", 0, "neighborhood"),
+                ("bracket", 1, "bracket"),
+            ],
             &["people"],
         )
         .expect("valid fact table");
@@ -299,7 +336,9 @@ mod tests {
         assert_eq!(Fig1Scenario::low_income_names(), vec!["n0", "n5"]);
         let engine = NaiveEngine::new(&s.gis, &s.moft);
         let ln = s.gis.layer_id("Ln").unwrap();
-        let low = engine.resolve_filter(ln, &Fig1Scenario::low_income_filter()).unwrap();
+        let low = engine
+            .resolve_filter(ln, &Fig1Scenario::low_income_filter())
+            .unwrap();
         assert_eq!(low, vec![GeoId(0), GeoId(5)]);
     }
 
@@ -307,11 +346,10 @@ mod tests {
     fn morning_covers_t2_t3_t4() {
         let s = Fig1Scenario::build();
         let time = s.gis.time();
-        let morning: Vec<bool> = s
-            .t
-            .iter()
-            .map(|&t| Fig1Scenario::morning().eval(time, t))
-            .collect();
+        let morning: Vec<bool> =
+            s.t.iter()
+                .map(|&t| Fig1Scenario::morning().eval(time, t))
+                .collect();
         assert_eq!(morning, vec![false, true, true, true, false, false]);
     }
 
@@ -322,7 +360,9 @@ mod tests {
         let low: Vec<GeoId> = vec![GeoId(0), GeoId(5)];
         let in_low = |x: f64, y: f64| {
             low.iter().any(|&g| {
-                ln.geometry(g).unwrap().covers(gisolap_geom::Point::new(x, y))
+                ln.geometry(g)
+                    .unwrap()
+                    .covers(gisolap_geom::Point::new(x, y))
             })
         };
         // O1 always in low; O2 only at t3; O3–O6 never (by samples).

@@ -22,10 +22,10 @@ use std::path::Path;
 
 use gisolap_core::gis::Gis;
 use gisolap_core::layer::{GeoId, Layer};
+use gisolap_geom::wkt;
 use gisolap_olap::schema::SchemaBuilder;
 use gisolap_olap::value::Value;
 use gisolap_olap::DimensionInstance;
-use gisolap_geom::wkt;
 use gisolap_traj::Moft;
 
 /// Errors while saving/loading scenarios.
@@ -122,8 +122,11 @@ pub fn save_scenario(dir: &Path, gis: &Gis, moft: &Moft) -> Result<()> {
         let binding = gis.alpha(&category)?;
         let dim = gis.dimension(&binding.dimension)?;
         let level = dim.schema().level_id(&category)?;
-        let mut attr_names: Vec<String> =
-            dim.attribute_names(level).iter().map(|s| s.to_string()).collect();
+        let mut attr_names: Vec<String> = dim
+            .attribute_names(level)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         attr_names.sort();
         let mut out = String::new();
         out.push_str("member,geo_id");
@@ -186,9 +189,7 @@ pub fn load_scenario(dir: &Path) -> Result<(Gis, Moft)> {
                 wkt::WktGeometry::Polygon(p) => polys.push(p),
                 wkt::WktGeometry::LineString(l) => lines.push(l),
                 wkt::WktGeometry::Point(p) => nodes.push(p),
-                wkt::WktGeometry::MultiPolygon(mp) => {
-                    polys.extend(mp.polygons().iter().cloned())
-                }
+                wkt::WktGeometry::MultiPolygon(mp) => polys.extend(mp.polygons().iter().cloned()),
             }
         }
         let layer = if !polys.is_empty() {
@@ -236,11 +237,7 @@ pub fn load_scenario(dir: &Path) -> Result<(Gis, Moft)> {
             }
             let attr_names: Vec<String> = cols[2..].iter().map(|s| s.to_string()).collect();
 
-            let dim_name = format!(
-                "{}{}",
-                category[..1].to_ascii_uppercase(),
-                &category[1..]
-            );
+            let dim_name = format!("{}{}", category[..1].to_ascii_uppercase(), &category[1..]);
             let schema = SchemaBuilder::new(dim_name.clone())
                 .chain(&[category.as_str()])
                 .build()?;
@@ -264,8 +261,7 @@ pub fn load_scenario(dir: &Path) -> Result<(Gis, Moft)> {
                 rows.insert(member, GeoId(geo));
             }
             gis.add_dimension(builder.build()?);
-            let pairs: Vec<(&str, GeoId)> =
-                rows.iter().map(|(m, &g)| (m.as_str(), g)).collect();
+            let pairs: Vec<(&str, GeoId)> = rows.iter().map(|(m, &g)| (m.as_str(), g)).collect();
             gis.bind_alpha(category, dim_name, &layer_name, &pairs)?;
         }
     }
@@ -323,8 +319,11 @@ mod tests {
         let engine = NaiveEngine::new(&gis2, &moft2);
         let region = Fig1Scenario::remark1_region();
         let tuples = dedupe_oid_t(engine.eval(&region).expect("query evaluates"));
-        let reference: Vec<_> =
-            engine.time_filtered(&region.time).iter().map(|r| r.t).collect();
+        let reference: Vec<_> = engine
+            .time_filtered(&region.time)
+            .iter()
+            .map(|r| r.t)
+            .collect();
         let rate = agg::per_granule_rate(&tuples, reference, gis2.time(), TimeLevel::Hour);
         assert!((rate - 4.0 / 3.0).abs() < 1e-9, "got {rate}");
 
@@ -338,11 +337,13 @@ mod tests {
         save_scenario(&dir, &s.gis, &s.moft).expect("save");
         let (gis2, _) = load_scenario(&dir).expect("load");
         assert_eq!(
-            gis2.member_attribute("neighborhood", "n0", "income").unwrap(),
+            gis2.member_attribute("neighborhood", "n0", "income")
+                .unwrap(),
             Value::Int(1200)
         );
         assert_eq!(
-            gis2.member_attribute("neighborhood", "n5", "population").unwrap(),
+            gis2.member_attribute("neighborhood", "n5", "population")
+                .unwrap(),
             Value::Int(55_000)
         );
         let _ = fs::remove_dir_all(&dir);

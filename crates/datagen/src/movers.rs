@@ -8,8 +8,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use gisolap_geom::{BBox, Point};
 use gisolap_geom::polyline::Polyline;
+use gisolap_geom::{BBox, Point};
 use gisolap_olap::time::TimeId;
 use gisolap_traj::{Moft, ObjectId};
 
@@ -123,8 +123,7 @@ impl BusRoute {
             let offset = route_len * k as f64 / self.buses.max(1) as f64;
             let mut t = self.start;
             for s in 0..self.samples_per_bus {
-                let travelled =
-                    offset + self.speed * (s as i64 * self.sample_interval) as f64;
+                let travelled = offset + self.speed * (s as i64 * self.sample_interval) as f64;
                 // Ping-pong along the route.
                 let cycle = 2.0 * route_len;
                 let m = travelled % cycle;
@@ -302,7 +301,11 @@ impl GridWalkers {
                         }
                         let non_backtrack: Vec<(usize, usize)> =
                             options.iter().copied().filter(|&o| o != prev).collect();
-                        let pool = if non_backtrack.is_empty() { &options } else { &non_backtrack };
+                        let pool = if non_backtrack.is_empty() {
+                            &options
+                        } else {
+                            &non_backtrack
+                        };
                         target = pool[rng.gen_range(0..pool.len())];
                     }
                     let goal = self.node_pos(target.0, target.1);
@@ -412,9 +415,7 @@ mod tests {
             let first = track[0].pos(); // midnight: home
             let noon = track
                 .iter()
-                .find(|r| {
-                    r.t.0 - gen.midnight.0 >= 12 * 3600
-                })
+                .find(|r| r.t.0 - gen.midnight.0 >= 12 * 3600)
                 .unwrap()
                 .pos(); // noon: at work
             let last = track[track.len() - 1].pos(); // late: home again

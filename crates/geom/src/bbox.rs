@@ -21,7 +21,12 @@ impl BBox {
     #[inline]
     pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> BBox {
         debug_assert!(min_x <= max_x && min_y <= max_y, "inverted bbox");
-        BBox { min_x, min_y, max_x, max_y }
+        BBox {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
     }
 
     /// The degenerate box containing a single point.

@@ -54,7 +54,10 @@ fn param_of(seg: &Segment, p: Point) -> f64 {
 pub fn clip_segment_to_polygon(seg: &Segment, poly: &Polygon) -> Vec<ParamInterval> {
     if seg.is_degenerate() {
         return if poly.contains(seg.a) {
-            vec![ParamInterval { start: 0.0, end: 1.0 }]
+            vec![ParamInterval {
+                start: 0.0,
+                end: 1.0,
+            }]
         } else {
             vec![]
         };
@@ -130,7 +133,13 @@ mod tests {
     fn fully_inside() {
         let seg = Segment::new(pt(1.0, 1.0), pt(3.0, 3.0));
         let iv = clip_segment_to_polygon(&seg, &square());
-        assert_eq!(iv, vec![ParamInterval { start: 0.0, end: 1.0 }]);
+        assert_eq!(
+            iv,
+            vec![ParamInterval {
+                start: 0.0,
+                end: 1.0
+            }]
+        );
         assert_eq!(fraction_inside(&seg, &square()), 1.0);
     }
 
@@ -155,7 +164,13 @@ mod tests {
     fn entering_only() {
         let seg = Segment::new(pt(-4.0, 2.0), pt(4.0, 2.0));
         let iv = clip_segment_to_polygon(&seg, &square());
-        assert_eq!(iv, vec![ParamInterval { start: 0.5, end: 1.0 }]);
+        assert_eq!(
+            iv,
+            vec![ParamInterval {
+                start: 0.5,
+                end: 1.0
+            }]
+        );
     }
 
     #[test]
@@ -185,13 +200,9 @@ mod tests {
             pt(0.0, 10.0),
         ])
         .unwrap();
-        let hole = crate::polygon::Ring::new(vec![
-            pt(4.0, 4.0),
-            pt(6.0, 4.0),
-            pt(6.0, 6.0),
-            pt(4.0, 6.0),
-        ])
-        .unwrap();
+        let hole =
+            crate::polygon::Ring::new(vec![pt(4.0, 4.0), pt(6.0, 4.0), pt(6.0, 6.0), pt(4.0, 6.0)])
+                .unwrap();
         let poly = Polygon::new(ext, vec![hole]).unwrap();
         let seg = Segment::new(pt(0.0, 5.0), pt(10.0, 5.0));
         let iv = clip_segment_to_polygon(&seg, &poly);

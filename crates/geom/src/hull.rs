@@ -97,7 +97,13 @@ mod tests {
 
     #[test]
     fn hull_is_ccw() {
-        let hull = convex_hull(&[pt(0.0, 0.0), pt(4.0, 1.0), pt(3.0, 5.0), pt(-1.0, 3.0), pt(2.0, 2.0)]);
+        let hull = convex_hull(&[
+            pt(0.0, 0.0),
+            pt(4.0, 1.0),
+            pt(3.0, 5.0),
+            pt(-1.0, 3.0),
+            pt(2.0, 2.0),
+        ]);
         let area = Ring::new(hull).unwrap().signed_area();
         assert!(area > 0.0);
     }

@@ -187,12 +187,20 @@ fn directed_edges(mp: &MultiPolygon) -> Vec<DirEdge> {
     let mut out = Vec::new();
     for (pi, poly) in mp.polygons().iter().enumerate() {
         for seg in poly.exterior().edges() {
-            out.push(DirEdge { a: seg.a, b: seg.b, poly: pi });
+            out.push(DirEdge {
+                a: seg.a,
+                b: seg.b,
+                poly: pi,
+            });
         }
         for hole in poly.holes() {
             for seg in hole.edges() {
                 // Reverse so the polygon interior is on the left.
-                out.push(DirEdge { a: seg.b, b: seg.a, poly: pi });
+                out.push(DirEdge {
+                    a: seg.b,
+                    b: seg.a,
+                    poly: pi,
+                });
             }
         }
     }
@@ -279,7 +287,11 @@ fn subdivide(subject: &[DirEdge], clip: &[DirEdge]) -> (Vec<DirEdge>, Vec<DirEdg
             pts.dedup_by(|x, y| x.1 == y.1);
             for w in pts.windows(2) {
                 if w[0].1 != w[1].1 {
-                    out.push(DirEdge { a: w[0].1, b: w[1].1, poly: e.poly });
+                    out.push(DirEdge {
+                        a: w[0].1,
+                        b: w[1].1,
+                        poly: e.poly,
+                    });
                 }
             }
         }
@@ -388,7 +400,11 @@ fn classify(edges: &[DirEdge], other_mp: &MultiPolygon, other_edges: &[DirEdge])
 }
 
 fn reversed(e: &DirEdge) -> DirEdge {
-    DirEdge { a: e.b, b: e.a, poly: e.poly }
+    DirEdge {
+        a: e.b,
+        b: e.a,
+        poly: e.poly,
+    }
 }
 
 /// Computes a boolean operation between two regions.
@@ -705,7 +721,6 @@ mod tests {
         let hole_count: usize = u.polygons().iter().map(|p| p.holes().len()).sum();
         assert_eq!(hole_count, 1);
         approx(u.area(), 32.0); // 6x6 bbox minus the 2x2 hole
-
     }
 
     #[test]
@@ -721,8 +736,13 @@ mod tests {
     #[test]
     fn holes_in_inputs_are_respected() {
         let donut = {
-            let ext = Ring::new(vec![pt(0.0, 0.0), pt(10.0, 0.0), pt(10.0, 10.0), pt(0.0, 10.0)])
-                .unwrap();
+            let ext = Ring::new(vec![
+                pt(0.0, 0.0),
+                pt(10.0, 0.0),
+                pt(10.0, 10.0),
+                pt(0.0, 10.0),
+            ])
+            .unwrap();
             let hole =
                 Ring::new(vec![pt(3.0, 3.0), pt(7.0, 3.0), pt(7.0, 7.0), pt(3.0, 7.0)]).unwrap();
             MultiPolygon::from_polygon(Polygon::new(ext, vec![hole]).unwrap())

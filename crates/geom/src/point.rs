@@ -59,7 +59,10 @@ impl Point {
     /// trajectory `LIT(S)` (Section 3, after Definition 6).
     #[inline]
     pub fn lerp(self, other: Point, t: f64) -> Point {
-        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 
     /// Midpoint between `self` and `other`.

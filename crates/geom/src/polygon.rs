@@ -65,7 +65,9 @@ impl Ring {
         let area2 = ring.signed_area() * 2.0;
         if area2 == 0.0 {
             // All vertices collinear → not a polygon.
-            return Err(GeomError::RingTooSmall { got: ring.vertices.len() });
+            return Err(GeomError::RingTooSmall {
+                got: ring.vertices.len(),
+            });
         }
         if area2 < 0.0 {
             ring.vertices.reverse();
@@ -274,7 +276,10 @@ impl Polygon {
 
     /// Convenience: a hole-free polygon from a vertex list.
     pub fn from_exterior(vertices: Vec<Point>) -> crate::Result<Polygon> {
-        Ok(Polygon { exterior: Ring::new(vertices)?, holes: vec![] })
+        Ok(Polygon {
+            exterior: Ring::new(vertices)?,
+            holes: vec![],
+        })
     }
 
     /// Axis-aligned rectangle polygon.
@@ -417,10 +422,14 @@ mod tests {
     }
 
     fn square_with_hole() -> Polygon {
-        let ext = Ring::new(vec![pt(0.0, 0.0), pt(10.0, 0.0), pt(10.0, 10.0), pt(0.0, 10.0)])
-            .unwrap();
-        let hole =
-            Ring::new(vec![pt(4.0, 4.0), pt(6.0, 4.0), pt(6.0, 6.0), pt(4.0, 6.0)]).unwrap();
+        let ext = Ring::new(vec![
+            pt(0.0, 0.0),
+            pt(10.0, 0.0),
+            pt(10.0, 10.0),
+            pt(0.0, 10.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![pt(4.0, 4.0), pt(6.0, 4.0), pt(6.0, 6.0), pt(4.0, 6.0)]).unwrap();
         Polygon::new(ext, vec![hole]).unwrap()
     }
 
@@ -508,7 +517,10 @@ mod tests {
     fn hole_outside_exterior_rejected() {
         let ext = Ring::new(vec![pt(0.0, 0.0), pt(2.0, 0.0), pt(2.0, 2.0), pt(0.0, 2.0)]).unwrap();
         let bad = Ring::new(vec![pt(5.0, 5.0), pt(6.0, 5.0), pt(6.0, 6.0), pt(5.0, 6.0)]).unwrap();
-        assert_eq!(Polygon::new(ext, vec![bad]), Err(GeomError::HoleOutsideExterior));
+        assert_eq!(
+            Polygon::new(ext, vec![bad]),
+            Err(GeomError::HoleOutsideExterior)
+        );
     }
 
     #[test]

@@ -125,23 +125,13 @@ fn orient2d_exact(a: Point, b: Point, c: Point) -> f64 {
     // (acx + acx_e)(bcy + bcy_e) = acx*bcy + acx*bcy_e + acx_e*bcy + acx_e*bcy_e
     let mut comps = [0.0f64; 16];
     let mut k = 0;
-    for &(u, v) in &[
-        (acx, bcy),
-        (acx, bcy_e),
-        (acx_e, bcy),
-        (acx_e, bcy_e),
-    ] {
+    for &(u, v) in &[(acx, bcy), (acx, bcy_e), (acx_e, bcy), (acx_e, bcy_e)] {
         let (p, e) = two_product(u, v);
         comps[k] = p;
         comps[k + 1] = e;
         k += 2;
     }
-    for &(u, v) in &[
-        (acy, bcx),
-        (acy, bcx_e),
-        (acy_e, bcx),
-        (acy_e, bcx_e),
-    ] {
+    for &(u, v) in &[(acy, bcx), (acy, bcx_e), (acy_e, bcx), (acy_e, bcx_e)] {
         let (p, e) = two_product(u, v);
         comps[k] = -p;
         comps[k + 1] = -e;

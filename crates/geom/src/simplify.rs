@@ -59,7 +59,10 @@ mod tests {
     #[test]
     fn straight_line_collapses_to_endpoints() {
         let pts: Vec<Point> = (0..10).map(|i| pt(i as f64, 0.0)).collect();
-        assert_eq!(douglas_peucker(&pts, 0.01), vec![pt(0.0, 0.0), pt(9.0, 0.0)]);
+        assert_eq!(
+            douglas_peucker(&pts, 0.01),
+            vec![pt(0.0, 0.0), pt(9.0, 0.0)]
+        );
     }
 
     #[test]

@@ -72,7 +72,11 @@ pub fn triangulate_ring(ring: &Ring) -> Vec<Triangle> {
         if orient2d(prev, cur, next) != Orientation::CounterClockwise {
             return false;
         }
-        let tri = Triangle { a: prev, b: cur, c: next };
+        let tri = Triangle {
+            a: prev,
+            b: cur,
+            c: next,
+        };
         verts
             .iter()
             .enumerate()
@@ -88,7 +92,11 @@ pub fn triangulate_ring(ring: &Ring) -> Vec<Triangle> {
             if is_ear(&verts, i) {
                 let prev = verts[(i + n - 1) % n];
                 let next = verts[(i + 1) % n];
-                out.push(Triangle { a: prev, b: verts[i], c: next });
+                out.push(Triangle {
+                    a: prev,
+                    b: verts[i],
+                    c: next,
+                });
                 verts.remove(i);
                 clipped = true;
                 break;
@@ -113,7 +121,11 @@ pub fn triangulate_ring(ring: &Ring) -> Vec<Triangle> {
         }
     }
     if verts.len() == 3 {
-        out.push(Triangle { a: verts[0], b: verts[1], c: verts[2] });
+        out.push(Triangle {
+            a: verts[0],
+            b: verts[1],
+            c: verts[2],
+        });
     }
     out
 }
@@ -202,10 +214,14 @@ mod tests {
 
     #[test]
     fn polygon_with_hole_triangulates_to_area() {
-        let ext = Ring::new(vec![pt(0.0, 0.0), pt(10.0, 0.0), pt(10.0, 10.0), pt(0.0, 10.0)])
-            .unwrap();
-        let hole =
-            Ring::new(vec![pt(4.0, 4.0), pt(6.0, 4.0), pt(6.0, 6.0), pt(4.0, 6.0)]).unwrap();
+        let ext = Ring::new(vec![
+            pt(0.0, 0.0),
+            pt(10.0, 0.0),
+            pt(10.0, 10.0),
+            pt(0.0, 10.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![pt(4.0, 4.0), pt(6.0, 4.0), pt(6.0, 6.0), pt(4.0, 6.0)]).unwrap();
         let poly = Polygon::new(ext, vec![hole]).unwrap();
         let tris = triangulate(&poly);
         let total: f64 = tris.iter().map(Triangle::area).sum();
@@ -213,13 +229,21 @@ mod tests {
         // No triangle's centroid falls in the hole.
         for t in &tris {
             let c = Point::new((t.a.x + t.b.x + t.c.x) / 3.0, (t.a.y + t.b.y + t.c.y) / 3.0);
-            assert_ne!(poly.locate(c), PointLocation::Outside, "triangle outside polygon");
+            assert_ne!(
+                poly.locate(c),
+                PointLocation::Outside,
+                "triangle outside polygon"
+            );
         }
     }
 
     #[test]
     fn triangle_contains_and_sample() {
-        let t = Triangle { a: pt(0.0, 0.0), b: pt(4.0, 0.0), c: pt(0.0, 4.0) };
+        let t = Triangle {
+            a: pt(0.0, 0.0),
+            b: pt(4.0, 0.0),
+            c: pt(0.0, 4.0),
+        };
         assert!(t.contains(pt(1.0, 1.0)));
         assert!(t.contains(pt(0.0, 0.0))); // vertex
         assert!(t.contains(pt(2.0, 2.0))); // hypotenuse
@@ -241,7 +265,7 @@ mod tests {
             pt(0.0, 8.0),
         ])
         .unwrap(); // an L-shape
-        // A deterministic quasi-random sequence.
+                   // A deterministic quasi-random sequence.
         let mut state = 0.123_f64;
         let mut rng = move || {
             state = (state * 997.0 + 0.618).fract();

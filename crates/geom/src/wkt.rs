@@ -4,10 +4,10 @@
 //! `LINESTRING`, `POLYGON` and `MULTIPOLYGON`. Useful for loading test
 //! fixtures and for dumping query results in a standard format.
 
+use crate::overlay::MultiPolygon;
 use crate::point::Point;
 use crate::polygon::{Polygon, Ring};
 use crate::polyline::Polyline;
-use crate::overlay::MultiPolygon;
 use crate::GeomError;
 
 /// Any geometry expressible in the supported WKT subset.
@@ -30,13 +30,20 @@ pub fn point_to_wkt(p: Point) -> String {
 
 /// Serializes a polyline as WKT.
 pub fn polyline_to_wkt(line: &Polyline) -> String {
-    let coords: Vec<String> = line.vertices().iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+    let coords: Vec<String> = line
+        .vertices()
+        .iter()
+        .map(|p| format!("{} {}", p.x, p.y))
+        .collect();
     format!("LINESTRING ({})", coords.join(", "))
 }
 
 fn ring_body(ring: &Ring) -> String {
-    let mut coords: Vec<String> =
-        ring.vertices().iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+    let mut coords: Vec<String> = ring
+        .vertices()
+        .iter()
+        .map(|p| format!("{} {}", p.x, p.y))
+        .collect();
     // WKT closes rings explicitly.
     if let Some(first) = ring.vertices().first() {
         coords.push(format!("{} {}", first.x, first.y));
@@ -104,7 +111,10 @@ impl<'a> Parser<'a> {
             self.rest = &self.rest[ch.len_utf8()..];
             Ok(())
         } else {
-            Err(GeomError::Wkt(format!("expected '{ch}' at {:?}", truncate(self.rest))))
+            Err(GeomError::Wkt(format!(
+                "expected '{ch}' at {:?}",
+                truncate(self.rest)
+            )))
         }
     }
 
@@ -120,7 +130,10 @@ impl<'a> Parser<'a> {
             .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
             .unwrap_or(self.rest.len());
         if end == 0 {
-            return Err(GeomError::Wkt(format!("expected a number at {:?}", truncate(self.rest))));
+            return Err(GeomError::Wkt(format!(
+                "expected a number at {:?}",
+                truncate(self.rest)
+            )));
         }
         let n: f64 = self.rest[..end]
             .parse()
@@ -184,7 +197,9 @@ impl<'a> Parser<'a> {
                 self.expect(')')?;
                 Ok(WktGeometry::MultiPolygon(MultiPolygon::new(polys)))
             }
-            other => Err(GeomError::Wkt(format!("unsupported geometry type {other:?}"))),
+            other => Err(GeomError::Wkt(format!(
+                "unsupported geometry type {other:?}"
+            ))),
         }
     }
 }
@@ -215,10 +230,14 @@ mod tests {
 
     #[test]
     fn polygon_roundtrip_with_hole() {
-        let ext = Ring::new(vec![pt(0.0, 0.0), pt(10.0, 0.0), pt(10.0, 10.0), pt(0.0, 10.0)])
-            .unwrap();
-        let hole =
-            Ring::new(vec![pt(4.0, 4.0), pt(6.0, 4.0), pt(6.0, 6.0), pt(4.0, 6.0)]).unwrap();
+        let ext = Ring::new(vec![
+            pt(0.0, 0.0),
+            pt(10.0, 0.0),
+            pt(10.0, 10.0),
+            pt(0.0, 10.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![pt(4.0, 4.0), pt(6.0, 4.0), pt(6.0, 6.0), pt(4.0, 6.0)]).unwrap();
         let poly = Polygon::new(ext, vec![hole]).unwrap();
         let wkt = polygon_to_wkt(&poly);
         match parse(&wkt).unwrap() {

@@ -19,9 +19,8 @@ fn point() -> impl Strategy<Value = Point> {
 }
 
 fn rect_poly() -> impl Strategy<Value = Polygon> {
-    (coord(), coord(), 1u8..=40, 1u8..=40).prop_map(|(x, y, w, h)| {
-        Polygon::rectangle(x, y, x + w as f64, y + h as f64)
-    })
+    (coord(), coord(), 1u8..=40, 1u8..=40)
+        .prop_map(|(x, y, w, h)| Polygon::rectangle(x, y, x + w as f64, y + h as f64))
 }
 
 /// A random convex polygon: convex hull of a handful of random points.
@@ -31,7 +30,9 @@ fn convex_poly() -> impl Strategy<Value = Polygon> {
         if hull.len() < 3 {
             return None;
         }
-        Ring::new(hull).ok().map(|r| Polygon::new(r, vec![]).unwrap())
+        Ring::new(hull)
+            .ok()
+            .map(|r| Polygon::new(r, vec![]).unwrap())
     })
 }
 

@@ -65,7 +65,10 @@ impl ArbTree {
             *leaf_aggs[rid.0 as usize].entry(bucket).or_insert(0.0) += v;
         }
 
-        let mut tree = ArbTree { nodes: Vec::new(), root: None };
+        let mut tree = ArbTree {
+            nodes: Vec::new(),
+            root: None,
+        };
         if regions.is_empty() {
             return tree;
         }
@@ -110,7 +113,12 @@ impl ArbTree {
                         *agg.entry(bucket).or_insert(0.0) += v;
                     }
                 }
-                tree.nodes.push(ArbNode { bbox, agg, children: chunk.to_vec(), region: None });
+                tree.nodes.push(ArbNode {
+                    bbox,
+                    agg,
+                    children: chunk.to_vec(),
+                    region: None,
+                });
                 next.push(tree.nodes.len() - 1);
             }
             level = next;
@@ -137,7 +145,9 @@ impl ArbTree {
     /// counts every region intersecting it. The bounds coincide when no
     /// region partially overlaps the window.
     pub fn count_bounds(&self, window: &BBox, t0: i64, t1: i64) -> (f64, f64) {
-        let Some(root) = self.root else { return (0.0, 0.0) };
+        let Some(root) = self.root else {
+            return (0.0, 0.0);
+        };
         let mut lower = 0.0;
         let mut upper = 0.0;
         let mut stack = vec![root];
@@ -230,7 +240,7 @@ mod tests {
         let (lo, hi) = t.count_bounds(&BBox::new(-0.5, -0.5, 1.5, 4.5), 0, 1);
         assert_eq!(lo, 8.0); // column 0 contained
         assert_eq!(hi, 16.0); // column 1 partially overlapped
-        // Full window, full time.
+                              // Full window, full time.
         assert_eq!(t.count(&BBox::new(0.0, 0.0, 4.0, 4.0), 0, 3), 64.0);
     }
 

@@ -58,16 +58,14 @@ impl GridIndex {
         if self.cell_w == 0.0 {
             return 0;
         }
-        (((x - self.bounds.min_x) / self.cell_w) as isize).clamp(0, self.cols as isize - 1)
-            as usize
+        (((x - self.bounds.min_x) / self.cell_w) as isize).clamp(0, self.cols as isize - 1) as usize
     }
 
     fn row_of(&self, y: f64) -> usize {
         if self.cell_h == 0.0 {
             return 0;
         }
-        (((y - self.bounds.min_y) / self.cell_h) as isize).clamp(0, self.rows as isize - 1)
-            as usize
+        (((y - self.bounds.min_y) / self.cell_h) as isize).clamp(0, self.rows as isize - 1) as usize
     }
 
     /// Cell range `(c0, r0, c1, r1)` overlapped by a rectangle (clamped to
@@ -151,7 +149,7 @@ mod tests {
     fn spanning_item_registered_in_all_cells() {
         let mut g = grid();
         g.insert(&BBox::new(0.0, 0.0, 10.0, 0.1), 1); // bottom strip
-        // Appears in all 5 bottom cells…
+                                                      // Appears in all 5 bottom cells…
         let occ = g.occupancy();
         assert_eq!(occ.iter().filter(|&&c| c > 0).count(), 5);
         // …and any bottom query finds it.

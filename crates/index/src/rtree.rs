@@ -6,6 +6,7 @@
 //! nearest neighbour.
 
 use gisolap_geom::{BBox, Point};
+use rayon::prelude::*;
 
 const MAX_ENTRIES: usize = 16;
 const MIN_ENTRIES: usize = 6; // ≈ 40 % of MAX
@@ -50,7 +51,10 @@ impl<T> RTree<T> {
     /// Creates an empty tree.
     pub fn new() -> RTree<T> {
         RTree {
-            nodes: vec![Node { bbox: BBox::empty(), kind: NodeKind::Leaf(Vec::new()) }],
+            nodes: vec![Node {
+                bbox: BBox::empty(),
+                kind: NodeKind::Leaf(Vec::new()),
+            }],
             entries: Vec::new(),
             root: 0,
             height: 1,
@@ -64,31 +68,39 @@ impl<T> RTree<T> {
         if items.is_empty() {
             return tree;
         }
-        tree.entries = items.into_iter().map(|(bbox, item)| Entry { bbox, item }).collect();
+        tree.entries = items
+            .into_iter()
+            .map(|(bbox, item)| Entry { bbox, item })
+            .collect();
 
         // Leaf level: sort by center x, tile into vertical slices, sort
-        // each slice by center y, pack runs of MAX_ENTRIES.
+        // each slice by center y, pack runs of MAX_ENTRIES. The slices
+        // are disjoint index ranges, so the per-slice y-sorts run in
+        // parallel; center keys are extracted first so the parallel
+        // comparators never touch `T` (keeps `bulk_load` bound-free).
+        let centers: Vec<Point> = tree.entries.iter().map(|e| e.bbox.center()).collect();
         let mut idxs: Vec<usize> = (0..tree.entries.len()).collect();
-        idxs.sort_by(|&a, &b| {
-            tree.entries[a].bbox.center().x.total_cmp(&tree.entries[b].bbox.center().x)
-        });
+        idxs.sort_by(|&a, &b| centers[a].x.total_cmp(&centers[b].x));
         let n = idxs.len();
         let leaf_count = n.div_ceil(MAX_ENTRIES);
         let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
         let slice_size = n.div_ceil(slice_count);
 
+        idxs.par_chunks_mut(slice_size).for_each(|slice| {
+            slice.sort_by(|&a, &b| centers[a].y.total_cmp(&centers[b].y));
+        });
+
         tree.nodes.clear();
         let mut level: Vec<usize> = Vec::new(); // node indices of current level
         for slice in idxs.chunks(slice_size) {
-            let mut slice: Vec<usize> = slice.to_vec();
-            slice.sort_by(|&a, &b| {
-                tree.entries[a].bbox.center().y.total_cmp(&tree.entries[b].bbox.center().y)
-            });
             for run in slice.chunks(MAX_ENTRIES) {
                 let bbox = run
                     .iter()
                     .fold(BBox::empty(), |b, &i| b.union(&tree.entries[i].bbox));
-                tree.nodes.push(Node { bbox, kind: NodeKind::Leaf(run.to_vec()) });
+                tree.nodes.push(Node {
+                    bbox,
+                    kind: NodeKind::Leaf(run.to_vec()),
+                });
                 level.push(tree.nodes.len() - 1);
             }
         }
@@ -100,7 +112,11 @@ impl<T> RTree<T> {
             // Sort nodes of the level by center x then tile (STR again).
             let mut lv = level.clone();
             lv.sort_by(|&a, &b| {
-                tree.nodes[a].bbox.center().x.total_cmp(&tree.nodes[b].bbox.center().x)
+                tree.nodes[a]
+                    .bbox
+                    .center()
+                    .x
+                    .total_cmp(&tree.nodes[b].bbox.center().x)
             });
             let m = lv.len();
             let node_count = m.div_ceil(MAX_ENTRIES);
@@ -109,12 +125,20 @@ impl<T> RTree<T> {
             for slice in lv.chunks(s_size) {
                 let mut slice: Vec<usize> = slice.to_vec();
                 slice.sort_by(|&a, &b| {
-                    tree.nodes[a].bbox.center().y.total_cmp(&tree.nodes[b].bbox.center().y)
+                    tree.nodes[a]
+                        .bbox
+                        .center()
+                        .y
+                        .total_cmp(&tree.nodes[b].bbox.center().y)
                 });
                 for run in slice.chunks(MAX_ENTRIES) {
-                    let bbox =
-                        run.iter().fold(BBox::empty(), |b, &i| b.union(&tree.nodes[i].bbox));
-                    tree.nodes.push(Node { bbox, kind: NodeKind::Internal(run.to_vec()) });
+                    let bbox = run
+                        .iter()
+                        .fold(BBox::empty(), |b, &i| b.union(&tree.nodes[i].bbox));
+                    tree.nodes.push(Node {
+                        bbox,
+                        kind: NodeKind::Internal(run.to_vec()),
+                    });
                     parent_level.push(tree.nodes.len() - 1);
                 }
             }
@@ -200,9 +224,11 @@ impl<T> RTree<T> {
         }
         if let Some((old_root, new_node)) = split_child {
             // Grow a new root.
-            let bbox =
-                self.nodes[old_root].bbox.union(&self.nodes[new_node].bbox);
-            self.nodes.push(Node { bbox, kind: NodeKind::Internal(vec![old_root, new_node]) });
+            let bbox = self.nodes[old_root].bbox.union(&self.nodes[new_node].bbox);
+            self.nodes.push(Node {
+                bbox,
+                kind: NodeKind::Internal(vec![old_root, new_node]),
+            });
             self.root = self.nodes.len() - 1;
             self.height += 1;
         }
@@ -301,8 +327,14 @@ impl<T> RTree<T> {
                 NodeKind::Internal(v)
             }
         };
-        self.nodes[node] = Node { bbox: bbox_a, kind: new_kind(group_a) };
-        self.nodes.push(Node { bbox: bbox_b, kind: new_kind(group_b) });
+        self.nodes[node] = Node {
+            bbox: bbox_a,
+            kind: new_kind(group_a),
+        };
+        self.nodes.push(Node {
+            bbox: bbox_b,
+            kind: new_kind(group_b),
+        });
         Some((node, self.nodes.len() - 1))
     }
 

@@ -76,7 +76,13 @@ pub struct Accumulator {
 impl Accumulator {
     /// Fresh accumulator for `f`.
     pub fn new(f: AggFn) -> Accumulator {
-        Accumulator { f, count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Accumulator {
+            f,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Feeds one value.
@@ -137,7 +143,9 @@ where
     order
         .into_iter()
         .map(|k| {
-            let agg = groups[&k].finish().expect("non-empty group always aggregates");
+            let agg = groups[&k]
+                .finish()
+                .expect("non-empty group always aggregates");
             (k, agg)
         })
         .collect()

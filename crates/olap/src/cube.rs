@@ -41,7 +41,12 @@ impl<'a> CubeView<'a> {
                 dim.schema().level_name(c.level).to_string()
             })
             .collect();
-        Ok(CubeView { facts, levels, measure: measure.to_string(), agg })
+        Ok(CubeView {
+            facts,
+            levels,
+            measure: measure.to_string(),
+            agg,
+        })
     }
 
     /// Current level of a dimension column.
@@ -125,7 +130,10 @@ mod tests {
 
     fn table() -> FactTable {
         let geo = {
-            let schema = SchemaBuilder::new("Geo").chain(&["store", "city"]).build().unwrap();
+            let schema = SchemaBuilder::new("Geo")
+                .chain(&["store", "city"])
+                .build()
+                .unwrap();
             DimensionInstance::builder(schema)
                 .rollup("store", "S1", "city", "A")
                 .unwrap()

@@ -55,7 +55,11 @@ impl FactTable {
                 .get(*di)
                 .ok_or_else(|| OlapError::UnknownColumn(format!("dimension #{di}")))?;
             let level = dim.schema().level_id(lname)?;
-            cols.push(DimColumn { name: cname.to_string(), dimension: *di, level });
+            cols.push(DimColumn {
+                name: cname.to_string(),
+                dimension: *di,
+                level,
+            });
         }
         Ok(FactTable {
             name: name.into(),
@@ -253,7 +257,9 @@ impl FactTable {
         let dim = &self.dimensions[dcol.dimension];
         let mut out = HashMap::new();
         for ri in 0..self.len() {
-            let name = dim.member_name(dcol.level, self.dim_data[ri][ci]).to_string();
+            let name = dim
+                .member_name(dcol.level, self.dim_data[ri][ci])
+                .to_string();
             *out.entry(name).or_insert(0) += 1;
         }
         Ok(out)
@@ -286,7 +292,10 @@ mod tests {
                 .unwrap()
         };
         let time = {
-            let schema = SchemaBuilder::new("Time").chain(&["month", "year"]).build().unwrap();
+            let schema = SchemaBuilder::new("Time")
+                .chain(&["month", "year"])
+                .build()
+                .unwrap();
             DimensionInstance::builder(schema)
                 .rollup("month", "2006-01", "year", "2006")
                 .unwrap()
@@ -321,13 +330,18 @@ mod tests {
         let ft = sales_table();
         assert_eq!(ft.len(), 5);
         assert!(!ft.is_empty());
-        assert_eq!(ft.measure_names(), &["amount".to_string(), "units".to_string()]);
+        assert_eq!(
+            ft.measure_names(),
+            &["amount".to_string(), "units".to_string()]
+        );
     }
 
     #[test]
     fn aggregate_at_stored_level() {
         let ft = sales_table();
-        let out = ft.aggregate(AggFn::Sum, &[("store", "store")], "amount").unwrap();
+        let out = ft
+            .aggregate(AggFn::Sum, &[("store", "store")], "amount")
+            .unwrap();
         let m: HashMap<_, _> = out.into_iter().map(|(k, v)| (k[0].clone(), v)).collect();
         assert_eq!(m["S1"], 250.0);
         assert_eq!(m["S2"], 200.0);
@@ -337,12 +351,16 @@ mod tests {
     #[test]
     fn aggregate_with_rollup() {
         let ft = sales_table();
-        let out = ft.aggregate(AggFn::Sum, &[("store", "city")], "amount").unwrap();
+        let out = ft
+            .aggregate(AggFn::Sum, &[("store", "city")], "amount")
+            .unwrap();
         let m: HashMap<_, _> = out.into_iter().map(|(k, v)| (k[0].clone(), v)).collect();
         assert_eq!(m["Antwerp"], 450.0);
         assert_eq!(m["Brussels"], 125.0);
         // Grand total via All.
-        let out = ft.aggregate(AggFn::Sum, &[("store", "All")], "amount").unwrap();
+        let out = ft
+            .aggregate(AggFn::Sum, &[("store", "All")], "amount")
+            .unwrap();
         assert_eq!(out[0].1, 575.0);
     }
 
@@ -350,10 +368,16 @@ mod tests {
     fn aggregate_two_group_columns() {
         let ft = sales_table();
         let out = ft
-            .aggregate(AggFn::Sum, &[("store", "city"), ("month", "year")], "amount")
+            .aggregate(
+                AggFn::Sum,
+                &[("store", "city"), ("month", "year")],
+                "amount",
+            )
             .unwrap();
-        let m: HashMap<_, _> =
-            out.into_iter().map(|(k, v)| ((k[0].clone(), k[1].clone()), v)).collect();
+        let m: HashMap<_, _> = out
+            .into_iter()
+            .map(|(k, v)| ((k[0].clone(), k[1].clone()), v))
+            .collect();
         assert_eq!(m[&("Antwerp".to_string(), "2006".to_string())], 450.0);
         assert_eq!(m[&("Brussels".to_string(), "2006".to_string())], 50.0);
         assert_eq!(m[&("Brussels".to_string(), "2007".to_string())], 75.0);
@@ -362,12 +386,18 @@ mod tests {
     #[test]
     fn other_agg_functions() {
         let ft = sales_table();
-        let avg = ft.aggregate(AggFn::Avg, &[("store", "All")], "amount").unwrap();
+        let avg = ft
+            .aggregate(AggFn::Avg, &[("store", "All")], "amount")
+            .unwrap();
         assert_eq!(avg[0].1, 115.0);
-        let count = ft.aggregate(AggFn::Count, &[("store", "city")], "units").unwrap();
+        let count = ft
+            .aggregate(AggFn::Count, &[("store", "city")], "units")
+            .unwrap();
         let m: HashMap<_, _> = count.into_iter().map(|(k, v)| (k[0].clone(), v)).collect();
         assert_eq!(m["Antwerp"], 3.0);
-        let max = ft.aggregate(AggFn::Max, &[("month", "year")], "amount").unwrap();
+        let max = ft
+            .aggregate(AggFn::Max, &[("month", "year")], "amount")
+            .unwrap();
         let m: HashMap<_, _> = max.into_iter().map(|(k, v)| (k[0].clone(), v)).collect();
         assert_eq!(m["2006"], 200.0);
         assert_eq!(m["2007"], 75.0);
@@ -395,10 +425,16 @@ mod tests {
         assert!(ft.insert(&["S1"], &[1.0, 1.0]).is_err()); // arity
         assert!(ft.insert(&["S1", "2006-01"], &[1.0]).is_err()); // measures
         assert!(ft.insert(&["ghost", "2006-01"], &[1.0, 1.0]).is_err());
-        assert!(ft.aggregate(AggFn::Sum, &[("nope", "city")], "amount").is_err());
-        assert!(ft.aggregate(AggFn::Sum, &[("store", "city")], "nope").is_err());
+        assert!(ft
+            .aggregate(AggFn::Sum, &[("nope", "city")], "amount")
+            .is_err());
+        assert!(ft
+            .aggregate(AggFn::Sum, &[("store", "city")], "nope")
+            .is_err());
         // Cannot roll a month column up a geography path.
-        assert!(ft.aggregate(AggFn::Sum, &[("month", "city")], "amount").is_err());
+        assert!(ft
+            .aggregate(AggFn::Sum, &[("month", "city")], "amount")
+            .is_err());
     }
 
     #[test]

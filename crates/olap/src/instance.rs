@@ -166,8 +166,13 @@ impl InstanceBuilder {
             }
         }
 
-        let inst =
-            DimensionInstance { schema, members, member_index, rollups, attributes };
+        let inst = DimensionInstance {
+            schema,
+            members,
+            member_index,
+            rollups,
+            attributes,
+        };
         inst.check_consistency()?;
         Ok(inst)
     }
@@ -214,14 +219,13 @@ impl DimensionInstance {
         if from == to {
             return Ok(member);
         }
-        let path = self
-            .schema
-            .path(from, to)
-            .ok_or_else(|| OlapError::UnknownLevel(format!(
+        let path = self.schema.path(from, to).ok_or_else(|| {
+            OlapError::UnknownLevel(format!(
                 "no rollup path {} → {}",
                 self.schema.level_name(from),
                 self.schema.level_name(to)
-            )))?;
+            ))
+        })?;
         let mut cur = member;
         for w in path.windows(2) {
             cur = self
@@ -241,7 +245,10 @@ impl DimensionInstance {
 
     /// Names of the attributes defined at a level.
     pub fn attribute_names(&self, level: LevelId) -> Vec<&str> {
-        self.attributes[level.0 as usize].keys().map(String::as_str).collect()
+        self.attributes[level.0 as usize]
+            .keys()
+            .map(String::as_str)
+            .collect()
     }
 
     /// All members of `from` that roll up to `target` at level `to`
@@ -370,7 +377,10 @@ mod tests {
         let inst = geo_instance();
         let city = inst.schema().level_id("city").unwrap();
         let antwerp = inst.member_id(city, "Antwerp").unwrap();
-        assert_eq!(inst.attribute(city, antwerp, "population"), Value::Int(520_000));
+        assert_eq!(
+            inst.attribute(city, antwerp, "population"),
+            Value::Int(520_000)
+        );
         let liege = inst.member_id(city, "Liège").unwrap();
         assert_eq!(inst.attribute(city, liege, "population"), Value::Null);
         assert_eq!(inst.attribute(city, antwerp, "ghost"), Value::Null);
@@ -389,7 +399,10 @@ mod tests {
 
     #[test]
     fn partial_rollup_rejected() {
-        let schema = SchemaBuilder::new("G").chain(&["city", "province"]).build().unwrap();
+        let schema = SchemaBuilder::new("G")
+            .chain(&["city", "province"])
+            .build()
+            .unwrap();
         let err = DimensionInstance::builder(schema)
             .member("city", "Orphan")
             .unwrap()
@@ -423,7 +436,10 @@ mod tests {
             .rollup("region", "R", "country", "C2")
             .unwrap()
             .build();
-        assert!(matches!(err.unwrap_err(), OlapError::InconsistentRollup { .. }));
+        assert!(matches!(
+            err.unwrap_err(),
+            OlapError::InconsistentRollup { .. }
+        ));
     }
 
     #[test]
@@ -473,7 +489,10 @@ mod tests {
 
     #[test]
     fn rollup_requires_schema_edge() {
-        let schema = SchemaBuilder::new("G").chain(&["city", "province", "country"]).build().unwrap();
+        let schema = SchemaBuilder::new("G")
+            .chain(&["city", "province", "country"])
+            .build()
+            .unwrap();
         let err = DimensionInstance::builder(schema).rollup("city", "A", "country", "B");
         assert!(err.is_err());
     }

@@ -96,7 +96,10 @@ impl std::fmt::Display for OlapError {
                 write!(f, "member {member:?} of {from:?} has no rollup to {to:?}")
             }
             OlapError::InconsistentRollup { member, at } => {
-                write!(f, "rollup paths for member {member:?} disagree at level {at:?}")
+                write!(
+                    f,
+                    "rollup paths for member {member:?} disagree at level {at:?}"
+                )
             }
             OlapError::UnknownMember(m) => write!(f, "unknown member {m:?}"),
             OlapError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),

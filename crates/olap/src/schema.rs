@@ -39,7 +39,11 @@ impl SchemaBuilder {
     /// Starts a schema with the given dimension name. The `All` level is
     /// added automatically.
     pub fn new(name: impl Into<String>) -> SchemaBuilder {
-        SchemaBuilder { name: name.into(), levels: vec![ALL.to_string()], edges: vec![] }
+        SchemaBuilder {
+            name: name.into(),
+            levels: vec![ALL.to_string()],
+            edges: vec![],
+        }
     }
 
     /// Adds a level.
@@ -156,7 +160,14 @@ impl SchemaBuilder {
             }
         }
 
-        Ok(DimensionSchema { name: self.name, levels, parents, children, bottom, top })
+        Ok(DimensionSchema {
+            name: self.name,
+            levels,
+            parents,
+            children,
+            bottom,
+            top,
+        })
     }
 }
 
@@ -376,7 +387,10 @@ mod tests {
 
     #[test]
     fn rejects_unknown_edge_level() {
-        let err = SchemaBuilder::new("D").level("a").rollup("a", "ghost").build();
+        let err = SchemaBuilder::new("D")
+            .level("a")
+            .rollup("a", "ghost")
+            .build();
         assert_eq!(err.unwrap_err(), OlapError::UnknownLevel("ghost".into()));
     }
 }

@@ -368,10 +368,25 @@ impl TimeDimension {
             let year = self.granule_label(t, TimeLevel::Year);
             b = b
                 .rollup("timeId", tid.clone(), "hour", hour.clone())?
-                .rollup("hour", hour.clone(), "timeOfDay", self.time_of_day(t).as_str())?
+                .rollup(
+                    "hour",
+                    hour.clone(),
+                    "timeOfDay",
+                    self.time_of_day(t).as_str(),
+                )?
                 .rollup("timeId", tid, "day", day.clone())?
-                .rollup("day", day.clone(), "dayOfWeek", self.day_of_week(t).as_str())?
-                .rollup("day", day.clone(), "typeOfDay", self.type_of_day(t).as_str())?
+                .rollup(
+                    "day",
+                    day.clone(),
+                    "dayOfWeek",
+                    self.day_of_week(t).as_str(),
+                )?
+                .rollup(
+                    "day",
+                    day.clone(),
+                    "typeOfDay",
+                    self.type_of_day(t).as_str(),
+                )?
                 .rollup("day", day, "month", month.clone())?
                 .rollup("month", month, "year", year)?;
         }
@@ -395,7 +410,11 @@ mod tests {
             (1969, 7, 20),
         ] {
             let days = days_from_civil(y, m, d);
-            assert_eq!(civil_from_days(days), (y, m, d), "roundtrip for {y}-{m}-{d}");
+            assert_eq!(
+                civil_from_days(days),
+                (y, m, d),
+                "roundtrip for {y}-{m}-{d}"
+            );
         }
         assert_eq!(days_from_civil(1970, 1, 1), 0);
         assert_eq!(days_from_civil(1970, 1, 2), 1);
@@ -500,9 +519,7 @@ mod tests {
         let timeid = s.level_id("timeId").unwrap();
         let tod = s.level_id("timeOfDay").unwrap();
         let year = s.level_id("year").unwrap();
-        let m = inst
-            .member_id(timeid, &instants[0].0.to_string())
-            .unwrap();
+        let m = inst.member_id(timeid, &instants[0].0.to_string()).unwrap();
         assert_eq!(
             inst.member_name(tod, inst.rollup(timeid, tod, m).unwrap()),
             "Morning"

@@ -1,7 +1,7 @@
 //! Property-based tests for the OLAP substrate.
 
 use gisolap_olap::agg::{gamma, gamma_count_distinct, Accumulator, AggFn};
-use gisolap_olap::time::{days_from_civil, civil_from_days, TimeDimension, TimeId, TimeLevel};
+use gisolap_olap::time::{civil_from_days, days_from_civil, TimeDimension, TimeId, TimeLevel};
 use proptest::prelude::*;
 
 proptest! {

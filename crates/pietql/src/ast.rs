@@ -178,14 +178,24 @@ impl std::fmt::Display for PietQuery {
                         }
                         write!(f, ")")?;
                     }
-                    GeoCondition::Contains { subject, contained, subplevel } => {
+                    GeoCondition::Contains {
+                        subject,
+                        contained,
+                        subplevel,
+                    } => {
                         write!(f, "({subject}) CONTAINS ({subject}, {contained}")?;
                         if let Some(s) = subplevel {
                             write!(f, ", subplevel.{s}")?;
                         }
                         write!(f, ")")?;
                     }
-                    GeoCondition::Attr { layer, category, attribute, op, value } => {
+                    GeoCondition::Attr {
+                        layer,
+                        category,
+                        attribute,
+                        op,
+                        value,
+                    } => {
                         let op_s = match op {
                             CmpOp::Lt => "<",
                             CmpOp::Le => "<=",
@@ -223,7 +233,11 @@ impl std::fmt::Display for PietQuery {
                 write!(f, " WITHIN {d}")?;
             }
             if let Some(g) = mo.per {
-                write!(f, " PER {}", if g == Granule::Hour { "HOUR" } else { "DAY" })?;
+                write!(
+                    f,
+                    " PER {}",
+                    if g == Granule::Hour { "HOUR" } else { "DAY" }
+                )?;
             }
             if !mo.time.is_empty() {
                 write!(f, " WHERE ")?;
@@ -258,14 +272,24 @@ impl std::fmt::Display for PietQuery {
                             }
                             write!(f, ")")?;
                         }
-                        GeoCondition::Contains { subject, contained, subplevel } => {
+                        GeoCondition::Contains {
+                            subject,
+                            contained,
+                            subplevel,
+                        } => {
                             write!(f, "({subject}) CONTAINS ({subject}, {contained}")?;
                             if let Some(s) = subplevel {
                                 write!(f, ", subplevel.{s}")?;
                             }
                             write!(f, ")")?;
                         }
-                        GeoCondition::Attr { layer, category, attribute, op, value } => {
+                        GeoCondition::Attr {
+                            layer,
+                            category,
+                            attribute,
+                            op,
+                            value,
+                        } => {
                             let op_s = match op {
                                 CmpOp::Lt => "<",
                                 CmpOp::Le => "<=",

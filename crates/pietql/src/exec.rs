@@ -101,11 +101,17 @@ fn build_filter(query: &PietQuery) -> Result<GeoFilter> {
                     )));
                 };
                 push(
-                    GeoFilter::IntersectsLayer { layer: other.0.clone() },
+                    GeoFilter::IntersectsLayer {
+                        layer: other.0.clone(),
+                    },
                     &mut filter,
                 );
             }
-            GeoCondition::Contains { subject: s, contained, .. } => {
+            GeoCondition::Contains {
+                subject: s,
+                contained,
+                ..
+            } => {
                 if s != subject {
                     return Err(PietError::Exec(format!(
                         "CONTAINS subject {} is not the SELECT subject {}",
@@ -113,11 +119,19 @@ fn build_filter(query: &PietQuery) -> Result<GeoFilter> {
                     )));
                 }
                 push(
-                    GeoFilter::ContainsNodeOf { layer: contained.0.clone() },
+                    GeoFilter::ContainsNodeOf {
+                        layer: contained.0.clone(),
+                    },
                     &mut filter,
                 );
             }
-            GeoCondition::Attr { layer, category, attribute, op, value } => {
+            GeoCondition::Attr {
+                layer,
+                category,
+                attribute,
+                op,
+                value,
+            } => {
                 if layer != subject {
                     return Err(PietError::Exec(format!(
                         "attr() layer {} is not the SELECT subject {}",
@@ -160,9 +174,7 @@ fn build_time_predicates(mo: &MoAggregate) -> Result<Vec<TimePredicate>> {
                     "Morning" => TimeOfDay::Morning,
                     "Afternoon" => TimeOfDay::Afternoon,
                     "Evening" => TimeOfDay::Evening,
-                    other => {
-                        return Err(PietError::Exec(format!("unknown timeOfDay {other:?}")))
-                    }
+                    other => return Err(PietError::Exec(format!("unknown timeOfDay {other:?}"))),
                 };
                 TimePredicate::TimeOfDayIs(v)
             }
@@ -175,9 +187,7 @@ fn build_time_predicates(mo: &MoAggregate) -> Result<Vec<TimePredicate>> {
                     "Friday" => DayOfWeek::Friday,
                     "Saturday" => DayOfWeek::Saturday,
                     "Sunday" => DayOfWeek::Sunday,
-                    other => {
-                        return Err(PietError::Exec(format!("unknown dayOfWeek {other:?}")))
-                    }
+                    other => return Err(PietError::Exec(format!("unknown dayOfWeek {other:?}"))),
                 };
                 TimePredicate::DayOfWeekIs(v)
             }
@@ -185,9 +195,7 @@ fn build_time_predicates(mo: &MoAggregate) -> Result<Vec<TimePredicate>> {
                 let v = match s.as_str() {
                     "Weekday" => TypeOfDay::Weekday,
                     "Weekend" => TypeOfDay::Weekend,
-                    other => {
-                        return Err(PietError::Exec(format!("unknown typeOfDay {other:?}")))
-                    }
+                    other => return Err(PietError::Exec(format!("unknown typeOfDay {other:?}"))),
                 };
                 TimePredicate::TypeOfDayIs(v)
             }
@@ -407,7 +415,10 @@ mod tests {
             vec![Polyline::new(vec![pt(-5.0, 5.0), pt(15.0, 5.0)]).unwrap()],
         ));
         gis.add_layer(Layer::nodes("stores", vec![pt(5.0, 5.0)]));
-        let schema = SchemaBuilder::new("Cities").chain(&["city"]).build().unwrap();
+        let schema = SchemaBuilder::new("Cities")
+            .chain(&["city"])
+            .build()
+            .unwrap();
         let dim = DimensionInstance::builder(schema)
             .member("city", "A")
             .unwrap()
@@ -420,8 +431,13 @@ mod tests {
             .build()
             .unwrap();
         gis.add_dimension(dim);
-        gis.bind_alpha("city", "Cities", "cities", &[("A", GeoId(0)), ("B", GeoId(1))])
-            .unwrap();
+        gis.bind_alpha(
+            "city",
+            "Cities",
+            "cities",
+            &[("A", GeoId(0)), ("B", GeoId(1))],
+        )
+        .unwrap();
         // One car crossing city 0 between samples; one car sampled inside
         // city 1; one far away.
         let moft = Moft::from_tuples([

@@ -85,22 +85,20 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 out.push(Token::Ne);
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        out.push(Token::Le);
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        out.push(Token::Ne);
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::Ge);
@@ -118,7 +116,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(PietError::Lex { at: i, msg: "unterminated string".into() });
+                    return Err(PietError::Lex {
+                        at: i,
+                        msg: "unterminated string".into(),
+                    });
                 }
                 out.push(Token::Str(input[start..j].to_string()));
                 i = j + 1;
@@ -140,8 +141,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     }
                     i += 1;
                 }
-                let text: String =
-                    input[start..i].chars().filter(|&ch| ch != '_').collect();
+                let text: String = input[start..i].chars().filter(|&ch| ch != '_').collect();
                 let n: f64 = text.parse().map_err(|_| PietError::Lex {
                     at: start,
                     msg: format!("bad number {text:?}"),

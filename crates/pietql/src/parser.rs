@@ -53,7 +53,10 @@ struct Parser {
 
 impl Parser {
     fn err(&self, msg: impl Into<String>) -> PietError {
-        PietError::Parse { at: self.pos, msg: msg.into() }
+        PietError::Parse {
+            at: self.pos,
+            msg: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -156,7 +159,13 @@ impl Parser {
                 got => return Err(self.err(format!("expected literal, got {got:?}"))),
             };
             self.expect(&Token::RParen)?;
-            return Ok(GeoCondition::Attr { layer, category, attribute, op, value });
+            return Ok(GeoCondition::Attr {
+                layer,
+                category,
+                attribute,
+                op,
+                value,
+            });
         }
         // '(' layer ')' CONTAINS '(' layer ',' layer [',' subplevel] ')'
         self.expect(&Token::LParen)?;
@@ -175,7 +184,11 @@ impl Parser {
         let contained = self.layer_ref()?;
         let subplevel = self.subplevel_opt()?;
         self.expect(&Token::RParen)?;
-        Ok(GeoCondition::Contains { subject, contained, subplevel })
+        Ok(GeoCondition::Contains {
+            subject,
+            contained,
+            subplevel,
+        })
     }
 
     fn mo_time_condition(&mut self) -> Result<MoTimeCondition> {
@@ -276,7 +289,14 @@ impl Parser {
                 excluding.push(self.geo_condition()?);
             }
         }
-        Ok(MoAggregate { func: func.to_ascii_uppercase(), target, within, per, time, excluding })
+        Ok(MoAggregate {
+            func: func.to_ascii_uppercase(),
+            target,
+            within,
+            per,
+            time,
+            excluding,
+        })
     }
 
     fn query(&mut self) -> Result<PietQuery> {
@@ -321,7 +341,13 @@ impl Parser {
             }
         }
 
-        Ok(PietQuery { select, from, conditions, olap, mo })
+        Ok(PietQuery {
+            select,
+            from,
+            conditions,
+            olap,
+            mo,
+        })
     }
 
     fn olap_part(&mut self) -> Result<OlapAggregate> {
@@ -334,9 +360,23 @@ impl Parser {
         self.expect(&Token::Dot)?;
         let measure = self.ident()?;
         self.expect(&Token::RParen)?;
-        let by = if self.eat_kw("by") { Some(self.ident()?) } else { None };
-        let via = if self.eat_kw("via") { Some(self.ident()?) } else { None };
-        Ok(OlapAggregate { func: func.to_ascii_uppercase(), table, measure, by, via })
+        let by = if self.eat_kw("by") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let via = if self.eat_kw("via") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(OlapAggregate {
+            func: func.to_ascii_uppercase(),
+            table,
+            measure,
+            by,
+            via,
+        })
     }
 }
 
@@ -394,12 +434,16 @@ mod tests {
 
     #[test]
     fn parses_attr_condition() {
-        let q = parse(
-            "SELECT layer.Ln; FROM S; WHERE attr(layer.Ln, neighborhood.income < 1500)",
-        )
-        .unwrap();
+        let q = parse("SELECT layer.Ln; FROM S; WHERE attr(layer.Ln, neighborhood.income < 1500)")
+            .unwrap();
         match &q.conditions[0] {
-            GeoCondition::Attr { category, attribute, op, value, .. } => {
+            GeoCondition::Attr {
+                category,
+                attribute,
+                op,
+                value,
+                ..
+            } => {
                 assert_eq!(category, "neighborhood");
                 assert_eq!(attribute, "income");
                 assert_eq!(*op, CmpOp::Lt);
@@ -411,10 +455,8 @@ mod tests {
 
     #[test]
     fn hour_range_merging() {
-        let q = parse(
-            "SELECT layer.L; FROM S; | COUNT(TUPLES) WHERE hour >= 8 AND hour <= 10",
-        )
-        .unwrap();
+        let q = parse("SELECT layer.L; FROM S; | COUNT(TUPLES) WHERE hour >= 8 AND hour <= 10")
+            .unwrap();
         assert_eq!(
             q.mo.unwrap().time,
             vec![MoTimeCondition::HourRange { lo: 8, hi: 10 }]
@@ -434,10 +476,9 @@ mod tests {
         assert!(parse("SELECT layer.L FROM S;").is_err()); // missing ;
         assert!(parse("SELECT layer.L; FROM S; | SUM(TUPLES)").is_err()); // only COUNT
         assert!(parse("SELECT layer.L; FROM S; | COUNT(THINGS)").is_err());
-        assert!(parse(
-            "SELECT layer.L; FROM S; WHERE (layer.L) CONTAINS (layer.M, layer.N)"
-        )
-        .is_err()); // subject mismatch
+        assert!(
+            parse("SELECT layer.L; FROM S; WHERE (layer.L) CONTAINS (layer.M, layer.N)").is_err()
+        ); // subject mismatch
         assert!(parse("SELECT layer.L; FROM S; trailing").is_err());
     }
 

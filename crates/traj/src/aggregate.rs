@@ -257,11 +257,8 @@ mod tests {
     #[test]
     fn revisits_count_as_visits_not_objects() {
         // Out and back: the object passes each cell twice.
-        let moft = Moft::from_tuples([
-            (1, 0, 5.0, 15.0),
-            (1, 100, 95.0, 15.0),
-            (1, 200, 5.0, 15.0),
-        ]);
+        let moft =
+            Moft::from_tuples([(1, 0, 5.0, 15.0), (1, 100, 95.0, 15.0), (1, 200, 5.0, 15.0)]);
         let grid = FlowGrid::aggregate(bounds(), 10, 10, &moft);
         assert_eq!(grid.object_count(5, 1), 1);
         assert!(grid.visit_count(5, 1) >= 2);

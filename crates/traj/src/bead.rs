@@ -53,9 +53,19 @@ impl Bead {
         }
         let required = p1.distance(p2) / (t2 - t1);
         if required > vmax {
-            return Err(TrajError::SpeedViolation { at: 0, required, vmax });
+            return Err(TrajError::SpeedViolation {
+                at: 0,
+                required,
+                vmax,
+            });
         }
-        Ok(Bead { t1, p1, t2, p2, vmax })
+        Ok(Bead {
+            t1,
+            p1,
+            t2,
+            p2,
+            vmax,
+        })
     }
 
     /// Major-axis length of the projected ellipse: `vmax·(t₂ − t₁)`.
@@ -282,7 +292,7 @@ mod tests {
     #[test]
     fn region_reachability_three_values() {
         let b = bead(); // (0,0)→(10,0) over 10 s, vmax 2: budget 20, slack 10.
-        // A region straddling the direct path: certainly possible.
+                        // A region straddling the direct path: certainly possible.
         let on_path = Polygon::rectangle(4.0, -1.0, 6.0, 1.0);
         assert_eq!(b.region_reachability(&on_path), Reachability::Possible);
         // Within the slack corridor (distance 3 ≤ slack/2 = 5): possible.

@@ -102,7 +102,8 @@ impl Moft {
     /// Sorts records and rebuilds the object and time indexes. Duplicate
     /// `(oid, t)` pairs keep the last pushed position.
     pub fn rebuild_index(&mut self) {
-        self.records.sort_by(|a, b| a.oid.cmp(&b.oid).then(a.t.cmp(&b.t)));
+        self.records
+            .sort_by(|a, b| a.oid.cmp(&b.oid).then(a.t.cmp(&b.t)));
         // Deduplicate (oid, t), keeping the last occurrence.
         let mut dedup: Vec<Record> = Vec::with_capacity(self.records.len());
         for r in self.records.drain(..) {
@@ -117,7 +118,8 @@ impl Moft {
         let mut start = 0usize;
         for i in 1..=self.records.len() {
             if i == self.records.len() || self.records[i].oid != self.records[start].oid {
-                self.object_ranges.insert(self.records[start].oid, (start, i));
+                self.object_ranges
+                    .insert(self.records[start].oid, (start, i));
                 start = i;
             }
         }
@@ -150,7 +152,9 @@ impl Moft {
     /// The time-sorted track of one object, or `None` if unknown.
     pub fn track(&self, oid: ObjectId) -> Option<&[Record]> {
         self.ensure_clean();
-        self.object_ranges.get(&oid).map(|&(a, b)| &self.records[a..b])
+        self.object_ranges
+            .get(&oid)
+            .map(|&(a, b)| &self.records[a..b])
     }
 
     /// The linear-interpolation trajectory of one object.
@@ -162,9 +166,15 @@ impl Moft {
     /// Iterator over records with `t ∈ [from, to]`, time-ascending.
     pub fn time_range(&self, from: TimeId, to: TimeId) -> impl Iterator<Item = &Record> {
         self.ensure_clean();
-        let lo = self.by_time.partition_point(|&i| self.records[i as usize].t < from);
-        let hi = self.by_time.partition_point(|&i| self.records[i as usize].t <= to);
-        self.by_time[lo..hi].iter().map(move |&i| &self.records[i as usize])
+        let lo = self
+            .by_time
+            .partition_point(|&i| self.records[i as usize].t < from);
+        let hi = self
+            .by_time
+            .partition_point(|&i| self.records[i as usize].t <= to);
+        self.by_time[lo..hi]
+            .iter()
+            .map(move |&i| &self.records[i as usize])
     }
 
     /// Earliest and latest observation instants, or `None` when empty.
@@ -229,10 +239,30 @@ impl Moft {
             }
             let mut parts = line.split(',');
             let parse_err = || TrajError::CsvParse { line: lineno + 1 };
-            let oid: u64 = parts.next().ok_or_else(parse_err)?.trim().parse().map_err(|_| parse_err())?;
-            let t: i64 = parts.next().ok_or_else(parse_err)?.trim().parse().map_err(|_| parse_err())?;
-            let x: f64 = parts.next().ok_or_else(parse_err)?.trim().parse().map_err(|_| parse_err())?;
-            let y: f64 = parts.next().ok_or_else(parse_err)?.trim().parse().map_err(|_| parse_err())?;
+            let oid: u64 = parts
+                .next()
+                .ok_or_else(parse_err)?
+                .trim()
+                .parse()
+                .map_err(|_| parse_err())?;
+            let t: i64 = parts
+                .next()
+                .ok_or_else(parse_err)?
+                .trim()
+                .parse()
+                .map_err(|_| parse_err())?;
+            let x: f64 = parts
+                .next()
+                .ok_or_else(parse_err)?
+                .trim()
+                .parse()
+                .map_err(|_| parse_err())?;
+            let y: f64 = parts
+                .next()
+                .ok_or_else(parse_err)?
+                .trim()
+                .parse()
+                .map_err(|_| parse_err())?;
             if parts.next().is_some() {
                 return Err(parse_err());
             }

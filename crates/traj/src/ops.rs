@@ -74,7 +74,10 @@ pub fn intervals_in_region(lit: &Lit, region: &Polygon) -> Vec<TimeInterval> {
 /// Total time (seconds) the interpolated trajectory spends inside
 /// `region`.
 pub fn time_in_region(lit: &Lit, region: &Polygon) -> f64 {
-    intervals_in_region(lit, region).iter().map(TimeInterval::duration).sum()
+    intervals_in_region(lit, region)
+        .iter()
+        .map(TimeInterval::duration)
+        .sum()
 }
 
 /// `true` iff the interpolated trajectory touches `region` at any instant
@@ -226,8 +229,18 @@ mod tests {
         let l = lit(&[(0, -5.0, 5.0), (10, 15.0, 5.0)]);
         assert!(passes_through(&l, &square()));
         let recs = [
-            Record { oid: crate::ObjectId(6), t: TimeId(0), x: -5.0, y: 5.0 },
-            Record { oid: crate::ObjectId(6), t: TimeId(10), x: 15.0, y: 5.0 },
+            Record {
+                oid: crate::ObjectId(6),
+                t: TimeId(0),
+                x: -5.0,
+                y: 5.0,
+            },
+            Record {
+                oid: crate::ObjectId(6),
+                t: TimeId(10),
+                x: 15.0,
+                y: 5.0,
+            },
         ];
         assert!(samples_in_region(recs.iter(), &square()).is_empty());
     }
@@ -284,9 +297,24 @@ mod tests {
     #[test]
     fn samples_in_region_sample_semantics() {
         let recs = [
-            Record { oid: crate::ObjectId(1), t: TimeId(0), x: 5.0, y: 5.0 },
-            Record { oid: crate::ObjectId(1), t: TimeId(10), x: 50.0, y: 5.0 },
-            Record { oid: crate::ObjectId(1), t: TimeId(20), x: 0.0, y: 0.0 }, // corner: boundary counts
+            Record {
+                oid: crate::ObjectId(1),
+                t: TimeId(0),
+                x: 5.0,
+                y: 5.0,
+            },
+            Record {
+                oid: crate::ObjectId(1),
+                t: TimeId(10),
+                x: 50.0,
+                y: 5.0,
+            },
+            Record {
+                oid: crate::ObjectId(1),
+                t: TimeId(20),
+                x: 0.0,
+                y: 0.0,
+            }, // corner: boundary counts
         ];
         let hits = samples_in_region(recs.iter(), &square());
         assert_eq!(hits, vec![TimeId(0), TimeId(20)]);

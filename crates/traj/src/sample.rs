@@ -44,7 +44,10 @@ impl TrajectorySample {
         TrajectorySample::new(
             triples
                 .iter()
-                .map(|&(t, x, y)| SamplePoint { t: TimeId(t), pos: Point::new(x, y) })
+                .map(|&(t, x, y)| SamplePoint {
+                    t: TimeId(t),
+                    pos: Point::new(x, y),
+                })
                 .collect(),
         )
     }
@@ -101,7 +104,11 @@ impl TrajectorySample {
             let dist = w[0].pos.distance(w[1].pos);
             let required = dist / dt;
             if required > vmax {
-                return Err(TrajError::SpeedViolation { at: i, required, vmax });
+                return Err(TrajError::SpeedViolation {
+                    at: i,
+                    required,
+                    vmax,
+                });
             }
         }
         Ok(())
@@ -110,8 +117,12 @@ impl TrajectorySample {
     /// Restriction of the sample to observations with `t ∈ [from, to]`.
     /// Returns `None` if no observation falls in the window.
     pub fn restrict(&self, from: TimeId, to: TimeId) -> Option<TrajectorySample> {
-        let pts: Vec<SamplePoint> =
-            self.points.iter().copied().filter(|p| p.t >= from && p.t <= to).collect();
+        let pts: Vec<SamplePoint> = self
+            .points
+            .iter()
+            .copied()
+            .filter(|p| p.t >= from && p.t <= to)
+            .collect();
         if pts.is_empty() {
             None
         } else {

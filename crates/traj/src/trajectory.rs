@@ -44,7 +44,11 @@ impl TimedSegment {
 
     /// Position at `t ∈ [t0, t1]`.
     pub fn position_at(&self, t: f64) -> Point {
-        let u = if self.t1 == self.t0 { 0.0 } else { (t - self.t0) / (self.t1 - self.t0) };
+        let u = if self.t1 == self.t0 {
+            0.0
+        } else {
+            (t - self.t0) / (self.t1 - self.t0)
+        };
         self.seg.point_at(u.clamp(0.0, 1.0))
     }
 
@@ -72,7 +76,10 @@ impl Lit {
     pub fn from_track(records: &[Record]) -> Result<Lit> {
         let points: Vec<SamplePoint> = records
             .iter()
-            .map(|r| SamplePoint { t: r.t, pos: Point::new(r.x, r.y) })
+            .map(|r| SamplePoint {
+                t: r.t,
+                pos: Point::new(r.x, r.y),
+            })
             .collect();
         Ok(Lit::new(TrajectorySample::new(points)?))
     }
@@ -84,7 +91,10 @@ impl Lit {
 
     /// The time domain `I = [t₀, t_N]` in seconds.
     pub fn time_domain(&self) -> (f64, f64) {
-        (self.sample.start_time().0 as f64, self.sample.end_time().0 as f64)
+        (
+            self.sample.start_time().0 as f64,
+            self.sample.end_time().0 as f64,
+        )
     }
 
     /// `true` iff `t` lies in the time domain.
@@ -174,7 +184,11 @@ impl Lit {
             let c1 = leg.t1.min(to);
             let p0 = leg.position_at(c0);
             let p1 = leg.position_at(c1);
-            out.push(TimedSegment { t0: c0, t1: c1, seg: Segment::new(p0, p1) });
+            out.push(TimedSegment {
+                t0: c0,
+                t1: c1,
+                seg: Segment::new(p0, p1),
+            });
         }
         out
     }
@@ -279,7 +293,10 @@ mod tests {
         assert!(l.clip_time(20.0, 30.0).is_empty());
         // Window covering everything returns the whole leg.
         let full = l.clip_time(-5.0, 50.0);
-        assert_eq!(full[0].seg, Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0)));
+        assert_eq!(
+            full[0].seg,
+            Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0))
+        );
     }
 
     #[test]

@@ -10,19 +10,17 @@ use proptest::prelude::*;
 /// Strategy: a valid sample with strictly increasing integer times and
 /// bounded coordinates.
 fn sample() -> impl Strategy<Value = TrajectorySample> {
-    proptest::collection::vec(((1i64..50), (-50i32..50), (-50i32..50)), 1..20).prop_map(
-        |steps| {
-            let mut t = 0i64;
-            let triples: Vec<(i64, f64, f64)> = steps
-                .into_iter()
-                .map(|(dt, x, y)| {
-                    t += dt;
-                    (t, x as f64, y as f64)
-                })
-                .collect();
-            TrajectorySample::from_triples(&triples).expect("constructed valid")
-        },
-    )
+    proptest::collection::vec(((1i64..50), (-50i32..50), (-50i32..50)), 1..20).prop_map(|steps| {
+        let mut t = 0i64;
+        let triples: Vec<(i64, f64, f64)> = steps
+            .into_iter()
+            .map(|(dt, x, y)| {
+                t += dt;
+                (t, x as f64, y as f64)
+            })
+            .collect();
+        TrajectorySample::from_triples(&triples).expect("constructed valid")
+    })
 }
 
 proptest! {

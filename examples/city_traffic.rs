@@ -10,9 +10,7 @@
 
 use std::time::Instant;
 
-use gisolap_core::engine::{
-    dedupe_oid_t, IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine,
-};
+use gisolap_core::engine::{dedupe_oid_t, IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine};
 use gisolap_core::region::{CmpOp, GeoFilter, RegionC, SpatialPredicate, TimePredicate};
 use gisolap_core::result as agg;
 use gisolap_datagen::movers::{merge_mofts, BusRoute, Commuters, GridWalkers, RandomWaypoint};
@@ -37,7 +35,13 @@ fn main() {
     let drivers = RandomWaypoint::new(city.bbox, 1200, 40).generate(0);
     let street_cars =
         GridWalkers::new(city.x_cuts.clone(), city.y_cuts.clone(), 200).generate(30_000);
-    let street = city.gis.layer_by_name("Ls_streets").unwrap().as_polylines().unwrap()[2].clone();
+    let street = city
+        .gis
+        .layer_by_name("Ls_streets")
+        .unwrap()
+        .as_polylines()
+        .unwrap()[2]
+        .clone();
     let buses = BusRoute {
         route: street,
         buses: 30,
@@ -104,8 +108,9 @@ fn main() {
             "Q-D: tuples in store-bearing neighborhoods crossed by the river",
             RegionC::all().with_spatial(SpatialPredicate::in_layer(
                 "Ln",
-                GeoFilter::IntersectsLayer { layer: "Lr".into() }
-                    .and(GeoFilter::ContainsNodeOf { layer: "Lstores".into() }),
+                GeoFilter::IntersectsLayer { layer: "Lr".into() }.and(GeoFilter::ContainsNodeOf {
+                    layer: "Lstores".into(),
+                }),
             )),
         ),
     ];
@@ -121,10 +126,7 @@ fn main() {
             let t = Instant::now();
             let tuples = dedupe_oid_t(engine.eval(region).expect("query evaluates"));
             timings.push(t.elapsed());
-            let summary = (
-                tuples.len(),
-                agg::count_distinct_objects(&tuples) as usize,
-            );
+            let summary = (tuples.len(), agg::count_distinct_objects(&tuples) as usize);
             match &result {
                 None => result = Some(summary),
                 Some(prev) => assert_eq!(*prev, summary, "engines disagree on {label}"),

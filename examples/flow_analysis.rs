@@ -53,7 +53,10 @@ fn main() {
     // --- cube bridge ----------------------------------------------------
     let cube = materialize_mo_cube(&city.gis, &moft, &MoCubeSpec::default())
         .expect("materialization succeeds");
-    println!("\nmaterialized MO cube: {} (neighborhood × hour) cells", cube.len());
+    println!(
+        "\nmaterialized MO cube: {} (neighborhood × hour) cells",
+        cube.len()
+    );
 
     let view = CubeView::new(&cube, "objects", AggFn::Max)
         .expect("measure exists")

@@ -59,8 +59,7 @@ fn describe(engine: &OverlayEngine<'_>, text: &str) {
                     let names: Vec<String> = ids
                         .iter()
                         .map(|g| {
-                            lookup_name(engine, layer, *g)
-                                .unwrap_or_else(|| format!("#{}", g.0))
+                            lookup_name(engine, layer, *g).unwrap_or_else(|| format!("#{}", g.0))
                         })
                         .collect();
                     println!("  => {} geometries: [{}]", ids.len(), names.join(", "));
@@ -74,7 +73,14 @@ fn lookup_name(engine: &OverlayEngine<'_>, layer: &str, g: gisolap_core::GeoId) 
     // Try every α binding targeting this layer.
     let gis = engine.gis();
     let layer_id = gis.layer_id(layer).ok()?;
-    for category in ["neighborhood", "region", "river", "school", "street", "city"] {
+    for category in [
+        "neighborhood",
+        "region",
+        "river",
+        "school",
+        "street",
+        "city",
+    ] {
         if let Ok(binding) = gis.alpha(category) {
             if binding.layer == layer_id {
                 if let Some(name) = binding.member_of(g) {
@@ -88,7 +94,10 @@ fn lookup_name(engine: &OverlayEngine<'_>, layer: &str, g: gisolap_core::GeoId) 
 
 fn indent(s: &str, by: usize) -> String {
     let pad = " ".repeat(by);
-    s.lines().map(|l| format!("{pad}{l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn main() {
@@ -97,7 +106,11 @@ fn main() {
     println!("== Piet-QL over the Figure 1 scenario ==");
     println!(
         "layers: {}",
-        s.gis.layers().map(|(_, l)| l.name().to_string()).collect::<Vec<_>>().join(", ")
+        s.gis
+            .layers()
+            .map(|(_, l)| l.name().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     let stdin = std::io::stdin();

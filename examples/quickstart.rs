@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --bin quickstart`
 
-use gisolap_core::engine::{
-    dedupe_oid_t, IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine,
-};
+use gisolap_core::engine::{dedupe_oid_t, IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine};
 use gisolap_core::qtypes::classify;
 use gisolap_core::result as agg;
 use gisolap_datagen::Fig1Scenario;
@@ -31,7 +29,13 @@ fn main() {
     println!("Table 1 (FM_bus):");
     println!("  {:<5} {:<18} (x, y)", "Oid", "t");
     for r in s.moft.records() {
-        println!("  {:<5} {:<18} ({}, {})", r.oid.to_string(), r.t.label(), r.x, r.y);
+        println!(
+            "  {:<5} {:<18} ({}, {})",
+            r.oid.to_string(),
+            r.t.label(),
+            r.x,
+            r.y
+        );
     }
 
     // 2. The query region C of Section 3.1.
@@ -49,8 +53,11 @@ fn main() {
     let overlay = OverlayEngine::new(&s.gis, &s.moft);
     for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
         let tuples = dedupe_oid_t(engine.eval(&region).expect("query evaluates"));
-        let reference: Vec<_> =
-            engine.time_filtered(&region.time).iter().map(|r| r.t).collect();
+        let reference: Vec<_> = engine
+            .time_filtered(&region.time)
+            .iter()
+            .map(|r| r.t)
+            .collect();
         let rate = agg::per_granule_rate(&tuples, reference, s.gis.time(), TimeLevel::Hour);
         println!(
             "  [{:<7}] C has {} (Oid, t) pairs over 3 morning hours → {:.4} buses/hour",
@@ -61,4 +68,8 @@ fn main() {
     }
 
     println!("\nRemark 1 expects 4/3 ≈ 1.3333 (O1 contributes 3 times, O2 once).");
+
+    // 4. The overlay engine's query plan, with its work counters.
+    let plan = gisolap_core::engine::explain(&overlay, &region).expect("plan builds");
+    println!("\nOverlay query plan:\n{plan}");
 }

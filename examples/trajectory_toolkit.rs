@@ -71,7 +71,11 @@ fn main() {
     )
     .expect("samples are reachable at vmax");
     println!("  projected ellipse major axis: {:.1}", bead.major_axis());
-    for probe in [Point::new(25.0, 5.0), Point::new(25.0, 30.0), Point::new(0.0, 60.0)] {
+    for probe in [
+        Point::new(25.0, 5.0),
+        Point::new(25.0, 30.0),
+        Point::new(0.0, 60.0),
+    ] {
         match bead.visit_window(probe) {
             Some((lo, hi)) => println!(
                 "  ({:>5.1}, {:>5.1}) reachable during t ∈ [{lo:.1}, {hi:.1}]",
@@ -103,7 +107,9 @@ fn main() {
         moft.push(gisolap_traj::ObjectId(7), TimeId(p.t.0), p.pos.x, p.pos.y);
     }
     moft.rebuild_index();
-    let lit2 = moft.trajectory(gisolap_traj::ObjectId(7)).expect("object exists");
+    let lit2 = moft
+        .trajectory(gisolap_traj::ObjectId(7))
+        .expect("object exists");
     println!(
         "\nMOFT round-trip: {} records, LIT length {:.1} (identical: {})",
         moft.len(),

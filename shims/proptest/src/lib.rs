@@ -1,0 +1,225 @@
+//! Vendored stand-in for `proptest` (the registry is unreachable in this
+//! build environment).
+//!
+//! Implements the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`,
+//!   `prop_filter_map` and `boxed`,
+//! * numeric range strategies, tuple strategies, [`strategy::Just`],
+//!   [`collection::vec`], [`bool::ANY`],
+//! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`].
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its case index and message only), and the case RNG is a fixed
+//! deterministic sequence — every run explores the same inputs, so
+//! failures are always reproducible.
+
+#![forbid(unsafe_code)]
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each function body runs once per case with
+/// its arguments drawn from the given strategies; `prop_assert!`-style
+/// macros abort only the failing case with a diagnostic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn name(arg in strategy, ...) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                // The body runs in a move closure so generated bindings
+                // keep their concrete types (untyped closure parameters
+                // would defeat method-call inference) and so
+                // `prop_assert!`'s early `return Err(..)` only aborts
+                // the case.
+                let body = move ||
+                    -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(e) = body() {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), case, config.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing only the
+/// current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in -50i32..50, b in 0u8..=7, f in -1.5f64..1.5) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!(b <= 7);
+            prop_assert!((-1.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vec(v in crate::collection::vec((0i64..10, 0i64..10), 0..20)) {
+            prop_assert!(v.len() < 20);
+            for (x, y) in v {
+                prop_assert!(x < 10 && y < 10);
+            }
+        }
+
+        #[test]
+        fn map_filter_oneof(x in prop_oneof![Just(1i32), (10i32..20).prop_map(|v| v * 2)]) {
+            prop_assert!(x == 1 || (20..40).contains(&x));
+        }
+
+        #[test]
+        fn early_return_ok_is_supported(n in 0usize..5) {
+            if n == 0 {
+                return Ok(());
+            }
+            prop_assert!(n > 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn config_cases_applies(_x in 0i32..10) {
+            // Runs exactly 3 cases; nothing to assert beyond not panicking.
+        }
+    }
+
+    #[test]
+    fn filter_map_retries() {
+        use crate::strategy::Strategy;
+        let strat = (0i32..100).prop_filter_map("odd only", |v| (v % 2 == 1).then_some(v));
+        let mut rng = crate::test_runner::TestRng::for_case("filter_map_retries", 0);
+        for _ in 0..50 {
+            assert!(strat.generate(&mut rng) % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn bool_any_hits_both_values() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::for_case("bool_any", 0);
+        let drawn: Vec<bool> = (0..64)
+            .map(|_| crate::bool::ANY.generate(&mut rng))
+            .collect();
+        assert!(drawn.iter().any(|&b| b) && drawn.iter().any(|&b| !b));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case() {
+        // No `#[test]` on the inner fn: attributes pass through the
+        // macro, and `#[test]` on an item nested in a fn is rejected.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0i32..10) {
+                prop_assert!(x < 0, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -51,7 +51,7 @@ fn contributions_match_remark1() {
     assert_eq!(o1.len(), 3);
     assert_eq!(o2.len(), 1);
     assert_eq!(o2[0].1, s.t[2]); // O2's low-income sample is t3
-    // O3–O6 contribute nothing.
+                                 // O3–O6 contribute nothing.
     assert!(tuples.iter().all(|(o, _)| o.0 == 1 || o.0 == 2));
 }
 

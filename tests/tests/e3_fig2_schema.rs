@@ -21,8 +21,16 @@ fn figure2_schema_validates() {
             HierarchyGraph::node_layer("Ls"),
         ],
         vec![
-            AttBinding { category: "neighborhood".into(), kind: "polygon".into(), layer: "Ln".into() },
-            AttBinding { category: "river".into(), kind: "polyline".into(), layer: "Lr".into() },
+            AttBinding {
+                category: "neighborhood".into(),
+                kind: "polygon".into(),
+                layer: "Ln".into(),
+            },
+            AttBinding {
+                category: "river".into(),
+                kind: "polyline".into(),
+                layer: "Lr".into(),
+            },
         ],
         vec!["Rivers".into(), "Neighbourhoods".into()],
     )
@@ -39,7 +47,10 @@ fn figure2_schema_validates() {
     // Att bindings resolve.
     assert_eq!(schema.att("neighborhood").unwrap().layer, "Ln");
     assert_eq!(schema.att("river").unwrap().kind, "polyline");
-    assert_eq!(schema.dimensions(), &["Rivers".to_string(), "Neighbourhoods".to_string()]);
+    assert_eq!(
+        schema.dimensions(),
+        &["Rivers".to_string(), "Neighbourhoods".to_string()]
+    );
 }
 
 #[test]
@@ -47,7 +58,8 @@ fn fig1_scenario_carries_a_valid_schema() {
     let s = Fig1Scenario::build();
     let schema = s.gis.schema().expect("scenario attaches the formal schema");
     for h in schema.hierarchies() {
-        h.validate().expect("every hierarchy satisfies Definition 1");
+        h.validate()
+            .expect("every hierarchy satisfies Definition 1");
         // Every hierarchy's layer exists in the GIS.
         s.gis.layer_id(h.layer()).expect("schema layer exists");
     }
@@ -121,7 +133,11 @@ fn definition1_violations_are_rejected() {
     // Unknown layer in Att.
     assert!(GisSchema::new(
         vec![HierarchyGraph::polygon_layer("Ln")],
-        vec![AttBinding { category: "x".into(), kind: "polygon".into(), layer: "nope".into() }],
+        vec![AttBinding {
+            category: "x".into(),
+            kind: "polygon".into(),
+            layer: "nope".into()
+        }],
         vec![],
     )
     .is_err());

@@ -8,9 +8,7 @@
 use gisolap_core::engine::dedupe_oid_t;
 use gisolap_core::layer::GeoId;
 use gisolap_core::qtypes::{classify, QueryType};
-use gisolap_core::region::{
-    CmpOp, GeoFilter, RegionC, SpatialPredicate, TimePredicate,
-};
+use gisolap_core::region::{CmpOp, GeoFilter, RegionC, SpatialPredicate, TimePredicate};
 use gisolap_core::result as agg;
 use gisolap_datagen::movers::BusRoute;
 use gisolap_datagen::{CityConfig, CityScenario, Fig1Scenario};
@@ -29,7 +27,10 @@ fn q1_cars_in_region_south_morning() {
         .with_time(TimePredicate::TimeOfDayIs(TimeOfDay::Morning))
         .with_spatial(SpatialPredicate::in_layer(
             "Lc",
-            GeoFilter::Member { category: "region".into(), member: "South".into() },
+            GeoFilter::Member {
+                category: "region".into(),
+                member: "South".into(),
+            },
         ));
     assert_eq!(classify(&region), QueryType::SamplesWithGeometry);
 
@@ -91,10 +92,7 @@ fn q2_max_street_density() {
         let per_geo = agg::count_per_geometry(&tuples);
         let mut best: Option<(GeoId, f64)> = None;
         for ((_, g), count) in per_geo {
-            let len = streets
-                .as_polylines()
-                .unwrap()[g.0 as usize]
-                .length();
+            let len = streets.as_polylines().unwrap()[g.0 as usize].length();
             let density = count / len;
             if best.is_none_or(|(_, d)| density > d) {
                 best = Some((g, density));
@@ -154,7 +152,10 @@ fn q4_snapshot_at_instant() {
         .with_time(TimePredicate::AtInstant(s.t[3]))
         .with_spatial(SpatialPredicate::in_layer(
             "Ln",
-            GeoFilter::Member { category: "neighborhood".into(), member: "n0".into() },
+            GeoFilter::Member {
+                category: "neighborhood".into(),
+                member: "n0".into(),
+            },
         ));
     assert_eq!(classify(&region), QueryType::TrajectoryAsSpatialObject);
 
@@ -177,7 +178,10 @@ fn q5_time_spent_in_city() {
     let s = Fig1Scenario::build();
     let spatial = SpatialPredicate::in_layer(
         "Lc",
-        GeoFilter::Member { category: "region".into(), member: "South".into() },
+        GeoFilter::Member {
+            category: "region".into(),
+            member: "South".into(),
+        },
     );
     let day = vec![TimePredicate::DayIs("2006-01-09".into())];
 
@@ -287,8 +291,7 @@ fn type3_max_buses_per_hour() {
 
     let max = for_all_engines(&s.gis, &s.moft, |engine| {
         let tuples = engine.eval(&region).unwrap();
-        agg::max_distinct_per_granule(&tuples, s.gis.time(), TimeLevel::Hour)
-            .map(|v| v as i64)
+        agg::max_distinct_per_granule(&tuples, s.gis.time(), TimeLevel::Hour).map(|v| v as i64)
     });
     // Morning hours: t2 {O1,O2,O6}, t3 {O1,O2,O5,O6}, t4 {O1,O2} → 4.
     assert_eq!(max, Some(4));
@@ -327,8 +330,11 @@ fn type5_nested_aggregation() {
     // bracket is below 50 000 except… verify via the engines.
     let rate = for_all_engines(&s.gis, &s.moft, |engine| {
         let tuples = dedupe_oid_t(engine.eval(&region).unwrap());
-        let reference: Vec<TimeId> =
-            engine.time_filtered(&region.time).iter().map(|r| r.t).collect();
+        let reference: Vec<TimeId> = engine
+            .time_filtered(&region.time)
+            .iter()
+            .map(|r| r.t)
+            .collect();
         let rate = agg::per_granule_rate(&tuples, reference, s.gis.time(), TimeLevel::Hour);
         (rate * 1e9).round() as i64
     });

@@ -7,8 +7,8 @@
 
 use gisolap_core::engine::{IndexedEngine, NaiveEngine, OverlayEngine};
 use gisolap_core::layer::GeoId;
-use gisolap_datagen::{CityConfig, CityScenario, Fig1Scenario};
 use gisolap_datagen::movers::RandomWaypoint;
+use gisolap_datagen::{CityConfig, CityScenario, Fig1Scenario};
 use gisolap_pietql::exec::run;
 use gisolap_pietql::parse;
 

@@ -32,13 +32,15 @@ fn type1_spatial_aggregation_density() {
         .resolve_filter(ln, &GeoFilter::IntersectsLayer { layer: "Lr".into() })
         .unwrap();
     let layer = s.gis.layer(ln);
-    let total = summable_sum(
-        crossed.iter().map(|&g| layer.geometry(g).unwrap()),
-        |g| integrate_over(g, &density),
-    );
+    let total = summable_sum(crossed.iter().map(|&g| layer.geometry(g).unwrap()), |g| {
+        integrate_over(g, &density)
+    });
     // All 8 neighborhoods touch the river (it runs along their shared
     // y=20 edge): 4 southern × 400 area × 10 + 4 northern × 400 × 5.
-    assert!((total - (4.0 * 4000.0 + 4.0 * 2000.0)).abs() < 1e-6, "got {total}");
+    assert!(
+        (total - (4.0 * 4000.0 + 4.0 * 2000.0)).abs() < 1e-6,
+        "got {total}"
+    );
 }
 
 #[test]

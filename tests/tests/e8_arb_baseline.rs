@@ -53,10 +53,7 @@ fn arb_count_matches_exact_on_aligned_windows() {
 
     // Compare against the model's exact engine.
     let engine = NaiveEngine::new(&s.gis, &s.moft);
-    let mut region = RegionC::all().with_spatial(SpatialPredicate::in_layer(
-        "Ln",
-        GeoFilter::All,
-    ));
+    let mut region = RegionC::all().with_spatial(SpatialPredicate::in_layer("Ln", GeoFilter::All));
     region.time = vec![Fig1Scenario::morning()];
     let tuples = engine.eval(&region).unwrap();
     assert_eq!(tuples.len() as f64, hi);

@@ -8,8 +8,7 @@
 use gisolap_core::engine::{NaiveEngine, QueryEngine};
 use gisolap_core::facts::BaseFactTable;
 use gisolap_core::geoagg::{
-    integrate_density_along_polyline, integrate_density_over_polygon, integrate_over,
-    summable_sum,
+    integrate_density_along_polyline, integrate_density_over_polygon, integrate_over, summable_sum,
 };
 use gisolap_core::layer::{GeoRef, LayerId};
 use gisolap_core::region::GeoFilter;
@@ -27,7 +26,9 @@ fn summable_equals_direct_for_piecewise_constant() {
     // over its 400-unit² area.
     let cells: Vec<(Polygon, f64)> = polys
         .iter()
-        .zip([60_000.0, 35_000.0, 30_000.0, 20_000.0, 40_000.0, 55_000.0, 25_000.0, 15_000.0])
+        .zip([
+            60_000.0, 35_000.0, 30_000.0, 20_000.0, 40_000.0, 55_000.0, 25_000.0, 15_000.0,
+        ])
         .map(|(p, pop)| (p.clone(), pop / 400.0))
         .collect();
     let density = BaseFactTable::piecewise("population", LayerId(0), cells, 0.0);
@@ -42,17 +43,15 @@ fn summable_equals_direct_for_piecewise_constant() {
 
     // Summable evaluation: Σ over the finite element set.
     let layer = s.gis.layer(ln_id);
-    let total = summable_sum(
-        crossed.iter().map(|&g| layer.geometry(g).unwrap()),
-        |g| integrate_over(g, &density),
-    );
+    let total = summable_sum(crossed.iter().map(|&g| layer.geometry(g).unwrap()), |g| {
+        integrate_over(g, &density)
+    });
     // The density integrates to each neighborhood's population exactly
     // (piecewise-constant, boundary cells clipped exactly) — except that
     // shared boundaries resolve to the first matching cell; interior
     // integration is unaffected.
-    let expected: f64 = 60_000.0 + 35_000.0 + 30_000.0 + 20_000.0 + 40_000.0 + 55_000.0
-        + 25_000.0
-        + 15_000.0;
+    let expected: f64 =
+        60_000.0 + 35_000.0 + 30_000.0 + 20_000.0 + 40_000.0 + 55_000.0 + 25_000.0 + 15_000.0;
     assert!((total - expected).abs() < expected * 1e-6, "got {total}");
 }
 
@@ -104,10 +103,9 @@ fn condition_prefilter_changes_the_sum() {
         .unwrap();
     let density = BaseFactTable::constant("ones", LayerId(0), 1.0);
     let layer = s.gis.layer(ln_id);
-    let area = summable_sum(
-        low.iter().map(|&g| layer.geometry(g).unwrap()),
-        |g| integrate_over(g, &density),
-    );
+    let area = summable_sum(low.iter().map(|&g| layer.geometry(g).unwrap()), |g| {
+        integrate_over(g, &density)
+    });
     // Two 20×20 neighborhoods.
     assert!((area - 800.0).abs() < 1e-6, "got {area}");
 }

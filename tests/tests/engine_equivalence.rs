@@ -4,9 +4,7 @@
 //! indexed and overlay evaluation must materialize identical regions and
 //! identical aggregates for arbitrary filter/time combinations.
 
-use gisolap_core::engine::{
-    dedupe_oid_t, IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine,
-};
+use gisolap_core::engine::{dedupe_oid_t, IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine};
 use gisolap_core::region::{CmpOp, GeoFilter, RegionC, SpatialPredicate, TimePredicate};
 use gisolap_datagen::movers::RandomWaypoint;
 use gisolap_datagen::{CityConfig, CityScenario};
@@ -24,7 +22,9 @@ fn geo_filter() -> impl Strategy<Value = GeoFilter> {
             value: Value::Int(v),
         }),
         Just(GeoFilter::IntersectsLayer { layer: "Lr".into() }),
-        Just(GeoFilter::ContainsNodeOf { layer: "Lstores".into() }),
+        Just(GeoFilter::ContainsNodeOf {
+            layer: "Lstores".into()
+        }),
         (900i64..3500).prop_map(|v| {
             GeoFilter::IntersectsLayer { layer: "Lr".into() }.and(GeoFilter::AttrCompare {
                 category: "neighborhood".into(),
@@ -33,7 +33,12 @@ fn geo_filter() -> impl Strategy<Value = GeoFilter> {
                 value: Value::Int(v),
             })
         }),
-        Just(GeoFilter::ContainsNodeOf { layer: "Lschools".into() }.negate()),
+        Just(
+            GeoFilter::ContainsNodeOf {
+                layer: "Lschools".into()
+            }
+            .negate()
+        ),
     ]
 }
 
@@ -173,4 +178,109 @@ proptest! {
             prop_assert!(all.iter().any(|u| u.oid == t.oid && u.t == t.t));
         }
     }
+
+    #[test]
+    fn parallel_and_sequential_evaluation_agree(
+        seed in 0u64..1000,
+        filter in geo_filter(),
+        time in time_preds(),
+        interpolated in proptest::bool::ANY,
+    ) {
+        // The engine promises bit-identical results regardless of the
+        // worker count: evaluate each random region with 4 threads and
+        // with 1 (sequential), per engine and batched, and compare the
+        // raw tuple vectors exactly. The workload exceeds the shim's
+        // inline threshold, so the 4-thread run really partitions.
+        let city = CityScenario::generate(CityConfig {
+            blocks_x: 4,
+            blocks_y: 2,
+            schools: 4,
+            stores: 6,
+            gas_stations: 2,
+            seed: seed.wrapping_add(11),
+            ..CityConfig::default()
+        });
+        let moft = RandomWaypoint {
+            seed: seed.wrapping_add(13),
+            ..RandomWaypoint::new(city.bbox, 10, 20)
+        }
+        .generate(0);
+
+        let mut region = RegionC::all()
+            .with_spatial(SpatialPredicate::in_layer("Ln", filter));
+        region.time = time;
+        if interpolated {
+            region = region.interpolated();
+        }
+        let regions = vec![region.clone(), RegionC::all(), region.clone()];
+
+        let naive = NaiveEngine::new(&city.gis, &moft);
+        let indexed = IndexedEngine::new(&city.gis, &moft);
+        let overlay = OverlayEngine::new(&city.gis, &moft);
+        for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
+            std::env::set_var("GISOLAP_THREADS", "4");
+            let parallel = engine.eval(&region).unwrap();
+            let parallel_batch = engine.eval_many(&regions).unwrap();
+            std::env::set_var("GISOLAP_THREADS", "1");
+            let sequential = engine.eval(&region).unwrap();
+            let sequential_batch = engine.eval_many(&regions).unwrap();
+            std::env::remove_var("GISOLAP_THREADS");
+            prop_assert_eq!(&parallel, &sequential, "engine {}", engine.name());
+            prop_assert_eq!(&parallel_batch, &sequential_batch, "batch, engine {}", engine.name());
+            prop_assert_eq!(&parallel_batch[0], &sequential, "batch[0] vs single");
+            prop_assert_eq!(&parallel_batch[2], &sequential, "batch[2] vs single");
+        }
+    }
+}
+
+#[test]
+fn engine_stats_invariants() {
+    let city = CityScenario::generate(CityConfig {
+        blocks_x: 4,
+        blocks_y: 2,
+        seed: 42,
+        ..CityConfig::default()
+    });
+    let moft = RandomWaypoint {
+        seed: 43,
+        ..RandomWaypoint::new(city.bbox, 10, 12)
+    }
+    .generate(0);
+    let region = RegionC::all().with_spatial(SpatialPredicate::in_layer(
+        "Ln",
+        GeoFilter::IntersectsLayer { layer: "Lr".into() },
+    ));
+
+    // Repeated IntersectsLayer filters hit the precomputed overlay.
+    let overlay = OverlayEngine::new(&city.gis, &moft);
+    overlay.eval(&region).unwrap();
+    overlay.eval(&region).unwrap();
+    let snap = overlay.stats().snapshot();
+    assert!(snap.overlay_hits >= 2, "{snap:?}");
+    assert_eq!(snap.overlay_misses, 0, "{snap:?}");
+    assert_eq!(snap.queries, 2, "{snap:?}");
+    assert_eq!(
+        snap.records_scanned,
+        2 * moft.records().len() as u64,
+        "{snap:?}"
+    );
+
+    // A batch sharing one filter resolves (and hits the cache) once.
+    overlay.stats().reset();
+    overlay
+        .eval_many(&[region.clone(), region.clone()])
+        .unwrap();
+    let snap = overlay.stats().snapshot();
+    assert_eq!(snap.overlay_hits, 1, "{snap:?}");
+    assert_eq!(snap.queries, 2, "{snap:?}");
+
+    // The same filters on naive/indexed engines never hit an overlay,
+    // and the indexed engine works through R-tree probes.
+    let naive = NaiveEngine::new(&city.gis, &moft);
+    naive.eval(&region).unwrap();
+    assert_eq!(naive.stats().snapshot().overlay_hits, 0);
+    assert!(naive.stats().snapshot().overlay_misses > 0);
+    let indexed = IndexedEngine::new(&city.gis, &moft);
+    indexed.eval(&region).unwrap();
+    assert!(indexed.stats().snapshot().rtree_probes > 0);
 }

@@ -71,7 +71,10 @@ fn cube_view_rolls_up_to_city_and_day() {
         .unwrap();
     let cells = view.cells().unwrap();
     assert_eq!(cells.len(), 1); // one city, one day
-    assert_eq!(cells[0].coordinates, vec!["Antwerp".to_string(), "2006-01-09".to_string()]);
+    assert_eq!(
+        cells[0].coordinates,
+        vec!["Antwerp".to_string(), "2006-01-09".to_string()]
+    );
     assert_eq!(cells[0].value, 12.0);
 }
 
@@ -80,7 +83,11 @@ fn distinct_object_measure_differs_from_observations() {
     let s = Fig1Scenario::build();
     let ft = materialize_mo_cube(&s.gis, &s.moft, &MoCubeSpec::default()).unwrap();
     let obs: HashMap<String, f64> = ft
-        .aggregate(AggFn::Sum, &[("neighborhood", "neighborhood")], "observations")
+        .aggregate(
+            AggFn::Sum,
+            &[("neighborhood", "neighborhood")],
+            "observations",
+        )
         .unwrap()
         .into_iter()
         .map(|(k, v)| (k[0].clone(), v))
@@ -98,11 +105,16 @@ fn distinct_object_measure_differs_from_observations() {
 #[test]
 fn day_granularity_cube() {
     let s = Fig1Scenario::build();
-    let spec = MoCubeSpec { granularity: TimeLevel::Day, ..MoCubeSpec::default() };
+    let spec = MoCubeSpec {
+        granularity: TimeLevel::Day,
+        ..MoCubeSpec::default()
+    };
     let ft = materialize_mo_cube(&s.gis, &s.moft, &spec).unwrap();
     // Six neighborhoods receive samples: n0, n1, n2, n3, n4, n6.
     assert_eq!(ft.len(), 6);
-    let per_day = ft.aggregate(AggFn::Sum, &[("granule", "day")], "observations").unwrap();
+    let per_day = ft
+        .aggregate(AggFn::Sum, &[("granule", "day")], "observations")
+        .unwrap();
     assert_eq!(per_day.len(), 1);
     assert_eq!(per_day[0].1, 12.0);
 }
