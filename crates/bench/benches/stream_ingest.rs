@@ -1,0 +1,169 @@
+//! Streaming ingestion: incremental merge vs batch rebuild.
+//!
+//! A tail-append workload (city traffic replayed in watermark order) is
+//! fed to the streaming pipeline at three ingest rates. Two strategies
+//! answer the same Day-level rollup after every batch:
+//!
+//! * **incremental** — one long-lived [`StreamIngest`]: sealed segments'
+//!   partials are merged once into the delta cube, each rollup scans only
+//!   the live tail.
+//! * **rebuild** — the pre-streaming discipline: after every batch,
+//!   rebuild the whole pipeline from all records seen so far and roll up
+//!   from scratch.
+//!
+//! Besides the Criterion groups, the bench emits a machine-readable
+//! summary (total wall-clock per strategy and rate, speedup) to the path
+//! in `BENCH_STREAM_OUT` (default `BENCH_stream.json` in the package
+//! root) so CI can archive the artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+use gisolap_datagen::movers::RandomWaypoint;
+use gisolap_datagen::{stream_batches, CityConfig, CityScenario, ReplayConfig};
+use gisolap_olap::agg::AggFn;
+use gisolap_olap::time::TimeLevel;
+use gisolap_stream::{Measure, RollupQuery, StreamConfig, StreamIngest};
+use gisolap_traj::Record;
+
+const LATENESS: i64 = 300;
+const SEGMENT: i64 = 3600;
+const RATES: [usize; 3] = [32, 128, 512];
+
+fn replay(objects: usize, samples: usize, batch_size: usize) -> Vec<Vec<Record>> {
+    let city = CityScenario::generate(CityConfig {
+        blocks_x: 6,
+        blocks_y: 4,
+        seed: 99,
+        ..CityConfig::default()
+    });
+    // A 5-minute sample interval spreads the traffic over hours, so
+    // hour-aligned segments actually seal as the watermark advances —
+    // the tail-append regime the incremental path is built for.
+    let moft = RandomWaypoint {
+        sample_interval: 300,
+        ..RandomWaypoint::new(city.bbox, objects, samples)
+    }
+    .generate(0);
+    stream_batches(
+        &moft,
+        &ReplayConfig {
+            shuffle_seconds: LATENESS,
+            batch_size,
+            seed: 11,
+        },
+    )
+}
+
+fn day_query() -> RollupQuery {
+    RollupQuery::new(TimeLevel::Day, Measure::X, AggFn::Sum)
+}
+
+/// Feed every batch to one ingester, rolling up after each batch.
+fn run_incremental(batches: &[Vec<Record>]) -> usize {
+    let mut ingest = StreamIngest::new(StreamConfig::new(LATENESS, SEGMENT).unwrap()).unwrap();
+    let q = day_query();
+    let mut rows = 0;
+    for b in batches {
+        ingest.ingest(b);
+        rows += ingest.rollup(&q).unwrap().len();
+    }
+    rows
+}
+
+/// After every batch, rebuild the whole pipeline from scratch.
+fn run_rebuild(batches: &[Vec<Record>]) -> usize {
+    let q = day_query();
+    let mut seen: Vec<Record> = Vec::new();
+    let mut rows = 0;
+    for b in batches {
+        seen.extend_from_slice(b);
+        let mut ingest = StreamIngest::new(StreamConfig::new(LATENESS, SEGMENT).unwrap()).unwrap();
+        ingest.ingest(&seen);
+        ingest.finish();
+        rows += ingest.rollup(&q).unwrap().len();
+    }
+    rows
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_ingest");
+    for batch_size in RATES {
+        let batches = replay(120, 30, batch_size);
+        let records: usize = batches.iter().map(Vec::len).sum();
+        group.throughput(Throughput::Elements(records as u64));
+        group.bench_with_input(
+            BenchmarkId::new("incremental", batch_size),
+            &batches,
+            |b, batches| b.iter(|| run_incremental(black_box(batches))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rebuild", batch_size),
+            &batches,
+            |b, batches| b.iter(|| run_rebuild(black_box(batches))),
+        );
+    }
+    group.finish();
+}
+
+/// One timed pass per strategy and rate on a larger workload, written as
+/// the CI artifact. Criterion's statistics stay in its own report; this
+/// file is the stable machine-readable summary.
+fn emit_artifact() {
+    let mut entries = Vec::new();
+    for batch_size in RATES {
+        let batches = replay(200, 40, batch_size);
+        let records: usize = batches.iter().map(Vec::len).sum();
+
+        let t0 = Instant::now();
+        let inc_rows = run_incremental(&batches);
+        let incremental_ns = t0.elapsed().as_nanos();
+
+        let t1 = Instant::now();
+        let reb_rows = run_rebuild(&batches);
+        let rebuild_ns = t1.elapsed().as_nanos();
+
+        assert_eq!(inc_rows, reb_rows, "strategies must agree on rollups");
+        let speedup = rebuild_ns as f64 / incremental_ns.max(1) as f64;
+        entries.push(format!(
+            concat!(
+                "    {{\"batch_size\": {}, \"records\": {}, ",
+                "\"incremental_ns\": {}, \"rebuild_ns\": {}, ",
+                "\"speedup\": {:.2}}}"
+            ),
+            batch_size, records, incremental_ns, rebuild_ns, speedup
+        ));
+        eprintln!(
+            "stream_ingest: batch_size={batch_size} records={records} \
+             incremental={:.1}ms rebuild={:.1}ms speedup={speedup:.2}x",
+            incremental_ns as f64 / 1e6,
+            rebuild_ns as f64 / 1e6,
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"stream_ingest\",\n  \"lateness_seconds\": {LATENESS},\n  \
+         \"segment_seconds\": {SEGMENT},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let out = std::env::var("BENCH_STREAM_OUT").unwrap_or_else(|_| "BENCH_stream.json".to_string());
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("stream_ingest: could not write {out}: {e}");
+    } else {
+        eprintln!("stream_ingest: wrote {out}");
+    }
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_ingest(c);
+    emit_artifact();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_all
+}
+criterion_main!(benches);

@@ -38,7 +38,8 @@ use rayon::prelude::*;
 
 use gisolap_geom::{BBox, Point};
 use gisolap_index::RTree;
-use gisolap_olap::time::{TimeDimension, TimeId};
+use gisolap_olap::time::{TimeDimension, TimeId, TimeOfDay};
+use gisolap_stream::{SegmentMeta, StreamSnapshot};
 use gisolap_traj::bead::{Bead, Reachability};
 use gisolap_traj::moft::{Moft, ObjectId, Record};
 use gisolap_traj::ops::{self, TimeInterval};
@@ -108,6 +109,13 @@ pub trait QueryEngine: Sync {
     /// All intersecting element pairs between two layers. Strategies
     /// differ: computed per call vs. precomputed lookup.
     fn layer_pairs(&self, a: LayerId, b: LayerId) -> Result<Vec<(GeoId, GeoId)>>;
+
+    /// The stream snapshot this engine was built from (via a
+    /// `from_snapshot` constructor), if any — lets [`explain`] report
+    /// segment pruning and ties ingest counters to the plan.
+    fn stream_snapshot(&self) -> Option<&StreamSnapshot> {
+        None
+    }
 
     /// Resolves a [`GeoFilter`] to the sorted element ids of `layer` that
     /// satisfy it — the geometric sub-query of Section 5.
@@ -715,6 +723,19 @@ fn describe_filter(filter: &GeoFilter) -> String {
 /// so the trait stays object-safe and uncluttered).
 pub fn explain<E: QueryEngine + ?Sized>(engine: &E, region: &RegionC) -> Result<Explain> {
     let mut steps = Vec::new();
+    if let Some(snapshot) = engine.stream_snapshot() {
+        let total = snapshot.segments().len();
+        let kept = snapshot
+            .segments()
+            .iter()
+            .filter(|meta| segment_may_match(meta, &region.time))
+            .count();
+        steps.push(format!(
+            "segment pruning: {kept} of {total} sealed segment(s) may satisfy the time \
+             predicates; live tail = {} record(s)",
+            snapshot.tail_len()
+        ));
+    }
     if region.time.is_empty() {
         steps.push("scan the full MOFT (no time predicates)".to_string());
     } else {
@@ -774,6 +795,48 @@ pub fn explain<E: QueryEngine + ?Sized>(engine: &E, region: &RegionC) -> Result<
         steps,
         stats: engine.stats().snapshot(),
     })
+}
+
+/// Conservative check whether a sealed segment can hold any instant
+/// satisfying all `preds`: `Between`/`AtInstant` test the segment's time
+/// range exactly; hour-of-day predicates test the hours the segment
+/// spans; everything else answers `true` (never prunes wrongly).
+fn segment_may_match(meta: &SegmentMeta, preds: &[TimePredicate]) -> bool {
+    preds.iter().all(|p| match p {
+        TimePredicate::Between(a, b) => meta.last >= *a && meta.first <= *b,
+        TimePredicate::AtInstant(t) => meta.first <= *t && *t <= meta.last,
+        TimePredicate::HourOfDayIn { lo, hi } => segment_covers_hour_of_day(meta, *lo, *hi),
+        TimePredicate::TimeOfDayIs(tod) => {
+            let (lo, hi) = match tod {
+                TimeOfDay::Night => (0, 5),
+                TimeOfDay::Morning => (6, 11),
+                TimeOfDay::Afternoon => (12, 17),
+                TimeOfDay::Evening => (18, 23),
+            };
+            segment_covers_hour_of_day(meta, lo, hi)
+        }
+        _ => true,
+    })
+}
+
+/// Whether any hour-of-day the segment spans falls in `[lo, hi]`
+/// (inclusive, mirroring `TimePredicate::HourOfDayIn`).
+fn segment_covers_hour_of_day(meta: &SegmentMeta, lo: u32, hi: u32) -> bool {
+    if meta.last.0 - meta.first.0 >= 86_400 {
+        return true; // spans a full day: every hour-of-day occurs
+    }
+    let td = TimeDimension::new();
+    let a = td.hour_of_day(meta.first);
+    let b = td.hour_of_day(meta.last);
+    // Hours-of-day covered: a..=b, wrapping past midnight when a > b.
+    let covered = |h: u32| {
+        if a <= b {
+            h >= a && h <= b
+        } else {
+            h >= a || h <= b
+        }
+    };
+    (lo..=hi).any(covered)
 }
 
 /// Cuts a trajectory's legs at hour boundaries and keeps the sub-legs
@@ -852,6 +915,7 @@ pub fn dedupe_oid_t(mut tuples: Vec<CTuple>) -> Vec<CTuple> {
 pub struct NaiveEngine<'a> {
     gis: &'a Gis,
     moft: &'a Moft,
+    stream: Option<&'a StreamSnapshot>,
     stats: EngineStats,
 }
 
@@ -861,8 +925,23 @@ impl<'a> NaiveEngine<'a> {
         NaiveEngine {
             gis,
             moft,
+            stream: None,
             stats: EngineStats::new(),
         }
+    }
+
+    /// Creates the engine over a frozen stream snapshot: queries run
+    /// against the assembled MOFT, ingest counters seed the stats, and
+    /// [`explain`] reports segment pruning.
+    pub fn from_snapshot(gis: &'a Gis, snapshot: &'a StreamSnapshot) -> NaiveEngine<'a> {
+        let engine = NaiveEngine {
+            gis,
+            moft: snapshot.moft(),
+            stream: Some(snapshot),
+            stats: EngineStats::new(),
+        };
+        crate::streaming::seed_ingest_stats(&engine.stats, &snapshot.stats());
+        engine
     }
 }
 
@@ -878,6 +957,9 @@ impl QueryEngine for NaiveEngine<'_> {
     }
     fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+    fn stream_snapshot(&self) -> Option<&StreamSnapshot> {
+        self.stream
     }
 
     fn candidates(&self, layer: LayerId, bbox: &BBox) -> Vec<GeoId> {
@@ -916,6 +998,7 @@ pub struct IndexedEngine<'a> {
     gis: &'a Gis,
     moft: &'a Moft,
     rtrees: HashMap<LayerId, RTree<GeoId>>,
+    stream: Option<&'a StreamSnapshot>,
     stats: EngineStats,
 }
 
@@ -927,8 +1010,18 @@ impl<'a> IndexedEngine<'a> {
             gis,
             moft,
             rtrees,
+            stream: None,
             stats: EngineStats::new(),
         }
+    }
+
+    /// Creates the engine over a frozen stream snapshot (see
+    /// [`NaiveEngine::from_snapshot`]).
+    pub fn from_snapshot(gis: &'a Gis, snapshot: &'a StreamSnapshot) -> IndexedEngine<'a> {
+        let mut engine = IndexedEngine::new(gis, snapshot.moft());
+        engine.stream = Some(snapshot);
+        crate::streaming::seed_ingest_stats(&engine.stats, &snapshot.stats());
+        engine
     }
 }
 
@@ -958,6 +1051,9 @@ impl QueryEngine for IndexedEngine<'_> {
     }
     fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+    fn stream_snapshot(&self) -> Option<&StreamSnapshot> {
+        self.stream
     }
 
     fn candidates(&self, layer: LayerId, bbox: &BBox) -> Vec<GeoId> {
@@ -994,6 +1090,7 @@ pub struct OverlayEngine<'a> {
     moft: &'a Moft,
     rtrees: HashMap<LayerId, RTree<GeoId>>,
     cache: OverlayCache,
+    stream: Option<&'a StreamSnapshot>,
     stats: EngineStats,
 }
 
@@ -1008,8 +1105,18 @@ impl<'a> OverlayEngine<'a> {
             moft,
             rtrees,
             cache,
+            stream: None,
             stats: EngineStats::new(),
         }
+    }
+
+    /// Creates the engine over a frozen stream snapshot (see
+    /// [`NaiveEngine::from_snapshot`]).
+    pub fn from_snapshot(gis: &'a Gis, snapshot: &'a StreamSnapshot) -> OverlayEngine<'a> {
+        let mut engine = OverlayEngine::new(gis, snapshot.moft());
+        engine.stream = Some(snapshot);
+        crate::streaming::seed_ingest_stats(&engine.stats, &snapshot.stats());
+        engine
     }
 
     /// Creates the engine with an externally precomputed cache (e.g.
@@ -1020,6 +1127,7 @@ impl<'a> OverlayEngine<'a> {
             moft,
             rtrees: build_layer_rtrees(gis),
             cache,
+            stream: None,
             stats: EngineStats::new(),
         }
     }
@@ -1042,6 +1150,9 @@ impl QueryEngine for OverlayEngine<'_> {
     }
     fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+    fn stream_snapshot(&self) -> Option<&StreamSnapshot> {
+        self.stream
     }
 
     fn candidates(&self, layer: LayerId, bbox: &BBox) -> Vec<GeoId> {
@@ -1662,6 +1773,106 @@ mod tests {
         assert_eq!(plan.stats.queries, 1);
         let text = plan.to_string();
         assert!(text.contains("stats: queries=1"), "{text}");
+    }
+
+    #[test]
+    fn engines_from_snapshot_match_batch_and_explain_pruning() {
+        use gisolap_stream::{StreamConfig, StreamIngest};
+
+        let gis = test_gis();
+        let batch_moft = test_moft();
+
+        // Stream the same records out of order, seal hour 0, keep hour 1
+        // in the tail.
+        let mut ingest = StreamIngest::new(StreamConfig {
+            lateness_seconds: 0,
+            segment_seconds: 3600,
+        })
+        .unwrap();
+        let records: Vec<Record> = batch_moft.records().to_vec();
+        ingest.ingest(&[records[4], records[0], records[2]]); // t=0 records
+        ingest.ingest(&[records[3], records[1]]); // t=1h records seal hour 0
+        let snapshot = ingest.snapshot().unwrap();
+        assert_eq!(snapshot.segments().len(), 1);
+        assert_eq!(snapshot.moft().records(), batch_moft.records());
+
+        // Every engine built from the snapshot answers like its
+        // batch-built twin.
+        let region = RegionC::all().with_spatial(SpatialPredicate::in_layer(
+            "Ln",
+            GeoFilter::IntersectsLayer { layer: "Lr".into() },
+        ));
+        let (naive, indexed, overlay) = engines(&gis, &batch_moft);
+        let sn = NaiveEngine::from_snapshot(&gis, &snapshot);
+        let si = IndexedEngine::from_snapshot(&gis, &snapshot);
+        let so = OverlayEngine::from_snapshot(&gis, &snapshot);
+        assert_eq!(sn.eval(&region).unwrap(), naive.eval(&region).unwrap());
+        assert_eq!(si.eval(&region).unwrap(), indexed.eval(&region).unwrap());
+        assert_eq!(so.eval(&region).unwrap(), overlay.eval(&region).unwrap());
+
+        // Ingest counters are seeded into the engine stats.
+        let snap = sn.stats().snapshot();
+        assert_eq!(snap.records_ingested, 5);
+        assert_eq!(snap.segments_sealed, 1);
+        assert!(snap.partials_merged > 0);
+
+        // Explain reports segment pruning: a window before hour 0 keeps
+        // no segment, a window covering it keeps one.
+        let miss = RegionC::all().with_time(TimePredicate::Between(TimeId(-7200), TimeId(-3600)));
+        let plan = explain(&sn, &miss).unwrap();
+        assert!(plan.steps[0].contains("0 of 1 sealed segment(s)"), "{plan}");
+        let hit = RegionC::all().with_time(TimePredicate::Between(TimeId(0), TimeId(10)));
+        let plan = explain(&sn, &hit).unwrap();
+        assert!(plan.steps[0].contains("1 of 1 sealed segment(s)"), "{plan}");
+        assert!(plan.steps[0].contains("live tail = 2 record(s)"), "{plan}");
+        // Batch-built engines have no pruning step.
+        let plan = explain(&naive, &hit).unwrap();
+        assert!(!plan.steps[0].contains("segment pruning"), "{plan}");
+    }
+
+    #[test]
+    fn segment_pruning_respects_hour_of_day() {
+        let meta = SegmentMeta {
+            partition: 2,
+            records: 1,
+            objects: 1,
+            first: TimeId(2 * H + 600),
+            last: TimeId(2 * H + 1200),
+            bbox: BBox::from_point(pt(0.0, 0.0)),
+        };
+        // Segment sits in hour-of-day 2 (Night).
+        assert!(segment_may_match(
+            &meta,
+            &[TimePredicate::HourOfDayIn { lo: 2, hi: 4 }]
+        ));
+        assert!(!segment_may_match(
+            &meta,
+            &[TimePredicate::HourOfDayIn { lo: 6, hi: 11 }]
+        ));
+        assert!(segment_may_match(
+            &meta,
+            &[TimePredicate::TimeOfDayIs(TimeOfDay::Night)]
+        ));
+        assert!(!segment_may_match(
+            &meta,
+            &[TimePredicate::TimeOfDayIs(TimeOfDay::Morning)]
+        ));
+        // A midnight-wrapping segment covers hours 23 and 0.
+        let wrap = SegmentMeta {
+            first: TimeId(23 * H + 1800),
+            last: TimeId(24 * H + 1800),
+            ..meta.clone()
+        };
+        assert!(segment_covers_hour_of_day(&wrap, 0, 0));
+        assert!(segment_covers_hour_of_day(&wrap, 23, 23));
+        assert!(!segment_covers_hour_of_day(&wrap, 12, 12));
+        // Day-spanning segments never prune on hour-of-day.
+        let wide = SegmentMeta {
+            first: TimeId(0),
+            last: TimeId(90_000),
+            ..meta
+        };
+        assert!(segment_covers_hour_of_day(&wide, 12, 12));
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod region;
 pub mod result;
 pub mod schema;
 pub mod stats;
+pub mod streaming;
 
 pub use engine::{IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine, ResolvedFilters};
 pub use gis::Gis;
@@ -57,6 +58,7 @@ pub use query::{MoAggSpec, MoQuery, MoQueryResult};
 pub use region::{GeoFilter, RegionC, SpatialPredicate, SpatialSemantics, TimePredicate};
 pub use result::CTuple;
 pub use stats::{EngineStats, StatsSnapshot};
+pub use streaming::layer_geo_resolver;
 
 /// Errors raised by the core model.
 #[derive(Debug, Clone, PartialEq)]

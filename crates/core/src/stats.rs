@@ -26,6 +26,11 @@ pub struct EngineStats {
     time_filter_ns: AtomicU64,
     filter_resolve_ns: AtomicU64,
     spatial_match_ns: AtomicU64,
+    records_ingested: AtomicU64,
+    records_late_dropped: AtomicU64,
+    segments_sealed: AtomicU64,
+    partials_merged: AtomicU64,
+    tail_records_scanned: AtomicU64,
 }
 
 impl EngineStats {
@@ -88,6 +93,26 @@ impl EngineStats {
             .fetch_add(elapsed_ns(since), Ordering::Relaxed);
     }
 
+    /// Seeds the ingest counters from a streaming pipeline's tallies —
+    /// used by the `from_snapshot` engine constructors so stream-fed
+    /// engines surface ingestion work next to their query work.
+    pub fn set_ingest_counters(
+        &self,
+        ingested: u64,
+        late_dropped: u64,
+        sealed: u64,
+        merged: u64,
+        tail_scanned: u64,
+    ) {
+        self.records_ingested.store(ingested, Ordering::Relaxed);
+        self.records_late_dropped
+            .store(late_dropped, Ordering::Relaxed);
+        self.segments_sealed.store(sealed, Ordering::Relaxed);
+        self.partials_merged.store(merged, Ordering::Relaxed);
+        self.tail_records_scanned
+            .store(tail_scanned, Ordering::Relaxed);
+    }
+
     /// A consistent point-in-time copy of every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -101,6 +126,11 @@ impl EngineStats {
             time_filter_ns: self.time_filter_ns.load(Ordering::Relaxed),
             filter_resolve_ns: self.filter_resolve_ns.load(Ordering::Relaxed),
             spatial_match_ns: self.spatial_match_ns.load(Ordering::Relaxed),
+            records_ingested: self.records_ingested.load(Ordering::Relaxed),
+            records_late_dropped: self.records_late_dropped.load(Ordering::Relaxed),
+            segments_sealed: self.segments_sealed.load(Ordering::Relaxed),
+            partials_merged: self.partials_merged.load(Ordering::Relaxed),
+            tail_records_scanned: self.tail_records_scanned.load(Ordering::Relaxed),
         }
     }
 
@@ -116,6 +146,11 @@ impl EngineStats {
         self.time_filter_ns.store(0, Ordering::Relaxed);
         self.filter_resolve_ns.store(0, Ordering::Relaxed);
         self.spatial_match_ns.store(0, Ordering::Relaxed);
+        self.records_ingested.store(0, Ordering::Relaxed);
+        self.records_late_dropped.store(0, Ordering::Relaxed);
+        self.segments_sealed.store(0, Ordering::Relaxed);
+        self.partials_merged.store(0, Ordering::Relaxed);
+        self.tail_records_scanned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -146,6 +181,16 @@ pub struct StatsSnapshot {
     pub filter_resolve_ns: u64,
     /// Wall time (ns) matching records/trajectories spatially.
     pub spatial_match_ns: u64,
+    /// Stream records accepted into ingest buffers.
+    pub records_ingested: u64,
+    /// Stream records dead-lettered as later than the watermark.
+    pub records_late_dropped: u64,
+    /// Stream segments sealed.
+    pub segments_sealed: u64,
+    /// Partial-aggregate entries merged into the delta cube.
+    pub partials_merged: u64,
+    /// Live tail records scanned by incremental rollups.
+    pub tail_records_scanned: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -165,7 +210,21 @@ impl std::fmt::Display for StatsSnapshot {
             self.time_filter_ns as f64 / 1e6,
             self.filter_resolve_ns as f64 / 1e6,
             self.spatial_match_ns as f64 / 1e6,
-        )
+        )?;
+        // Ingest counters only appear for stream-fed engines.
+        if self.records_ingested > 0 || self.segments_sealed > 0 {
+            write!(
+                f,
+                " ingested={} late_dropped={} segments_sealed={} partials_merged={} \
+                 tail_scanned={}",
+                self.records_ingested,
+                self.records_late_dropped,
+                self.segments_sealed,
+                self.partials_merged,
+                self.tail_records_scanned,
+            )?;
+        }
+        Ok(())
     }
 }
 

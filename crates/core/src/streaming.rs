@@ -1,0 +1,93 @@
+//! Bridges the streaming pipeline (`gisolap-stream`) to the GIS model:
+//! geometry resolvers for geo-keyed partials, and the glue the
+//! `from_snapshot` engine constructors use.
+
+use gisolap_geom::{BBox, Point, Polygon, Polyline};
+use gisolap_stream::{GeoResolver, IngestStats};
+
+use crate::gis::Gis;
+use crate::layer::GeoRef;
+use crate::stats::EngineStats;
+use crate::Result;
+
+/// Owned copy of one layer element, so the resolver closure outlives the
+/// GIS borrow (`GeoResolver` is `'static`).
+enum OwnedGeo {
+    Node(Point),
+    Polyline(Polyline),
+    Polygon(Polygon),
+}
+
+impl OwnedGeo {
+    fn covers(&self, p: Point) -> bool {
+        // Mirrors `GeoRef::covers` so stream-side geo keys agree with the
+        // engines' record/geometry matching.
+        match self {
+            OwnedGeo::Node(q) => *q == p,
+            OwnedGeo::Polyline(l) => l.contains_point(p),
+            OwnedGeo::Polygon(poly) => poly.contains(p),
+        }
+    }
+}
+
+/// Builds a [`GeoResolver`] over one GIS layer: maps an observed position
+/// to the ids of the layer's elements covering it (the stream-side view
+/// of the paper's `r^{Pt,G}` rollup relation). The layer's geometry is
+/// copied out so the resolver owns its data.
+pub fn layer_geo_resolver(gis: &Gis, layer: &str) -> Result<GeoResolver> {
+    let id = gis.layer_id(layer)?;
+    let elements: Vec<(u32, BBox, OwnedGeo)> = gis
+        .layer(id)
+        .iter()
+        .map(|(g, r)| {
+            let owned = match r {
+                GeoRef::Node(p) => OwnedGeo::Node(p),
+                GeoRef::Polyline(l) => OwnedGeo::Polyline(l.clone()),
+                GeoRef::Polygon(poly) => OwnedGeo::Polygon(poly.clone()),
+            };
+            (g.0, r.bbox(), owned)
+        })
+        .collect();
+    Ok(Box::new(move |p: Point| {
+        elements
+            .iter()
+            .filter(|(_, bbox, geo)| bbox.contains(p) && geo.covers(p))
+            .map(|&(id, _, _)| id)
+            .collect()
+    }))
+}
+
+/// Seeds an engine's [`EngineStats`] with a pipeline's ingest tallies.
+pub(crate) fn seed_ingest_stats(stats: &EngineStats, s: &IngestStats) {
+    stats.set_ingest_counters(
+        s.records_ingested,
+        s.late_dropped,
+        s.segments_sealed,
+        s.partials_merged,
+        s.tail_records_scanned,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use gisolap_geom::point::pt;
+
+    #[test]
+    fn resolver_keys_by_covering_polygon() {
+        let mut gis = Gis::new();
+        gis.add_layer(Layer::polygons(
+            "Ln",
+            vec![
+                Polygon::rectangle(0.0, 0.0, 10.0, 10.0),
+                Polygon::rectangle(5.0, 0.0, 15.0, 10.0),
+            ],
+        ));
+        let resolver = layer_geo_resolver(&gis, "Ln").unwrap();
+        assert_eq!(resolver(pt(2.0, 2.0)), vec![0]);
+        assert_eq!(resolver(pt(7.0, 2.0)), vec![0, 1]);
+        assert_eq!(resolver(pt(20.0, 2.0)), Vec::<u32>::new());
+        assert!(layer_geo_resolver(&gis, "nope").is_err());
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`movers`] — moving-object generators (random waypoint, bus-route
 //!   followers, commuters) producing MOFTs of any size, seeded and
 //!   reproducible.
+//! * [`stream`] — replays any of the above as timestamped, out-of-order
+//!   record batches (bounded shuffle) for the streaming ingest pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +26,8 @@ pub mod city;
 pub mod fig1;
 pub mod io;
 pub mod movers;
+pub mod stream;
 
 pub use city::{CityConfig, CityScenario};
 pub use fig1::Fig1Scenario;
+pub use stream::{replay_city, replay_fig1, stream_batches, ReplayConfig};

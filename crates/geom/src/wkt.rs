@@ -205,7 +205,13 @@ impl<'a> Parser<'a> {
 }
 
 fn truncate(s: &str) -> &str {
-    &s[..s.len().min(24)]
+    // Byte 24 may fall inside a multibyte character (WKT is user input);
+    // back off to the previous char boundary instead of panicking.
+    let mut end = s.len().min(24);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
 }
 
 #[cfg(test)]
@@ -247,6 +253,15 @@ mod tests {
             }
             other => panic!("expected polygon, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn error_snippet_respects_char_boundaries() {
+        // 24 bytes of garbage ending mid-multibyte-char must produce an
+        // error, not a slicing panic, when the snippet is truncated.
+        let input = format!("POINT ({}é x)", "x".repeat(20));
+        assert!(parse(&input).is_err());
+        assert!(parse("POINT (é é)").is_err());
     }
 
     #[test]

@@ -63,21 +63,36 @@ impl std::fmt::Display for AggFn {
     }
 }
 
-/// Incremental aggregation state for one group.
-#[derive(Debug, Clone)]
-pub struct Accumulator {
-    f: AggFn,
+/// Function-independent mergeable aggregation state: one `Partial`
+/// answers **all five** `AGG` functions (AVG is derived as SUM/COUNT at
+/// [`Partial::eval`] time), and two partials over disjoint value sets
+/// combine with [`Partial::merge`] into the partial of the union.
+///
+/// This is the algebraic backbone of incremental aggregation (the
+/// streaming `DeltaCube` keeps one `Partial` per group and never rescans
+/// sealed data). `merge` is exact for COUNT/MIN/MAX; for SUM/AVG it is
+/// the usual floating-point caveat: `merge(a, b).sum = a.sum + b.sum`,
+/// which equals a single left-to-right fold only up to association
+/// order, so callers wanting *bit*-reproducibility must fix a canonical
+/// merge order (ascending granule), as the stream crate does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Partial {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
 }
 
-impl Accumulator {
-    /// Fresh accumulator for `f`.
-    pub fn new(f: AggFn) -> Accumulator {
-        Accumulator {
-            f,
+impl Default for Partial {
+    fn default() -> Partial {
+        Partial::new()
+    }
+}
+
+impl Partial {
+    /// The identity element: the partial of the empty value set.
+    pub fn new() -> Partial {
+        Partial {
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
@@ -98,9 +113,18 @@ impl Accumulator {
         self.count
     }
 
-    /// Final value.
-    pub fn finish(&self) -> Option<f64> {
-        match self.f {
+    /// Merges another partial (over a disjoint value set) into this one.
+    pub fn merge(&mut self, other: &Partial) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Evaluates one aggregate function over the accumulated state;
+    /// `None` on empty input for `Min`, `Max` and `Avg` (SQL semantics).
+    pub fn eval(&self, f: AggFn) -> Option<f64> {
+        match f {
             AggFn::Count => Some(self.count as f64),
             AggFn::Sum => Some(self.sum),
             AggFn::Min => (self.count > 0).then_some(self.min),
@@ -108,14 +132,44 @@ impl Accumulator {
             AggFn::Avg => (self.count > 0).then(|| self.sum / self.count as f64),
         }
     }
+}
+
+/// Incremental aggregation state for one group, bound to one function —
+/// a [`Partial`] plus the `AggFn` it will be finished with.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    f: AggFn,
+    partial: Partial,
+}
+
+impl Accumulator {
+    /// Fresh accumulator for `f`.
+    pub fn new(f: AggFn) -> Accumulator {
+        Accumulator {
+            f,
+            partial: Partial::new(),
+        }
+    }
+
+    /// Feeds one value.
+    pub fn push(&mut self, v: f64) {
+        self.partial.push(v);
+    }
+
+    /// Number of values fed so far.
+    pub fn count(&self) -> u64 {
+        self.partial.count()
+    }
+
+    /// Final value.
+    pub fn finish(&self) -> Option<f64> {
+        self.partial.eval(self.f)
+    }
 
     /// Merges another accumulator of the same function into this one.
     pub fn merge(&mut self, other: &Accumulator) {
         debug_assert_eq!(self.f, other.f, "cannot merge different functions");
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
+        self.partial.merge(&other.partial);
     }
 }
 

@@ -1,0 +1,434 @@
+//! The `StreamIngest` front door: watermark buffering, sealing, dead
+//! letters, incremental rollups and snapshots.
+
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gisolap_olap::time::TimeId;
+use gisolap_traj::{Moft, Record};
+
+use crate::config::{GeoResolver, StreamConfig};
+use crate::delta::{bucket_partials, CellPartial, DeltaCube, GroupKey, RollupQuery, RollupRow};
+use crate::segment::{Segment, SegmentMeta};
+use crate::Result;
+
+/// Point-in-time copy of the ingest counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Records accepted into a buffer (before dedup).
+    pub records_ingested: u64,
+    /// Records older than the sealed frontier, sent to the dead-letter
+    /// sink.
+    pub late_dropped: u64,
+    /// Segments sealed so far.
+    pub segments_sealed: u64,
+    /// Partial-aggregate entries merged into the [`DeltaCube`].
+    pub partials_merged: u64,
+    /// Live tail records scanned by rollup queries (cumulative).
+    pub tail_records_scanned: u64,
+}
+
+/// Outcome of one [`StreamIngest::ingest`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Records buffered.
+    pub accepted: u64,
+    /// Records dead-lettered as too late.
+    pub late: u64,
+    /// Segments sealed by the watermark advance this call caused.
+    pub sealed: u64,
+}
+
+/// Append-only ingestion pipeline over the MOFT.
+///
+/// Records arrive in arbitrary batch order; each is routed to its time
+/// **partition** buffer (`floor(t / segment_seconds)`). The watermark is
+/// `max event time seen − lateness`; once it passes a partition's end the
+/// partition is sealed into an immutable [`Segment`] and its per-hour
+/// partials are absorbed into the [`DeltaCube`]. Records older than the
+/// sealed frontier go to a counted dead-letter sink.
+pub struct StreamIngest {
+    config: StreamConfig,
+    resolver: Option<GeoResolver>,
+    /// Arrival-ordered buffers per still-open partition.
+    buffers: BTreeMap<i64, Vec<Record>>,
+    /// Sealed segments, ascending partition order.
+    segments: Vec<Segment>,
+    cube: DeltaCube,
+    max_event_time: Option<TimeId>,
+    /// All partitions `< sealed_before` are sealed (or empty forever).
+    sealed_before: i64,
+    dead_letters: Vec<Record>,
+    records_ingested: u64,
+    /// Rollups run on `&self`; this counter is the only one they bump.
+    tail_records_scanned: AtomicU64,
+}
+
+impl StreamIngest {
+    /// Creates a pipeline with a validated configuration.
+    pub fn new(config: StreamConfig) -> Result<StreamIngest> {
+        config.validate()?;
+        Ok(StreamIngest {
+            config,
+            resolver: None,
+            buffers: BTreeMap::new(),
+            segments: Vec::new(),
+            cube: DeltaCube::new(),
+            max_event_time: None,
+            sealed_before: i64::MIN,
+            dead_letters: Vec::new(),
+            records_ingested: 0,
+            tail_records_scanned: AtomicU64::new(0),
+        })
+    }
+
+    /// Attaches a geometry resolver so partials are additionally keyed by
+    /// layer geometry (`gisolap-core` builds one from a GIS layer). Must
+    /// be set before the first batch to keep partials uniform.
+    pub fn with_resolver(mut self, resolver: GeoResolver) -> StreamIngest {
+        debug_assert!(
+            self.records_ingested == 0,
+            "resolver must be set before ingesting"
+        );
+        self.resolver = Some(resolver);
+        self
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Current watermark (`max event time − lateness`), or `None` before
+    /// the first record.
+    pub fn watermark(&self) -> Option<TimeId> {
+        self.max_event_time
+            .map(|t| TimeId(t.0 - self.config.lateness_seconds))
+    }
+
+    /// Ingests one batch of records, in any order; advances the watermark
+    /// and seals every partition it has passed.
+    pub fn ingest(&mut self, batch: &[Record]) -> IngestReport {
+        let mut report = IngestReport::default();
+        let seg = self.config.segment_seconds;
+        for &r in batch {
+            if r.t.0.div_euclid(seg) < self.sealed_before {
+                self.dead_letters.push(r);
+                report.late += 1;
+                continue;
+            }
+            self.buffers
+                .entry(r.t.0.div_euclid(seg))
+                .or_default()
+                .push(r);
+            self.records_ingested += 1;
+            report.accepted += 1;
+            if self.max_event_time.map_or(true, |m| r.t > m) {
+                self.max_event_time = Some(r.t);
+            }
+        }
+        if let Some(wm) = self.watermark() {
+            report.sealed = self.seal_below(wm.0.div_euclid(seg));
+        }
+        report
+    }
+
+    /// Seals **every** buffered partition regardless of the watermark —
+    /// the stream is closed; any later record is dead-lettered.
+    pub fn finish(&mut self) -> u64 {
+        self.seal_below(i64::MAX)
+    }
+
+    /// Seals buffered partitions with index `< frontier`, ascending, and
+    /// absorbs their partials; returns how many were sealed.
+    fn seal_below(&mut self, frontier: i64) -> u64 {
+        if frontier <= self.sealed_before {
+            return 0;
+        }
+        self.sealed_before = frontier;
+        let mut sealed = 0u64;
+        while let Some((&partition, _)) = self.buffers.first_key_value() {
+            if partition >= frontier {
+                break;
+            }
+            let raw = self.buffers.remove(&partition).expect("checked key");
+            let segment = Segment::seal(partition, raw, self.resolver.as_ref());
+            self.cube.absorb(segment.partials());
+            self.segments.push(segment);
+            sealed += 1;
+        }
+        sealed
+    }
+
+    /// Sealed segments, ascending partition order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Records rejected as later than the watermark, in arrival order.
+    pub fn dead_letters(&self) -> &[Record] {
+        &self.dead_letters
+    }
+
+    /// The incremental rollup state over sealed segments.
+    pub fn cube(&self) -> &DeltaCube {
+        &self.cube
+    }
+
+    /// Number of records currently buffered in the live tail.
+    pub fn tail_len(&self) -> usize {
+        self.buffers.values().map(Vec::len).sum()
+    }
+
+    /// Point-in-time ingest counters.
+    pub fn stats(&self) -> IngestStats {
+        IngestStats {
+            records_ingested: self.records_ingested,
+            late_dropped: self.dead_letters.len() as u64,
+            segments_sealed: self.segments.len() as u64,
+            partials_merged: self.cube.merges(),
+            tail_records_scanned: self.tail_records_scanned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The live tail in canonical form: every still-buffered record,
+    /// sorted by `(oid, t)` with duplicate keys keeping the last arrival.
+    pub fn tail_records(&self) -> Vec<Record> {
+        let mut raw: Vec<Record> = Vec::with_capacity(self.tail_len());
+        for buf in self.buffers.values() {
+            raw.extend_from_slice(buf);
+        }
+        crate::segment::canonicalize(raw)
+    }
+
+    /// Answers a rollup by merging sealed [`DeltaCube`] partials with a
+    /// scan of only the live tail — never a full-table rescan.
+    pub fn rollup(&self, q: &RollupQuery) -> Result<Vec<RollupRow>> {
+        let tail = self.tail_records();
+        self.tail_records_scanned
+            .fetch_add(tail.len() as u64, Ordering::Relaxed);
+        let tail_cells = bucket_partials(&tail, self.resolver.as_ref());
+        self.cube.rollup(q, &tail_cells)
+    }
+
+    /// Freezes the current state into an owned [`StreamSnapshot`]: a
+    /// MOFT assembled by k-way merging the sorted segment runs and the
+    /// canonical tail (`O(n log k)`, no re-sort), the sealed cube, the
+    /// tail's partial cells and the segment summaries.
+    pub fn snapshot(&self) -> Result<StreamSnapshot> {
+        let tail = self.tail_records();
+        let tail_cells = bucket_partials(&tail, self.resolver.as_ref());
+        let mut runs: Vec<&[Record]> = self.segments.iter().map(Segment::records).collect();
+        runs.push(&tail);
+
+        // K-way merge of (oid, t)-sorted runs. Keys are globally unique:
+        // partitions are disjoint time ranges and each run is deduped.
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        let mut merged: Vec<Record> = Vec::with_capacity(total);
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, i64, usize)>> = BinaryHeap::new();
+        let mut cursors = vec![0usize; runs.len()];
+        for (i, run) in runs.iter().enumerate() {
+            if let Some(r) = run.first() {
+                heap.push(std::cmp::Reverse((r.oid.0, r.t.0, i)));
+            }
+        }
+        while let Some(std::cmp::Reverse((_, _, i))) = heap.pop() {
+            merged.push(runs[i][cursors[i]]);
+            cursors[i] += 1;
+            if let Some(r) = runs[i].get(cursors[i]) {
+                heap.push(std::cmp::Reverse((r.oid.0, r.t.0, i)));
+            }
+        }
+
+        Ok(StreamSnapshot {
+            moft: Moft::from_sorted_records(merged)?,
+            cube: self.cube.clone(),
+            tail_cells,
+            segments: self.segments.iter().map(|s| s.meta().clone()).collect(),
+            tail_len: tail.len() as u64,
+            stats: self.stats(),
+        })
+    }
+}
+
+/// An owned, self-consistent freeze of a [`StreamIngest`]: the full MOFT
+/// (sealed + tail), the sealed-partial cube, the tail's partial cells and
+/// per-segment summaries. This is what the `gisolap-core` engines build
+/// from.
+#[derive(Debug, Clone)]
+pub struct StreamSnapshot {
+    moft: Moft,
+    cube: DeltaCube,
+    tail_cells: BTreeMap<GroupKey, CellPartial>,
+    segments: Vec<SegmentMeta>,
+    tail_len: u64,
+    stats: IngestStats,
+}
+
+impl StreamSnapshot {
+    /// The assembled fact table (sealed segments + live tail).
+    pub fn moft(&self) -> &Moft {
+        &self.moft
+    }
+
+    /// The sealed-partial cube.
+    pub fn cube(&self) -> &DeltaCube {
+        &self.cube
+    }
+
+    /// Summaries of the sealed segments, ascending partition order.
+    pub fn segments(&self) -> &[SegmentMeta] {
+        &self.segments
+    }
+
+    /// Number of live-tail records at snapshot time.
+    pub fn tail_len(&self) -> u64 {
+        self.tail_len
+    }
+
+    /// Ingest counters at snapshot time.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Answers a rollup from the frozen state (sealed partials + the
+    /// tail cells captured at snapshot time).
+    pub fn rollup(&self, q: &RollupQuery) -> Result<Vec<RollupRow>> {
+        self.cube.rollup(q, &self.tail_cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gisolap_olap::agg::AggFn;
+    use gisolap_olap::time::TimeLevel;
+    use gisolap_traj::ObjectId;
+
+    use crate::delta::Measure;
+
+    fn rec(oid: u64, t: i64, x: f64, y: f64) -> Record {
+        Record {
+            oid: ObjectId(oid),
+            t: TimeId(t),
+            x,
+            y,
+        }
+    }
+
+    fn cfg(lateness: i64) -> StreamConfig {
+        StreamConfig {
+            lateness_seconds: lateness,
+            segment_seconds: 3600,
+        }
+    }
+
+    #[test]
+    fn watermark_seals_and_dead_letters() {
+        let mut s = StreamIngest::new(cfg(600)).unwrap();
+        assert_eq!(s.watermark(), None);
+
+        // Hour-0 records, slightly out of order.
+        let r = s.ingest(&[rec(1, 100, 0.0, 0.0), rec(1, 50, 1.0, 1.0)]);
+        assert_eq!((r.accepted, r.late, r.sealed), (2, 0, 0));
+        assert_eq!(s.watermark(), Some(TimeId(100 - 600)));
+
+        // Jump past hour 0 + lateness: hour 0 seals.
+        let r = s.ingest(&[rec(2, 4300, 2.0, 2.0)]);
+        assert_eq!(r.sealed, 1);
+        assert_eq!(s.segments().len(), 1);
+        assert_eq!(s.segments()[0].meta().records, 2);
+        assert_eq!(s.tail_len(), 1);
+
+        // A record for sealed hour 0 is now late.
+        let r = s.ingest(&[rec(3, 10, 9.0, 9.0)]);
+        assert_eq!((r.accepted, r.late), (0, 1));
+        assert_eq!(s.dead_letters().len(), 1);
+        assert_eq!(s.dead_letters()[0].oid, ObjectId(3));
+
+        let stats = s.stats();
+        assert_eq!(stats.records_ingested, 3);
+        assert_eq!(stats.late_dropped, 1);
+        assert_eq!(stats.segments_sealed, 1);
+        assert_eq!(stats.partials_merged, 1); // hour 0, one cell
+
+        // finish() seals the tail; later records are dead-lettered.
+        assert_eq!(s.finish(), 1);
+        assert_eq!(s.tail_len(), 0);
+        let r = s.ingest(&[rec(4, 5000, 0.0, 0.0)]);
+        assert_eq!((r.accepted, r.late), (0, 1));
+    }
+
+    #[test]
+    fn within_lateness_is_never_late() {
+        // Watermark trails by 3600: a full hour of reordering survives.
+        let mut s = StreamIngest::new(cfg(3600)).unwrap();
+        s.ingest(&[rec(1, 7000, 0.0, 0.0)]);
+        let r = s.ingest(&[rec(1, 3500, 1.0, 1.0)]);
+        assert_eq!((r.accepted, r.late), (1, 0));
+    }
+
+    #[test]
+    fn rollup_merges_sealed_and_tail() {
+        let mut s = StreamIngest::new(cfg(0)).unwrap();
+        s.ingest(&[rec(1, 100, 1.0, 10.0), rec(1, 200, 3.0, 30.0)]);
+        s.ingest(&[rec(2, 3700, 5.0, 50.0)]); // seals hour 0
+        assert_eq!(s.segments().len(), 1);
+        assert_eq!(s.tail_len(), 1);
+
+        let rows = s
+            .rollup(&RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Sum))
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                RollupRow {
+                    granule: 0,
+                    geo: None,
+                    value: 4.0
+                },
+                RollupRow {
+                    granule: 1,
+                    geo: None,
+                    value: 5.0
+                },
+            ]
+        );
+        let rows = s
+            .rollup(&RollupQuery::new(TimeLevel::Day, Measure::Y, AggFn::Avg))
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![RollupRow {
+                granule: 0,
+                geo: None,
+                value: 30.0
+            }]
+        );
+        assert_eq!(s.stats().tail_records_scanned, 2); // two rollups × tail of 1
+    }
+
+    #[test]
+    fn snapshot_assembles_canonical_moft() {
+        let mut s = StreamIngest::new(cfg(0)).unwrap();
+        // Interleave objects across two hours, scrambled arrival, one
+        // duplicate key in the tail.
+        s.ingest(&[rec(2, 3700, 4.0, 4.0), rec(1, 100, 0.0, 0.0)]);
+        s.ingest(&[rec(1, 3800, 2.0, 2.0), rec(1, 3800, 7.0, 7.0)]);
+        assert_eq!(s.segments().len(), 1); // hour 0 sealed
+
+        let snap = s.snapshot().unwrap();
+        let expected = Moft::from_tuples([
+            (1, 100, 0.0, 0.0),
+            (1, 3800, 7.0, 7.0), // last arrival wins
+            (2, 3700, 4.0, 4.0),
+        ]);
+        assert_eq!(snap.moft().records(), expected.records());
+        assert_eq!(snap.segments().len(), 1);
+        assert_eq!(snap.tail_len(), 2); // canonical tail: duplicate key collapsed
+
+        // Snapshot rollups equal live rollups.
+        let q = RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Max);
+        assert_eq!(snap.rollup(&q).unwrap(), s.rollup(&q).unwrap());
+    }
+}

@@ -1,0 +1,177 @@
+//! Immutable, time-partitioned segments sealed from the ingest buffer.
+
+use gisolap_geom::BBox;
+use gisolap_olap::time::TimeId;
+use gisolap_traj::{ObjectId, Record};
+
+use crate::config::GeoResolver;
+use crate::delta::{bucket_partials, CellPartial, GroupKey};
+
+/// Summary of a sealed segment — enough for time/space pruning without
+/// touching the records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentMeta {
+    /// Partition index: `floor(t / segment_seconds)` of every record.
+    pub partition: i64,
+    /// Number of (deduplicated) records.
+    pub records: usize,
+    /// Number of distinct objects observed.
+    pub objects: usize,
+    /// Earliest observation in the segment.
+    pub first: TimeId,
+    /// Latest observation in the segment.
+    pub last: TimeId,
+    /// Spatial bounding box of all observations.
+    pub bbox: BBox,
+}
+
+/// An immutable sealed partition: records sorted by `(Oid, t)` (duplicate
+/// keys keep the last arrival, matching `Moft::rebuild_index`), plus the
+/// summaries and per-hour partial aggregates derived from them.
+#[derive(Debug)]
+pub struct Segment {
+    meta: SegmentMeta,
+    records: Vec<Record>,
+    /// `(oid, start, end)` ranges into `records`, ascending by oid.
+    object_ranges: Vec<(ObjectId, usize, usize)>,
+    /// Per-`(hour, geo)` partials, ascending by key.
+    partials: Vec<(GroupKey, CellPartial)>,
+}
+
+impl Segment {
+    /// Seals a buffered partition. `raw` is in arrival order and must be
+    /// non-empty; every record's partition index must equal `partition`.
+    pub(crate) fn seal(
+        partition: i64,
+        raw: Vec<Record>,
+        resolver: Option<&GeoResolver>,
+    ) -> Segment {
+        debug_assert!(!raw.is_empty(), "sealing an empty partition");
+        let records = canonicalize(raw);
+
+        let mut object_ranges: Vec<(ObjectId, usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=records.len() {
+            if i == records.len() || records[i].oid != records[start].oid {
+                object_ranges.push((records[start].oid, start, i));
+                start = i;
+            }
+        }
+
+        let mut first = records[0].t;
+        let mut last = records[0].t;
+        for r in &records {
+            first = first.min(r.t);
+            last = last.max(r.t);
+        }
+        let meta = SegmentMeta {
+            partition,
+            records: records.len(),
+            objects: object_ranges.len(),
+            first,
+            last,
+            bbox: BBox::from_points(records.iter().map(Record::pos)),
+        };
+        let partials = bucket_partials(&records, resolver).into_iter().collect();
+        Segment {
+            meta,
+            records,
+            object_ranges,
+            partials,
+        }
+    }
+
+    /// The segment's summary.
+    pub fn meta(&self) -> &SegmentMeta {
+        &self.meta
+    }
+
+    /// All records, sorted by `(oid, t)`, unique keys.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Distinct object ids, ascending.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.object_ranges.iter().map(|&(oid, _, _)| oid)
+    }
+
+    /// The time-sorted records of one object, or `None` if absent.
+    pub fn track(&self, oid: ObjectId) -> Option<&[Record]> {
+        self.object_ranges
+            .binary_search_by_key(&oid, |&(o, _, _)| o)
+            .ok()
+            .map(|i| {
+                let (_, a, b) = self.object_ranges[i];
+                &self.records[a..b]
+            })
+    }
+
+    /// Per-`(hour, geo)` partial aggregates, ascending by key.
+    pub fn partials(&self) -> &[(GroupKey, CellPartial)] {
+        &self.partials
+    }
+}
+
+/// Stable-sorts by `(oid, t)` and deduplicates equal keys keeping the
+/// last arrival — exactly `Moft::rebuild_index`'s policy.
+pub(crate) fn canonicalize(mut raw: Vec<Record>) -> Vec<Record> {
+    raw.sort_by(|a, b| a.oid.cmp(&b.oid).then(a.t.cmp(&b.t)));
+    let mut out: Vec<Record> = Vec::with_capacity(raw.len());
+    for r in raw {
+        match out.last_mut() {
+            Some(last) if last.oid == r.oid && last.t == r.t => *last = r,
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(oid: u64, t: i64, x: f64, y: f64) -> Record {
+        Record {
+            oid: ObjectId(oid),
+            t: TimeId(t),
+            x,
+            y,
+        }
+    }
+
+    #[test]
+    fn seal_sorts_dedups_and_summarizes() {
+        // Arrival order scrambled; one duplicate key whose last arrival
+        // must win.
+        let raw = vec![
+            rec(2, 100, 5.0, 5.0),
+            rec(1, 50, 0.0, 0.0),
+            rec(1, 10, 1.0, 1.0),
+            rec(1, 50, 9.0, 9.0),
+        ];
+        let seg = Segment::seal(0, raw, None);
+        let recs = seg.records();
+        assert_eq!(recs.len(), 3);
+        assert!(recs
+            .windows(2)
+            .all(|w| (w[0].oid, w[0].t) < (w[1].oid, w[1].t)));
+        assert_eq!(seg.track(ObjectId(1)).unwrap()[1].x, 9.0);
+        assert!(seg.track(ObjectId(3)).is_none());
+
+        let meta = seg.meta();
+        assert_eq!(meta.records, 3);
+        assert_eq!(meta.objects, 2);
+        assert_eq!((meta.first, meta.last), (TimeId(10), TimeId(100)));
+        // The superseded (1, 50) point at (0, 0) is gone from the bbox.
+        assert_eq!(meta.bbox, BBox::new(1.0, 1.0, 9.0, 9.0));
+        assert_eq!(
+            seg.objects().collect::<Vec<_>>(),
+            vec![ObjectId(1), ObjectId(2)]
+        );
+
+        // All three records fall in hour 0 → one partial cell.
+        assert_eq!(seg.partials().len(), 1);
+        assert_eq!(seg.partials()[0].1.x.count(), 3);
+    }
+}

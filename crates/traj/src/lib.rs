@@ -66,6 +66,12 @@ pub enum TrajError {
         /// 1-based line number of the offending line.
         line: usize,
     },
+    /// Records handed to [`moft::Moft::from_sorted_records`] were not
+    /// strictly sorted by `(oid, t)`.
+    UnsortedRecords {
+        /// Index of the first record out of order.
+        at: usize,
+    },
     /// A maximum speed constraint is violated between two samples (the
     /// object would have had to move faster than allowed).
     SpeedViolation {
@@ -88,6 +94,12 @@ impl std::fmt::Display for TrajError {
             TrajError::NonFiniteCoordinate => write!(f, "coordinate is NaN or infinite"),
             TrajError::UnknownObject(id) => write!(f, "unknown object id {id}"),
             TrajError::CsvParse { line } => write!(f, "malformed CSV at line {line}"),
+            TrajError::UnsortedRecords { at } => {
+                write!(
+                    f,
+                    "records must be strictly sorted by (oid, t) (index {at})"
+                )
+            }
             TrajError::SpeedViolation { at, required, vmax } => write!(
                 f,
                 "samples {at}..{} require speed {required} > vmax {vmax}",

@@ -113,7 +113,43 @@ impl Moft {
             }
         }
         self.records = dedup;
+        self.index_sorted_records();
+    }
 
+    /// Builds a table from records **already sorted** by `(oid, t)` with
+    /// no duplicate keys — the contract sealed stream segments guarantee —
+    /// so the table is indexed in `O(n)` without re-sorting or copying.
+    ///
+    /// Returns [`TrajError::UnsortedRecords`] if the precondition fails.
+    pub fn from_sorted_records(records: Vec<Record>) -> Result<Moft> {
+        for (i, w) in records.windows(2).enumerate() {
+            let ord = w[0].oid.cmp(&w[1].oid).then(w[0].t.cmp(&w[1].t));
+            if ord != std::cmp::Ordering::Less {
+                return Err(TrajError::UnsortedRecords { at: i + 1 });
+            }
+        }
+        let mut m = Moft {
+            records,
+            ..Moft::new()
+        };
+        m.index_sorted_records();
+        Ok(m)
+    }
+
+    /// Builds a table from an iterator of [`Record`]s in any order
+    /// (sorted, deduplicated and indexed like [`Moft::rebuild_index`]).
+    pub fn from_records<I: IntoIterator<Item = Record>>(records: I) -> Moft {
+        let mut m = Moft {
+            records: records.into_iter().collect(),
+            ..Moft::new()
+        };
+        m.rebuild_index();
+        m
+    }
+
+    /// Rebuilds `object_ranges` and `by_time` assuming `self.records` is
+    /// already sorted by `(oid, t)` and free of duplicate keys.
+    fn index_sorted_records(&mut self) {
         self.object_ranges.clear();
         let mut start = 0usize;
         for i in 1..=self.records.len() {
@@ -395,6 +431,38 @@ mod tests {
         ));
         // Empty input is an empty table, not an error.
         assert!(Moft::from_csv("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn from_sorted_records_skips_resort() {
+        let sorted = sample_table().records().to_vec();
+        let m = Moft::from_sorted_records(sorted.clone()).unwrap();
+        assert_eq!(m.records(), sorted.as_slice());
+        assert_eq!(m.object_count(), 3);
+        assert_eq!(m.time_bounds(), Some((TimeId(10), TimeId(30))));
+        // Empty input is fine.
+        assert!(Moft::from_sorted_records(Vec::new()).unwrap().is_empty());
+
+        // Out-of-order and duplicate-key inputs are rejected.
+        let mut swapped = sorted.clone();
+        swapped.swap(0, 1);
+        assert!(matches!(
+            Moft::from_sorted_records(swapped),
+            Err(TrajError::UnsortedRecords { at: 1 })
+        ));
+        let mut dup = sorted;
+        dup[1] = dup[0];
+        assert!(matches!(
+            Moft::from_sorted_records(dup),
+            Err(TrajError::UnsortedRecords { at: 1 })
+        ));
+    }
+
+    #[test]
+    fn from_records_matches_from_tuples() {
+        let m = sample_table();
+        let again = Moft::from_records(m.records().iter().rev().copied());
+        assert_eq!(again.records(), m.records());
     }
 
     #[test]

@@ -1,0 +1,24 @@
+#[test]
+fn readme_streaming_snippet_compiles_and_runs() {
+    use gisolap_datagen::{replay_fig1, ReplayConfig};
+    use gisolap_olap::{agg::AggFn, time::TimeLevel};
+    use gisolap_stream::{Measure, RollupQuery, StreamConfig, StreamIngest};
+
+    let (s, batches) = replay_fig1(&ReplayConfig {
+        shuffle_seconds: 120,
+        batch_size: 8,
+        seed: 1,
+    });
+    let mut ingest = StreamIngest::new(StreamConfig::new(120, 3600).unwrap()).unwrap();
+    for batch in &batches {
+        ingest.ingest(batch);
+    }
+    let q = RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Count);
+    let per_hour = ingest.rollup(&q).unwrap();
+    assert_eq!(
+        per_hour.iter().map(|r| r.value as usize).sum::<usize>(),
+        s.moft.records().len(),
+    );
+    let snapshot = ingest.snapshot().unwrap();
+    let _engine = gisolap_core::OverlayEngine::from_snapshot(&s.gis, &snapshot);
+}

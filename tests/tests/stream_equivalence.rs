@@ -1,0 +1,217 @@
+//! Property tests: streaming ingest is bit-identical to batch evaluation.
+//!
+//! A MOFT replayed as out-of-order batches (bounded shuffle ≤ the
+//! ingester's lateness) must produce, for every aggregate function and
+//! Time-hierarchy level, exactly the same rollup bits as the same records
+//! ingested as one sorted batch — before *and* after sealing everything —
+//! and the assembled snapshot must equal the batch-built MOFT.
+
+use gisolap_datagen::movers::RandomWaypoint;
+use gisolap_datagen::{stream_batches, CityConfig, CityScenario, ReplayConfig};
+use gisolap_olap::agg::{AggFn, Partial};
+use gisolap_olap::time::{TimeDimension, TimeLevel};
+use gisolap_stream::{Measure, RollupQuery, StreamConfig, StreamIngest};
+use gisolap_traj::Moft;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const FNS: [AggFn; 5] = [AggFn::Count, AggFn::Sum, AggFn::Avg, AggFn::Min, AggFn::Max];
+const LEVELS: [TimeLevel; 3] = [TimeLevel::Hour, TimeLevel::Day, TimeLevel::Month];
+const MEASURES: [Measure; 2] = [Measure::X, Measure::Y];
+
+/// A rollup result with f64s made exactly comparable.
+fn rollup_bits(ingest: &StreamIngest, q: &RollupQuery) -> Vec<(i64, Option<u32>, u64)> {
+    ingest
+        .rollup(q)
+        .unwrap()
+        .into_iter()
+        .map(|row| (row.granule, row.geo, row.value.to_bits()))
+        .collect()
+}
+
+fn random_moft(seed: u64, objects: usize, samples: usize) -> Moft {
+    let city = CityScenario::generate(CityConfig {
+        blocks_x: 3,
+        blocks_y: 2,
+        seed,
+        ..CityConfig::default()
+    });
+    RandomWaypoint {
+        seed: seed.wrapping_add(1),
+        ..RandomWaypoint::new(city.bbox, objects, samples)
+    }
+    .generate(0)
+}
+
+/// Independent hour-level reference: group by hour with a fresh
+/// [`Partial`] pushed in `(oid, t)` order — the canonical accumulation
+/// order the streaming pipeline promises — and evaluate.
+fn hour_reference(moft: &Moft, measure: Measure, f: AggFn) -> Vec<(i64, Option<u32>, u64)> {
+    let td = TimeDimension::hours();
+    let mut groups: BTreeMap<i64, Partial> = BTreeMap::new();
+    for r in moft.records() {
+        groups.entry(td.hour(r.t)).or_default().push(measure.of(r));
+    }
+    groups
+        .into_iter()
+        .filter_map(|(h, p)| p.eval(f).map(|v| (h, None, v.to_bits())))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn stream_rollups_are_bit_identical_to_batch(
+        seed in 0u64..1000,
+        shuffle in 0i64..=900,
+        batch_size in 1usize..64,
+        segment_hours in 1i64..4,
+    ) {
+        let moft = random_moft(seed, 8, 24);
+        let config = StreamConfig::new(shuffle, segment_hours * 3600).unwrap();
+
+        // Streamed: bounded shuffle within the configured lateness.
+        let batches = stream_batches(&moft, &ReplayConfig {
+            shuffle_seconds: shuffle,
+            batch_size,
+            seed: seed.wrapping_add(17),
+        });
+        let mut streamed = StreamIngest::new(config).unwrap();
+        for b in &batches {
+            streamed.ingest(b);
+        }
+        prop_assert!(
+            streamed.dead_letters().is_empty(),
+            "shuffle bounded by lateness must never dead-letter"
+        );
+
+        // Batch twin: everything in one sorted batch.
+        let mut batch = StreamIngest::new(config).unwrap();
+        batch.ingest(moft.records());
+        prop_assert!(batch.dead_letters().is_empty());
+
+        // Every AGG × level × measure agrees bitwise, with the streamed
+        // side answering from sealed partials + live tail, both before
+        // and after force-sealing the tail.
+        for f in FNS {
+            for level in LEVELS {
+                for measure in MEASURES {
+                    let q = RollupQuery::new(level, measure, f);
+                    let live = rollup_bits(&streamed, &q);
+                    prop_assert_eq!(
+                        &live, &rollup_bits(&batch, &q),
+                        "live vs batch: {:?} {:?} {:?}", f, level, measure
+                    );
+                    if level == TimeLevel::Hour {
+                        prop_assert_eq!(
+                            &live, &hour_reference(&moft, measure, f),
+                            "vs independent reference: {:?} {:?}", f, measure
+                        );
+                    }
+                }
+            }
+        }
+
+        // Sealing the tail must not change a single bit.
+        let q = RollupQuery::new(TimeLevel::Day, Measure::X, AggFn::Sum);
+        let before = rollup_bits(&streamed, &q);
+        streamed.finish();
+        prop_assert_eq!(streamed.tail_len(), 0);
+        prop_assert_eq!(rollup_bits(&streamed, &q), before);
+        for f in FNS {
+            for level in LEVELS {
+                for measure in MEASURES {
+                    let q = RollupQuery::new(level, measure, f);
+                    prop_assert_eq!(
+                        rollup_bits(&streamed, &q),
+                        rollup_bits(&batch, &q),
+                        "sealed vs batch: {:?} {:?} {:?}", f, level, measure
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_moft_equals_batch_moft(
+        seed in 0u64..1000,
+        shuffle in 0i64..=600,
+        batch_size in 1usize..48,
+    ) {
+        let moft = random_moft(seed.wrapping_add(7), 6, 20);
+        let batches = stream_batches(&moft, &ReplayConfig {
+            shuffle_seconds: shuffle,
+            batch_size,
+            seed: seed.wrapping_add(23),
+        });
+        let mut ingest =
+            StreamIngest::new(StreamConfig::new(shuffle, 3600).unwrap()).unwrap();
+        for b in &batches {
+            ingest.ingest(b);
+        }
+        let snapshot = ingest.snapshot().unwrap();
+        prop_assert_eq!(snapshot.moft().records(), moft.records());
+
+        // The snapshot answers rollups identically to the live ingester.
+        for level in LEVELS {
+            let q = RollupQuery::new(level, Measure::Y, AggFn::Avg);
+            let a = snapshot.rollup(&q).unwrap();
+            let b = ingest.rollup(&q).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn windowed_rollups_agree(seed in 0u64..500) {
+        let moft = random_moft(seed.wrapping_add(3), 6, 18);
+        let records = moft.records();
+        let (lo, hi) = (records[0].t, records[records.len() - 1].t);
+        let mid = gisolap_olap::time::TimeId((lo.0 + hi.0) / 2);
+        let batches = stream_batches(&moft, &ReplayConfig::default());
+
+        let mut streamed =
+            StreamIngest::new(StreamConfig::new(300, 3600).unwrap()).unwrap();
+        for b in &batches {
+            streamed.ingest(b);
+        }
+        let mut batch =
+            StreamIngest::new(StreamConfig::new(300, 3600).unwrap()).unwrap();
+        batch.ingest(records);
+
+        for f in FNS {
+            let q = RollupQuery::new(TimeLevel::Hour, Measure::X, f).between(lo, mid);
+            prop_assert_eq!(
+                rollup_bits(&streamed, &q),
+                rollup_bits(&batch, &q),
+                "windowed: {:?}", f
+            );
+        }
+    }
+}
+
+#[test]
+fn count_rollup_matches_record_census() {
+    // COUNT at every level equals a plain integer census of the table —
+    // an anchor entirely outside the Partial/DeltaCube machinery.
+    let moft = random_moft(99, 7, 30);
+    let mut ingest = StreamIngest::new(StreamConfig::new(0, 3600).unwrap()).unwrap();
+    ingest.ingest(moft.records());
+    ingest.finish();
+
+    let td = TimeDimension::hours();
+    for level in LEVELS {
+        let mut census: BTreeMap<i64, u64> = BTreeMap::new();
+        for r in moft.records() {
+            *census.entry(td.granule(r.t, level)).or_default() += 1;
+        }
+        let rows = ingest
+            .rollup(&RollupQuery::new(level, Measure::X, AggFn::Count))
+            .unwrap();
+        let got: BTreeMap<i64, u64> = rows
+            .into_iter()
+            .map(|row| (row.granule, row.value as u64))
+            .collect();
+        assert_eq!(got, census, "{level:?}");
+    }
+}
