@@ -52,8 +52,10 @@ use crate::region::{
     eval_time, CmpOp, GeoFilter, RegionC, SpatialPredicate, SpatialSemantics, TimePredicate,
 };
 use crate::result::CTuple;
-use crate::stats::{EngineStats, StatsSnapshot};
+use crate::stats::{EngineStats, PhaseTrace, StatsSnapshot};
 use crate::{CoreError, Result};
+
+use gisolap_obs::{QueryObs, Span};
 
 /// Geometric sub-queries resolved ahead of evaluation, keyed by
 /// `(layer name, filter)`. [`QueryEngine::eval_many`] fills one per
@@ -101,6 +103,13 @@ pub trait QueryEngine: Sync {
 
     /// This engine's evaluation counters.
     fn stats(&self) -> &EngineStats;
+
+    /// The observability bundle attached via a `with_obs` builder, if
+    /// any. Engines without one pay zero observability cost beyond this
+    /// `Option` check per query.
+    fn obs(&self) -> Option<&QueryObs> {
+        None
+    }
 
     /// Candidate elements of `layer` whose bbox intersects `bbox`.
     /// Strategies differ: scan vs. R-tree.
@@ -258,6 +267,29 @@ pub trait QueryEngine: Sync {
     /// The per-record / per-trajectory work is partitioned across
     /// threads in order-preserving chunks, so the result is identical to
     /// a sequential evaluation (`GISOLAP_THREADS=1`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gisolap_core::{GeoFilter, Gis, Layer, NaiveEngine, QueryEngine};
+    /// use gisolap_core::{RegionC, SpatialPredicate};
+    /// use gisolap_geom::Polygon;
+    /// use gisolap_traj::Moft;
+    ///
+    /// let mut gis = Gis::new();
+    /// gis.add_layer(Layer::polygons(
+    ///     "districts",
+    ///     vec![Polygon::rectangle(0.0, 0.0, 10.0, 10.0)],
+    /// ));
+    /// let moft = Moft::from_tuples([(1, 0, 2.0, 2.0), (2, 0, 50.0, 50.0)]);
+    /// let engine = NaiveEngine::new(&gis, &moft);
+    ///
+    /// let region = RegionC::all()
+    ///     .with_spatial(SpatialPredicate::in_layer("districts", GeoFilter::All));
+    /// let tuples = engine.eval(&region)?;
+    /// assert_eq!(tuples.len(), 1); // only object 1 samples inside the district
+    /// # Ok::<(), gisolap_core::CoreError>(())
+    /// ```
     fn eval(&self, region: &RegionC) -> Result<Vec<CTuple>> {
         self.eval_resolved(region, &ResolvedFilters::default())
     }
@@ -267,6 +299,40 @@ pub trait QueryEngine: Sync {
     /// regions out in parallel. Returns one result per region, in input
     /// order — each identical to what [`QueryEngine::eval`] returns for
     /// that region alone.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gisolap_core::{GeoFilter, Gis, Layer, NaiveEngine, QueryEngine};
+    /// use gisolap_core::{RegionC, SpatialPredicate, TimePredicate};
+    /// use gisolap_geom::Polygon;
+    /// use gisolap_olap::time::TimeId;
+    /// use gisolap_traj::Moft;
+    ///
+    /// let mut gis = Gis::new();
+    /// gis.add_layer(Layer::polygons(
+    ///     "districts",
+    ///     vec![Polygon::rectangle(0.0, 0.0, 10.0, 10.0)],
+    /// ));
+    /// let moft = Moft::from_tuples([(1, 0, 2.0, 2.0), (1, 7200, 3.0, 3.0)]);
+    /// let engine = NaiveEngine::new(&gis, &moft);
+    ///
+    /// // Two windows over the same spatial filter: the geometric
+    /// // sub-query resolves once for the whole batch.
+    /// let spatial = SpatialPredicate::in_layer("districts", GeoFilter::All);
+    /// let regions = vec![
+    ///     RegionC::all()
+    ///         .with_time(TimePredicate::Between(TimeId(0), TimeId(3599)))
+    ///         .with_spatial(spatial.clone()),
+    ///     RegionC::all()
+    ///         .with_time(TimePredicate::Between(TimeId(7200), TimeId(10799)))
+    ///         .with_spatial(spatial),
+    /// ];
+    /// let results = engine.eval_many(&regions)?;
+    /// assert_eq!(results.len(), 2);
+    /// assert_eq!((results[0].len(), results[1].len()), (1, 1));
+    /// # Ok::<(), gisolap_core::CoreError>(())
+    /// ```
     fn eval_many(&self, regions: &[RegionC]) -> Result<Vec<Vec<CTuple>>> {
         let t0 = Instant::now();
         let mut resolved = ResolvedFilters::default();
@@ -288,9 +354,55 @@ pub trait QueryEngine: Sync {
 
     /// [`QueryEngine::eval`] against pre-resolved geometric sub-queries;
     /// pairs missing from `resolved` are resolved on demand.
+    ///
+    /// This is also where the observability hooks live: with a
+    /// [`QueryObs`] attached ([`QueryEngine::obs`]), every query bumps
+    /// the eval-latency histogram and is checked against the slow-query
+    /// threshold, and — when the tracer is on — its span tree is stored
+    /// as [`QueryObs::last_span`].
     fn eval_resolved(&self, region: &RegionC, resolved: &ResolvedFilters) -> Result<Vec<CTuple>> {
+        let Some(obs) = self.obs() else {
+            // No observability attached: the untraced fast path.
+            return self.eval_traced(region, resolved, &mut PhaseTrace::disabled());
+        };
+        let started = Instant::now();
+        let mut trace = if obs.tracer().enabled() {
+            PhaseTrace::enabled(self.stats())
+        } else {
+            PhaseTrace::disabled()
+        };
+        let result = self.eval_traced(region, resolved, &mut trace);
+        let duration_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        obs.latency().observe_ns(duration_ns);
+        if let Some(root) = trace.finish(self.stats(), "eval", started) {
+            obs.store_last_span(root);
+        }
+        // Lazy detail: the plan is only rendered for queries that are
+        // actually slow. Note `explain` itself resolves the geometric
+        // sub-query, so logged slow queries bump the counters once more.
+        obs.slow_queries().observe(duration_ns, || {
+            explain(self, region)
+                .map(|e| e.to_string())
+                .unwrap_or_else(|e| format!("explain failed: {e}"))
+        });
+        result
+    }
+
+    /// The evaluation body behind [`QueryEngine::eval_resolved`], with an
+    /// explicit [`PhaseTrace`] recording phase boundaries (time-filter →
+    /// filter-resolve → spatial-match). Called directly by
+    /// [`explain_analyze`], which owns the trace and appends its own
+    /// aggregate phase.
+    fn eval_traced(
+        &self,
+        region: &RegionC,
+        resolved: &ResolvedFilters,
+        trace: &mut PhaseTrace,
+    ) -> Result<Vec<CTuple>> {
         self.stats().add_query();
+        let tf_t0 = Instant::now();
         let records = self.time_filtered(&region.time);
+        trace.phase(self.stats(), "time-filter", tf_t0);
 
         // Resolve the forbidden set first (query 3): any object with a
         // time-filtered sample matching `forbid` is excluded wholesale.
@@ -315,6 +427,7 @@ pub trait QueryEngine: Sync {
         let Some(spatial) = &region.spatial else {
             // Type 3: no spatial condition; C is the time-filtered MOFT.
             self.stats().add_filter_resolve_ns(resolve_t0);
+            trace.phase(self.stats(), "filter-resolve", resolve_t0);
             return Ok(records
                 .iter()
                 .filter(|r| !excluded.contains(&r.oid))
@@ -330,6 +443,7 @@ pub trait QueryEngine: Sync {
         let (layer, geos) = self.resolve_spatial(spatial, resolved)?;
         let geo_set: HashSet<GeoId> = geos.iter().copied().collect();
         self.stats().add_filter_resolve_ns(resolve_t0);
+        trace.phase(self.stats(), "filter-resolve", resolve_t0);
 
         let match_t0 = Instant::now();
         let out = match region.semantics {
@@ -398,6 +512,7 @@ pub trait QueryEngine: Sync {
             }
         };
         self.stats().add_spatial_match_ns(match_t0);
+        trace.phase(self.stats(), "spatial-match", match_t0);
         out
     }
 
@@ -721,6 +836,30 @@ fn describe_filter(filter: &GeoFilter) -> String {
 
 /// Default `explain` implementation shared by every engine (free function
 /// so the trait stays object-safe and uncluttered).
+///
+/// # Example
+///
+/// ```
+/// use gisolap_core::{explain, GeoFilter, Gis, Layer, NaiveEngine};
+/// use gisolap_core::{RegionC, SpatialPredicate};
+/// use gisolap_geom::Polygon;
+/// use gisolap_traj::Moft;
+///
+/// let mut gis = Gis::new();
+/// gis.add_layer(Layer::polygons(
+///     "districts",
+///     vec![Polygon::rectangle(0.0, 0.0, 10.0, 10.0)],
+/// ));
+/// let moft = Moft::from_tuples([(1, 0, 2.0, 2.0)]);
+/// let engine = NaiveEngine::new(&gis, &moft);
+///
+/// let region = RegionC::all()
+///     .with_spatial(SpatialPredicate::in_layer("districts", GeoFilter::All));
+/// let plan = explain(&engine, &region)?;
+/// assert_eq!(plan.engine, "naive");
+/// assert!(plan.to_string().contains("geometric sub-query on districts"));
+/// # Ok::<(), gisolap_core::CoreError>(())
+/// ```
 pub fn explain<E: QueryEngine + ?Sized>(engine: &E, region: &RegionC) -> Result<Explain> {
     let mut steps = Vec::new();
     if let Some(snapshot) = engine.stream_snapshot() {
@@ -794,6 +933,127 @@ pub fn explain<E: QueryEngine + ?Sized>(engine: &E, region: &RegionC) -> Result<
         engine: engine.name(),
         steps,
         stats: engine.stats().snapshot(),
+    })
+}
+
+/// An [`Explain`] plan annotated with what a real evaluation actually
+/// did: row counts, the per-phase span tree, and the exact counter delta
+/// the query cost. Produced by [`explain_analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainAnalyze {
+    /// The plan, as [`explain`] would describe it.
+    pub plan: Explain,
+    /// The query's span tree: root `eval`, children `time-filter`,
+    /// `filter-resolve`, `spatial-match`, `aggregate`. Subtree counter
+    /// totals equal [`ExplainAnalyze::delta`] field-for-field (the
+    /// counter-conservation invariant).
+    pub root: Span,
+    /// Tuples the evaluation produced.
+    pub rows: usize,
+    /// Tuples after `(Oid, t)` set-semantics deduplication.
+    pub rows_deduped: usize,
+    /// The engine counters this query cost (snapshot difference around
+    /// the evaluation — the plan rendering's own counter bumps are
+    /// excluded).
+    pub delta: StatsSnapshot,
+}
+
+impl ExplainAnalyze {
+    /// Renders the annotated plan. With `timings` off, wall-clock values
+    /// (span durations and the delta's `*_ns` fields) are suppressed so
+    /// the output is stable across runs — what the golden plan-format
+    /// test pins.
+    pub fn render(&self, timings: bool) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("plan [{}] (analyzed)\n", self.plan.engine));
+        for (i, s) in self.plan.steps.iter().enumerate() {
+            out.push_str(&format!("  {}. {s}\n", i + 1));
+        }
+        out.push_str(&format!(
+            "rows: {} ({} after (Oid, t) dedup)\n",
+            self.rows, self.rows_deduped
+        ));
+        out.push_str("spans:\n");
+        for line in self.root.render(timings).lines() {
+            out.push_str(&format!("  {line}\n"));
+        }
+        let delta = if timings {
+            self.delta
+        } else {
+            self.delta.zero_timings()
+        };
+        out.push_str(&format!("delta: {delta}\n"));
+        out
+    }
+}
+
+impl std::fmt::Display for ExplainAnalyze {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render(true))
+    }
+}
+
+/// EXPLAIN ANALYZE: evaluates `region` for real, tracing every phase,
+/// and returns the plan annotated with actual row counts, per-phase
+/// nanoseconds and counter deltas.
+///
+/// The counter delta is measured *around the evaluation only*; the plan
+/// description (which re-resolves the geometric sub-query) is rendered
+/// afterwards, so its counter bumps never leak into
+/// [`ExplainAnalyze::delta`]. The conservation invariant — every counter
+/// total in the span tree equals the delta — holds as long as no other
+/// query runs on this engine concurrently.
+///
+/// # Example
+///
+/// ```
+/// use gisolap_core::{explain_analyze, GeoFilter, Gis, Layer, NaiveEngine};
+/// use gisolap_core::{RegionC, SpatialPredicate};
+/// use gisolap_geom::Polygon;
+/// use gisolap_traj::Moft;
+///
+/// let mut gis = Gis::new();
+/// gis.add_layer(Layer::polygons(
+///     "districts",
+///     vec![Polygon::rectangle(0.0, 0.0, 10.0, 10.0)],
+/// ));
+/// let moft = Moft::from_tuples([(1, 0, 2.0, 2.0), (2, 0, 50.0, 50.0)]);
+/// let engine = NaiveEngine::new(&gis, &moft);
+///
+/// let region = RegionC::all()
+///     .with_spatial(SpatialPredicate::in_layer("districts", GeoFilter::All));
+/// let analyzed = explain_analyze(&engine, &region)?;
+/// assert_eq!(analyzed.rows, 1);
+/// assert_eq!(analyzed.delta.queries, 1);
+/// // Counter conservation: the span tree accounts for the whole delta.
+/// assert_eq!(
+///     analyzed.root.total("records_scanned"),
+///     analyzed.delta.records_scanned,
+/// );
+/// # Ok::<(), gisolap_core::CoreError>(())
+/// ```
+pub fn explain_analyze<E: QueryEngine + ?Sized>(
+    engine: &E,
+    region: &RegionC,
+) -> Result<ExplainAnalyze> {
+    let before = engine.stats().snapshot();
+    let started = Instant::now();
+    let mut trace = PhaseTrace::enabled(engine.stats());
+    let tuples = engine.eval_traced(region, &ResolvedFilters::default(), &mut trace)?;
+    let agg_t0 = Instant::now();
+    let deduped = dedupe_oid_t(tuples.clone());
+    trace.phase(engine.stats(), "aggregate", agg_t0);
+    let root = trace
+        .finish(engine.stats(), "eval", started)
+        .expect("trace constructed enabled");
+    let delta = engine.stats().snapshot().delta(&before);
+    let plan = explain(engine, region)?;
+    Ok(ExplainAnalyze {
+        plan,
+        root,
+        rows: tuples.len(),
+        rows_deduped: deduped.len(),
+        delta,
     })
 }
 
@@ -917,6 +1177,7 @@ pub struct NaiveEngine<'a> {
     moft: &'a Moft,
     stream: Option<&'a StreamSnapshot>,
     stats: EngineStats,
+    obs: Option<QueryObs>,
 }
 
 impl<'a> NaiveEngine<'a> {
@@ -927,6 +1188,7 @@ impl<'a> NaiveEngine<'a> {
             moft,
             stream: None,
             stats: EngineStats::new(),
+            obs: None,
         }
     }
 
@@ -934,14 +1196,20 @@ impl<'a> NaiveEngine<'a> {
     /// against the assembled MOFT, ingest counters seed the stats, and
     /// [`explain`] reports segment pruning.
     pub fn from_snapshot(gis: &'a Gis, snapshot: &'a StreamSnapshot) -> NaiveEngine<'a> {
+        let engine = NaiveEngine::new(gis, snapshot.moft());
         let engine = NaiveEngine {
-            gis,
-            moft: snapshot.moft(),
             stream: Some(snapshot),
-            stats: EngineStats::new(),
+            ..engine
         };
         crate::streaming::seed_ingest_stats(&engine.stats, &snapshot.stats());
         engine
+    }
+
+    /// Attaches an observability bundle (latency histogram, slow-query
+    /// log, span tracer).
+    pub fn with_obs(mut self, obs: QueryObs) -> NaiveEngine<'a> {
+        self.obs = Some(obs);
+        self
     }
 }
 
@@ -957,6 +1225,9 @@ impl QueryEngine for NaiveEngine<'_> {
     }
     fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+    fn obs(&self) -> Option<&QueryObs> {
+        self.obs.as_ref()
     }
     fn stream_snapshot(&self) -> Option<&StreamSnapshot> {
         self.stream
@@ -1000,6 +1271,7 @@ pub struct IndexedEngine<'a> {
     rtrees: HashMap<LayerId, RTree<GeoId>>,
     stream: Option<&'a StreamSnapshot>,
     stats: EngineStats,
+    obs: Option<QueryObs>,
 }
 
 impl<'a> IndexedEngine<'a> {
@@ -1012,6 +1284,7 @@ impl<'a> IndexedEngine<'a> {
             rtrees,
             stream: None,
             stats: EngineStats::new(),
+            obs: None,
         }
     }
 
@@ -1022,6 +1295,13 @@ impl<'a> IndexedEngine<'a> {
         engine.stream = Some(snapshot);
         crate::streaming::seed_ingest_stats(&engine.stats, &snapshot.stats());
         engine
+    }
+
+    /// Attaches an observability bundle (latency histogram, slow-query
+    /// log, span tracer).
+    pub fn with_obs(mut self, obs: QueryObs) -> IndexedEngine<'a> {
+        self.obs = Some(obs);
+        self
     }
 }
 
@@ -1051,6 +1331,9 @@ impl QueryEngine for IndexedEngine<'_> {
     }
     fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+    fn obs(&self) -> Option<&QueryObs> {
+        self.obs.as_ref()
     }
     fn stream_snapshot(&self) -> Option<&StreamSnapshot> {
         self.stream
@@ -1092,6 +1375,7 @@ pub struct OverlayEngine<'a> {
     cache: OverlayCache,
     stream: Option<&'a StreamSnapshot>,
     stats: EngineStats,
+    obs: Option<QueryObs>,
 }
 
 impl<'a> OverlayEngine<'a> {
@@ -1107,6 +1391,7 @@ impl<'a> OverlayEngine<'a> {
             cache,
             stream: None,
             stats: EngineStats::new(),
+            obs: None,
         }
     }
 
@@ -1129,7 +1414,15 @@ impl<'a> OverlayEngine<'a> {
             cache,
             stream: None,
             stats: EngineStats::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability bundle (latency histogram, slow-query
+    /// log, span tracer).
+    pub fn with_obs(mut self, obs: QueryObs) -> OverlayEngine<'a> {
+        self.obs = Some(obs);
+        self
     }
 
     /// The precomputed overlay.
@@ -1150,6 +1443,9 @@ impl QueryEngine for OverlayEngine<'_> {
     }
     fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+    fn obs(&self) -> Option<&QueryObs> {
+        self.obs.as_ref()
     }
     fn stream_snapshot(&self) -> Option<&StreamSnapshot> {
         self.stream

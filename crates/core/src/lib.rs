@@ -32,6 +32,17 @@
 //! * **Results** ([`result`]) carry the `(Oid, t)` pair sets the paper
 //!   derives ("our spatial region C turns … into a set of pairs
 //!   (objectId, time)") plus the γ aggregations applied on top.
+//!
+//! ## Observability
+//!
+//! Every engine owns cheap atomic counters ([`stats`]); attaching a
+//! [`gisolap_obs::QueryObs`] (via the engines' `with_obs` builders) adds
+//! a per-query latency histogram, a slow-query log and an optional span
+//! tracer. [`engine::explain_analyze`] runs a query for real and
+//! annotates its [`engine::Explain`] plan with actual row counts, phase
+//! timings and counter deltas; [`metrics`] renders everything in the
+//! Prometheus text format. The full counter/span/metric reference lives
+//! in `OBSERVABILITY.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +53,7 @@ pub mod facts;
 pub mod geoagg;
 pub mod gis;
 pub mod layer;
+pub mod metrics;
 pub mod overlay_cache;
 pub mod qtypes;
 pub mod query;
@@ -51,13 +63,18 @@ pub mod schema;
 pub mod stats;
 pub mod streaming;
 
-pub use engine::{IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine, ResolvedFilters};
+pub use engine::{
+    explain, explain_analyze, Explain, ExplainAnalyze, IndexedEngine, NaiveEngine, OverlayEngine,
+    QueryEngine, ResolvedFilters,
+};
 pub use gis::Gis;
+pub use gisolap_obs::QueryObs;
 pub use layer::{GeoId, GeometryKind, Layer, LayerId};
+pub use metrics::{engine_metrics, fill_engine_metrics};
 pub use query::{MoAggSpec, MoQuery, MoQueryResult};
 pub use region::{GeoFilter, RegionC, SpatialPredicate, SpatialSemantics, TimePredicate};
 pub use result::CTuple;
-pub use stats::{EngineStats, StatsSnapshot};
+pub use stats::{EngineStats, PhaseTrace, StatsSnapshot};
 pub use streaming::layer_geo_resolver;
 
 /// Errors raised by the core model.

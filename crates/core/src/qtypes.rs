@@ -1,6 +1,6 @@
 //! The paper's query-type taxonomy (Section 3.1).
 //!
-//! Section 3.1 "characterize[s] the different situations that may arise"
+//! Section 3.1 "characterize\[s\] the different situations that may arise"
 //! in eight classes. [`QueryType`] names them; [`classify`] assigns a
 //! class to a concrete query description, mirroring the criteria the
 //! paper uses.

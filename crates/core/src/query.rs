@@ -40,6 +40,29 @@ pub enum MoAggSpec {
 }
 
 /// A complete aggregate query.
+///
+/// # Example
+///
+/// ```
+/// use gisolap_core::{GeoFilter, Gis, Layer, MoAggSpec, MoQuery, MoQueryResult};
+/// use gisolap_core::{NaiveEngine, RegionC, SpatialPredicate};
+/// use gisolap_geom::Polygon;
+/// use gisolap_traj::Moft;
+///
+/// let mut gis = Gis::new();
+/// gis.add_layer(Layer::polygons(
+///     "districts",
+///     vec![Polygon::rectangle(0.0, 0.0, 10.0, 10.0)],
+/// ));
+/// let moft = Moft::from_tuples([(1, 0, 2.0, 2.0), (2, 0, 5.0, 5.0)]);
+/// let engine = NaiveEngine::new(&gis, &moft);
+///
+/// let region = RegionC::all()
+///     .with_spatial(SpatialPredicate::in_layer("districts", GeoFilter::All));
+/// let result = MoQuery::new(region, MoAggSpec::CountDistinctObjects).run(&engine)?;
+/// assert_eq!(result, MoQueryResult::Scalar(2.0));
+/// # Ok::<(), gisolap_core::CoreError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct MoQuery {
     /// The spatio-temporal region `C`.

@@ -245,7 +245,7 @@ pub enum SpatialSemantics {
     /// may indicate that the object has passed through that
     /// neighborhood") — the paper's types 7–8. Tuples are emitted at
     /// sample instants of legs that touch the region, and interval
-    /// queries ([`crate::engine::QueryEngine::intervals_in_region`])
+    /// queries ([`crate::engine::QueryEngine::legs_intersect_geo`])
     /// expose the exact crossing times.
     Interpolated,
 }

@@ -12,6 +12,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use gisolap_obs::Span;
+
 /// Monotone evaluation counters owned by an engine. Cheap to bump from
 /// parallel workers; read via [`EngineStats::snapshot`].
 #[derive(Debug, Default)]
@@ -193,6 +195,166 @@ pub struct StatsSnapshot {
     pub tail_records_scanned: u64,
 }
 
+impl StatsSnapshot {
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    /// This is the single source of truth the metrics exporter, the span
+    /// tracer and the `OBSERVABILITY.md` coverage test all iterate, so a
+    /// counter added here is automatically exported and documented-or-
+    /// caught.
+    pub fn fields(&self) -> [(&'static str, u64); 15] {
+        [
+            ("records_scanned", self.records_scanned),
+            ("bbox_rejections", self.bbox_rejections),
+            ("rtree_probes", self.rtree_probes),
+            ("overlay_hits", self.overlay_hits),
+            ("overlay_misses", self.overlay_misses),
+            ("legs_cut", self.legs_cut),
+            ("queries", self.queries),
+            ("time_filter_ns", self.time_filter_ns),
+            ("filter_resolve_ns", self.filter_resolve_ns),
+            ("spatial_match_ns", self.spatial_match_ns),
+            ("records_ingested", self.records_ingested),
+            ("records_late_dropped", self.records_late_dropped),
+            ("segments_sealed", self.segments_sealed),
+            ("partials_merged", self.partials_merged),
+            ("tail_records_scanned", self.tail_records_scanned),
+        ]
+    }
+
+    /// Whether a [`StatsSnapshot::fields`] name is a wall-time tally
+    /// (nanoseconds) rather than an event count. Timing fields are the
+    /// ones excluded from "identical counts" comparisons between
+    /// parallel and sequential runs.
+    pub fn is_timing_field(name: &str) -> bool {
+        name.ends_with("_ns")
+    }
+
+    /// The field-wise difference `self − earlier` (saturating, so a
+    /// reset between snapshots yields zeros instead of wrapping). This
+    /// is "the counters this query cost" when `earlier` was taken just
+    /// before it ran.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            records_scanned: self.records_scanned.saturating_sub(earlier.records_scanned),
+            bbox_rejections: self.bbox_rejections.saturating_sub(earlier.bbox_rejections),
+            rtree_probes: self.rtree_probes.saturating_sub(earlier.rtree_probes),
+            overlay_hits: self.overlay_hits.saturating_sub(earlier.overlay_hits),
+            overlay_misses: self.overlay_misses.saturating_sub(earlier.overlay_misses),
+            legs_cut: self.legs_cut.saturating_sub(earlier.legs_cut),
+            queries: self.queries.saturating_sub(earlier.queries),
+            time_filter_ns: self.time_filter_ns.saturating_sub(earlier.time_filter_ns),
+            filter_resolve_ns: self
+                .filter_resolve_ns
+                .saturating_sub(earlier.filter_resolve_ns),
+            spatial_match_ns: self
+                .spatial_match_ns
+                .saturating_sub(earlier.spatial_match_ns),
+            records_ingested: self
+                .records_ingested
+                .saturating_sub(earlier.records_ingested),
+            records_late_dropped: self
+                .records_late_dropped
+                .saturating_sub(earlier.records_late_dropped),
+            segments_sealed: self.segments_sealed.saturating_sub(earlier.segments_sealed),
+            partials_merged: self.partials_merged.saturating_sub(earlier.partials_merged),
+            tail_records_scanned: self
+                .tail_records_scanned
+                .saturating_sub(earlier.tail_records_scanned),
+        }
+    }
+
+    /// A copy with every timing field zeroed — what the parallel-vs-
+    /// sequential determinism tests compare.
+    pub fn zero_timings(mut self) -> StatsSnapshot {
+        self.time_filter_ns = 0;
+        self.filter_resolve_ns = 0;
+        self.spatial_match_ns = 0;
+        self
+    }
+}
+
+/// Collects one query's phase spans from [`EngineStats`] snapshots.
+///
+/// The engine's counters are cumulative; a `PhaseTrace` turns them into
+/// per-phase **deltas** by snapshotting at each phase boundary. Phases
+/// run sequentially within one query, so as long as no other query runs
+/// on the same engine concurrently, the phase deltas plus the root's
+/// residual partition the query's total delta exactly — the
+/// counter-conservation invariant `explain_analyze` is property-tested
+/// on.
+///
+/// Disabled traces ([`PhaseTrace::disabled`]) skip the snapshots
+/// entirely; each hook is then a single `Option` check.
+#[derive(Debug)]
+pub struct PhaseTrace {
+    state: Option<PhaseState>,
+}
+
+#[derive(Debug)]
+struct PhaseState {
+    last: StatsSnapshot,
+    spans: Vec<Span>,
+}
+
+impl PhaseTrace {
+    /// A no-op trace: every hook returns immediately.
+    pub fn disabled() -> PhaseTrace {
+        PhaseTrace { state: None }
+    }
+
+    /// Starts collecting, baselining against the engine's current
+    /// counters.
+    pub fn enabled(stats: &EngineStats) -> PhaseTrace {
+        PhaseTrace {
+            state: Some(PhaseState {
+                last: stats.snapshot(),
+                spans: Vec::new(),
+            }),
+        }
+    }
+
+    /// Whether this trace is collecting.
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Closes a phase that began at `started`: attributes every counter
+    /// bumped since the previous boundary to a new span named `name`.
+    pub fn phase(&mut self, stats: &EngineStats, name: &'static str, started: Instant) {
+        let Some(state) = &mut self.state else {
+            return;
+        };
+        let now = stats.snapshot();
+        let delta = now.delta(&state.last);
+        state.last = now;
+        state.spans.push(Span {
+            name,
+            duration_ns: elapsed_ns(started),
+            counters: nonzero_fields(&delta),
+            children: Vec::new(),
+        });
+    }
+
+    /// Finishes the query: returns the root span (duration measured from
+    /// `started`, own counters = the residual bumped outside any phase,
+    /// children = the recorded phases), or `None` if disabled.
+    pub fn finish(self, stats: &EngineStats, name: &'static str, started: Instant) -> Option<Span> {
+        let state = self.state?;
+        let residual = stats.snapshot().delta(&state.last);
+        Some(Span {
+            name,
+            duration_ns: elapsed_ns(started),
+            counters: nonzero_fields(&residual),
+            children: state.spans,
+        })
+    }
+}
+
+/// The non-zero counters of a snapshot, for span attribution.
+fn nonzero_fields(snap: &StatsSnapshot) -> Vec<(&'static str, u64)> {
+    snap.fields().into_iter().filter(|(_, v)| *v > 0).collect()
+}
+
 impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -262,6 +424,99 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(1));
         stats.add_time_filter_ns(t0);
         assert!(stats.snapshot().time_filter_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn fields_cover_every_counter() {
+        let stats = EngineStats::new();
+        stats.add_records_scanned(2);
+        stats.add_query();
+        stats.set_ingest_counters(5, 1, 3, 4, 6);
+        let snap = stats.snapshot();
+        let fields = snap.fields();
+        assert_eq!(fields.len(), 15);
+        assert!(fields.contains(&("records_scanned", 2)));
+        assert!(fields.contains(&("queries", 1)));
+        assert!(fields.contains(&("records_ingested", 5)));
+        assert!(fields.contains(&("tail_records_scanned", 6)));
+        assert!(StatsSnapshot::is_timing_field("time_filter_ns"));
+        assert!(!StatsSnapshot::is_timing_field("records_scanned"));
+    }
+
+    #[test]
+    fn delta_subtracts_and_saturates() {
+        let stats = EngineStats::new();
+        stats.add_records_scanned(10);
+        let before = stats.snapshot();
+        stats.add_records_scanned(7);
+        stats.add_rtree_probes(2);
+        let delta = stats.snapshot().delta(&before);
+        assert_eq!(delta.records_scanned, 7);
+        assert_eq!(delta.rtree_probes, 2);
+        assert_eq!(delta.queries, 0);
+        // A reset between snapshots saturates to zero, never wraps.
+        stats.reset();
+        let after_reset = stats.snapshot().delta(&before);
+        assert_eq!(after_reset, StatsSnapshot::default());
+    }
+
+    #[test]
+    fn zero_timings_clears_only_ns_fields() {
+        let stats = EngineStats::new();
+        stats.add_records_scanned(3);
+        stats.add_time_filter_ns(Instant::now());
+        stats.add_filter_resolve_ns(Instant::now());
+        stats.add_spatial_match_ns(Instant::now());
+        let snap = stats.snapshot().zero_timings();
+        assert_eq!(snap.time_filter_ns, 0);
+        assert_eq!(snap.filter_resolve_ns, 0);
+        assert_eq!(snap.spatial_match_ns, 0);
+        assert_eq!(snap.records_scanned, 3);
+    }
+
+    #[test]
+    fn phase_trace_partitions_the_delta() {
+        let stats = EngineStats::new();
+        stats.add_records_scanned(100); // pre-existing work, not this query's
+        let before = stats.snapshot();
+
+        let t0 = Instant::now();
+        let mut trace = PhaseTrace::enabled(&stats);
+        assert!(trace.is_enabled());
+
+        let p = Instant::now();
+        stats.add_records_scanned(40);
+        trace.phase(&stats, "time-filter", p);
+
+        let p = Instant::now();
+        stats.add_rtree_probes(3);
+        stats.add_records_scanned(2);
+        trace.phase(&stats, "spatial-match", p);
+
+        stats.add_query(); // residual: bumped outside any named phase
+        let root = trace.finish(&stats, "eval", t0).expect("enabled trace");
+
+        assert_eq!(root.name, "eval");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "time-filter");
+        assert_eq!(root.children[0].counter("records_scanned"), 40);
+        assert_eq!(root.children[1].counter("rtree_probes"), 3);
+        assert_eq!(root.counter("queries"), 1);
+
+        // Counter conservation: subtree totals == the snapshot delta.
+        let delta = stats.snapshot().delta(&before);
+        for (name, value) in delta.fields() {
+            assert_eq!(root.total(name), value, "counter {name} not conserved");
+        }
+    }
+
+    #[test]
+    fn disabled_phase_trace_is_inert() {
+        let stats = EngineStats::new();
+        let mut trace = PhaseTrace::disabled();
+        assert!(!trace.is_enabled());
+        trace.phase(&stats, "time-filter", Instant::now());
+        assert!(trace.finish(&stats, "eval", Instant::now()).is_none());
     }
 
     #[test]

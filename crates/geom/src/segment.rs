@@ -9,7 +9,7 @@ use crate::predicates::{orient2d, point_on_segment, Orientation};
 /// Segments are the edges of polylines and polygon rings, and — crucially
 /// for the paper — the pieces of a linear-interpolation trajectory between
 /// consecutive samples (Section 5: "for each consecutive pair of points in
-/// the moving objects fact table, [check] if the intersection between the
+/// the moving objects fact table, \[check\] if the intersection between the
 /// segment defined by these two points and a city … is not empty").
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {

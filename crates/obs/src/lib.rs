@@ -1,0 +1,45 @@
+//! # gisolap-obs
+//!
+//! Observability substrate for the GISOLAP-MO workspace — pure std, no
+//! external dependencies, designed so every hook costs nothing more than
+//! a relaxed atomic (or a single branch) when it is switched off:
+//!
+//! * [`Span`] / [`Tracer`] — a lightweight span tracer. A span is one
+//!   timed phase of a query (e.g. `time-filter`, `spatial-match`,
+//!   `segment-seal`) carrying the **counter deltas** attributed to that
+//!   phase plus child spans; a query produces one span *tree*. The
+//!   [`Tracer`] is the cheap on/off switch engines consult before
+//!   collecting anything.
+//! * [`Histogram`] — a fixed-size, log₂-bucketed latency histogram over
+//!   nanoseconds, safe to bump from parallel workers (relaxed atomics),
+//!   exported in Prometheus `le`-bucket form.
+//! * [`MetricsRegistry`] — collects counters, gauges and histograms and
+//!   renders them in the Prometheus text exposition format
+//!   ([`MetricsRegistry::render_prometheus`]), ready to serve from a
+//!   `/metrics` endpoint or archive as a CI artifact.
+//! * [`SlowQueryLog`] — a bounded ring of queries slower than a
+//!   threshold (programmatic, or via the `GISOLAP_SLOW_QUERY_MS`
+//!   environment variable), each entry holding the offending query's
+//!   rendered plan.
+//! * [`QueryObs`] — the bundle of the above that a query engine owns:
+//!   tracer + eval-latency histogram + slow-query log + the most recent
+//!   span tree.
+//!
+//! The crate is deliberately *mechanism only*: what the counters mean,
+//! which spans exist and the counter-conservation invariant tying span
+//! trees to engine snapshots are defined by the consumers (`gisolap-core`
+//! and `gisolap-stream`) and documented in the repository's
+//! `OBSERVABILITY.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod query_obs;
+pub mod slow;
+pub mod span;
+
+pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
+pub use query_obs::QueryObs;
+pub use slow::{SlowQueryEntry, SlowQueryLog, SLOW_QUERY_ENV};
+pub use span::{Span, Tracer};

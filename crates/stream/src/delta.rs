@@ -143,6 +143,17 @@ pub struct RollupRow {
     pub value: f64,
 }
 
+/// What one [`DeltaCube::absorb`] call did: how many partial entries
+/// merged into existing cells and how many created new ones. The two add
+/// up to the entry count absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbsorbOutcome {
+    /// Entries merged into a pre-existing `(hour, geo)` cell.
+    pub merged: u64,
+    /// Entries that created a new cell.
+    pub created: u64,
+}
+
 /// The queryable incremental state: one [`CellPartial`] per
 /// `(hour, geometry)` group, absorbed from sealed segments.
 #[derive(Debug, Clone, Default)]
@@ -178,15 +189,29 @@ impl DeltaCube {
         self.cells.iter()
     }
 
-    /// Merges a sealed segment's partials into the cube; returns the
-    /// number of entries merged. Segments must be absorbed in ascending
-    /// partition order to keep coarse-level folds canonical.
-    pub fn absorb(&mut self, partials: &[(GroupKey, CellPartial)]) -> u64 {
+    /// Merges a sealed segment's partials into the cube, reporting how
+    /// many landed in existing cells versus created new ones (the
+    /// distinction the `partial-merge` ingest span surfaces). Segments
+    /// must be absorbed in ascending partition order to keep coarse-level
+    /// folds canonical.
+    pub fn absorb(&mut self, partials: &[(GroupKey, CellPartial)]) -> AbsorbOutcome {
+        let mut created = 0u64;
         for (key, cell) in partials {
-            self.cells.entry(*key).or_default().merge(cell);
+            match self.cells.entry(*key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(CellPartial::default()).merge(cell);
+                    created += 1;
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge(cell);
+                }
+            }
         }
         self.merges += partials.len() as u64;
-        partials.len() as u64
+        AbsorbOutcome {
+            merged: partials.len() as u64 - created,
+            created,
+        }
     }
 
     /// Answers a rollup by folding sealed partials plus `tail` cells
@@ -289,8 +314,26 @@ mod tests {
             None,
         );
         let sealed: Vec<_> = sealed.into_iter().collect();
-        cube.absorb(&sealed);
+        let outcome = cube.absorb(&sealed);
         assert_eq!(cube.merges(), 3);
+        assert_eq!(
+            outcome,
+            AbsorbOutcome {
+                merged: 0,
+                created: 3
+            }
+        );
+        // Re-absorbing the same keys now merges instead of creating.
+        assert_eq!(
+            cube.absorb(&sealed),
+            AbsorbOutcome {
+                merged: 3,
+                created: 0
+            }
+        );
+        // Undo the double-absorb for the assertions below.
+        let mut cube = DeltaCube::new();
+        cube.absorb(&sealed);
 
         let by_hour = cube
             .rollup(

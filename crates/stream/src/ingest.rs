@@ -3,7 +3,9 @@
 
 use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
+use gisolap_obs::{MetricsRegistry, Span, Tracer};
 use gisolap_olap::time::TimeId;
 use gisolap_traj::{Moft, Record};
 
@@ -28,6 +30,34 @@ pub struct IngestStats {
     pub tail_records_scanned: u64,
 }
 
+impl IngestStats {
+    /// Every ingest counter as a `(name, value)` pair. Names match the
+    /// engine-side [`StatsSnapshot` fields] these counters seed, so span
+    /// attribution, metrics and `OBSERVABILITY.md` stay consistent
+    /// across the batch and streaming paths.
+    ///
+    /// [`StatsSnapshot` fields]: https://docs.rs/gisolap-core
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("records_ingested", self.records_ingested),
+            ("records_late_dropped", self.late_dropped),
+            ("segments_sealed", self.segments_sealed),
+            ("partials_merged", self.partials_merged),
+            ("tail_records_scanned", self.tail_records_scanned),
+        ]
+    }
+
+    /// Publishes the ingest counters into `registry` as
+    /// `gisolap_ingest_<field>_total` (no labels: one pipeline per
+    /// registry fill; label upstream if you scrape several).
+    pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
+        for (field, value) in self.fields() {
+            let name = format!("gisolap_ingest_{field}_total");
+            registry.set_counter(&name, "Streaming ingest counter.", &[], value as f64);
+        }
+    }
+}
+
 /// Outcome of one [`StreamIngest::ingest`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IngestReport {
@@ -47,6 +77,29 @@ pub struct IngestReport {
 /// partition is sealed into an immutable [`Segment`] and its per-hour
 /// partials are absorbed into the [`DeltaCube`]. Records older than the
 /// sealed frontier go to a counted dead-letter sink.
+///
+/// # Example
+///
+/// ```
+/// use gisolap_olap::time::TimeId;
+/// use gisolap_stream::{StreamConfig, StreamIngest};
+/// use gisolap_traj::{ObjectId, Record};
+///
+/// let mut ingest = StreamIngest::new(StreamConfig {
+///     lateness_seconds: 600,
+///     segment_seconds: 3600,
+/// })?;
+/// let rec = |oid, t, x, y| Record { oid: ObjectId(oid), t: TimeId(t), x, y };
+///
+/// // Hour-0 records arrive slightly out of order.
+/// ingest.ingest(&[rec(1, 100, 0.0, 0.0), rec(1, 50, 1.0, 1.0)]);
+/// // A record past hour 0 + lateness advances the watermark: hour 0 seals.
+/// let report = ingest.ingest(&[rec(2, 4300, 2.0, 2.0)]);
+/// assert_eq!(report.sealed, 1);
+/// assert_eq!(ingest.stats().segments_sealed, 1);
+/// assert_eq!(ingest.tail_len(), 1); // the hour-1 record is still live
+/// # Ok::<(), gisolap_stream::StreamError>(())
+/// ```
 pub struct StreamIngest {
     config: StreamConfig,
     resolver: Option<GeoResolver>,
@@ -62,6 +115,10 @@ pub struct StreamIngest {
     records_ingested: u64,
     /// Rollups run on `&self`; this counter is the only one they bump.
     tail_records_scanned: AtomicU64,
+    /// Span collection switch; off by default.
+    tracer: Tracer,
+    /// One `segment-seal` span per sealed segment while tracing.
+    spans: Vec<Span>,
 }
 
 impl StreamIngest {
@@ -79,7 +136,22 @@ impl StreamIngest {
             dead_letters: Vec::new(),
             records_ingested: 0,
             tail_records_scanned: AtomicU64::new(0),
+            tracer: Tracer::default(),
+            spans: Vec::new(),
         })
+    }
+
+    /// Switches `segment-seal` span collection on or off (off by
+    /// default; sealing is untimed when off).
+    pub fn set_traced(&self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    /// The `segment-seal` spans collected while tracing was on, in seal
+    /// order. Each has the sealed partition's record/partial counters and
+    /// one `partial-merge` child describing the [`DeltaCube`] absorb.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
     }
 
     /// Attaches a geometry resolver so partials are additionally keyed by
@@ -152,8 +224,30 @@ impl StreamIngest {
                 break;
             }
             let raw = self.buffers.remove(&partition).expect("checked key");
+            let traced = self.tracer.enabled();
+            let seal_t0 = Instant::now();
             let segment = Segment::seal(partition, raw, self.resolver.as_ref());
-            self.cube.absorb(segment.partials());
+            let merge_t0 = Instant::now();
+            let outcome = self.cube.absorb(segment.partials());
+            if traced {
+                self.spans.push(Span {
+                    name: "segment-seal",
+                    duration_ns: elapsed_ns(seal_t0),
+                    counters: vec![
+                        ("records_sealed", segment.meta().records as u64),
+                        ("segments_sealed", 1),
+                    ],
+                    children: vec![Span {
+                        name: "partial-merge",
+                        duration_ns: elapsed_ns(merge_t0),
+                        counters: vec![
+                            ("partials_merged", outcome.merged + outcome.created),
+                            ("cells_created", outcome.created),
+                        ],
+                        children: Vec::new(),
+                    }],
+                });
+            }
             self.segments.push(segment);
             sealed += 1;
         }
@@ -249,6 +343,10 @@ impl StreamIngest {
             stats: self.stats(),
         })
     }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// An owned, self-consistent freeze of a [`StreamIngest`]: the full MOFT
@@ -357,6 +455,54 @@ mod tests {
         assert_eq!(s.tail_len(), 0);
         let r = s.ingest(&[rec(4, 5000, 0.0, 0.0)]);
         assert_eq!((r.accepted, r.late), (0, 1));
+    }
+
+    #[test]
+    fn sealing_emits_spans_only_while_traced() {
+        let mut s = StreamIngest::new(cfg(0)).unwrap();
+        s.ingest(&[rec(1, 100, 0.0, 0.0)]);
+        s.ingest(&[rec(2, 3700, 1.0, 1.0)]); // seals hour 0, untraced
+        assert!(s.spans().is_empty());
+
+        s.set_traced(true);
+        s.ingest(&[rec(3, 7300, 2.0, 2.0)]); // seals hour 1, traced
+        assert_eq!(s.spans().len(), 1);
+        let span = &s.spans()[0];
+        assert_eq!(span.name, "segment-seal");
+        assert_eq!(span.counter("records_sealed"), 1);
+        assert_eq!(span.counter("segments_sealed"), 1);
+        assert_eq!(span.children.len(), 1);
+        let merge = &span.children[0];
+        assert_eq!(merge.name, "partial-merge");
+        // Hour 1 is a fresh cell: one partial absorbed, one cell created.
+        assert_eq!(merge.counter("partials_merged"), 1);
+        assert_eq!(merge.counter("cells_created"), 1);
+        // Span totals agree with the cumulative counter.
+        let total: u64 = s.spans().iter().map(|sp| sp.total("partials_merged")).sum();
+        assert_eq!(total + 1, s.stats().partials_merged); // +1 untraced seal
+    }
+
+    #[test]
+    fn ingest_stats_fields_and_metrics() {
+        let mut s = StreamIngest::new(cfg(0)).unwrap();
+        s.ingest(&[rec(1, 100, 0.0, 0.0), rec(2, 3700, 1.0, 1.0)]);
+        let stats = s.stats();
+        let fields = stats.fields();
+        assert_eq!(fields.len(), 5);
+        assert!(fields.contains(&("records_ingested", 2)));
+        assert!(fields.contains(&("segments_sealed", 1)));
+
+        let mut registry = MetricsRegistry::new();
+        stats.fill_metrics(&mut registry);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("gisolap_ingest_records_ingested_total 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gisolap_ingest_segments_sealed_total 1\n"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -36,6 +36,17 @@
 //! *multiset*, not of arrival order; and coarser granules fold hour
 //! partials in ascending hour order, with tail hours strictly after all
 //! sealed hours.
+//!
+//! ## Observability
+//!
+//! [`StreamIngest::stats`] exposes the five ingest counters (also
+//! seeded into the query engines' stats by the `from_snapshot`
+//! constructors); [`StreamIngest::set_traced`] turns on `segment-seal`
+//! span collection (one span per sealed partition, with a
+//! `partial-merge` child describing the cube absorb), and
+//! [`IngestStats::fill_metrics`](ingest::IngestStats::fill_metrics)
+//! publishes everything in Prometheus form. See `OBSERVABILITY.md` for
+//! the full reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,7 +57,7 @@ pub mod ingest;
 pub mod segment;
 
 pub use config::{GeoResolver, StreamConfig};
-pub use delta::{CellPartial, DeltaCube, GroupKey, Measure, RollupQuery, RollupRow};
+pub use delta::{AbsorbOutcome, CellPartial, DeltaCube, GroupKey, Measure, RollupQuery, RollupRow};
 pub use ingest::{IngestReport, IngestStats, StreamIngest, StreamSnapshot};
 pub use segment::{Segment, SegmentMeta};
 

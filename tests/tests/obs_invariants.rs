@@ -1,0 +1,181 @@
+//! Property tests for the observability layer.
+//!
+//! Two invariants from DESIGN.md §5d, checked on random cities, traffic
+//! and filters across all three engines:
+//!
+//! 1. **Counter conservation** — the span tree returned by
+//!    [`explain_analyze`] partitions the query's [`StatsSnapshot`] delta:
+//!    for every counter, the subtree total (children plus the root's
+//!    residual) equals the snapshot difference taken around the query.
+//! 2. **Thread-count independence** — the counter delta of a query
+//!    (timings zeroed) is identical whether evaluation runs on one
+//!    worker or four.
+//!
+//! Plus a docs-coverage check: every `StatsSnapshot` field name must
+//! appear in `OBSERVABILITY.md`.
+
+use gisolap_core::engine::{
+    explain_analyze, IndexedEngine, NaiveEngine, OverlayEngine, QueryEngine,
+};
+use gisolap_core::region::{CmpOp, GeoFilter, RegionC, SpatialPredicate, TimePredicate};
+use gisolap_core::stats::StatsSnapshot;
+use gisolap_datagen::movers::RandomWaypoint;
+use gisolap_datagen::{CityConfig, CityScenario};
+use gisolap_olap::time::TimeOfDay;
+use gisolap_olap::value::Value;
+use proptest::prelude::*;
+
+fn geo_filter() -> impl Strategy<Value = GeoFilter> {
+    prop_oneof![
+        Just(GeoFilter::All),
+        Just(GeoFilter::IntersectsLayer { layer: "Lr".into() }),
+        Just(GeoFilter::ContainsNodeOf {
+            layer: "Lstores".into()
+        }),
+        (900i64..3500).prop_map(|v| GeoFilter::AttrCompare {
+            category: "neighborhood".into(),
+            attr: "income".into(),
+            op: CmpOp::Lt,
+            value: Value::Int(v),
+        }),
+    ]
+}
+
+fn time_preds() -> impl Strategy<Value = Vec<TimePredicate>> {
+    prop_oneof![
+        Just(vec![]),
+        Just(vec![TimePredicate::TimeOfDayIs(TimeOfDay::Morning)]),
+        (6u32..12).prop_map(|h| vec![TimePredicate::HourOfDayIn { lo: h, hi: h + 2 }]),
+    ]
+}
+
+fn scenario(seed: u64) -> (CityScenario, gisolap_traj::moft::Moft) {
+    let city = CityScenario::generate(CityConfig {
+        blocks_x: 4,
+        blocks_y: 2,
+        schools: 4,
+        stores: 6,
+        gas_stations: 2,
+        seed,
+        ..CityConfig::default()
+    });
+    let moft = RandomWaypoint {
+        seed: seed.wrapping_add(5),
+        ..RandomWaypoint::new(city.bbox, 10, 15)
+    }
+    .generate(0);
+    (city, moft)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn span_totals_partition_the_stats_delta(
+        seed in 0u64..1000,
+        filter in geo_filter(),
+        time in time_preds(),
+        interpolated in proptest::bool::ANY,
+    ) {
+        let (city, moft) = scenario(seed);
+        let mut region = RegionC::all()
+            .with_spatial(SpatialPredicate::in_layer("Ln", filter));
+        region.time = time;
+        if interpolated {
+            region = region.interpolated();
+        }
+
+        let naive = NaiveEngine::new(&city.gis, &moft);
+        let indexed = IndexedEngine::new(&city.gis, &moft);
+        let overlay = OverlayEngine::new(&city.gis, &moft);
+        for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
+            let ea = explain_analyze(engine, &region).unwrap();
+            prop_assert_eq!(ea.delta.queries, 1, "engine {}", engine.name());
+            // The span tree partitions the delta: for every counter, the
+            // subtree total equals the snapshot difference.
+            for (name, expected) in ea.delta.fields() {
+                prop_assert_eq!(
+                    ea.root.total(name),
+                    expected,
+                    "counter {} on engine {}",
+                    name,
+                    engine.name()
+                );
+            }
+            // And the recorded row counts match a direct evaluation.
+            let direct = engine.eval(&region).unwrap();
+            prop_assert_eq!(ea.rows, direct.len(), "engine {}", engine.name());
+        }
+    }
+
+    #[test]
+    fn counter_deltas_are_thread_count_independent(
+        seed in 0u64..1000,
+        filter in geo_filter(),
+        interpolated in proptest::bool::ANY,
+    ) {
+        let (city, moft) = scenario(seed.wrapping_add(17));
+        let mut region = RegionC::all()
+            .with_spatial(SpatialPredicate::in_layer("Ln", filter));
+        if interpolated {
+            region = region.interpolated();
+        }
+
+        let naive = NaiveEngine::new(&city.gis, &moft);
+        let indexed = IndexedEngine::new(&city.gis, &moft);
+        let overlay = OverlayEngine::new(&city.gis, &moft);
+        for engine in [&naive as &dyn QueryEngine, &indexed, &overlay] {
+            let delta_at = |threads: &str| -> StatsSnapshot {
+                std::env::set_var("GISOLAP_THREADS", threads);
+                let before = engine.stats().snapshot();
+                engine.eval(&region).unwrap();
+                let after = engine.stats().snapshot();
+                std::env::remove_var("GISOLAP_THREADS");
+                after.delta(&before).zero_timings()
+            };
+            let parallel = delta_at("4");
+            let sequential = delta_at("1");
+            prop_assert_eq!(
+                parallel.fields(),
+                sequential.fields(),
+                "engine {}",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn observability_doc_covers_every_snapshot_field() {
+    let doc = include_str!("../../OBSERVABILITY.md");
+    let snap = StatsSnapshot::default();
+    let missing: Vec<&str> = snap
+        .fields()
+        .iter()
+        .map(|(name, _)| *name)
+        .filter(|name| !doc.contains(name))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "OBSERVABILITY.md does not document: {missing:?}"
+    );
+}
+
+#[test]
+fn observability_doc_covers_every_span_name() {
+    let doc = include_str!("../../OBSERVABILITY.md");
+    for span in [
+        "eval",
+        "time-filter",
+        "filter-resolve",
+        "spatial-match",
+        "aggregate",
+        "segment-seal",
+        "partial-merge",
+    ] {
+        assert!(doc.contains(span), "OBSERVABILITY.md missing span `{span}`");
+    }
+    for extra in ["records_sealed", "cells_created", "GISOLAP_SLOW_QUERY_MS"] {
+        assert!(doc.contains(extra), "OBSERVABILITY.md missing `{extra}`");
+    }
+}

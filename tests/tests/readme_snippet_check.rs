@@ -22,3 +22,24 @@ fn readme_streaming_snippet_compiles_and_runs() {
     let snapshot = ingest.snapshot().unwrap();
     let _engine = gisolap_core::OverlayEngine::from_snapshot(&s.gis, &snapshot);
 }
+
+#[test]
+fn readme_observability_snippet_compiles_and_runs() {
+    use gisolap_core::{engine_metrics, explain_analyze, IndexedEngine, QueryObs};
+    use gisolap_datagen::Fig1Scenario;
+
+    let s = Fig1Scenario::build();
+    let engine = IndexedEngine::new(&s.gis, &s.moft).with_obs(QueryObs::traced()); // span tracing on
+    let region = Fig1Scenario::remark1_region();
+
+    // EXPLAIN ANALYZE: the plan annotated with actual rows, per-phase
+    // counter deltas and wall times.
+    let ea = explain_analyze(&engine, &region).unwrap();
+    println!("{ea}");
+    // Counter conservation: the span tree partitions the query's delta.
+    assert_eq!(ea.root.total("records_scanned"), ea.delta.records_scanned);
+
+    // Prometheus text exposition of every counter + latency histogram.
+    let prom = engine_metrics(&engine);
+    assert!(prom.contains("gisolap_queries_total{engine=\"indexed\"} 1"));
+}
