@@ -75,7 +75,7 @@ pub use query::{MoAggSpec, MoQuery, MoQueryResult};
 pub use region::{GeoFilter, RegionC, SpatialPredicate, SpatialSemantics, TimePredicate};
 pub use result::CTuple;
 pub use stats::{EngineStats, PhaseTrace, StatsSnapshot};
-pub use streaming::layer_geo_resolver;
+pub use streaming::{layer_geo_resolver, recover_snapshot};
 
 /// Errors raised by the core model.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +123,10 @@ pub enum CoreError {
     },
     /// An underlying OLAP error.
     Olap(gisolap_olap::OlapError),
+    /// Loading or recovering a durable store failed (message carries the
+    /// [`gisolap_store::StoreError`] rendering; kept as a string so
+    /// `CoreError` stays `Clone + PartialEq`).
+    Store(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -150,7 +154,14 @@ impl std::fmt::Display for CoreError {
                 write!(f, "engines {a:?} and {b:?} disagree on a query result")
             }
             CoreError::Olap(e) => write!(f, "OLAP error: {e}"),
+            CoreError::Store(msg) => write!(f, "store error: {msg}"),
         }
+    }
+}
+
+impl From<gisolap_store::StoreError> for CoreError {
+    fn from(e: gisolap_store::StoreError) -> CoreError {
+        CoreError::Store(e.to_string())
     }
 }
 

@@ -30,4 +30,6 @@ pub mod stream;
 
 pub use city::{CityConfig, CityScenario};
 pub use fig1::Fig1Scenario;
-pub use stream::{replay_city, replay_fig1, stream_batches, ReplayConfig};
+pub use stream::{
+    crash_replay, replay_city, replay_fig1, stream_batches, CrashScenario, ReplayConfig,
+};

@@ -9,6 +9,7 @@
 //! lateness is at least `shuffle_seconds` never dead-letters a replayed
 //! record, which is what the stream-vs-batch equivalence property needs.
 
+use gisolap_stream::ReplayOp;
 use gisolap_traj::{Moft, Record};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -92,6 +93,40 @@ pub fn replay_fig1(config: &ReplayConfig) -> (Fig1Scenario, Vec<Vec<Record>>) {
     (scenario, batches)
 }
 
+/// A deterministic workload for crash-recovery testing: the full
+/// write-ahead-loggable operation sequence of a bounded-shuffle replay,
+/// plus the flush schedule a durable driver should follow. Crash points
+/// are injected *outside* the scenario (e.g. by a byte-budgeted
+/// failpoint filesystem), so one scenario serves every crash offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashScenario {
+    /// The op sequence, ending in [`ReplayOp::Finish`].
+    pub ops: Vec<ReplayOp>,
+    /// Op indices after which the driver should flush (checkpoint +
+    /// WAL rotation), ascending.
+    pub flush_after: Vec<usize>,
+}
+
+/// Builds a [`CrashScenario`] from a MOFT: the bounded-shuffle batches
+/// as [`ReplayOp::Batch`]es, a closing [`ReplayOp::Finish`], and a
+/// flush after every `flush_every` ops (`0` = never flush, so the WAL
+/// carries everything). Deterministic in `(moft, config, flush_every)`.
+pub fn crash_replay(moft: &Moft, config: &ReplayConfig, flush_every: usize) -> CrashScenario {
+    let mut ops: Vec<ReplayOp> = stream_batches(moft, config)
+        .into_iter()
+        .map(ReplayOp::Batch)
+        .collect();
+    ops.push(ReplayOp::Finish);
+    let flush_after = if flush_every == 0 {
+        Vec::new()
+    } else {
+        (0..ops.len())
+            .filter(|i| (i + 1) % flush_every == 0)
+            .collect()
+    };
+    CrashScenario { ops, flush_after }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +195,29 @@ mod tests {
         let a = stream_batches(&s.moft, &cfg);
         let b = stream_batches(&s.moft, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_replay_shapes_ops_and_flushes() {
+        let (s, _) = replay_fig1(&ReplayConfig {
+            batch_size: 4,
+            ..ReplayConfig::default()
+        });
+        let scenario = crash_replay(&s.moft, &ReplayConfig::default(), 3);
+        assert_eq!(scenario.ops.last(), Some(&ReplayOp::Finish));
+        let batches = scenario
+            .ops
+            .iter()
+            .filter(|op| matches!(op, ReplayOp::Batch(_)))
+            .count();
+        assert_eq!(batches, scenario.ops.len() - 1);
+        // Flush after every 3rd op, indices ascending and in range.
+        assert!(scenario.flush_after.windows(2).all(|w| w[0] < w[1]));
+        assert!(scenario.flush_after.iter().all(|&i| (i + 1) % 3 == 0));
+        // No flushing when disabled; deterministic across calls.
+        assert!(crash_replay(&s.moft, &ReplayConfig::default(), 0)
+            .flush_after
+            .is_empty());
+        assert_eq!(crash_replay(&s.moft, &ReplayConfig::default(), 3), scenario);
     }
 }

@@ -1,0 +1,118 @@
+//! Central registry of the workspace's `GISOLAP_*` environment flags.
+//!
+//! Every runtime-tuning environment variable the workspace reads is
+//! declared here as an [`EnvFlag`] and listed in [`ALL`], so there is one
+//! place to discover knobs and one test
+//! (`tests/tests/env_flags.rs`) enforcing that each flag is documented in
+//! `README.md` or `OBSERVABILITY.md`. Crates read their own flags through
+//! these constants (the vendored `rayon` shim keeps its own literal copy
+//! of [`THREADS`]'s name, mirroring the real crate's independence; the
+//! coverage test pins the two strings together).
+
+/// One documented environment flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvFlag {
+    /// The environment variable name (`GISOLAP_*`).
+    pub name: &'static str,
+    /// Behavior when the variable is unset (or unparsable).
+    pub default: &'static str,
+    /// What the flag tunes.
+    pub doc: &'static str,
+}
+
+impl EnvFlag {
+    /// The variable's raw value, if set and non-empty.
+    pub fn raw(&self) -> Option<String> {
+        std::env::var(self.name)
+            .ok()
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty())
+    }
+
+    /// The variable parsed as a `u64`, if set and parsable.
+    pub fn parse_u64(&self) -> Option<u64> {
+        self.raw().and_then(|v| v.parse().ok())
+    }
+}
+
+/// Worker-thread cap for parallel query evaluation; `1` forces the
+/// sequential path. Read by the vendored `rayon` shim's pool setup.
+pub const THREADS: EnvFlag = EnvFlag {
+    name: "GISOLAP_THREADS",
+    default: "all available cores",
+    doc: "worker threads for parallel query evaluation (1 = sequential)",
+};
+
+/// Slow-query threshold in whole milliseconds; unset, empty or
+/// unparsable disables the slow-query log.
+pub const SLOW_QUERY_MS: EnvFlag = EnvFlag {
+    name: "GISOLAP_SLOW_QUERY_MS",
+    default: "disabled",
+    doc: "latency threshold (ms) above which queries land in the slow-query log",
+};
+
+/// Durable-store WAL fsync policy: `always`, `never`, or an integer `n`
+/// meaning fsync every `n` appends.
+pub const STORE_SYNC: EnvFlag = EnvFlag {
+    name: "GISOLAP_STORE_SYNC",
+    default: "always",
+    doc: "segment-store WAL fsync policy: always | never | <n> (sync every n appends)",
+};
+
+/// Auto-compaction threshold: when a flush leaves at least this many
+/// sealed segment files on disk, the store merges them into one. `0`
+/// disables automatic compaction.
+pub const STORE_COMPACT_SEGMENTS: EnvFlag = EnvFlag {
+    name: "GISOLAP_STORE_COMPACT_SEGMENTS",
+    default: "0 (disabled)",
+    doc: "segment-file count that triggers store compaction after a flush (0 = off)",
+};
+
+/// Case count for the crash-recovery fault-injection property tests
+/// (`tests/tests/store_recovery.rs`); CI's fault-injection job raises it
+/// well above the local default.
+pub const FAULT_CASES: EnvFlag = EnvFlag {
+    name: "GISOLAP_FAULT_CASES",
+    default: "16",
+    doc: "property-test cases for the store fault-injection suite",
+};
+
+/// Every flag the workspace reads, for discovery and doc-coverage tests.
+pub const ALL: [&EnvFlag; 5] = [
+    &THREADS,
+    &SLOW_QUERY_MS,
+    &STORE_SYNC,
+    &STORE_COMPACT_SEGMENTS,
+    &FAULT_CASES,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_prefixed() {
+        let mut names: Vec<&str> = ALL.iter().map(|f| f.name).collect();
+        assert!(names.iter().all(|n| n.starts_with("GISOLAP_")));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+
+    #[test]
+    fn parse_u64_roundtrip() {
+        // Use a name not in ALL so other tests never race on it.
+        let flag = EnvFlag {
+            name: "GISOLAP_TEST_ONLY_FLAG",
+            default: "-",
+            doc: "-",
+        };
+        std::env::remove_var(flag.name);
+        assert_eq!(flag.parse_u64(), None);
+        std::env::set_var(flag.name, " 42 ");
+        assert_eq!(flag.parse_u64(), Some(42));
+        std::env::set_var(flag.name, "nope");
+        assert_eq!(flag.parse_u64(), None);
+        std::env::remove_var(flag.name);
+    }
+}

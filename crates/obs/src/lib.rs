@@ -24,6 +24,9 @@
 //! * [`QueryObs`] — the bundle of the above that a query engine owns:
 //!   tracer + eval-latency histogram + slow-query log + the most recent
 //!   span tree.
+//! * [`config`] — the registry of every `GISOLAP_*` environment flag the
+//!   workspace reads, each documented and coverage-tested against the
+//!   repository docs.
 //!
 //! The crate is deliberately *mechanism only*: what the counters mean,
 //! which spans exist and the counter-conservation invariant tying span
@@ -34,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod metrics;
 pub mod query_obs;
 pub mod slow;

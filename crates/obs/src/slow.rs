@@ -4,8 +4,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Environment variable holding the slow-query threshold in whole
-/// milliseconds; unset, empty or unparsable means *disabled*.
-pub const SLOW_QUERY_ENV: &str = "GISOLAP_SLOW_QUERY_MS";
+/// milliseconds; unset, empty or unparsable means *disabled*. Declared
+/// in the central flag registry as [`crate::config::SLOW_QUERY_MS`].
+pub const SLOW_QUERY_ENV: &str = crate::config::SLOW_QUERY_MS.name;
 
 /// How many slow queries the ring retains (oldest evicted first). The
 /// `total()` counter keeps counting past the cap.
@@ -49,10 +50,7 @@ impl SlowQueryLog {
     /// A log configured from [`SLOW_QUERY_ENV`]; disabled when the
     /// variable is unset or unparsable.
     pub fn from_env() -> SlowQueryLog {
-        let ms = std::env::var(SLOW_QUERY_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
-            .unwrap_or(0);
+        let ms = crate::config::SLOW_QUERY_MS.parse_u64().unwrap_or(0);
         SlowQueryLog::with_threshold_ms(ms)
     }
 

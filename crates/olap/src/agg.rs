@@ -113,6 +113,36 @@ impl Partial {
         self.count
     }
 
+    /// Running sum of the values fed so far.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest value fed so far (`+∞` for the empty partial).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest value fed so far (`−∞` for the empty partial).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Reassembles a partial from its four components, exactly as read
+    /// back by [`Partial::count`]/[`sum`](Partial::sum)/
+    /// [`min`](Partial::min)/[`max`](Partial::max). This is the
+    /// persistence escape hatch: a partial serialized field-by-field
+    /// (f64s as IEEE-754 bits) round-trips *bit-identically*, which the
+    /// durable segment store's codec relies on.
+    pub fn from_raw(count: u64, sum: f64, min: f64, max: f64) -> Partial {
+        Partial {
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// Merges another partial (over a disjoint value set) into this one.
     pub fn merge(&mut self, other: &Partial) {
         self.count += other.count;

@@ -1,0 +1,778 @@
+//! The on-disk binary codec: CRC32-checksummed, length-prefixed frames
+//! under a versioned header, little-endian throughout.
+//!
+//! ## File layout
+//!
+//! ```text
+//! header := MAGIC (8 bytes, "GSLPSTOR") | kind (u8) | version (u16 LE)
+//! frame  := len (u32 LE, payload bytes) | payload | crc32(payload) (u32 LE)
+//! file   := header frame*
+//! ```
+//!
+//! Segment, checkpoint and manifest files hold exactly one frame; a WAL
+//! file holds one frame per logged operation. Floats are serialized as
+//! IEEE-754 bit patterns ([`f64::to_bits`]), so every round-trip is
+//! **bit-identical** — including the `Partial` sums whose exact values
+//! the stream-vs-batch equivalence properties pin down.
+
+use gisolap_olap::agg::Partial;
+use gisolap_olap::time::TimeId;
+use gisolap_stream::{CellPartial, GroupKey, ReplayOp, Segment, TailState};
+use gisolap_traj::{ObjectId, Record};
+
+use crate::{corrupt, Result};
+
+/// File magic, first 8 bytes of every store file.
+pub const MAGIC: [u8; 8] = *b"GSLPSTOR";
+
+/// On-disk format version, bumped on any incompatible layout change.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Header length in bytes: magic + kind + version.
+pub const HEADER_LEN: usize = 8 + 1 + 2;
+
+/// Frames larger than this are rejected as corrupt before allocation.
+const MAX_FRAME: u32 = 1 << 30;
+
+/// What a store file contains (header byte 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FileKind {
+    /// One sealed segment (records + partials).
+    Segment = 1,
+    /// The write-ahead log of ingest operations.
+    Wal = 2,
+    /// The manifest (root of trust).
+    Manifest = 3,
+    /// A checkpointed tail state.
+    Checkpoint = 4,
+}
+
+impl FileKind {
+    fn from_u8(b: u8) -> Option<FileKind> {
+        match b {
+            1 => Some(FileKind::Segment),
+            2 => Some(FileKind::Wal),
+            3 => Some(FileKind::Manifest),
+            4 => Some(FileKind::Checkpoint),
+            _ => None,
+        }
+    }
+}
+
+// --- CRC32 (IEEE 802.3, reflected) -----------------------------------
+
+/// Slice-by-16 lookup tables: `CRC_TABLES[0]` is the classic byte-at-a-
+/// time table; table *j* advances a byte seen *j* positions earlier
+/// through the remaining width, so sixteen lookups retire sixteen bytes
+/// with no serial dependency between them.
+const CRC_TABLES: [[u32; 256]; 16] = {
+    let mut tables = [[0u32; 256]; 16];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 16 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+};
+
+/// The IEEE CRC32 of `bytes` (the checksum every frame carries).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(16);
+    for chunk in &mut chunks {
+        // Fold the running CRC into the first word, then retire all
+        // sixteen bytes with one independent lookup per table.
+        let a = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ c;
+        let b = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        let d = u32::from_le_bytes(chunk[8..12].try_into().unwrap());
+        let e = u32::from_le_bytes(chunk[12..16].try_into().unwrap());
+        c = CRC_TABLES[15][(a & 0xFF) as usize]
+            ^ CRC_TABLES[14][((a >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[13][((a >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[12][(a >> 24) as usize]
+            ^ CRC_TABLES[11][(b & 0xFF) as usize]
+            ^ CRC_TABLES[10][((b >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[9][((b >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[8][(b >> 24) as usize]
+            ^ CRC_TABLES[7][(d & 0xFF) as usize]
+            ^ CRC_TABLES[6][((d >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((d >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(d >> 24) as usize]
+            ^ CRC_TABLES[3][(e & 0xFF) as usize]
+            ^ CRC_TABLES[2][((e >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((e >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(e >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// --- primitive encode/decode -----------------------------------------
+
+/// An append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// A bounds-checked little-endian byte reader; every error names the
+/// file being decoded.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    file: &'a str,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `buf`, attributing errors to `file`.
+    pub fn new(buf: &'a [u8], file: &'a str) -> Dec<'a> {
+        Dec { buf, pos: 0, file }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(corrupt(
+                self.file,
+                format!("truncated: needed {n} bytes, had {}", self.remaining()),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64_bits(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| corrupt(self.file, "string is not valid UTF-8"))
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(corrupt(
+                self.file,
+                format!("{} trailing bytes after payload", self.remaining()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+// --- header and frames -----------------------------------------------
+
+/// Renders a file header for `kind` at the current [`FORMAT_VERSION`].
+pub fn header(kind: FileKind) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.push(kind as u8);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out
+}
+
+/// Validates a file header, returning the bytes after it.
+pub fn check_header<'a>(bytes: &'a [u8], kind: FileKind, file: &str) -> Result<&'a [u8]> {
+    if bytes.len() < HEADER_LEN {
+        return Err(corrupt(file, "shorter than the file header"));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(corrupt(file, "bad magic"));
+    }
+    let got_kind = FileKind::from_u8(bytes[8])
+        .ok_or_else(|| corrupt(file, format!("unknown file kind {}", bytes[8])))?;
+    if got_kind != kind {
+        return Err(corrupt(
+            file,
+            format!("file kind is {got_kind:?}, expected {kind:?}"),
+        ));
+    }
+    let version = u16::from_le_bytes([bytes[9], bytes[10]]);
+    if version != FORMAT_VERSION {
+        return Err(corrupt(
+            file,
+            format!("format version {version}, this build reads {FORMAT_VERSION}"),
+        ));
+    }
+    Ok(&bytes[HEADER_LEN..])
+}
+
+/// Wraps a payload in a `len | payload | crc32` frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// How reading one frame from a byte stream ended.
+pub enum FrameRead<'a> {
+    /// A complete, checksum-valid frame; `rest` follows it.
+    Ok {
+        /// The verified payload.
+        payload: &'a [u8],
+        /// Bytes after the frame.
+        rest: &'a [u8],
+    },
+    /// The stream ends exactly here — no frame started.
+    End,
+    /// The bytes start a frame that is short, oversized or fails its
+    /// checksum: a torn write (or genuine corruption). `valid_up_to_here`
+    /// callers treat it as end-of-log; strict callers raise `Corrupt`.
+    Torn {
+        /// What was wrong, for reports.
+        detail: String,
+    },
+}
+
+/// Reads one frame from `bytes` (already past the header).
+pub fn read_frame<'a>(bytes: &'a [u8]) -> FrameRead<'a> {
+    if bytes.is_empty() {
+        return FrameRead::End;
+    }
+    if bytes.len() < 4 {
+        return FrameRead::Torn {
+            detail: "torn length prefix".to_string(),
+        };
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    if len > MAX_FRAME {
+        return FrameRead::Torn {
+            detail: format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        };
+    }
+    let need = 4 + len as usize + 4;
+    if bytes.len() < need {
+        return FrameRead::Torn {
+            detail: format!("torn frame: needed {need} bytes, had {}", bytes.len()),
+        };
+    }
+    let payload = &bytes[4..4 + len as usize];
+    let stored = u32::from_le_bytes(bytes[4 + len as usize..need].try_into().unwrap());
+    if crc32(payload) != stored {
+        return FrameRead::Torn {
+            detail: "frame checksum mismatch".to_string(),
+        };
+    }
+    FrameRead::Ok {
+        payload,
+        rest: &bytes[need..],
+    }
+}
+
+/// Reads the single frame a segment/checkpoint/manifest file holds,
+/// strictly: a torn frame or trailing garbage is `Corrupt`.
+pub fn read_single_frame<'a>(bytes: &'a [u8], file: &str) -> Result<&'a [u8]> {
+    match read_frame(bytes) {
+        FrameRead::Ok { payload, rest } => {
+            if !rest.is_empty() {
+                return Err(corrupt(
+                    file,
+                    format!("{} bytes after the frame", rest.len()),
+                ));
+            }
+            Ok(payload)
+        }
+        FrameRead::End => Err(corrupt(file, "missing frame")),
+        FrameRead::Torn { detail } => Err(corrupt(file, detail)),
+    }
+}
+
+// --- records, partials, cells ----------------------------------------
+
+fn enc_record(e: &mut Enc, r: &Record) {
+    e.u64(r.oid.0);
+    e.i64(r.t.0);
+    e.f64_bits(r.x);
+    e.f64_bits(r.y);
+}
+
+fn enc_records(e: &mut Enc, records: &[Record]) {
+    e.u64(records.len() as u64);
+    for r in records {
+        enc_record(e, r);
+    }
+}
+
+fn dec_records(d: &mut Dec<'_>) -> Result<Vec<Record>> {
+    let n = d.u64()? as usize;
+    if d.remaining() < n.saturating_mul(32) {
+        return Err(corrupt(d.file, format!("record count {n} exceeds payload")));
+    }
+    // Records are fixed-width: take the whole run in one bounds check
+    // and decode per 32-byte chunk — the recovery hot loop.
+    let bytes = d.take(n * 32)?;
+    Ok(bytes
+        .chunks_exact(32)
+        .map(|c| Record {
+            oid: ObjectId(u64::from_le_bytes(c[0..8].try_into().unwrap())),
+            t: TimeId(i64::from_le_bytes(c[8..16].try_into().unwrap())),
+            x: f64::from_bits(u64::from_le_bytes(c[16..24].try_into().unwrap())),
+            y: f64::from_bits(u64::from_le_bytes(c[24..32].try_into().unwrap())),
+        })
+        .collect())
+}
+
+fn enc_partial(e: &mut Enc, p: &Partial) {
+    e.u64(p.count());
+    e.f64_bits(p.sum());
+    e.f64_bits(p.min());
+    e.f64_bits(p.max());
+}
+
+fn dec_partial(d: &mut Dec<'_>) -> Result<Partial> {
+    let count = d.u64()?;
+    let sum = d.f64_bits()?;
+    let min = d.f64_bits()?;
+    let max = d.f64_bits()?;
+    Ok(Partial::from_raw(count, sum, min, max))
+}
+
+fn enc_cell(e: &mut Enc, key: &GroupKey, cell: &CellPartial) {
+    e.i64(key.0);
+    match key.1 {
+        None => e.u8(0),
+        Some(g) => {
+            e.u8(1);
+            e.u32(g);
+        }
+    }
+    enc_partial(e, &cell.x);
+    enc_partial(e, &cell.y);
+}
+
+fn dec_cell(d: &mut Dec<'_>) -> Result<(GroupKey, CellPartial)> {
+    let hour = d.i64()?;
+    let geo = match d.u8()? {
+        0 => None,
+        1 => Some(d.u32()?),
+        tag => return Err(corrupt(d.file, format!("bad geo tag {tag}"))),
+    };
+    let x = dec_partial(d)?;
+    let y = dec_partial(d)?;
+    Ok(((hour, geo), CellPartial { x, y }))
+}
+
+// --- segment ----------------------------------------------------------
+
+/// Encodes a sealed segment as one frame payload: partition, canonical
+/// records, partial cells. The summary and per-object index are
+/// *derived* data and are re-derived on decode, so they never drift
+/// from the records.
+pub fn encode_segment(seg: &Segment) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.i64(seg.meta().partition);
+    enc_records(&mut e, seg.records());
+    e.u64(seg.partials().len() as u64);
+    for (key, cell) in seg.partials() {
+        enc_cell(&mut e, key, cell);
+    }
+    e.into_bytes()
+}
+
+/// Decodes a segment payload, re-deriving and validating the canonical
+/// structure via [`Segment::from_parts`].
+pub fn decode_segment(payload: &[u8], file: &str) -> Result<Segment> {
+    let mut d = Dec::new(payload, file);
+    let partition = d.i64()?;
+    let records = dec_records(&mut d)?;
+    let n = d.u64()? as usize;
+    if d.remaining() < n.saturating_mul(8) {
+        return Err(corrupt(file, format!("partial count {n} exceeds payload")));
+    }
+    let partials = (0..n)
+        .map(|_| dec_cell(&mut d))
+        .collect::<Result<Vec<_>>>()?;
+    d.finish()?;
+    Segment::from_parts(partition, records, partials)
+        .map_err(|e| corrupt(file, format!("invalid segment parts: {e}")))
+}
+
+// --- checkpoint (TailState) ------------------------------------------
+
+/// Encodes a checkpointed [`TailState`] as one frame payload.
+pub fn encode_tail(tail: &TailState) -> Vec<u8> {
+    let mut e = Enc::new();
+    match tail.max_event_time {
+        None => e.u8(0),
+        Some(t) => {
+            e.u8(1);
+            e.i64(t.0);
+        }
+    }
+    e.i64(tail.sealed_before);
+    e.u64(tail.records_ingested);
+    e.u64(tail.segments_sealed);
+    enc_records(&mut e, &tail.dead_letters);
+    e.u64(tail.buffers.len() as u64);
+    for (partition, records) in &tail.buffers {
+        e.i64(*partition);
+        enc_records(&mut e, records);
+    }
+    e.into_bytes()
+}
+
+/// Decodes a checkpoint payload.
+pub fn decode_tail(payload: &[u8], file: &str) -> Result<TailState> {
+    let mut d = Dec::new(payload, file);
+    let max_event_time = match d.u8()? {
+        0 => None,
+        1 => Some(TimeId(d.i64()?)),
+        tag => return Err(corrupt(file, format!("bad watermark tag {tag}"))),
+    };
+    let sealed_before = d.i64()?;
+    let records_ingested = d.u64()?;
+    let segments_sealed = d.u64()?;
+    let dead_letters = dec_records(&mut d)?;
+    let n = d.u64()? as usize;
+    if d.remaining() < n.saturating_mul(16) {
+        return Err(corrupt(file, format!("buffer count {n} exceeds payload")));
+    }
+    let mut buffers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let partition = d.i64()?;
+        buffers.push((partition, dec_records(&mut d)?));
+    }
+    d.finish()?;
+    Ok(TailState {
+        max_event_time,
+        sealed_before,
+        records_ingested,
+        segments_sealed,
+        dead_letters,
+        buffers,
+    })
+}
+
+// --- WAL entries ------------------------------------------------------
+
+/// Encodes one WAL frame payload: sequence number + operation.
+pub fn encode_wal_entry(seq: u64, op: &ReplayOp) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(seq);
+    match op {
+        ReplayOp::Batch(records) => {
+            e.u8(0);
+            enc_records(&mut e, records);
+        }
+        ReplayOp::Finish => e.u8(1),
+    }
+    e.into_bytes()
+}
+
+/// Decodes one WAL frame payload into `(seq, op)`.
+pub fn decode_wal_entry(payload: &[u8], file: &str) -> Result<(u64, ReplayOp)> {
+    let mut d = Dec::new(payload, file);
+    let seq = d.u64()?;
+    let op = match d.u8()? {
+        0 => ReplayOp::Batch(dec_records(&mut d)?),
+        1 => ReplayOp::Finish,
+        tag => return Err(corrupt(file, format!("bad WAL op tag {tag}"))),
+    };
+    d.finish()?;
+    Ok((seq, op))
+}
+
+// --- manifest ---------------------------------------------------------
+
+/// One sealed segment file the manifest references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// First partition index covered.
+    pub lo: i64,
+    /// Last partition index covered (`== lo` until compaction merges).
+    pub hi: i64,
+    /// File name, relative to the store directory.
+    pub file: String,
+}
+
+/// The decoded manifest: the root of trust naming every live file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// WAL/checkpoint generation counter.
+    pub gen: u64,
+    /// Stream configuration the persisted pipeline runs under.
+    pub lateness_seconds: i64,
+    /// Stream partition width (seconds).
+    pub segment_seconds: i64,
+    /// Sealed segment files, ascending by `lo`.
+    pub segments: Vec<SegmentEntry>,
+    /// The current checkpoint file, if a flush has happened.
+    pub checkpoint: Option<String>,
+    /// The current WAL file.
+    pub wal: String,
+    /// Sequence number of the first entry the current WAL may hold.
+    pub wal_start_seq: u64,
+}
+
+/// Encodes the manifest as one frame payload.
+pub fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(m.gen);
+    e.i64(m.lateness_seconds);
+    e.i64(m.segment_seconds);
+    e.u64(m.segments.len() as u64);
+    for s in &m.segments {
+        e.i64(s.lo);
+        e.i64(s.hi);
+        e.str(&s.file);
+    }
+    match &m.checkpoint {
+        None => e.u8(0),
+        Some(f) => {
+            e.u8(1);
+            e.str(f);
+        }
+    }
+    e.str(&m.wal);
+    e.u64(m.wal_start_seq);
+    e.into_bytes()
+}
+
+/// Decodes a manifest payload.
+pub fn decode_manifest(payload: &[u8], file: &str) -> Result<Manifest> {
+    let mut d = Dec::new(payload, file);
+    let gen = d.u64()?;
+    let lateness_seconds = d.i64()?;
+    let segment_seconds = d.i64()?;
+    let n = d.u64()? as usize;
+    if d.remaining() < n.saturating_mul(20) {
+        return Err(corrupt(file, format!("segment count {n} exceeds payload")));
+    }
+    let mut segments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lo = d.i64()?;
+        let hi = d.i64()?;
+        let file_name = d.str()?;
+        segments.push(SegmentEntry {
+            lo,
+            hi,
+            file: file_name,
+        });
+    }
+    if segments.windows(2).any(|w| w[0].hi >= w[1].lo) {
+        return Err(corrupt(file, "segment entries overlap or are unsorted"));
+    }
+    let checkpoint = match d.u8()? {
+        0 => None,
+        1 => Some(d.str()?),
+        tag => return Err(corrupt(file, format!("bad checkpoint tag {tag}"))),
+    };
+    let wal = d.str()?;
+    let wal_start_seq = d.u64()?;
+    d.finish()?;
+    Ok(Manifest {
+        gen,
+        lateness_seconds,
+        segment_seconds,
+        segments,
+        checkpoint,
+        wal,
+        wal_start_seq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(oid: u64, t: i64, x: f64, y: f64) -> Record {
+        Record {
+            oid: ObjectId(oid),
+            t: TimeId(t),
+            x,
+            y,
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for IEEE CRC32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_torn_detection() {
+        let f = frame(b"hello");
+        match read_frame(&f) {
+            FrameRead::Ok { payload, rest } => {
+                assert_eq!(payload, b"hello");
+                assert!(rest.is_empty());
+            }
+            _ => panic!("expected Ok"),
+        }
+        // Chop one byte off: torn.
+        assert!(matches!(
+            read_frame(&f[..f.len() - 1]),
+            FrameRead::Torn { .. }
+        ));
+        // Flip a payload bit: checksum catches it.
+        let mut bad = f.clone();
+        bad[5] ^= 0x01;
+        assert!(matches!(read_frame(&bad), FrameRead::Torn { .. }));
+    }
+
+    #[test]
+    fn header_rejects_wrong_kind_and_version() {
+        let h = header(FileKind::Wal);
+        assert!(check_header(&h, FileKind::Wal, "t").is_ok());
+        assert!(check_header(&h, FileKind::Segment, "t").is_err());
+        let mut old = h.clone();
+        old[9] = 0xFF;
+        assert!(check_header(&old, FileKind::Wal, "t").is_err());
+    }
+
+    #[test]
+    fn segment_roundtrip_is_bit_identical() {
+        let raw = vec![
+            rec(2, 100, 5.25, -5.5),
+            rec(1, 50, 0.1, 0.2),
+            rec(1, 10, 1.0, 1.0),
+        ];
+        let mut ingest =
+            gisolap_stream::StreamIngest::new(gisolap_stream::StreamConfig::new(0, 3600).unwrap())
+                .unwrap();
+        ingest.ingest(&raw);
+        ingest.finish();
+        let seg = &ingest.segments()[0];
+        let decoded = decode_segment(&encode_segment(seg), "t").unwrap();
+        assert_eq!(decoded.meta(), seg.meta());
+        assert_eq!(decoded.records(), seg.records());
+        assert_eq!(decoded.partials(), seg.partials());
+    }
+
+    #[test]
+    fn wal_entry_and_tail_roundtrip() {
+        let op = ReplayOp::Batch(vec![rec(1, 7, 2.0, 3.0)]);
+        let (seq, got) = decode_wal_entry(&encode_wal_entry(42, &op), "t").unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(got, op);
+        let (seq, got) = decode_wal_entry(&encode_wal_entry(43, &ReplayOp::Finish), "t").unwrap();
+        assert_eq!((seq, got), (43, ReplayOp::Finish));
+
+        let tail = TailState {
+            max_event_time: Some(TimeId(99)),
+            sealed_before: -3,
+            records_ingested: 17,
+            segments_sealed: 2,
+            dead_letters: vec![rec(9, -50, 0.0, 0.0)],
+            buffers: vec![(0, vec![rec(1, 7, 2.0, 3.0), rec(1, 7, 4.0, 5.0)])],
+        };
+        assert_eq!(decode_tail(&encode_tail(&tail), "t").unwrap(), tail);
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_overlap_check() {
+        let m = Manifest {
+            gen: 3,
+            lateness_seconds: 300,
+            segment_seconds: 3600,
+            segments: vec![
+                SegmentEntry {
+                    lo: -1,
+                    hi: 0,
+                    file: "seg--1-0.seg".to_string(),
+                },
+                SegmentEntry {
+                    lo: 2,
+                    hi: 2,
+                    file: "seg-2-2.seg".to_string(),
+                },
+            ],
+            checkpoint: Some("ck-3.ck".to_string()),
+            wal: "wal-3.log".to_string(),
+            wal_start_seq: 12,
+        };
+        assert_eq!(decode_manifest(&encode_manifest(&m), "t").unwrap(), m);
+
+        let mut bad = m.clone();
+        bad.segments[1].lo = 0;
+        assert!(decode_manifest(&encode_manifest(&bad), "t").is_err());
+    }
+}

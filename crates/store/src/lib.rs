@@ -1,0 +1,118 @@
+//! # gisolap-store
+//!
+//! Durable, dependency-free persistence for the streaming MOFT pipeline
+//! (`gisolap-stream`). Everything the paper's pre-aggregation model
+//! keeps in memory — sealed hour-aligned
+//! [`Segment`](gisolap_stream::Segment)s, their per-hour
+//! partial aggregates, the watermark and the live tail — survives a
+//! process crash and is rebuilt **bit-identically** on recovery:
+//!
+//! * [`codec`] — a length-prefixed, CRC32-checksummed binary codec with
+//!   a versioned header for segments, checkpoints, manifests and WAL
+//!   frames. Floats are serialized as IEEE-754 bits, so round-trips are
+//!   exact.
+//! * [`wal`] — a write-ahead log of ingest operations
+//!   ([`ReplayOp`](gisolap_stream::ReplayOp)s) with a configurable
+//!   fsync policy ([`SyncPolicy`]). A torn or truncated tail frame is
+//!   detected by checksum and cleanly dropped, never a panic.
+//! * [`store`] — the [`SegmentStore`]: a segment directory with an
+//!   atomic manifest (write-temp + rename), `flush`/`recover` APIs, a
+//!   tail-state checkpoint, and compaction that merges adjacent sealed
+//!   segment files while preserving `DeltaCube` merge semantics.
+//!   [`DurableIngest`] bundles a store with a
+//!   [`StreamIngest`](gisolap_stream::StreamIngest) so every accepted
+//!   batch is logged before it is applied.
+//! * [`vfs`] — the filesystem seam: [`RealFs`] for production,
+//!   [`FailpointFs`] for fault injection (crash after byte *N* of the
+//!   cumulative write stream, torn writes included), which drives the
+//!   crash-recovery property tests in `tests/tests/store_recovery.rs`.
+//!
+//! ## Recovery protocol
+//!
+//! `MANIFEST` is the root of trust, replaced only by atomic rename. It
+//! names the sealed segment files, the current checkpoint (the
+//! [`TailState`](gisolap_stream::TailState) at the last flush) and the
+//! current WAL generation. Recovery loads the segments, restores the
+//! checkpointed tail, replays the WAL's surviving entries through the
+//! **normal ingest path** (`StreamIngest::recover`) and truncates any
+//! torn tail — converging to exactly the state an uninterrupted run
+//! reaches after the same durable operation prefix. A flush writes
+//! segments + checkpoint + a fresh WAL generation first, publishes the
+//! manifest last, then deletes the old generation: a crash anywhere in
+//! between leaves either the old or the new state fully intact, so no
+//! operation is ever applied twice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod store;
+pub mod vfs;
+pub mod wal;
+
+pub use store::{
+    CompactionReport, DurableIngest, FlushReport, RecoveryReport, SegmentStore, StoreConfig,
+    StoreStats,
+};
+pub use vfs::{AppendFile, FailpointFs, RealFs, ScratchDir, Vfs};
+pub use wal::SyncPolicy;
+
+use gisolap_stream::StreamError;
+
+/// Errors raised by the durable store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed (includes injected
+    /// failpoint crashes).
+    Io(std::io::Error),
+    /// A file failed structural validation — bad magic, bad version, a
+    /// checksum mismatch outside the tolerated WAL tail, or inconsistent
+    /// decoded contents. Detected, never undefined behavior.
+    Corrupt {
+        /// The offending file (relative to the store directory).
+        file: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The store configuration or usage is invalid (message explains).
+    BadConfig(String),
+    /// An underlying streaming-pipeline operation failed.
+    Stream(StreamError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt { file, detail } => {
+                write!(f, "corrupt store file {file:?}: {detail}")
+            }
+            StoreError::BadConfig(msg) => write!(f, "bad store config: {msg}"),
+            StoreError::Stream(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StreamError> for StoreError {
+    fn from(e: StreamError) -> StoreError {
+        StoreError::Stream(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+pub(crate) fn corrupt(file: &str, detail: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        file: file.to_string(),
+        detail: detail.into(),
+    }
+}

@@ -1,0 +1,35 @@
+//! Ad-hoc timing harness (run with --release -- --ignored) used while
+//! tuning the decode path; kept ignored so normal runs skip it.
+use gisolap_olap::time::TimeId;
+use gisolap_store::codec::{crc32, decode_segment, encode_segment};
+use gisolap_stream::Segment;
+use gisolap_traj::{ObjectId, Record};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn profile_decode() {
+    let records: Vec<Record> = (0..200u64)
+        .flat_map(|oid| {
+            (0..320i64).map(move |i| Record {
+                oid: ObjectId(oid),
+                t: TimeId(i * 300),
+                x: oid as f64,
+                y: i as f64,
+            })
+        })
+        .collect();
+    let seg = Segment::from_parts(0, records, Vec::new()).unwrap();
+    let bytes = encode_segment(&seg);
+    eprintln!("payload {} bytes", bytes.len());
+    let t = Instant::now();
+    for _ in 0..100 {
+        std::hint::black_box(crc32(&bytes));
+    }
+    eprintln!("crc32: {:?}/pass", t.elapsed() / 100);
+    let t = Instant::now();
+    for _ in 0..100 {
+        std::hint::black_box(decode_segment(&bytes, "x").unwrap());
+    }
+    eprintln!("decode: {:?}/pass", t.elapsed() / 100);
+}

@@ -113,6 +113,10 @@ pub struct StreamIngest {
     sealed_before: i64,
     dead_letters: Vec<Record>,
     records_ingested: u64,
+    /// Segments that were sealed but merged away by store compaction
+    /// before this instance was restored; keeps `segments_sealed`
+    /// convergent across compaction (see [`StreamIngest::restore`]).
+    compacted_away: u64,
     /// Rollups run on `&self`; this counter is the only one they bump.
     tail_records_scanned: AtomicU64,
     /// Span collection switch; off by default.
@@ -135,6 +139,7 @@ impl StreamIngest {
             sealed_before: i64::MIN,
             dead_letters: Vec::new(),
             records_ingested: 0,
+            compacted_away: 0,
             tail_records_scanned: AtomicU64::new(0),
             tracer: Tracer::default(),
             spans: Vec::new(),
@@ -279,7 +284,7 @@ impl StreamIngest {
         IngestStats {
             records_ingested: self.records_ingested,
             late_dropped: self.dead_letters.len() as u64,
-            segments_sealed: self.segments.len() as u64,
+            segments_sealed: self.segments.len() as u64 + self.compacted_away,
             partials_merged: self.cube.merges(),
             tail_records_scanned: self.tail_records_scanned.load(Ordering::Relaxed),
         }
@@ -343,10 +348,177 @@ impl StreamIngest {
             stats: self.stats(),
         })
     }
+
+    /// Freezes the mutable (unsealed) half of the pipeline state: the
+    /// watermark source, the sealed frontier, the arrival-ordered tail
+    /// buffers, the dead letters and the monotone counters. Together with
+    /// [`StreamIngest::segments`] this is everything
+    /// [`StreamIngest::restore`] needs to reproduce `self` exactly — it
+    /// is what the durable store's checkpoint serializes.
+    pub fn tail_state(&self) -> TailState {
+        TailState {
+            max_event_time: self.max_event_time,
+            sealed_before: self.sealed_before,
+            records_ingested: self.records_ingested,
+            segments_sealed: self.segments.len() as u64 + self.compacted_away,
+            dead_letters: self.dead_letters.clone(),
+            buffers: self.buffers.iter().map(|(&p, b)| (p, b.clone())).collect(),
+        }
+    }
+
+    /// Rebuilds a pipeline from durable parts: sealed `segments`
+    /// (ascending partition order) and a checkpointed [`TailState`].
+    ///
+    /// The [`DeltaCube`] is reconstructed by absorbing the segments'
+    /// partials in order — the same ascending-partition absorb sequence
+    /// the original instance performed, hence a bit-identical cube (cell
+    /// values *and* merge counter, even when store compaction has merged
+    /// adjacent segments: compaction concatenates their disjoint-key
+    /// partial lists, so the absorbed entry multiset is unchanged).
+    /// `resolver` must be the same geometry resolver (if any) the
+    /// original pipeline used; resolvers are code, not data, so the
+    /// store cannot persist them.
+    pub fn restore(
+        config: StreamConfig,
+        resolver: Option<GeoResolver>,
+        segments: Vec<Segment>,
+        tail: TailState,
+    ) -> Result<StreamIngest> {
+        config.validate()?;
+        if segments
+            .windows(2)
+            .any(|w| w[0].meta().partition >= w[1].meta().partition)
+        {
+            return Err(crate::StreamError::BadSegment(
+                "restored segments must be ascending by partition".to_string(),
+            ));
+        }
+        if (tail.segments_sealed as usize) < segments.len() {
+            return Err(crate::StreamError::BadSegment(format!(
+                "checkpoint claims {} sealed segments but {} were restored",
+                tail.segments_sealed,
+                segments.len()
+            )));
+        }
+        if let Some((p, _)) = tail.buffers.iter().find(|(p, _)| *p < tail.sealed_before) {
+            return Err(crate::StreamError::BadSegment(format!(
+                "tail buffer for partition {p} is below the sealed frontier {}",
+                tail.sealed_before
+            )));
+        }
+        let mut cube = DeltaCube::new();
+        for s in &segments {
+            cube.absorb(s.partials());
+        }
+        let compacted_away = tail.segments_sealed - segments.len() as u64;
+        Ok(StreamIngest {
+            config,
+            resolver,
+            buffers: tail.buffers.into_iter().collect(),
+            segments,
+            cube,
+            max_event_time: tail.max_event_time,
+            sealed_before: tail.sealed_before,
+            dead_letters: tail.dead_letters,
+            records_ingested: tail.records_ingested,
+            compacted_away,
+            tail_records_scanned: AtomicU64::new(0),
+            tracer: Tracer::default(),
+            spans: Vec::new(),
+        })
+    }
+
+    /// Crash recovery: [`StreamIngest::restore`] the checkpointed state,
+    /// then replay the write-ahead-logged operations through the
+    /// **normal ingest path** ([`StreamIngest::ingest`] /
+    /// [`StreamIngest::finish`], watermark advances and sealing
+    /// included). Because ingestion is deterministic in the operation
+    /// sequence, the result provably converges to the pre-crash state:
+    /// it equals an uninterrupted pipeline fed the same prefix of
+    /// operations.
+    pub fn recover<I>(
+        config: StreamConfig,
+        resolver: Option<GeoResolver>,
+        segments: Vec<Segment>,
+        tail: TailState,
+        ops: I,
+    ) -> Result<(StreamIngest, ReplayReport)>
+    where
+        I: IntoIterator<Item = ReplayOp>,
+    {
+        let mut ingest = StreamIngest::restore(config, resolver, segments, tail)?;
+        let mut replay = ReplayReport::default();
+        for op in ops {
+            match op {
+                ReplayOp::Batch(batch) => {
+                    let report = ingest.ingest(&batch);
+                    replay.batches += 1;
+                    replay.accepted += report.accepted;
+                    replay.late += report.late;
+                    replay.sealed += report.sealed;
+                }
+                ReplayOp::Finish => {
+                    replay.sealed += ingest.finish();
+                }
+            }
+        }
+        Ok((ingest, replay))
+    }
 }
 
 fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The checkpointable mutable half of a [`StreamIngest`]: everything
+/// that is *not* derivable from the sealed segments. Produced by
+/// [`StreamIngest::tail_state`], consumed by [`StreamIngest::restore`];
+/// the durable store serializes it as its checkpoint record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailState {
+    /// Maximum event time seen (the watermark source), if any.
+    pub max_event_time: Option<TimeId>,
+    /// All partitions `< sealed_before` are sealed.
+    pub sealed_before: i64,
+    /// Cumulative records accepted into buffers.
+    pub records_ingested: u64,
+    /// Cumulative segments sealed (compaction may later merge the
+    /// segments themselves, but never lowers this count).
+    pub segments_sealed: u64,
+    /// Records rejected as too late, in arrival order.
+    pub dead_letters: Vec<Record>,
+    /// Arrival-ordered buffers per still-open partition, ascending by
+    /// partition index. Arrival order matters: duplicate `(oid, t)` keys
+    /// keep the **last** arrival when the partition seals.
+    pub buffers: Vec<(i64, Vec<Record>)>,
+}
+
+/// One logged ingest-mutating operation, as a write-ahead log records
+/// it. Replaying the op sequence through a [`StreamIngest`] reproduces
+/// its state exactly — [`StreamIngest::ingest`] and
+/// [`StreamIngest::finish`] are the only two entry points that mutate
+/// the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayOp {
+    /// One [`StreamIngest::ingest`] call with this batch.
+    Batch(Vec<Record>),
+    /// One [`StreamIngest::finish`] call (seals everything; later
+    /// records dead-letter, which is why replay must reproduce it).
+    Finish,
+}
+
+/// What a [`StreamIngest::recover`] replay did: the per-batch
+/// [`IngestReport`]s summed over the replayed write-ahead log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Batches replayed through the normal ingest path.
+    pub batches: u64,
+    /// Records accepted during replay.
+    pub accepted: u64,
+    /// Records dead-lettered during replay.
+    pub late: u64,
+    /// Segments sealed during replay.
+    pub sealed: u64,
 }
 
 /// An owned, self-consistent freeze of a [`StreamIngest`]: the full MOFT

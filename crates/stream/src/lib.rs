@@ -58,7 +58,9 @@ pub mod segment;
 
 pub use config::{GeoResolver, StreamConfig};
 pub use delta::{AbsorbOutcome, CellPartial, DeltaCube, GroupKey, Measure, RollupQuery, RollupRow};
-pub use ingest::{IngestReport, IngestStats, StreamIngest, StreamSnapshot};
+pub use ingest::{
+    IngestReport, IngestStats, ReplayOp, ReplayReport, StreamIngest, StreamSnapshot, TailState,
+};
 pub use segment::{Segment, SegmentMeta};
 
 use gisolap_olap::time::TimeLevel;
@@ -72,6 +74,10 @@ pub enum StreamError {
     /// Rollups need a level at least as coarse as one hour; `TimeId` and
     /// `Minute` granules are finer than the partials kept per segment.
     UnsupportedLevel(TimeLevel),
+    /// Segment parts handed to [`Segment::from_parts`] /
+    /// [`Segment::merged`] or a restored tail state violate a canonical
+    /// invariant (message explains which).
+    BadSegment(String),
     /// An underlying MOFT operation failed.
     Traj(TrajError),
 }
@@ -83,6 +89,7 @@ impl std::fmt::Display for StreamError {
             StreamError::UnsupportedLevel(level) => {
                 write!(f, "rollup level {level:?} is finer than the hour partials")
             }
+            StreamError::BadSegment(msg) => write!(f, "bad segment parts: {msg}"),
             StreamError::Traj(e) => write!(f, "{e}"),
         }
     }

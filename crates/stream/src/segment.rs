@@ -6,6 +6,7 @@ use gisolap_traj::{ObjectId, Record};
 
 use crate::config::GeoResolver;
 use crate::delta::{bucket_partials, CellPartial, GroupKey};
+use crate::{Result, StreamError};
 
 /// Summary of a sealed segment — enough for time/space pruning without
 /// touching the records.
@@ -110,6 +111,120 @@ impl Segment {
     /// Per-`(hour, geo)` partial aggregates, ascending by key.
     pub fn partials(&self) -> &[(GroupKey, CellPartial)] {
         &self.partials
+    }
+
+    /// Reassembles a segment from its canonical parts — the persistence
+    /// path (`gisolap-store`'s codec) and [`Segment::merged`] use this.
+    ///
+    /// `records` must be strictly ascending by `(oid, t)` (the canonical
+    /// form sealing produces) and `partials` strictly ascending
+    /// by key. The summary and per-object ranges are *re-derived* from
+    /// the records, so a segment serialized as
+    /// `(partition, records, partials)` round-trips bit-identically. An
+    /// empty record set is allowed (the store round-trips empty
+    /// segments); its summary has `first == last == TimeId(0)` and an
+    /// empty bbox.
+    pub fn from_parts(
+        partition: i64,
+        records: Vec<Record>,
+        partials: Vec<(GroupKey, CellPartial)>,
+    ) -> Result<Segment> {
+        if let Some(w) = records
+            .windows(2)
+            .find(|w| (w[0].oid, w[0].t) >= (w[1].oid, w[1].t))
+        {
+            return Err(StreamError::BadSegment(format!(
+                "records not strictly (oid, t)-sorted at ({}, {})",
+                w[1].oid, w[1].t.0
+            )));
+        }
+        if partials.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(StreamError::BadSegment(
+                "partials not strictly key-sorted".to_string(),
+            ));
+        }
+
+        let mut object_ranges: Vec<(ObjectId, usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=records.len() {
+            if i == records.len() || records[i].oid != records[start].oid {
+                object_ranges.push((records[start].oid, start, i));
+                start = i;
+            }
+        }
+        let (first, last) = records.iter().fold(
+            records
+                .first()
+                .map_or((TimeId(0), TimeId(0)), |r| (r.t, r.t)),
+            |(a, b), r| (a.min(r.t), b.max(r.t)),
+        );
+        let meta = SegmentMeta {
+            partition,
+            records: records.len(),
+            objects: object_ranges.len(),
+            first,
+            last,
+            bbox: BBox::from_points(records.iter().map(Record::pos)),
+        };
+        Ok(Segment {
+            meta,
+            records,
+            object_ranges,
+            partials,
+        })
+    }
+
+    /// Merges adjacent sealed segments (ascending partition order, as
+    /// [`crate::StreamIngest::segments`] yields them) into one segment
+    /// covering their union — the store's compaction primitive.
+    ///
+    /// Records are k-way merged by `(oid, t)` (keys are globally unique
+    /// because partitions are disjoint time ranges and each run is
+    /// deduplicated), and the partial lists are concatenated: partial
+    /// keys are `(hour, geo)` and hour-aligned partitions make the key
+    /// ranges disjoint and ascending across inputs. Absorbing the merged
+    /// partials into a [`crate::DeltaCube`] is therefore *identical* —
+    /// cell-by-cell and merge-count included — to absorbing the inputs
+    /// one by one, which is the compaction invariant the store's tests
+    /// pin down. The merged summary takes the first input's partition
+    /// index.
+    pub fn merged(parts: &[Segment]) -> Result<Segment> {
+        if parts.is_empty() {
+            return Err(StreamError::BadSegment(
+                "cannot merge zero segments".to_string(),
+            ));
+        }
+        if parts
+            .windows(2)
+            .any(|w| w[0].meta.partition >= w[1].meta.partition)
+        {
+            return Err(StreamError::BadSegment(
+                "merge inputs must be ascending by partition".to_string(),
+            ));
+        }
+        let total: usize = parts.iter().map(|s| s.records.len()).sum();
+        let mut merged: Vec<Record> = Vec::with_capacity(total);
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, i64, usize)>> =
+            std::collections::BinaryHeap::new();
+        let mut cursors = vec![0usize; parts.len()];
+        for (i, s) in parts.iter().enumerate() {
+            if let Some(r) = s.records.first() {
+                heap.push(std::cmp::Reverse((r.oid.0, r.t.0, i)));
+            }
+        }
+        while let Some(std::cmp::Reverse((_, _, i))) = heap.pop() {
+            merged.push(parts[i].records[cursors[i]]);
+            cursors[i] += 1;
+            if let Some(r) = parts[i].records.get(cursors[i]) {
+                heap.push(std::cmp::Reverse((r.oid.0, r.t.0, i)));
+            }
+        }
+        let mut partials: Vec<(GroupKey, CellPartial)> =
+            Vec::with_capacity(parts.iter().map(|s| s.partials.len()).sum());
+        for s in parts {
+            partials.extend_from_slice(&s.partials);
+        }
+        Segment::from_parts(parts[0].meta.partition, merged, partials)
     }
 }
 

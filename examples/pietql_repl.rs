@@ -2,17 +2,26 @@
 //!
 //! Type Piet-QL queries (Section 5 of the paper) and see the parse tree
 //! and results. The geometric part is answered from the precomputed
-//! overlay. Reads from stdin; with no terminal attached it runs a demo
-//! script instead.
+//! overlay. Two meta-commands exercise the durable store end-to-end:
+//! `\save <dir>` persists the current MOFT through `DurableIngest`
+//! (WAL + flush + manifest publish) and `\load <dir>` recovers it and
+//! rebuilds the engine from the recovered snapshot. Reads from stdin;
+//! with no terminal attached it runs a demo script instead.
 //!
 //! Run with: `cargo run --bin pietql_repl`
 
 use std::io::{BufRead, IsTerminal, Write};
+use std::path::Path;
+use std::sync::Arc;
 
 use gisolap_core::engine::{OverlayEngine, QueryEngine};
+use gisolap_core::Gis;
 use gisolap_datagen::Fig1Scenario;
 use gisolap_pietql::exec::run;
 use gisolap_pietql::{parse, QueryOutput};
+use gisolap_store::{DurableIngest, RealFs, ScratchDir, StoreConfig};
+use gisolap_stream::StreamConfig;
+use gisolap_traj::Moft;
 
 const DEMO: &[&str] = &[
     // The Section 5 query on the Figure 1 data.
@@ -100,9 +109,92 @@ fn indent(s: &str, by: usize) -> String {
         .join("\n")
 }
 
+/// `\save <dir>`: streams the current MOFT through a fresh
+/// [`DurableIngest`] — every batch WAL-logged, then sealed, flushed and
+/// published in an atomic manifest. Fails (cleanly) if `dir` already
+/// holds a store.
+fn save(moft: &Moft, dir: &Path) {
+    let config = StreamConfig::new(0, 3600).expect("valid stream config");
+    let created =
+        DurableIngest::create(Arc::new(RealFs), dir, config, StoreConfig::from_env(), None);
+    let mut durable = match created {
+        Ok(d) => d,
+        Err(e) => {
+            println!("  save failed: {e}");
+            return;
+        }
+    };
+    let result = moft
+        .records()
+        .chunks(64)
+        .try_for_each(|batch| durable.ingest(batch).map(|_| ()))
+        .and_then(|()| durable.finish())
+        .and_then(|_| durable.flush());
+    match result {
+        Ok(report) => println!(
+            "  saved {} records to {} ({} segment files, {} bytes)",
+            moft.records().len(),
+            dir.display(),
+            report.segments_written,
+            report.bytes_written,
+        ),
+        Err(e) => println!("  save failed: {e}"),
+    }
+}
+
+/// `\load <dir>`: recovers the durable state (manifest + segments +
+/// checkpoint + WAL replay) and returns the recovered MOFT for the
+/// engine rebuild.
+fn load(dir: &Path) -> Option<Moft> {
+    match gisolap_core::recover_snapshot(dir, None) {
+        Ok((snapshot, report)) => {
+            println!(
+                "  loaded {} records from {} ({} segments, {} WAL entries replayed)",
+                snapshot.moft().records().len(),
+                dir.display(),
+                report.segments_loaded,
+                report.wal_entries_replayed,
+            );
+            Some(snapshot.moft().clone())
+        }
+        Err(e) => {
+            println!("  load failed: {e}");
+            None
+        }
+    }
+}
+
+/// Dispatches one REPL line: a `\`-meta-command or a Piet-QL query.
+/// Returns the new MOFT when a `\load` replaced it.
+fn handle_line(gis: &Gis, moft: &Moft, line: &str) -> Option<Moft> {
+    if let Some(rest) = line.strip_prefix("\\save") {
+        let dir = rest.trim();
+        if dir.is_empty() {
+            println!("  usage: \\save <dir>");
+        } else {
+            save(moft, Path::new(dir));
+        }
+        None
+    } else if let Some(rest) = line.strip_prefix("\\load") {
+        let dir = rest.trim();
+        if dir.is_empty() {
+            println!("  usage: \\load <dir>");
+            None
+        } else {
+            load(Path::new(dir))
+        }
+    } else {
+        // The Figure 1 data is tiny; rebuilding the overlay per query
+        // keeps the borrow story trivial after a `\load` swaps the MOFT.
+        let engine = OverlayEngine::new(gis, moft);
+        describe(&engine, line);
+        None
+    }
+}
+
 fn main() {
     let s = Fig1Scenario::build();
-    let engine = OverlayEngine::new(&s.gis, &s.moft);
+    let mut moft = s.moft.clone();
     println!("== Piet-QL over the Figure 1 scenario ==");
     println!(
         "layers: {}",
@@ -118,20 +210,41 @@ fn main() {
         println!("\n(no terminal — running the demo script)\n");
         for q in DEMO {
             println!("piet> {q}");
-            describe(&engine, q);
+            handle_line(&s.gis, &moft, q);
             println!();
         }
+        // Demo the persistence round-trip into a scratch directory.
+        let scratch = ScratchDir::new("pietql-repl-demo");
+        let dir = scratch.path().join("store");
+        for cmd in [
+            format!("\\save {}", dir.display()),
+            format!("\\load {}", dir.display()),
+        ] {
+            println!("piet> {cmd}");
+            if let Some(loaded) = handle_line(&s.gis, &moft, &cmd) {
+                moft = loaded;
+            }
+            println!();
+        }
+        // The recovered MOFT answers queries identically.
+        println!("piet> {}", DEMO[0]);
+        handle_line(&s.gis, &moft, DEMO[0]);
         return;
     }
 
-    println!("Enter Piet-QL queries (empty line or Ctrl-D to quit).\n");
+    println!(
+        "Enter Piet-QL queries, \\save <dir> or \\load <dir> \
+         (empty line or Ctrl-D to quit).\n"
+    );
     let mut lines = stdin.lock().lines();
     loop {
         print!("piet> ");
         std::io::stdout().flush().expect("stdout flush");
         match lines.next() {
             Some(Ok(line)) if !line.trim().is_empty() => {
-                describe(&engine, line.trim());
+                if let Some(loaded) = handle_line(&s.gis, &moft, line.trim()) {
+                    moft = loaded;
+                }
             }
             _ => break,
         }

@@ -172,10 +172,29 @@ fn observability_doc_covers_every_span_name() {
         "aggregate",
         "segment-seal",
         "partial-merge",
+        "wal-append",
+        "segment-flush",
+        "recover-replay",
     ] {
         assert!(doc.contains(span), "OBSERVABILITY.md missing span `{span}`");
     }
     for extra in ["records_sealed", "cells_created", "GISOLAP_SLOW_QUERY_MS"] {
         assert!(doc.contains(extra), "OBSERVABILITY.md missing `{extra}`");
     }
+}
+
+#[test]
+fn observability_doc_covers_every_store_stat_field() {
+    let doc = include_str!("../../OBSERVABILITY.md");
+    let stats = gisolap_store::StoreStats::default();
+    let missing: Vec<&str> = stats
+        .fields()
+        .iter()
+        .map(|(name, _)| *name)
+        .filter(|name| !doc.contains(name))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "OBSERVABILITY.md does not document store counters: {missing:?}"
+    );
 }

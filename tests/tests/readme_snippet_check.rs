@@ -24,6 +24,62 @@ fn readme_streaming_snippet_compiles_and_runs() {
 }
 
 #[test]
+fn readme_persistence_snippet_compiles_and_runs() {
+    use gisolap_datagen::{replay_fig1, ReplayConfig};
+    use gisolap_olap::{agg::AggFn, time::TimeLevel};
+    use gisolap_store::{DurableIngest, RealFs, ScratchDir, StoreConfig};
+    use gisolap_stream::{Measure, RollupQuery, StreamConfig, StreamIngest};
+    use std::sync::Arc;
+
+    // Setup from the streaming snippet: batches and the expected rollup.
+    let (_s, batches) = replay_fig1(&ReplayConfig {
+        shuffle_seconds: 120,
+        batch_size: 8,
+        seed: 1,
+    });
+    let q = RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Count);
+    let mut reference = StreamIngest::new(StreamConfig::new(120, 3600).unwrap()).unwrap();
+    for batch in &batches {
+        reference.ingest(batch);
+    }
+    let per_hour = reference.rollup(&q).unwrap();
+
+    // README uses a fixed temp-dir name; the test needs a unique one.
+    let scratch = ScratchDir::new("readme-snippet");
+    let dir = scratch.path().to_path_buf();
+    let stream_cfg = StreamConfig::new(120, 3600).unwrap();
+
+    // Create-or-recover: the second open of the same directory recovers.
+    let (mut durable, recovery) = DurableIngest::open(
+        Arc::new(RealFs),
+        &dir,
+        stream_cfg,
+        StoreConfig::from_env(),
+        None,
+    )
+    .unwrap();
+    assert!(recovery.is_none()); // fresh directory → created
+
+    for batch in &batches {
+        durable.ingest(batch).unwrap(); // WAL first, then applied
+    }
+    durable.flush().unwrap(); // segments + checkpoint + manifest publish
+    drop(durable); // "crash"
+
+    let (recovered, report) = DurableIngest::open(
+        Arc::new(RealFs),
+        &dir,
+        stream_cfg,
+        StoreConfig::from_env(),
+        None,
+    )
+    .unwrap();
+    let report = report.expect("manifest found → recovered");
+    assert_eq!(recovered.rollup(&q).unwrap(), per_hour); // bit-identical
+    println!("replayed {} WAL entries", report.wal_entries_replayed);
+}
+
+#[test]
 fn readme_observability_snippet_compiles_and_runs() {
     use gisolap_core::{engine_metrics, explain_analyze, IndexedEngine, QueryObs};
     use gisolap_datagen::Fig1Scenario;
