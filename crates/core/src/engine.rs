@@ -1195,6 +1195,12 @@ impl<'a> NaiveEngine<'a> {
     /// Creates the engine over a frozen stream snapshot: queries run
     /// against the assembled MOFT, ingest counters seed the stats, and
     /// [`explain`] reports segment pruning.
+    ///
+    /// The snapshot's origin doesn't matter: a live `StreamIngest`, a
+    /// recovered store (`recover_snapshot`), or a replication
+    /// follower's `snapshot()` all produce the same `StreamSnapshot` —
+    /// replica-backed engines answer region evaluations identically to
+    /// leader-backed ones (property-tested in `tests/repl_faults.rs`).
     pub fn from_snapshot(gis: &'a Gis, snapshot: &'a StreamSnapshot) -> NaiveEngine<'a> {
         let engine = NaiveEngine::new(gis, snapshot.moft());
         let engine = NaiveEngine {

@@ -77,13 +77,53 @@ pub const FAULT_CASES: EnvFlag = EnvFlag {
     doc: "property-test cases for the store fault-injection suite",
 };
 
+/// Retired WAL generations a replication leader's store keeps on disk
+/// after a flush so followers can tail across rotations; `0` deletes
+/// retired WALs immediately, forcing lagging followers onto snapshot
+/// transfer.
+pub const REPL_RETAIN_WALS: EnvFlag = EnvFlag {
+    name: "GISOLAP_REPL_RETAIN_WALS",
+    default: "0 (delete retired WALs at flush)",
+    doc: "retired WAL generations the store keeps for replication catch-up (0 = none)",
+};
+
+/// Follower staleness bound in sequence numbers: reads lag-bounded
+/// beyond it return an explicit `Stale{lag}` instead of old data. Unset
+/// means unbounded (reads never degrade on sequence lag).
+pub const REPL_MAX_LAG_SEQS: EnvFlag = EnvFlag {
+    name: "GISOLAP_REPL_MAX_LAG_SEQS",
+    default: "unbounded",
+    doc: "max follower sequence lag before lag-bounded reads return Stale",
+};
+
+/// Base delay in milliseconds for the follower's bounded exponential
+/// backoff (with deterministic jitter) after a transport failure.
+pub const REPL_BACKOFF_MS: EnvFlag = EnvFlag {
+    name: "GISOLAP_REPL_BACKOFF_MS",
+    default: "10",
+    doc: "base follower retry backoff in ms (exponential, jittered, capped)",
+};
+
+/// Case count for the replication fault-injection property tests
+/// (`tests/tests/repl_faults.rs`); CI's replication job raises it well
+/// above the local default.
+pub const REPL_FAULT_CASES: EnvFlag = EnvFlag {
+    name: "GISOLAP_REPL_FAULT_CASES",
+    default: "16",
+    doc: "property-test cases for the replication fault-injection suite",
+};
+
 /// Every flag the workspace reads, for discovery and doc-coverage tests.
-pub const ALL: [&EnvFlag; 5] = [
+pub const ALL: [&EnvFlag; 9] = [
     &THREADS,
     &SLOW_QUERY_MS,
     &STORE_SYNC,
     &STORE_COMPACT_SEGMENTS,
     &FAULT_CASES,
+    &REPL_RETAIN_WALS,
+    &REPL_MAX_LAG_SEQS,
+    &REPL_BACKOFF_MS,
+    &REPL_FAULT_CASES,
 ];
 
 #[cfg(test)]

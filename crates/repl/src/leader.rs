@@ -1,0 +1,192 @@
+//! The replication leader: a [`DurableIngest`] that answers follower
+//! requests from its retained + live WAL generations.
+
+use crate::wire::{self, Request};
+use gisolap_obs::MetricsRegistry;
+use gisolap_store::{DurableIngest, Result, WalFetch};
+use gisolap_stream::{IngestReport, RollupQuery, RollupRow};
+use gisolap_traj::Record;
+
+/// Counters for leader-side replication work. Field order is the single
+/// source for [`LeaderStats::fields`], metrics names and the
+/// `OBSERVABILITY.md` table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaderStats {
+    /// Requests decoded and answered (any reply type).
+    pub requests: u64,
+    /// WAL entries shipped in frames replies.
+    pub frames_shipped: u64,
+    /// `Compacted` replies (follower cursor predates WAL retention).
+    pub compacted_replies: u64,
+    /// Full snapshot transfers served.
+    pub snapshots_shipped: u64,
+    /// Requests rejected as structurally corrupt.
+    pub bad_requests: u64,
+}
+
+impl LeaderStats {
+    /// Every leader counter as a `(name, value)` pair, in declaration
+    /// order.
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("requests", self.requests),
+            ("frames_shipped", self.frames_shipped),
+            ("compacted_replies", self.compacted_replies),
+            ("snapshots_shipped", self.snapshots_shipped),
+            ("bad_requests", self.bad_requests),
+        ]
+    }
+
+    /// Publishes the leader counters into `registry` as
+    /// `gisolap_repl_leader_<field>_total`.
+    pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
+        for (field, value) in self.fields() {
+            let name = format!("gisolap_repl_leader_{field}_total");
+            registry.set_counter(&name, "Replication leader counter.", &[], value as f64);
+        }
+    }
+}
+
+/// A durable pipeline that doubles as a replication source. Writes go
+/// through the usual [`DurableIngest`] front door (so they are
+/// WAL-logged before they are applied); [`Leader::handle`] serves the
+/// wire protocol to any number of followers.
+///
+/// To let followers tail across WAL rotations, open the underlying
+/// store with
+/// [`StoreConfig::retain_wal_generations`](gisolap_store::StoreConfig::retain_wal_generations)
+/// `> 0` (`GISOLAP_REPL_RETAIN_WALS`); with retention off, any follower
+/// that
+/// falls behind a flush is answered `Compacted` and falls back to a
+/// snapshot transfer.
+pub struct Leader {
+    ingest: DurableIngest,
+    stats: LeaderStats,
+}
+
+impl std::fmt::Debug for Leader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Leader")
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Leader {
+    /// Wraps a durable pipeline as a replication source.
+    pub fn new(ingest: DurableIngest) -> Leader {
+        Leader {
+            ingest,
+            stats: LeaderStats::default(),
+        }
+    }
+
+    /// Answers one follower request. Structural damage in the request is
+    /// an error (counted in [`LeaderStats::bad_requests`]); the
+    /// transport layer decides how to surface it.
+    pub fn handle(&mut self, request: &[u8]) -> Result<Vec<u8>> {
+        let req = match wire::decode_request(request) {
+            Ok(r) => r,
+            Err(e) => {
+                self.stats.bad_requests += 1;
+                return Err(e);
+            }
+        };
+        self.stats.requests += 1;
+        match req {
+            Request::Frames { from_seq, max } => {
+                // A cursor *ahead* of the leader means the follower
+                // replicated from a different (or reset) leader; serve a
+                // snapshot so it re-seeds instead of erroring forever.
+                if from_seq > self.ingest.next_seq() {
+                    self.stats.snapshots_shipped += 1;
+                    return self.encode_snapshot();
+                }
+                match self.ingest.wal_entries_since(from_seq, max)? {
+                    WalFetch::Entries(entries) => {
+                        self.stats.frames_shipped += entries.len() as u64;
+                        Ok(wire::encode_frames_reply(
+                            &entries,
+                            self.ingest.next_seq(),
+                            self.ingest.store().retained_from(),
+                        ))
+                    }
+                    WalFetch::Compacted { retained_from } => {
+                        self.stats.compacted_replies += 1;
+                        Ok(wire::encode_compacted_reply(
+                            retained_from,
+                            self.ingest.next_seq(),
+                        ))
+                    }
+                }
+            }
+            Request::Snapshot => {
+                self.stats.snapshots_shipped += 1;
+                self.encode_snapshot()
+            }
+        }
+    }
+
+    fn encode_snapshot(&self) -> Result<Vec<u8>> {
+        let pipeline = self.ingest.pipeline();
+        let cfg = self.ingest.store().stream_config();
+        Ok(wire::encode_snapshot_reply(
+            pipeline.segments(),
+            &pipeline.tail_state(),
+            cfg.lateness_seconds,
+            cfg.segment_seconds,
+            self.ingest.next_seq(),
+        ))
+    }
+
+    /// Logs and applies a batch ([`DurableIngest::ingest`]).
+    pub fn ingest(&mut self, batch: &[Record]) -> Result<IngestReport> {
+        self.ingest.ingest(batch)
+    }
+
+    /// Logs and applies a close ([`DurableIngest::finish`]).
+    pub fn finish(&mut self) -> Result<u64> {
+        self.ingest.finish()
+    }
+
+    /// Flushes the underlying store ([`DurableIngest::flush`]).
+    pub fn flush(&mut self) -> Result<gisolap_store::FlushReport> {
+        self.ingest.flush()
+    }
+
+    /// Compacts the underlying store ([`DurableIngest::compact`]).
+    pub fn compact(&mut self) -> Result<gisolap_store::CompactionReport> {
+        self.ingest.compact()
+    }
+
+    /// The sequence number the next appended entry will get.
+    pub fn next_seq(&self) -> u64 {
+        self.ingest.next_seq()
+    }
+
+    /// Answers a rollup from the live pipeline.
+    pub fn rollup(&self, q: &RollupQuery) -> Result<Vec<RollupRow>> {
+        self.ingest.rollup(q)
+    }
+
+    /// Leader-side replication counters.
+    pub fn stats(&self) -> LeaderStats {
+        self.stats
+    }
+
+    /// The wrapped durable pipeline (read-only).
+    pub fn durable(&self) -> &DurableIngest {
+        &self.ingest
+    }
+
+    /// The wrapped durable pipeline (mutable, for flush/compact
+    /// orchestration beyond the passthroughs).
+    pub fn durable_mut(&mut self) -> &mut DurableIngest {
+        &mut self.ingest
+    }
+
+    /// Unwraps the leader back into its pipeline.
+    pub fn into_inner(self) -> DurableIngest {
+        self.ingest
+    }
+}

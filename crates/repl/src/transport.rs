@@ -1,0 +1,420 @@
+//! The transport seam between leader and follower, plus the
+//! fault-injecting decorator that drives the replication robustness
+//! tests (the network sibling of the store's
+//! [`FailpointFs`](gisolap_store::FailpointFs)).
+
+use crate::leader::Leader;
+use gisolap_store::codec::{read_frame, FrameRead};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+
+/// Why an exchange failed. Followers treat every variant as retryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The link is down (timeout, partition, dropped message).
+    Unavailable(String),
+    /// The remote end answered with an error.
+    Remote(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Unavailable(msg) => write!(f, "transport unavailable: {msg}"),
+            TransportError::Remote(msg) => write!(f, "remote error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// One request/reply round trip to a leader. Implementations may fail,
+/// delay, duplicate or corrupt arbitrarily — the follower's protocol is
+/// built to survive anything short of a lying checksum.
+pub trait Transport {
+    /// Sends `request` and returns the raw reply bytes.
+    fn exchange(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError>;
+}
+
+impl<T: Transport + ?Sized> Transport for &mut T {
+    fn exchange(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        (**self).exchange(request)
+    }
+}
+
+/// In-process transport: calls the leader directly through a shared
+/// handle. Clone it to fan out any number of followers from one leader.
+#[derive(Clone)]
+pub struct DirectTransport {
+    leader: Arc<Mutex<Leader>>,
+}
+
+impl DirectTransport {
+    /// Wraps a leader for in-process replication.
+    pub fn new(leader: Arc<Mutex<Leader>>) -> DirectTransport {
+        DirectTransport { leader }
+    }
+
+    /// The shared leader handle (for ingesting on the leader while
+    /// followers tail it).
+    pub fn leader(&self) -> Arc<Mutex<Leader>> {
+        self.leader.clone()
+    }
+}
+
+impl Transport for DirectTransport {
+    fn exchange(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        let mut leader = self
+            .leader
+            .lock()
+            .map_err(|_| TransportError::Unavailable("leader lock poisoned".to_string()))?;
+        leader
+            .handle(request)
+            .map_err(|e| TransportError::Remote(e.to_string()))
+    }
+}
+
+/// Fault probabilities for [`FaultTransport`], each in permille
+/// (0–1000) per exchange. All zero (the default) is a transparent
+/// pass-through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Probability the request is dropped (no reply, link error).
+    pub drop_permille: u16,
+    /// Probability a *stale cached* reply is served instead of the fresh
+    /// one (models a delayed duplicate overtaking the response).
+    pub duplicate_permille: u16,
+    /// Probability two adjacent shipped frames inside the reply swap
+    /// places (models reordering inside a stream batch).
+    pub reorder_permille: u16,
+    /// Probability one random bit of the reply flips.
+    pub flip_permille: u16,
+    /// Probability the reply is truncated at a random byte.
+    pub truncate_permille: u16,
+    /// Probability a partition starts, eating this and the next
+    /// [`FaultConfig::partition_len`]-drawn exchanges.
+    pub partition_permille: u16,
+    /// Partition length range in whole exchanges, inclusive.
+    pub partition_len: (u32, u32),
+    /// RNG seed: the whole fault schedule is a deterministic function of
+    /// the seed and the exchange sequence.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            drop_permille: 0,
+            duplicate_permille: 0,
+            reorder_permille: 0,
+            flip_permille: 0,
+            truncate_permille: 0,
+            partition_permille: 0,
+            partition_len: (1, 4),
+            seed: 0,
+        }
+    }
+}
+
+/// Counters of faults actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Exchanges attempted through this transport.
+    pub exchanges: u64,
+    /// Requests dropped.
+    pub drops: u64,
+    /// Stale duplicate replies served.
+    pub duplicates: u64,
+    /// Replies with two frames swapped.
+    pub reorders: u64,
+    /// Replies with a bit flipped.
+    pub flips: u64,
+    /// Replies truncated.
+    pub truncates: u64,
+    /// Partitions started.
+    pub partitions: u64,
+    /// Exchanges eaten by an ongoing partition (including the first).
+    pub partitioned_exchanges: u64,
+}
+
+/// A [`Transport`] decorator that injects network faults with seeded,
+/// reproducible randomness: partitions (multi-exchange outages), drops,
+/// stale duplicates, frame reorders, bit flips and truncations. Faults
+/// compose — a reply can be both reordered and truncated — which is
+/// exactly what the follower's per-frame checksums and sequence checks
+/// must survive.
+pub struct FaultTransport<T> {
+    inner: T,
+    config: FaultConfig,
+    rng: SmallRng,
+    stats: FaultStats,
+    /// Last clean reply, replayed by duplicate faults.
+    last_reply: Option<Vec<u8>>,
+    /// Exchanges the current partition still eats.
+    partition_left: u32,
+}
+
+impl<T: Transport> FaultTransport<T> {
+    /// Decorates `inner` with the given fault schedule.
+    pub fn new(inner: T, config: FaultConfig) -> FaultTransport<T> {
+        FaultTransport {
+            inner,
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+            stats: FaultStats::default(),
+            last_reply: None,
+            partition_left: 0,
+        }
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The decorated transport (read-only).
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    fn hit(&mut self, permille: u16) -> bool {
+        permille > 0 && self.rng.gen_range(0u32..1000) < u32::from(permille)
+    }
+
+    /// Swaps two adjacent frames *after* the head frame, preserving the
+    /// head. A no-op unless the reply parses into at least three frames.
+    fn reorder(&mut self, reply: &mut Vec<u8>) -> bool {
+        let mut bounds: Vec<(usize, usize)> = Vec::new();
+        let mut offset = 0usize;
+        while let FrameRead::Ok { rest, .. } = read_frame(&reply[offset..]) {
+            let consumed = reply.len() - offset - rest.len();
+            bounds.push((offset, offset + consumed));
+            offset += consumed;
+        }
+        // bounds[0] is the head; need two shipped frames to swap.
+        if bounds.len() < 3 {
+            return false;
+        }
+        let i = 1 + self.rng.gen_range(0usize..bounds.len() - 2);
+        let (a, b) = (bounds[i], bounds[i + 1]);
+        let mut swapped = Vec::with_capacity(reply.len());
+        swapped.extend_from_slice(&reply[..a.0]);
+        swapped.extend_from_slice(&reply[b.0..b.1]);
+        swapped.extend_from_slice(&reply[a.0..a.1]);
+        swapped.extend_from_slice(&reply[b.1..]);
+        *reply = swapped;
+        true
+    }
+}
+
+impl<T: Transport> Transport for FaultTransport<T> {
+    fn exchange(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        self.stats.exchanges += 1;
+
+        if self.partition_left > 0 {
+            self.partition_left -= 1;
+            self.stats.partitioned_exchanges += 1;
+            return Err(TransportError::Unavailable("partitioned".to_string()));
+        }
+        if self.hit(self.config.partition_permille) {
+            let (lo, hi) = self.config.partition_len;
+            let len = self.rng.gen_range(lo..=hi.max(lo));
+            self.stats.partitions += 1;
+            self.stats.partitioned_exchanges += 1;
+            // This exchange is the first casualty; `len - 1` more follow.
+            self.partition_left = len.saturating_sub(1);
+            return Err(TransportError::Unavailable("partition started".to_string()));
+        }
+        if self.hit(self.config.drop_permille) {
+            self.stats.drops += 1;
+            return Err(TransportError::Unavailable("dropped".to_string()));
+        }
+
+        let mut reply = self.inner.exchange(request)?;
+
+        if self.hit(self.config.duplicate_permille) {
+            if let Some(stale) = self.last_reply.clone() {
+                // The fresh reply is "delayed forever"; the follower
+                // sees yesterday's answer again.
+                self.stats.duplicates += 1;
+                reply = stale;
+            }
+        } else {
+            self.last_reply = Some(reply.clone());
+        }
+
+        if self.hit(self.config.reorder_permille) && self.reorder(&mut reply) {
+            self.stats.reorders += 1;
+        }
+        if self.hit(self.config.flip_permille) && !reply.is_empty() {
+            let bit = self.rng.gen_range(0usize..reply.len() * 8);
+            reply[bit / 8] ^= 1 << (bit % 8);
+            self.stats.flips += 1;
+        }
+        if self.hit(self.config.truncate_permille) && !reply.is_empty() {
+            let keep = self.rng.gen_range(0usize..reply.len());
+            reply.truncate(keep);
+            self.stats.truncates += 1;
+        }
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes a canned multi-frame reply.
+    struct Canned(Vec<u8>);
+    impl Transport for Canned {
+        fn exchange(&mut self, _request: &[u8]) -> Result<Vec<u8>, TransportError> {
+            Ok(self.0.clone())
+        }
+    }
+
+    fn three_frames() -> Vec<u8> {
+        use gisolap_store::codec::frame;
+        let mut v = frame(b"head");
+        v.extend_from_slice(&frame(b"first"));
+        v.extend_from_slice(&frame(b"second"));
+        v
+    }
+
+    #[test]
+    fn zero_config_is_transparent() {
+        let mut t = FaultTransport::new(Canned(three_frames()), FaultConfig::default());
+        for _ in 0..50 {
+            assert_eq!(t.exchange(b"req").unwrap(), three_frames());
+        }
+        let s = t.stats();
+        assert_eq!(s.exchanges, 50);
+        assert_eq!(
+            (
+                s.drops,
+                s.duplicates,
+                s.reorders,
+                s.flips,
+                s.truncates,
+                s.partitions
+            ),
+            (0, 0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn partitions_span_multiple_exchanges() {
+        let mut t = FaultTransport::new(
+            Canned(three_frames()),
+            FaultConfig {
+                partition_permille: 1000,
+                partition_len: (3, 3),
+                ..FaultConfig::default()
+            },
+        );
+        // Partition starts: 3 consecutive failures, then (since
+        // partition_permille is 1000) the next one starts immediately.
+        for _ in 0..9 {
+            assert!(t.exchange(b"r").is_err());
+        }
+        assert_eq!(t.stats().partitions, 3);
+        assert_eq!(t.stats().partitioned_exchanges, 9);
+    }
+
+    #[test]
+    fn reorder_swaps_shipped_frames_keeps_head() {
+        let mut t = FaultTransport::new(
+            Canned(three_frames()),
+            FaultConfig {
+                reorder_permille: 1000,
+                ..FaultConfig::default()
+            },
+        );
+        let got = t.exchange(b"r").unwrap();
+        assert_eq!(t.stats().reorders, 1);
+        use gisolap_store::codec::{read_frame, FrameRead};
+        let FrameRead::Ok { payload, rest } = read_frame(&got) else {
+            panic!("head frame lost");
+        };
+        assert_eq!(payload, b"head");
+        let FrameRead::Ok { payload, rest } = read_frame(rest) else {
+            panic!("frame lost");
+        };
+        assert_eq!(payload, b"second");
+        let FrameRead::Ok { payload, .. } = read_frame(rest) else {
+            panic!("frame lost");
+        };
+        assert_eq!(payload, b"first");
+    }
+
+    #[test]
+    fn duplicate_serves_previous_reply() {
+        struct Counting(u8);
+        impl Transport for Counting {
+            fn exchange(&mut self, _r: &[u8]) -> Result<Vec<u8>, TransportError> {
+                self.0 += 1;
+                Ok(vec![self.0])
+            }
+        }
+        let mut t = FaultTransport::new(
+            Counting(0),
+            FaultConfig {
+                duplicate_permille: 500,
+                seed: 7,
+                ..FaultConfig::default()
+            },
+        );
+        let mut saw_stale = false;
+        let mut last_fresh = 0u8;
+        for _ in 0..100 {
+            let r = t.exchange(b"r").unwrap()[0];
+            if r <= last_fresh {
+                saw_stale = true;
+            } else {
+                last_fresh = r;
+            }
+        }
+        assert!(saw_stale, "duplicate fault never fired at 50%");
+        assert!(t.stats().duplicates > 0);
+    }
+
+    #[test]
+    fn flips_and_truncates_mutate_reply() {
+        let mut t = FaultTransport::new(
+            Canned(three_frames()),
+            FaultConfig {
+                flip_permille: 1000,
+                ..FaultConfig::default()
+            },
+        );
+        assert_ne!(t.exchange(b"r").unwrap(), three_frames());
+        let mut t = FaultTransport::new(
+            Canned(three_frames()),
+            FaultConfig {
+                truncate_permille: 1000,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(t.exchange(b"r").unwrap().len() < three_frames().len());
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let cfg = FaultConfig {
+            drop_permille: 200,
+            flip_permille: 200,
+            truncate_permille: 200,
+            seed: 42,
+            ..FaultConfig::default()
+        };
+        let run = |cfg: FaultConfig| {
+            let mut t = FaultTransport::new(Canned(three_frames()), cfg);
+            (0..200)
+                .map(|_| t.exchange(b"r").ok())
+                .collect::<Vec<Option<Vec<u8>>>>()
+        };
+        assert_eq!(run(cfg), run(cfg));
+        let other = FaultConfig { seed: 43, ..cfg };
+        assert_ne!(run(cfg), run(other));
+    }
+}

@@ -1,0 +1,399 @@
+//! The replication wire format, built on the store codec's CRC32
+//! frames so every corruption the transport can inject is *detected*,
+//! never silently applied.
+//!
+//! ```text
+//! request          := frame(tag … fields)          // one CRC frame
+//! frames reply     := frame(head) wal_frame*       // head CRC-protected,
+//!                                                  // one CRC per entry
+//! compacted reply  := frame(head)
+//! snapshot reply   := frame(everything)            // one CRC for all
+//! ```
+//!
+//! WAL entries ship as the exact on-disk framing
+//! (`len | payload | crc32`), so a follower validates each entry
+//! independently: a byte flip or truncation inside one entry flags that
+//! entry corrupt without poisoning the ones before it, and the reply
+//! head (sequence metadata, counts) carries its own checksum so lag
+//! accounting can never be driven by mangled bytes.
+
+use gisolap_store::codec::{
+    decode_segment, decode_tail, decode_wal_entry, encode_segment, encode_tail, encode_wal_entry,
+    frame, read_frame, Dec, Enc, FrameRead,
+};
+use gisolap_store::wal::WalEntry;
+use gisolap_store::{Result, StoreError};
+use gisolap_stream::{ReplayOp, Segment, TailState};
+
+/// Attribution label for wire-level decode errors.
+const WIRE: &str = "repl-wire";
+
+fn wire_corrupt(detail: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        file: WIRE.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// What a follower asks its leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// WAL entries from `from_seq` onward, at most `max` of them.
+    Frames {
+        /// The follower's cursor: first sequence number it still needs.
+        from_seq: u64,
+        /// Entry cap per reply (`u32::MAX` for unbounded).
+        max: u32,
+    },
+    /// A full state transfer (segments + tail + high-water mark).
+    Snapshot,
+}
+
+const REQ_FRAMES: u8 = 1;
+const REQ_SNAPSHOT: u8 = 2;
+const REPLY_FRAMES: u8 = 1;
+const REPLY_COMPACTED: u8 = 2;
+const REPLY_SNAPSHOT: u8 = 3;
+
+/// Encodes a request as one CRC frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut e = Enc::new();
+    match req {
+        Request::Frames { from_seq, max } => {
+            e.u8(REQ_FRAMES);
+            e.u64(*from_seq);
+            e.u32(*max);
+        }
+        Request::Snapshot => e.u8(REQ_SNAPSHOT),
+    }
+    frame(&e.into_bytes())
+}
+
+/// Decodes a request (leader side). Any structural damage is
+/// [`StoreError::Corrupt`]; the leader reports it and serves nothing.
+pub fn decode_request(bytes: &[u8]) -> Result<Request> {
+    let payload = match read_frame(bytes) {
+        FrameRead::Ok { payload, rest: [] } => payload,
+        FrameRead::Ok { .. } => return Err(wire_corrupt("trailing bytes after request frame")),
+        FrameRead::End => return Err(wire_corrupt("empty request")),
+        FrameRead::Torn { detail } => return Err(wire_corrupt(format!("torn request: {detail}"))),
+    };
+    let mut d = Dec::new(payload, WIRE);
+    let req = match d.u8()? {
+        REQ_FRAMES => Request::Frames {
+            from_seq: d.u64()?,
+            max: d.u32()?,
+        },
+        REQ_SNAPSHOT => Request::Snapshot,
+        tag => return Err(wire_corrupt(format!("unknown request tag {tag}"))),
+    };
+    d.finish()?;
+    Ok(req)
+}
+
+/// A decoded batch of WAL entries from a frames reply. Individually
+/// corrupt entries are *counted and dropped* (with everything after
+/// them, since a damaged stream cannot be resynchronized mid-reply);
+/// the entries that survive are checksum-valid.
+#[derive(Debug)]
+pub struct FrameBatch {
+    /// Checksum-valid `(seq, op)` entries, in shipped order.
+    pub entries: Vec<(u64, ReplayOp)>,
+    /// Entries flagged corrupt (torn, flipped, or undecodable).
+    pub corrupt_frames: u64,
+    /// The leader's next sequence number at reply time (lag source).
+    pub leader_next_seq: u64,
+    /// Oldest sequence number the leader can still serve from WALs.
+    pub retained_from: u64,
+}
+
+/// A decoded full state transfer.
+#[derive(Debug)]
+pub struct SnapshotTransfer {
+    /// Stream lateness bound the leader runs under.
+    pub lateness_seconds: i64,
+    /// Stream partition width the leader runs under.
+    pub segment_seconds: i64,
+    /// Sealed segments, ascending by partition.
+    pub segments: Vec<Segment>,
+    /// The leader's tail state at transfer time.
+    pub tail: TailState,
+    /// First sequence number *after* the snapshot: the follower's new
+    /// cursor.
+    pub next_seq: u64,
+}
+
+/// What a leader reply decodes to.
+#[derive(Debug)]
+pub enum Reply {
+    /// WAL entries (possibly empty when the follower is caught up).
+    Frames(FrameBatch),
+    /// The cursor predates retention; a snapshot transfer is needed.
+    Compacted {
+        /// Oldest sequence number still servable from WAL files.
+        retained_from: u64,
+        /// The leader's next sequence number.
+        leader_next_seq: u64,
+    },
+    /// A full state transfer.
+    Snapshot(SnapshotTransfer),
+}
+
+/// Encodes a frames reply: CRC-framed head, then one on-disk-format
+/// frame per WAL entry.
+pub fn encode_frames_reply(
+    entries: &[WalEntry],
+    leader_next_seq: u64,
+    retained_from: u64,
+) -> Vec<u8> {
+    let mut head = Enc::new();
+    head.u8(REPLY_FRAMES);
+    head.u32(entries.len() as u32);
+    head.u64(leader_next_seq);
+    head.u64(retained_from);
+    let mut out = frame(&head.into_bytes());
+    for entry in entries {
+        out.extend_from_slice(&frame(&encode_wal_entry(entry.seq, &entry.op)));
+    }
+    out
+}
+
+/// Encodes a compacted reply (cursor older than retention).
+pub fn encode_compacted_reply(retained_from: u64, leader_next_seq: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(REPLY_COMPACTED);
+    e.u64(retained_from);
+    e.u64(leader_next_seq);
+    frame(&e.into_bytes())
+}
+
+/// Encodes a snapshot reply as one frame, so a single checksum covers
+/// the entire transferred state.
+pub fn encode_snapshot_reply(
+    segments: &[Segment],
+    tail: &TailState,
+    lateness_seconds: i64,
+    segment_seconds: i64,
+    next_seq: u64,
+) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(REPLY_SNAPSHOT);
+    e.i64(lateness_seconds);
+    e.i64(segment_seconds);
+    e.u64(next_seq);
+    e.u32(segments.len() as u32);
+    for seg in segments {
+        e.bytes(&encode_segment(seg));
+    }
+    e.bytes(&encode_tail(tail));
+    frame(&e.into_bytes())
+}
+
+/// Decodes a reply (follower side). The head frame must be intact
+/// (damage there is an error — retry); damage *inside* a frames reply
+/// is tolerated per entry and surfaced via
+/// [`FrameBatch::corrupt_frames`].
+pub fn decode_reply(bytes: &[u8]) -> Result<Reply> {
+    let (payload, mut rest) = match read_frame(bytes) {
+        FrameRead::Ok { payload, rest } => (payload, rest),
+        FrameRead::End => return Err(wire_corrupt("empty reply")),
+        FrameRead::Torn { detail } => {
+            return Err(wire_corrupt(format!("torn reply head: {detail}")))
+        }
+    };
+    let mut d = Dec::new(payload, WIRE);
+    match d.u8()? {
+        REPLY_FRAMES => {
+            let count = d.u32()? as usize;
+            let leader_next_seq = d.u64()?;
+            let retained_from = d.u64()?;
+            d.finish()?;
+            let mut entries = Vec::with_capacity(count.min(1024));
+            let mut corrupt_frames = 0u64;
+            for _ in 0..count {
+                match read_frame(rest) {
+                    FrameRead::Ok { payload, rest: r } => {
+                        match decode_wal_entry(payload, WIRE) {
+                            Ok((seq, op)) => entries.push((seq, op)),
+                            Err(_) => {
+                                corrupt_frames += 1;
+                                break;
+                            }
+                        }
+                        rest = r;
+                    }
+                    // Announced entries that never arrived intact: the
+                    // stream is damaged from here on.
+                    FrameRead::End | FrameRead::Torn { .. } => {
+                        corrupt_frames += 1;
+                        break;
+                    }
+                }
+            }
+            Ok(Reply::Frames(FrameBatch {
+                entries,
+                corrupt_frames,
+                leader_next_seq,
+                retained_from,
+            }))
+        }
+        REPLY_COMPACTED => {
+            let retained_from = d.u64()?;
+            let leader_next_seq = d.u64()?;
+            d.finish()?;
+            Ok(Reply::Compacted {
+                retained_from,
+                leader_next_seq,
+            })
+        }
+        REPLY_SNAPSHOT => {
+            let lateness_seconds = d.i64()?;
+            let segment_seconds = d.i64()?;
+            let next_seq = d.u64()?;
+            let n = d.u32()? as usize;
+            let mut segments = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                segments.push(decode_segment(d.bytes()?, WIRE)?);
+            }
+            let tail = decode_tail(d.bytes()?, WIRE)?;
+            d.finish()?;
+            Ok(Reply::Snapshot(SnapshotTransfer {
+                lateness_seconds,
+                segment_seconds,
+                segments,
+                tail,
+                next_seq,
+            }))
+        }
+        tag => Err(wire_corrupt(format!("unknown reply tag {tag}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gisolap_olap::time::TimeId;
+    use gisolap_traj::{ObjectId, Record};
+
+    fn rec(oid: u64, t: i64) -> Record {
+        Record {
+            oid: ObjectId(oid),
+            t: TimeId(t),
+            x: 1.0,
+            y: 2.0,
+        }
+    }
+
+    fn entries() -> Vec<WalEntry> {
+        vec![
+            WalEntry {
+                seq: 4,
+                op: ReplayOp::Batch(vec![rec(1, 10), rec(2, 20)]),
+            },
+            WalEntry {
+                seq: 5,
+                op: ReplayOp::Finish,
+            },
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Frames {
+                from_seq: 42,
+                max: 7,
+            },
+            Request::Snapshot,
+        ] {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+        assert!(decode_request(b"junk").is_err());
+    }
+
+    #[test]
+    fn frames_reply_roundtrip() {
+        let bytes = encode_frames_reply(&entries(), 6, 2);
+        match decode_reply(&bytes).unwrap() {
+            Reply::Frames(b) => {
+                assert_eq!(b.entries.len(), 2);
+                assert_eq!(b.entries[0].0, 4);
+                assert_eq!(b.entries[1].1, ReplayOp::Finish);
+                assert_eq!(b.corrupt_frames, 0);
+                assert_eq!((b.leader_next_seq, b.retained_from), (6, 2));
+            }
+            other => panic!("expected frames, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_entry_is_flagged_not_applied() {
+        let mut bytes = encode_frames_reply(&entries(), 6, 2);
+        // Flip a byte inside the *second* WAL frame's payload: the first
+        // entry must survive, the second must be flagged.
+        let idx = bytes.len() - 3;
+        bytes[idx] ^= 0x40;
+        match decode_reply(&bytes).unwrap() {
+            Reply::Frames(b) => {
+                assert_eq!(b.entries.len(), 1);
+                assert_eq!(b.corrupt_frames, 1);
+            }
+            other => panic!("expected frames, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_head_is_an_error() {
+        let mut bytes = encode_frames_reply(&entries(), 6, 2);
+        bytes[5] ^= 0x01; // inside the head frame payload
+        assert!(decode_reply(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_reply_flags_missing_entries() {
+        let bytes = encode_frames_reply(&entries(), 6, 2);
+        let cut = &bytes[..bytes.len() - 10];
+        match decode_reply(cut).unwrap() {
+            Reply::Frames(b) => {
+                assert_eq!(b.entries.len(), 1);
+                assert_eq!(b.corrupt_frames, 1);
+            }
+            other => panic!("expected frames, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_flip_detection() {
+        let mut ingest =
+            gisolap_stream::StreamIngest::new(gisolap_stream::StreamConfig::new(0, 3600).unwrap())
+                .unwrap();
+        ingest.ingest(&[rec(1, 100), rec(2, 4000), rec(1, 8000)]);
+        let bytes = encode_snapshot_reply(ingest.segments(), &ingest.tail_state(), 0, 3600, 9);
+        match decode_reply(&bytes).unwrap() {
+            Reply::Snapshot(s) => {
+                assert_eq!(s.segments.len(), ingest.segments().len());
+                assert_eq!(s.tail, ingest.tail_state());
+                assert_eq!(s.next_seq, 9);
+                assert_eq!((s.lateness_seconds, s.segment_seconds), (0, 3600));
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+        // A single flipped byte anywhere fails the envelope checksum.
+        for idx in [10, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[idx] ^= 0x80;
+            assert!(decode_reply(&bad).is_err(), "flip at {idx} undetected");
+        }
+    }
+
+    #[test]
+    fn compacted_roundtrip() {
+        match decode_reply(&encode_compacted_reply(17, 99)).unwrap() {
+            Reply::Compacted {
+                retained_from,
+                leader_next_seq,
+            } => assert_eq!((retained_from, leader_next_seq), (17, 99)),
+            other => panic!("expected compacted, got {other:?}"),
+        }
+    }
+}

@@ -149,19 +149,23 @@ impl Enc {
         self.buf
     }
 
-    fn u8(&mut self, v: u8) {
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn u32(&mut self, v: u32) {
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn i64(&mut self, v: i64) {
+    /// Appends an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
@@ -169,9 +173,16 @@ impl Enc {
         self.u64(v.to_bits());
     }
 
-    fn str(&mut self, s: &str) {
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends raw bytes with a `u32` length prefix.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
     }
 }
 
@@ -194,7 +205,8 @@ impl<'a> Dec<'a> {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    /// Consumes exactly `n` bytes, or errors naming the file.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(corrupt(
                 self.file,
@@ -206,19 +218,23 @@ impl<'a> Dec<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn i64(&mut self) -> Result<i64> {
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
@@ -226,14 +242,22 @@ impl<'a> Dec<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn str(&mut self) -> Result<String> {
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| corrupt(self.file, "string is not valid UTF-8"))
     }
 
-    fn finish(self) -> Result<()> {
+    /// Reads a `u32`-length-prefixed byte run (pairs with [`Enc::bytes`]).
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Asserts every byte was consumed (trailing garbage is corruption).
+    pub fn finish(self) -> Result<()> {
         if self.remaining() != 0 {
             return Err(corrupt(
                 self.file,

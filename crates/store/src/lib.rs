@@ -52,7 +52,7 @@ pub mod wal;
 
 pub use store::{
     CompactionReport, DurableIngest, FlushReport, RecoveryReport, SegmentStore, StoreConfig,
-    StoreStats,
+    StoreStats, WalFetch,
 };
 pub use vfs::{AppendFile, FailpointFs, RealFs, ScratchDir, Vfs};
 pub use wal::SyncPolicy;
@@ -78,6 +78,29 @@ pub enum StoreError {
     BadConfig(String),
     /// An underlying streaming-pipeline operation failed.
     Stream(StreamError),
+    /// A WAL scan started from a cursor that does not match the file's
+    /// first entry — the reader's position is stale (e.g. a replication
+    /// cursor older than a rotated log), not the file corrupt. Recover
+    /// by restarting from a snapshot, not by discarding the file.
+    StaleCursor {
+        /// The WAL file scanned.
+        file: String,
+        /// The sequence number the scan expected first.
+        expected: u64,
+        /// The sequence number the file actually starts with.
+        found: u64,
+    },
+    /// A WAL file jumped sequence numbers *between* entries: frames are
+    /// individually checksum-valid but not contiguous, which only a
+    /// corrupted or truncated-and-rewritten log can produce.
+    SequenceGap {
+        /// The WAL file scanned.
+        file: String,
+        /// The sequence number expected next.
+        expected: u64,
+        /// The sequence number found instead.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -89,6 +112,22 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::BadConfig(msg) => write!(f, "bad store config: {msg}"),
             StoreError::Stream(e) => write!(f, "{e}"),
+            StoreError::StaleCursor {
+                file,
+                expected,
+                found,
+            } => write!(
+                f,
+                "stale WAL cursor for {file:?}: expected to start at seq {expected}, file starts at {found}"
+            ),
+            StoreError::SequenceGap {
+                file,
+                expected,
+                found,
+            } => write!(
+                f,
+                "WAL sequence gap in {file:?}: expected {expected}, found {found}"
+            ),
         }
     }
 }

@@ -11,7 +11,7 @@ use std::time::Instant;
 use gisolap_obs::{MetricsRegistry, Span, Tracer};
 use gisolap_stream::{
     GeoResolver, IngestReport, IngestStats, ReplayOp, ReplayReport, RollupQuery, RollupRow,
-    Segment, StreamConfig, StreamIngest, StreamSnapshot,
+    Segment, StreamConfig, StreamIngest, StreamSnapshot, TailState,
 };
 use gisolap_traj::Record;
 
@@ -50,6 +50,13 @@ pub struct StoreConfig {
     /// are compacted into one; `0` disables auto-compaction
     /// (`GISOLAP_STORE_COMPACT_SEGMENTS`).
     pub compact_min_segments: usize,
+    /// Retired WAL generations a flush keeps on disk instead of deleting
+    /// (`GISOLAP_REPL_RETAIN_WALS`). A replication leader serves
+    /// [`SegmentStore::wal_entries_since`] from these, so followers can
+    /// tail across rotations; `0` (the default) deletes retired WALs at
+    /// the flush commit point, forcing lagging followers onto the
+    /// snapshot-transfer path.
+    pub retain_wal_generations: usize,
     /// Collect `wal-append` / `segment-flush` / `recover-replay` spans.
     pub traced: bool,
 }
@@ -59,6 +66,7 @@ impl Default for StoreConfig {
         StoreConfig {
             sync: SyncPolicy::Always,
             compact_min_segments: 0,
+            retain_wal_generations: 0,
             traced: false,
         }
     }
@@ -77,9 +85,13 @@ impl StoreConfig {
         let compact_min_segments = gisolap_obs::config::STORE_COMPACT_SEGMENTS
             .parse_u64()
             .unwrap_or(0) as usize;
+        let retain_wal_generations = gisolap_obs::config::REPL_RETAIN_WALS
+            .parse_u64()
+            .unwrap_or(0) as usize;
         StoreConfig {
             sync,
             compact_min_segments,
+            retain_wal_generations,
             traced: false,
         }
     }
@@ -198,6 +210,29 @@ pub struct RecoveryReport {
     pub replay: ReplayReport,
 }
 
+/// A retired WAL generation kept on disk for replication catch-up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RetainedWal {
+    /// Sequence number of this generation's first entry.
+    start_seq: u64,
+    /// File name, relative to the store directory.
+    file: String,
+}
+
+/// What [`SegmentStore::wal_entries_since`] produced for a cursor.
+#[derive(Debug)]
+pub enum WalFetch {
+    /// Every entry with `seq >= cursor`, contiguous and ascending
+    /// (empty when the cursor equals the next sequence number).
+    Entries(Vec<wal::WalEntry>),
+    /// The cursor predates every retained WAL generation: the entries
+    /// are gone, the reader must fall back to a snapshot transfer.
+    Compacted {
+        /// The oldest sequence number still servable from WAL files.
+        retained_from: u64,
+    },
+}
+
 fn write_file(
     vfs: &dyn Vfs,
     path: &Path,
@@ -232,6 +267,10 @@ pub struct SegmentStore {
     /// First sequence number the current WAL generation may hold (what
     /// the on-disk manifest records).
     wal_start_seq: u64,
+    /// Retired-but-retained WAL generations (oldest first), kept for
+    /// replication catch-up when `retain_wal_generations > 0`. Each
+    /// entry's sequence range is `[start_seq, next entry's start_seq)`.
+    retained_wals: Vec<RetainedWal>,
     /// Highest partition index already persisted in a segment file.
     flushed_hi: i64,
     checkpoint: Option<String>,
@@ -296,6 +335,7 @@ impl SegmentStore {
             wal,
             segments: Vec::new(),
             wal_start_seq: 0,
+            retained_wals: Vec::new(),
             flushed_hi: i64::MIN,
             checkpoint: None,
             stats: StoreStats::default(),
@@ -443,6 +483,10 @@ impl SegmentStore {
             wal,
             segments: manifest.segments,
             wal_start_seq: manifest.wal_start_seq,
+            // Pre-crash retained generations are orphan files the
+            // manifest never names; recovery starts the retention window
+            // fresh, so followers older than this WAL must snapshot.
+            retained_wals: Vec::new(),
             flushed_hi,
             checkpoint: manifest.checkpoint,
             stats,
@@ -508,6 +552,68 @@ impl SegmentStore {
             });
         }
         Ok(seq)
+    }
+
+    /// The sequence number the next WAL append will get — the
+    /// replication high-water mark.
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// The oldest sequence number still servable from WAL files (the
+    /// first retained generation's start, or the live WAL's start when
+    /// nothing is retained). Cursors below this must snapshot.
+    pub fn retained_from(&self) -> u64 {
+        self.retained_wals
+            .first()
+            .map(|r| r.start_seq)
+            .unwrap_or(self.wal_start_seq)
+    }
+
+    /// Reads every WAL entry with `seq >= from_seq`, walking retained
+    /// generations (oldest first) and then the live WAL — the leader
+    /// half of WAL-shipping replication. Returns
+    /// [`WalFetch::Compacted`] when the cursor predates the retention
+    /// window, and caps the result at `max` entries (`u32::MAX` for
+    /// unbounded).
+    pub fn wal_entries_since(&self, from_seq: u64, max: u32) -> Result<WalFetch> {
+        let next_seq = self.wal.next_seq();
+        if from_seq > next_seq {
+            return Err(StoreError::BadConfig(format!(
+                "replication cursor {from_seq} is ahead of the leader's next seq {next_seq}"
+            )));
+        }
+        let retained_from = self.retained_from();
+        if from_seq < retained_from {
+            return Ok(WalFetch::Compacted { retained_from });
+        }
+        // (start_seq, file) of every generation that can hold entries,
+        // oldest first; each generation ends where the next one starts.
+        let mut files: Vec<(u64, String)> = self
+            .retained_wals
+            .iter()
+            .map(|r| (r.start_seq, r.file.clone()))
+            .collect();
+        files.push((self.wal_start_seq, wal_name(self.generation)));
+
+        let mut entries = Vec::new();
+        for (i, (start, file)) in files.iter().enumerate() {
+            let end = files.get(i + 1).map(|(s, _)| *s).unwrap_or(next_seq);
+            if end <= from_seq {
+                // This generation lies entirely below the cursor.
+                continue;
+            }
+            let scan = wal::scan(self.vfs.as_ref(), &self.dir.join(file), *start)?;
+            for e in scan.entries {
+                if e.seq >= from_seq {
+                    entries.push(e);
+                    if entries.len() as u64 >= max as u64 {
+                        return Ok(WalFetch::Entries(entries));
+                    }
+                }
+            }
+        }
+        Ok(WalFetch::Entries(entries))
     }
 
     /// Makes `ingest`'s current state durable and rotates the WAL:
@@ -591,9 +697,24 @@ impl SegmentStore {
             true,
         )?;
 
-        // Commit point passed: retire the old generation.
+        // Commit point passed: retire the old generation. With a
+        // retention window the retired WAL file stays on disk (unnamed
+        // by the manifest, so invisible to recovery) and keeps serving
+        // replication catch-up reads until it ages out.
         let old_wal = std::mem::replace(&mut self.wal, new_wal);
-        old_wal.delete()?;
+        if self.config.retain_wal_generations > 0 {
+            drop(old_wal); // close the handle; the file stays
+            self.retained_wals.push(RetainedWal {
+                start_seq: self.wal_start_seq,
+                file: wal_name(self.generation),
+            });
+            while self.retained_wals.len() > self.config.retain_wal_generations {
+                let aged = self.retained_wals.remove(0);
+                self.vfs.remove_file(&self.dir.join(aged.file))?;
+            }
+        } else {
+            old_wal.delete()?;
+        }
         if let Some(old_ck) = self.checkpoint.take() {
             self.vfs.remove_file(&self.dir.join(old_ck))?;
         }
@@ -690,6 +811,110 @@ impl SegmentStore {
         self.stats.segments_compacted += rep.files_before;
         Ok(rep)
     }
+
+    /// Seeds a durable store in `dir` from a transferred snapshot —
+    /// the replication fallback when a follower's cursor predates the
+    /// leader's retention window. Writes the segments, a checkpoint of
+    /// `tail`, a fresh WAL starting at `next_seq`, then publishes the
+    /// manifest atomically (the commit point, exactly like a flush).
+    /// Installing over an existing store bumps its generation so file
+    /// names never collide; superseded files become unreferenced
+    /// orphans, invisible to recovery. Returns the store plus the
+    /// restored pipeline, positioned to apply the leader's entry
+    /// `next_seq` next.
+    #[allow(clippy::too_many_arguments)]
+    pub fn install_snapshot(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        stream_config: StreamConfig,
+        config: StoreConfig,
+        resolver: Option<GeoResolver>,
+        segments: Vec<Segment>,
+        tail: TailState,
+        next_seq: u64,
+    ) -> Result<(SegmentStore, StreamIngest)> {
+        stream_config.validate().map_err(StoreError::Stream)?;
+        vfs.create_dir_all(dir)?;
+        let next_gen = if vfs.exists(&dir.join(MANIFEST_NAME)) {
+            let bytes = read_file(vfs.as_ref(), dir, MANIFEST_NAME, FileKind::Manifest)?;
+            codec::decode_manifest(&bytes, MANIFEST_NAME)?.gen + 1
+        } else {
+            0
+        };
+
+        let mut entries = Vec::with_capacity(segments.len());
+        for seg in &segments {
+            let lo = seg.meta().partition;
+            let hi = if seg.records().is_empty() {
+                lo
+            } else {
+                lo.max(seg.meta().last.0.div_euclid(stream_config.segment_seconds))
+            };
+            let name = seg_name(lo, hi);
+            write_file(
+                vfs.as_ref(),
+                &dir.join(&name),
+                FileKind::Segment,
+                &codec::encode_segment(seg),
+                true,
+            )?;
+            entries.push(SegmentEntry { lo, hi, file: name });
+        }
+
+        let ck = ck_name(next_gen);
+        write_file(
+            vfs.as_ref(),
+            &dir.join(&ck),
+            FileKind::Checkpoint,
+            &codec::encode_tail(&tail),
+            true,
+        )?;
+        let wal = Wal::create(
+            vfs.clone(),
+            &dir.join(wal_name(next_gen)),
+            next_seq,
+            config.sync,
+        )?;
+        let manifest = Manifest {
+            gen: next_gen,
+            lateness_seconds: stream_config.lateness_seconds,
+            segment_seconds: stream_config.segment_seconds,
+            segments: entries.clone(),
+            checkpoint: Some(ck.clone()),
+            wal: wal_name(next_gen),
+            wal_start_seq: next_seq,
+        };
+        write_file(
+            vfs.as_ref(),
+            &dir.join(MANIFEST_NAME),
+            FileKind::Manifest,
+            &codec::encode_manifest(&manifest),
+            true,
+        )?;
+
+        let ingest = StreamIngest::restore(stream_config, resolver, segments, tail)
+            .map_err(StoreError::Stream)?;
+        let flushed_hi = entries.iter().map(|e| e.hi).max().unwrap_or(i64::MIN);
+        let tracer = Tracer::default();
+        tracer.set_enabled(config.traced);
+        let store = SegmentStore {
+            vfs,
+            dir: dir.to_path_buf(),
+            stream_config,
+            config,
+            generation: next_gen,
+            wal,
+            segments: entries,
+            wal_start_seq: next_seq,
+            retained_wals: Vec::new(),
+            flushed_hi,
+            checkpoint: Some(ck),
+            stats: StoreStats::default(),
+            tracer,
+            spans: Vec::new(),
+        };
+        Ok((store, ingest))
+    }
 }
 
 /// A [`StreamIngest`] whose every mutating call is write-ahead logged:
@@ -779,10 +1004,49 @@ impl DurableIngest {
         Ok(self.ingest.finish())
     }
 
+    /// Seeds a durable pipeline in `dir` from a transferred snapshot
+    /// ([`SegmentStore::install_snapshot`]): the replication fallback
+    /// path for followers too far behind to tail the WAL.
+    #[allow(clippy::too_many_arguments)]
+    pub fn install_snapshot(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        stream_config: StreamConfig,
+        store_config: StoreConfig,
+        resolver: Option<GeoResolver>,
+        segments: Vec<Segment>,
+        tail: TailState,
+        next_seq: u64,
+    ) -> Result<DurableIngest> {
+        let (store, ingest) = SegmentStore::install_snapshot(
+            vfs,
+            dir,
+            stream_config,
+            store_config,
+            resolver,
+            segments,
+            tail,
+            next_seq,
+        )?;
+        Ok(DurableIngest { ingest, store })
+    }
+
     /// Persists the current state and rotates the WAL
     /// ([`SegmentStore::flush`]).
     pub fn flush(&mut self) -> Result<FlushReport> {
         self.store.flush(&self.ingest)
+    }
+
+    /// The sequence number the next WAL append will get
+    /// ([`SegmentStore::next_seq`]).
+    pub fn next_seq(&self) -> u64 {
+        self.store.next_seq()
+    }
+
+    /// WAL entries with `seq >= from_seq`
+    /// ([`SegmentStore::wal_entries_since`]).
+    pub fn wal_entries_since(&self, from_seq: u64, max: u32) -> Result<WalFetch> {
+        self.store.wal_entries_since(from_seq, max)
     }
 
     /// Compacts the on-disk segment files ([`SegmentStore::compact`]).

@@ -14,7 +14,7 @@ use crate::codec::{
     HEADER_LEN,
 };
 use crate::vfs::{AppendFile, Vfs};
-use crate::{corrupt, Result};
+use crate::Result;
 
 /// When WAL appends are fsynced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +65,15 @@ pub struct WalScan {
 }
 
 /// Scans a WAL file, tolerating a torn tail. A missing file reads as an
-/// empty log; a bad header or non-monotonic sequence is hard corruption.
+/// empty log; a bad header is hard corruption. Sequence checking
+/// distinguishes two failure shapes:
+///
+/// * the **first** entry not matching `start_seq` is
+///   [`StoreError::StaleCursor`] — the reader's position is wrong (e.g.
+///   a replication cursor that predates this rotated generation), and
+///   the right response is to re-seek or fall back to a snapshot;
+/// * a jump **between** entries is [`StoreError::SequenceGap`] — frames
+///   are checksum-valid but non-contiguous, which is real corruption.
 pub fn scan(vfs: &dyn Vfs, path: &Path, start_seq: u64) -> Result<WalScan> {
     let name = path
         .file_name()
@@ -119,10 +127,19 @@ pub fn scan(vfs: &dyn Vfs, path: &Path, start_seq: u64) -> Result<WalScan> {
                     }
                 };
                 if seq != next_seq {
-                    return Err(corrupt(
-                        &name,
-                        format!("WAL sequence jump: expected {next_seq}, found {seq}"),
-                    ));
+                    return Err(if entries.is_empty() {
+                        crate::StoreError::StaleCursor {
+                            file: name,
+                            expected: next_seq,
+                            found: seq,
+                        }
+                    } else {
+                        crate::StoreError::SequenceGap {
+                            file: name,
+                            expected: next_seq,
+                            found: seq,
+                        }
+                    });
                 }
                 next_seq += 1;
                 entries.push(WalEntry { seq, op });
@@ -353,14 +370,43 @@ mod tests {
     }
 
     #[test]
-    fn sequence_jump_is_corruption() {
+    fn start_seq_mismatch_is_stale_cursor_not_corruption() {
         let dir = ScratchDir::new("wal-seq");
         let path = dir.path().join("wal-0.log");
         let mut wal = Wal::create(vfs(), &path, 5, SyncPolicy::Always).unwrap();
         wal.append(&ReplayOp::Finish).unwrap();
         drop(wal);
-        // Scanning with the wrong start seq reports corruption.
-        assert!(scan(&RealFs, &path, 0).is_err());
+        // Scanning a rotated log from an older cursor is a recoverable
+        // position error (snapshot fallback), not file corruption.
+        match scan(&RealFs, &path, 0) {
+            Err(crate::StoreError::StaleCursor {
+                expected, found, ..
+            }) => {
+                assert_eq!((expected, found), (0, 5));
+            }
+            other => panic!("expected StaleCursor, got {other:?}"),
+        }
+        // The matching cursor scans cleanly.
+        assert_eq!(scan(&RealFs, &path, 5).unwrap().entries.len(), 1);
+    }
+
+    #[test]
+    fn interior_jump_is_sequence_gap() {
+        let dir = ScratchDir::new("wal-gap");
+        let path = dir.path().join("wal-0.log");
+        // Hand-build a log whose frames skip a sequence number: 0 then 2.
+        let mut bytes = header(FileKind::Wal);
+        bytes.extend_from_slice(&frame(&codec::encode_wal_entry(0, &ReplayOp::Finish)));
+        bytes.extend_from_slice(&frame(&codec::encode_wal_entry(2, &ReplayOp::Finish)));
+        RealFs.write_atomic(&path, &bytes, false).unwrap();
+        match scan(&RealFs, &path, 0) {
+            Err(crate::StoreError::SequenceGap {
+                expected, found, ..
+            }) => {
+                assert_eq!((expected, found), (1, 2));
+            }
+            other => panic!("expected SequenceGap, got {other:?}"),
+        }
     }
 
     #[test]

@@ -5,20 +5,28 @@
 //! overlay. Two meta-commands exercise the durable store end-to-end:
 //! `\save <dir>` persists the current MOFT through `DurableIngest`
 //! (WAL + flush + manifest publish) and `\load <dir>` recovers it and
-//! rebuilds the engine from the recovered snapshot. Reads from stdin;
-//! with no terminal attached it runs a demo script instead.
+//! rebuilds the engine from the recovered snapshot. A third,
+//! `\follow <dir>`, opens the saved store as a replication [`Leader`]
+//! and catches an in-memory [`Follower`] up to it through a
+//! deliberately lossy [`FaultTransport`] — a one-command demo that the
+//! replica converges bit-identically despite drops, duplicates and bit
+//! flips. Reads from stdin; with no terminal attached it runs a demo
+//! script instead.
 //!
 //! Run with: `cargo run --bin pietql_repl`
 
 use std::io::{BufRead, IsTerminal, Write};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use gisolap_core::engine::{OverlayEngine, QueryEngine};
 use gisolap_core::Gis;
 use gisolap_datagen::Fig1Scenario;
 use gisolap_pietql::exec::run;
 use gisolap_pietql::{parse, QueryOutput};
+use gisolap_repl::{
+    DirectTransport, FaultConfig, FaultTransport, Follower, FollowerConfig, Leader,
+};
 use gisolap_store::{DurableIngest, RealFs, ScratchDir, StoreConfig};
 use gisolap_stream::StreamConfig;
 use gisolap_traj::Moft;
@@ -112,76 +120,151 @@ fn indent(s: &str, by: usize) -> String {
 /// `\save <dir>`: streams the current MOFT through a fresh
 /// [`DurableIngest`] — every batch WAL-logged, then sealed, flushed and
 /// published in an atomic manifest. Fails (cleanly) if `dir` already
-/// holds a store.
-fn save(moft: &Moft, dir: &Path) {
+/// holds a store. Returns the one-line outcome; errors always name the
+/// path and the cause so the user can act on them.
+fn save(moft: &Moft, dir: &Path) -> Result<String, String> {
     let config = StreamConfig::new(0, 3600).expect("valid stream config");
-    let created =
-        DurableIngest::create(Arc::new(RealFs), dir, config, StoreConfig::from_env(), None);
-    let mut durable = match created {
-        Ok(d) => d,
-        Err(e) => {
-            println!("  save failed: {e}");
-            return;
-        }
-    };
-    let result = moft
-        .records()
+    let mut durable =
+        DurableIngest::create(Arc::new(RealFs), dir, config, StoreConfig::from_env(), None)
+            .map_err(|e| format!("save failed for {}: {e}", dir.display()))?;
+    moft.records()
         .chunks(64)
         .try_for_each(|batch| durable.ingest(batch).map(|_| ()))
         .and_then(|()| durable.finish())
-        .and_then(|_| durable.flush());
-    match result {
-        Ok(report) => println!(
-            "  saved {} records to {} ({} segment files, {} bytes)",
-            moft.records().len(),
-            dir.display(),
-            report.segments_written,
-            report.bytes_written,
-        ),
-        Err(e) => println!("  save failed: {e}"),
-    }
+        .and_then(|_| durable.flush())
+        .map(|report| {
+            format!(
+                "saved {} records to {} ({} segment files, {} bytes)",
+                moft.records().len(),
+                dir.display(),
+                report.segments_written,
+                report.bytes_written,
+            )
+        })
+        .map_err(|e| format!("save failed for {}: {e}", dir.display()))
 }
 
 /// `\load <dir>`: recovers the durable state (manifest + segments +
 /// checkpoint + WAL replay) and returns the recovered MOFT for the
-/// engine rebuild.
-fn load(dir: &Path) -> Option<Moft> {
+/// engine rebuild, plus the one-line outcome.
+fn load(dir: &Path) -> Result<(Moft, String), String> {
     match gisolap_core::recover_snapshot(dir, None) {
         Ok((snapshot, report)) => {
-            println!(
-                "  loaded {} records from {} ({} segments, {} WAL entries replayed)",
+            let line = format!(
+                "loaded {} records from {} ({} segments, {} WAL entries replayed)",
                 snapshot.moft().records().len(),
                 dir.display(),
                 report.segments_loaded,
                 report.wal_entries_replayed,
             );
-            Some(snapshot.moft().clone())
+            Ok((snapshot.moft().clone(), line))
         }
-        Err(e) => {
-            println!("  load failed: {e}");
-            None
-        }
+        Err(e) => Err(format!("load failed for {}: {e}", dir.display())),
     }
 }
 
+/// `\follow <dir>`: recovers the store at `dir` as a replication
+/// [`Leader`] and catches a fresh in-memory [`Follower`] up to it
+/// through a [`FaultTransport`] that drops, duplicates and corrupts
+/// replies. The follower's retry/backoff loop rides out the faults and
+/// converges on the leader's exact state; its snapshot becomes the
+/// session MOFT. Returns the replica MOFT plus the report lines.
+fn follow(dir: &Path) -> Result<(Moft, Vec<String>), String> {
+    let (durable, _report) =
+        DurableIngest::recover(Arc::new(RealFs), dir, StoreConfig::from_env(), None)
+            .map_err(|e| format!("follow failed for {}: {e}", dir.display()))?;
+    let leader = Arc::new(Mutex::new(Leader::new(durable)));
+    let faults = FaultConfig {
+        drop_permille: 150,
+        duplicate_permille: 100,
+        flip_permille: 60,
+        truncate_permille: 60,
+        seed: 7,
+        ..FaultConfig::default()
+    };
+    let transport = FaultTransport::new(DirectTransport::new(leader.clone()), faults);
+    let config = FollowerConfig {
+        backoff_base_ms: 1,
+        backoff_max_ms: 10,
+        ..FollowerConfig::default()
+    };
+    let mut follower = Follower::memory(transport, None, config);
+    follower
+        .sync(1000)
+        .map_err(|e| format!("follow failed for {}: {e}", dir.display()))?;
+    let snapshot = follower
+        .snapshot()
+        .map_err(|e| format!("follow failed for {}: {e}", dir.display()))?;
+    let moft = snapshot.moft().clone();
+    let s = follower.stats();
+    let f = follower.transport().stats();
+    let lines = vec![
+        format!(
+            "followed {} to seq {} ({} records in replica)",
+            dir.display(),
+            follower.cursor(),
+            moft.records().len(),
+        ),
+        format!(
+            "faults injected: {} drops, {} duplicates, {} flips, {} truncations \
+             over {} exchanges",
+            f.drops, f.duplicates, f.flips, f.truncates, f.exchanges,
+        ),
+        format!(
+            "follower rode them out: {} polls, {} entries applied, {} retries, \
+             {} corrupt replies flagged, {} snapshots installed",
+            s.polls, s.entries_applied, s.retries, s.corrupt_replies, s.snapshots_installed,
+        ),
+    ];
+    Ok((moft, lines))
+}
+
 /// Dispatches one REPL line: a `\`-meta-command or a Piet-QL query.
-/// Returns the new MOFT when a `\load` replaced it.
+/// Returns the new MOFT when a `\load` or `\follow` replaced it.
 fn handle_line(gis: &Gis, moft: &Moft, line: &str) -> Option<Moft> {
     if let Some(rest) = line.strip_prefix("\\save") {
         let dir = rest.trim();
         if dir.is_empty() {
             println!("  usage: \\save <dir>");
         } else {
-            save(moft, Path::new(dir));
+            match save(moft, Path::new(dir)) {
+                Ok(line) | Err(line) => println!("  {line}"),
+            }
         }
         None
     } else if let Some(rest) = line.strip_prefix("\\load") {
         let dir = rest.trim();
         if dir.is_empty() {
             println!("  usage: \\load <dir>");
-            None
-        } else {
-            load(Path::new(dir))
+            return None;
+        }
+        match load(Path::new(dir)) {
+            Ok((loaded, line)) => {
+                println!("  {line}");
+                Some(loaded)
+            }
+            Err(line) => {
+                println!("  {line}");
+                None
+            }
+        }
+    } else if let Some(rest) = line.strip_prefix("\\follow") {
+        let dir = rest.trim();
+        if dir.is_empty() {
+            println!("  usage: \\follow <dir>");
+            return None;
+        }
+        match follow(Path::new(dir)) {
+            Ok((replica, lines)) => {
+                for line in lines {
+                    println!("  {line}");
+                }
+                Some(replica)
+            }
+            Err(line) => {
+                println!("  {line}");
+                None
+            }
         }
     } else {
         // The Figure 1 data is tiny; rebuilding the overlay per query
@@ -219,6 +302,7 @@ fn main() {
         for cmd in [
             format!("\\save {}", dir.display()),
             format!("\\load {}", dir.display()),
+            format!("\\follow {}", dir.display()),
         ] {
             println!("piet> {cmd}");
             if let Some(loaded) = handle_line(&s.gis, &moft, &cmd) {
@@ -233,7 +317,7 @@ fn main() {
     }
 
     println!(
-        "Enter Piet-QL queries, \\save <dir> or \\load <dir> \
+        "Enter Piet-QL queries, \\save <dir>, \\load <dir> or \\follow <dir> \
          (empty line or Ctrl-D to quit).\n"
     );
     let mut lines = stdin.lock().lines();
@@ -248,5 +332,77 @@ fn main() {
             }
             _ => break,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `\save` into a directory that already holds a store must fail
+    /// with a one-line message naming both the path and the cause.
+    #[test]
+    fn save_error_names_path_and_cause() {
+        let s = Fig1Scenario::build();
+        let scratch = ScratchDir::new("pietql-save-smoke");
+        let dir = scratch.path().join("store");
+        save(&s.moft, &dir).expect("first save succeeds");
+        let err = save(&s.moft, &dir).expect_err("second save must fail");
+        assert!(!err.contains('\n'), "one line, got: {err:?}");
+        assert!(
+            err.contains(&dir.display().to_string()),
+            "must name the path: {err}"
+        );
+        assert!(err.starts_with("save failed for "), "actionable: {err}");
+        assert!(
+            err.rsplit(": ").next().map(str::len).unwrap_or(0) > 0,
+            "must carry a cause: {err}"
+        );
+    }
+
+    /// `\load` from a directory with no store must fail with a one-line
+    /// message naming both the path and the cause.
+    #[test]
+    fn load_error_names_path_and_cause() {
+        let scratch = ScratchDir::new("pietql-load-smoke");
+        let dir = scratch.path().join("nothing-here");
+        let err = load(&dir).expect_err("load of a missing store must fail");
+        assert!(!err.contains('\n'), "one line, got: {err:?}");
+        assert!(
+            err.contains(&dir.display().to_string()),
+            "must name the path: {err}"
+        );
+        assert!(err.starts_with("load failed for "), "actionable: {err}");
+    }
+
+    /// The save → load round trip recovers the exact record set.
+    #[test]
+    fn save_load_round_trip() {
+        let s = Fig1Scenario::build();
+        let scratch = ScratchDir::new("pietql-roundtrip-smoke");
+        let dir = scratch.path().join("store");
+        save(&s.moft, &dir).expect("save succeeds");
+        let (loaded, line) = load(&dir).expect("load succeeds");
+        assert_eq!(loaded.records().len(), s.moft.records().len());
+        assert!(line.starts_with("loaded "));
+    }
+
+    /// `\follow` on a missing store reports path + cause; on a saved
+    /// store it converges a replica with the same record count despite
+    /// the fault-injecting transport.
+    #[test]
+    fn follow_reports_errors_and_converges() {
+        let scratch = ScratchDir::new("pietql-follow-smoke");
+        let missing = scratch.path().join("missing");
+        let err = follow(&missing).expect_err("follow of a missing store must fail");
+        assert!(err.contains(&missing.display().to_string()), "{err}");
+        assert!(err.starts_with("follow failed for "), "{err}");
+
+        let s = Fig1Scenario::build();
+        let dir = scratch.path().join("store");
+        save(&s.moft, &dir).expect("save succeeds");
+        let (replica, lines) = follow(&dir).expect("follow converges");
+        assert_eq!(replica.records().len(), s.moft.records().len());
+        assert!(lines[0].starts_with("followed "), "{lines:?}");
     }
 }

@@ -198,3 +198,45 @@ fn observability_doc_covers_every_store_stat_field() {
         "OBSERVABILITY.md does not document store counters: {missing:?}"
     );
 }
+
+#[test]
+fn observability_doc_covers_every_repl_stat_field() {
+    let doc = include_str!("../../OBSERVABILITY.md");
+    let follower = gisolap_repl::ReplStats::default();
+    let leader = gisolap_repl::LeaderStats::default();
+    let missing: Vec<&str> = follower
+        .fields()
+        .iter()
+        .chain(leader.fields().iter())
+        .map(|(name, _)| *name)
+        .filter(|name| !doc.contains(name))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "OBSERVABILITY.md does not document replication counters: {missing:?}"
+    );
+    for name in [
+        "gisolap_repl_<field>_total",
+        "gisolap_repl_leader_<field>_total",
+        "gisolap_repl_lag_seqs",
+    ] {
+        assert!(doc.contains(name), "OBSERVABILITY.md missing `{name}`");
+    }
+}
+
+#[test]
+fn observability_doc_covers_every_repl_span_name() {
+    let doc = include_str!("../../OBSERVABILITY.md");
+    for span in [
+        "repl-poll",
+        "repl-fetch",
+        "repl-apply",
+        "repl-snapshot-install",
+    ] {
+        assert!(doc.contains(span), "OBSERVABILITY.md missing span `{span}`");
+    }
+    // The span-only counters replication rounds report.
+    for extra in ["reply_bytes", "entries_applied", "segments"] {
+        assert!(doc.contains(extra), "OBSERVABILITY.md missing `{extra}`");
+    }
+}

@@ -99,3 +99,74 @@ fn readme_observability_snippet_compiles_and_runs() {
     let prom = engine_metrics(&engine);
     assert!(prom.contains("gisolap_queries_total{engine=\"indexed\"} 1"));
 }
+
+#[test]
+fn readme_replication_snippet_compiles_and_runs() {
+    use gisolap_datagen::{replay_fig1, ReplayConfig};
+    use gisolap_olap::{agg::AggFn, time::TimeLevel};
+    use gisolap_repl::{
+        DirectTransport, FaultConfig, FaultTransport, Follower, FollowerConfig, LagBounded, Leader,
+    };
+    use gisolap_store::{DurableIngest, RealFs, ScratchDir, StoreConfig};
+    use gisolap_stream::{Measure, RollupQuery, StreamConfig, StreamIngest};
+    use std::sync::{Arc, Mutex};
+
+    // Setup from the persistence snippet: a loaded `durable` plus the
+    // expected rollup.
+    let (_s, batches) = replay_fig1(&ReplayConfig {
+        shuffle_seconds: 120,
+        batch_size: 8,
+        seed: 1,
+    });
+    let q = RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Count);
+    let mut reference = StreamIngest::new(StreamConfig::new(120, 3600).unwrap()).unwrap();
+    for batch in &batches {
+        reference.ingest(batch);
+    }
+    let per_hour = reference.rollup(&q).unwrap();
+
+    let scratch = ScratchDir::new("readme-repl-snippet");
+    let (mut durable, recovery) = DurableIngest::open(
+        Arc::new(RealFs),
+        &scratch.path().join("store"),
+        StreamConfig::new(120, 3600).unwrap(),
+        StoreConfig::from_env(),
+        None,
+    )
+    .unwrap();
+    assert!(recovery.is_none());
+    for batch in &batches {
+        durable.ingest(batch).unwrap();
+    }
+    durable.flush().unwrap();
+
+    // --- the README snippet, verbatim from here ---
+    let leader = Arc::new(Mutex::new(Leader::new(durable)));
+
+    let transport = FaultTransport::new(
+        DirectTransport::new(leader.clone()),
+        FaultConfig {
+            drop_permille: 100,
+            flip_permille: 50,
+            seed: 7,
+            ..FaultConfig::default()
+        },
+    );
+    let config = FollowerConfig {
+        max_lag_seqs: Some(64),
+        // Not in the README (it would only slow the prose down): the
+        // test disables backoff sleeps to stay fast.
+        backoff_base_ms: 0,
+        ..FollowerConfig::default()
+    };
+    let mut follower = Follower::memory(transport, None, config);
+
+    follower.sync(1000).unwrap();
+    assert!(follower.caught_up());
+    assert_eq!(follower.rollup(&q).unwrap(), per_hour);
+
+    match follower.rollup_bounded(&q).unwrap() {
+        LagBounded::Fresh { value, .. } => assert_eq!(value, per_hour),
+        LagBounded::Stale { lag } => println!("replica {lag:?} behind — degrade explicitly"),
+    }
+}
