@@ -72,46 +72,92 @@ fn bench_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-/// Times `iters` passes of the mix and returns total nanoseconds.
-fn timed_passes(engine: &IndexedEngine<'_>, rs: &[RegionC], iters: usize) -> u128 {
-    let t0 = Instant::now();
-    let mut total = 0usize;
-    for _ in 0..iters {
-        total += run_mix(engine, rs);
-    }
-    black_box(total);
-    t0.elapsed().as_nanos()
+/// Measured overheads of one scenario: disabled-mode and enabled-mode
+/// eval slowdown over the bare engine, in percent. The `_ns` values are
+/// minimum single-pass times of the query mix.
+struct Overheads {
+    baseline_ns: u128,
+    disabled_ns: u128,
+    enabled_ns: u128,
+    disabled_pct: f64,
+    enabled_pct: f64,
 }
 
-/// The stable machine-readable summary for CI: overhead percentages of
-/// the disabled and enabled configurations over the bare engine, plus a
-/// Prometheus exposition sample from the exercised engine.
-fn emit_artifacts() {
-    let s = scenario(6, 4, 400, 20);
-    let rs = regions();
+/// Times the three configurations of one engine over the query mix.
+///
+/// Passes are interleaved round-robin (so clock drift and thermal
+/// throttling hit all three configurations alike) and each
+/// configuration reports its *minimum* single-pass time — the standard
+/// noise-robust estimator for a fixed workload, since preemption and
+/// frequency scaling only ever add time.
+fn measure(
+    s: &gisolap_bench::BenchScenario,
+    rs: &[RegionC],
+    warmup: usize,
+    iters: usize,
+) -> Overheads {
     let baseline = IndexedEngine::new(&s.gis, &s.moft);
     let disabled = IndexedEngine::new(&s.gis, &s.moft).with_obs(QueryObs::from_env());
     let enabled = IndexedEngine::new(&s.gis, &s.moft).with_obs(QueryObs::traced());
-
-    const WARMUP: usize = 3;
-    const ITERS: usize = 20;
-    timed_passes(&baseline, &rs, WARMUP);
-    timed_passes(&disabled, &rs, WARMUP);
-    timed_passes(&enabled, &rs, WARMUP);
-    let baseline_ns = timed_passes(&baseline, &rs, ITERS);
-    let disabled_ns = timed_passes(&disabled, &rs, ITERS);
-    let enabled_ns = timed_passes(&enabled, &rs, ITERS);
-
+    let engines = [&baseline, &disabled, &enabled];
+    let mut best = [u128::MAX; 3];
+    let mut total = 0usize;
+    for _ in 0..warmup {
+        for e in engines {
+            total += run_mix(e, rs);
+        }
+    }
+    for _ in 0..iters {
+        for (slot, e) in engines.into_iter().enumerate() {
+            let t0 = Instant::now();
+            total += run_mix(e, rs);
+            best[slot] = best[slot].min(t0.elapsed().as_nanos());
+        }
+    }
+    black_box(total);
+    let [baseline_ns, disabled_ns, enabled_ns] = best;
     let pct = |ns: u128| (ns as f64 / baseline_ns.max(1) as f64 - 1.0) * 100.0;
-    let disabled_pct = pct(disabled_ns);
-    let enabled_pct = pct(enabled_ns);
+    Overheads {
+        baseline_ns,
+        disabled_ns,
+        enabled_ns,
+        disabled_pct: pct(disabled_ns),
+        enabled_pct: pct(enabled_ns),
+    }
+}
+
+/// The stable machine-readable summary for CI: overhead percentages of
+/// the disabled and enabled configurations over the bare engine — on
+/// the heavy mix (where eval dominates) *and* a short-query mix (tiny
+/// MOFT, where per-query span bookkeeping is actually visible; this is
+/// the mix the enabled-mode 5% bar is judged on) — plus a Prometheus
+/// exposition sample from the exercised engine.
+fn emit_artifacts() {
+    let s = scenario(6, 4, 400, 20);
+    let rs = regions();
+    let heavy = measure(&s, &rs, 3, 20);
     eprintln!(
-        "obs_overhead: baseline={:.1}ms disabled={:.1}ms ({:+.2}%) enabled={:.1}ms ({:+.2}%)",
-        baseline_ns as f64 / 1e6,
-        disabled_ns as f64 / 1e6,
-        disabled_pct,
-        enabled_ns as f64 / 1e6,
-        enabled_pct,
+        "obs_overhead[heavy]: baseline={:.1}ms disabled={:.1}ms ({:+.2}%) enabled={:.1}ms ({:+.2}%)",
+        heavy.baseline_ns as f64 / 1e6,
+        heavy.disabled_ns as f64 / 1e6,
+        heavy.disabled_pct,
+        heavy.enabled_ns as f64 / 1e6,
+        heavy.enabled_pct,
+    );
+
+    // Short queries: a small city and few movers make eval cheap enough
+    // that fixed per-query costs (histogram bump, snapshots, span
+    // allocation) show up as a percentage instead of vanishing.
+    let short = scenario(2, 2, 24, 4);
+    let short_rs = regions();
+    let quick = measure(&short, &short_rs, 50, 2_000);
+    eprintln!(
+        "obs_overhead[short]: baseline={:.1}ms disabled={:.1}ms ({:+.2}%) enabled={:.1}ms ({:+.2}%)",
+        quick.baseline_ns as f64 / 1e6,
+        quick.disabled_ns as f64 / 1e6,
+        quick.disabled_pct,
+        quick.enabled_ns as f64 / 1e6,
+        quick.enabled_pct,
     );
 
     let json = format!(
@@ -126,17 +172,28 @@ fn emit_artifacts() {
             "  \"enabled_ns\": {},\n",
             "  \"disabled_overhead_pct\": {:.2},\n",
             "  \"enabled_overhead_pct\": {:.2},\n",
-            "  \"target_disabled_overhead_pct\": 5.0\n",
+            "  \"short_baseline_ns\": {},\n",
+            "  \"short_disabled_ns\": {},\n",
+            "  \"short_enabled_ns\": {},\n",
+            "  \"short_disabled_overhead_pct\": {:.2},\n",
+            "  \"short_enabled_overhead_pct\": {:.2},\n",
+            "  \"target_disabled_overhead_pct\": 5.0,\n",
+            "  \"target_enabled_overhead_pct\": 5.0\n",
             "}}\n"
         ),
         s.label,
         rs.len(),
-        ITERS,
-        baseline_ns,
-        disabled_ns,
-        enabled_ns,
-        disabled_pct,
-        enabled_pct,
+        20,
+        heavy.baseline_ns,
+        heavy.disabled_ns,
+        heavy.enabled_ns,
+        heavy.disabled_pct,
+        heavy.enabled_pct,
+        quick.baseline_ns,
+        quick.disabled_ns,
+        quick.enabled_ns,
+        quick.disabled_pct,
+        quick.enabled_pct,
     );
     let out = std::env::var("BENCH_OBS_OUT").unwrap_or_else(|_| "BENCH_obs.json".to_string());
     if let Err(e) = std::fs::write(&out, json) {
@@ -145,8 +202,10 @@ fn emit_artifacts() {
         eprintln!("obs_overhead: wrote {out}");
     }
 
-    // The enabled engine just served ITERS × |rs| queries: its exposition
-    // is a representative scrape.
+    // An exercised traced engine's exposition is a representative
+    // scrape for the archived sample.
+    let enabled = IndexedEngine::new(&s.gis, &s.moft).with_obs(QueryObs::traced());
+    run_mix(&enabled, &rs);
     let prom = engine_metrics(&enabled);
     let out =
         std::env::var("METRICS_SAMPLE_OUT").unwrap_or_else(|_| "metrics_sample.prom".to_string());

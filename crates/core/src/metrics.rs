@@ -61,12 +61,7 @@ pub fn fill_engine_metrics<E: QueryEngine + ?Sized>(registry: &mut MetricsRegist
             // Metric names must be 'static-ish strings; build the
             // conventional `_total` name from the field name.
             let metric = format!("gisolap_{field}_total");
-            registry.set_counter(
-                &metric,
-                field_help(field),
-                &[("engine", name)],
-                value as f64,
-            );
+            registry.set_counter_u64(&metric, field_help(field), &[("engine", name)], value);
         }
     }
     if let Some(obs) = engine.obs() {
@@ -76,11 +71,11 @@ pub fn fill_engine_metrics<E: QueryEngine + ?Sized>(registry: &mut MetricsRegist
             &[("engine", name)],
             obs.latency().snapshot(),
         );
-        registry.set_counter(
+        registry.set_counter_u64(
             "gisolap_slow_queries_total",
             "Queries exceeding the GISOLAP_SLOW_QUERY_MS threshold.",
             &[("engine", name)],
-            obs.slow_queries().total() as f64,
+            obs.slow_queries().total(),
         );
     }
 }

@@ -308,7 +308,9 @@ impl PhaseTrace {
         PhaseTrace {
             state: Some(PhaseState {
                 last: stats.snapshot(),
-                spans: Vec::new(),
+                // Eval runs three named phases; pre-sizing skips the
+                // 1→2→4 realloc chain on every traced query.
+                spans: Vec::with_capacity(4),
             }),
         }
     }
@@ -350,9 +352,19 @@ impl PhaseTrace {
     }
 }
 
-/// The non-zero counters of a snapshot, for span attribution.
+/// The non-zero counters of a snapshot, for span attribution. Runs once
+/// per phase boundary on the traced hot path, so it counts first and
+/// allocates exactly — an all-zero delta (common for fast phases) costs
+/// no allocation at all.
 fn nonzero_fields(snap: &StatsSnapshot) -> Vec<(&'static str, u64)> {
-    snap.fields().into_iter().filter(|(_, v)| *v > 0).collect()
+    let fields = snap.fields();
+    let n = fields.iter().filter(|(_, v)| *v > 0).count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n);
+    out.extend(fields.into_iter().filter(|(_, v)| *v > 0));
+    out
 }
 
 impl std::fmt::Display for StatsSnapshot {

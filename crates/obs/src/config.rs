@@ -113,8 +113,33 @@ pub const REPL_FAULT_CASES: EnvFlag = EnvFlag {
     doc: "property-test cases for the replication fault-injection suite",
 };
 
+/// Concurrent connections the query/replication server admits; one
+/// over the cap is answered a single `Busy` reply and closed.
+pub const SERVE_MAX_CONNS: EnvFlag = EnvFlag {
+    name: "GISOLAP_SERVE_MAX_CONNS",
+    default: "64",
+    doc: "concurrent connections the serve front door admits (over-cap gets Busy + close)",
+};
+
+/// Requests the server evaluates concurrently across all connections;
+/// one over the cap is answered `Busy` without being evaluated.
+pub const SERVE_MAX_INFLIGHT: EnvFlag = EnvFlag {
+    name: "GISOLAP_SERVE_MAX_INFLIGHT",
+    default: "8",
+    doc: "concurrent requests the serve front door evaluates (over-cap gets Busy)",
+};
+
+/// Requests one tenant may have in flight concurrently; `0` means
+/// unlimited. A tenant at its quota is answered `Busy` while other
+/// tenants proceed.
+pub const SERVE_TENANT_QUOTA: EnvFlag = EnvFlag {
+    name: "GISOLAP_SERVE_TENANT_QUOTA",
+    default: "0 (unlimited)",
+    doc: "concurrent in-flight requests allowed per tenant (0 = unlimited)",
+};
+
 /// Every flag the workspace reads, for discovery and doc-coverage tests.
-pub const ALL: [&EnvFlag; 9] = [
+pub const ALL: [&EnvFlag; 12] = [
     &THREADS,
     &SLOW_QUERY_MS,
     &STORE_SYNC,
@@ -124,6 +149,9 @@ pub const ALL: [&EnvFlag; 9] = [
     &REPL_MAX_LAG_SEQS,
     &REPL_BACKOFF_MS,
     &REPL_FAULT_CASES,
+    &SERVE_MAX_CONNS,
+    &SERVE_MAX_INFLIGHT,
+    &SERVE_TENANT_QUOTA,
 ];
 
 #[cfg(test)]

@@ -110,6 +110,9 @@ impl Kind {
 #[derive(Debug, Clone)]
 enum Value {
     Num(f64),
+    // Kept as an integer end to end: a `u64 as f64` cast rounds above
+    // 2^53, so long-running counters routed through `Num` would drift.
+    Uint(u64),
     Hist(Box<HistogramSnapshot>),
 }
 
@@ -181,6 +184,14 @@ impl MetricsRegistry {
         self.upsert(name, help, Kind::Counter, labels, Value::Num(value));
     }
 
+    /// Sets a monotone counter sample from a `u64` tally without ever
+    /// passing through `f64` — exact at any magnitude, where a cast
+    /// would silently round above 2^53. Every integer-valued counter
+    /// export should come through here.
+    pub fn set_counter_u64(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.upsert(name, help, Kind::Counter, labels, Value::Uint(value));
+    }
+
     /// Sets a gauge sample (a value that can go up or down).
     pub fn set_gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
         self.upsert(name, help, Kind::Gauge, labels, Value::Num(value));
@@ -227,6 +238,11 @@ impl MetricsRegistry {
                         out.push_str(&m.name);
                         render_labels(&mut out, &s.labels, None);
                         out.push_str(&format!(" {}\n", fmt_num(*v)));
+                    }
+                    Value::Uint(v) => {
+                        out.push_str(&m.name);
+                        render_labels(&mut out, &s.labels, None);
+                        out.push_str(&format!(" {v}\n"));
                     }
                     Value::Hist(h) => {
                         let mut cumulative = 0u64;
@@ -359,6 +375,23 @@ mod tests {
         // The shared HELP/TYPE header appears once despite two samples.
         assert_eq!(text.matches("# TYPE app_requests_total").count(), 1);
         assert_eq!(r.len(), 2);
+    }
+
+    /// `set_counter_u64` must stay exact above 2^53, where the f64
+    /// path provably rounds: (2^53 + 1) as f64 == 2^53.
+    #[test]
+    fn u64_counters_render_exactly_above_2_pow_53() {
+        let big = (1u64 << 53) + 1;
+        assert_eq!(big as f64 as u64, 1u64 << 53, "cast must round (premise)");
+        let mut r = MetricsRegistry::new();
+        r.set_counter_u64("c_exact_total", "h", &[], big);
+        r.set_counter_u64("c_max_total", "h", &[], u64::MAX);
+        let text = r.render_prometheus();
+        assert!(text.contains("c_exact_total 9007199254740993\n"), "{text}");
+        assert!(
+            text.contains(&format!("c_max_total {}\n", u64::MAX)),
+            "{text}"
+        );
     }
 
     #[test]

@@ -61,9 +61,16 @@ impl QueryObs {
         &self.slow
     }
 
-    /// Stores a finished query's span tree as the most recent one.
+    /// Stores a finished query's span tree as the most recent one. The
+    /// displaced tree is dropped after the lock is released, so
+    /// concurrent queries never wait on another span's deallocation.
     pub fn store_last_span(&self, span: Span) {
-        *self.last_span.lock().expect("span slot poisoned") = Some(span);
+        let displaced = self
+            .last_span
+            .lock()
+            .expect("span slot poisoned")
+            .replace(span);
+        drop(displaced);
     }
 
     /// The most recent traced query's span tree, if any query ran with

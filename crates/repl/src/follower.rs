@@ -186,7 +186,7 @@ impl ReplStats {
     pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
         for (field, value) in self.fields() {
             let name = format!("gisolap_repl_{field}_total");
-            registry.set_counter(&name, "Replication follower counter.", &[], value as f64);
+            registry.set_counter_u64(&name, "Replication follower counter.", &[], value);
         }
     }
 }

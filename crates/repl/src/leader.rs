@@ -42,7 +42,7 @@ impl LeaderStats {
     pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
         for (field, value) in self.fields() {
             let name = format!("gisolap_repl_leader_{field}_total");
-            registry.set_counter(&name, "Replication leader counter.", &[], value as f64);
+            registry.set_counter_u64(&name, "Replication leader counter.", &[], value);
         }
     }
 }
@@ -105,11 +105,11 @@ impl Leader {
                 match self.ingest.wal_entries_since(from_seq, max)? {
                     WalFetch::Entries(entries) => {
                         self.stats.frames_shipped += entries.len() as u64;
-                        Ok(wire::encode_frames_reply(
+                        wire::encode_frames_reply(
                             &entries,
                             self.ingest.next_seq(),
                             self.ingest.store().retained_from(),
-                        ))
+                        )
                     }
                     WalFetch::Compacted { retained_from } => {
                         self.stats.compacted_replies += 1;

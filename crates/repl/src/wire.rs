@@ -139,23 +139,46 @@ pub enum Reply {
     Snapshot(SnapshotTransfer),
 }
 
+/// Largest batch one frames reply can carry: the head's entry count is
+/// a `u32`. Bigger batches must be chunked into multiple replies.
+pub const MAX_FRAMES_PER_REPLY: usize = u32::MAX as usize;
+
+/// The smallest framed WAL entry on the wire: 4-byte length prefix +
+/// minimal payload (8-byte seq, 1-byte op tag) + 4-byte CRC. Any head
+/// declaring more entries than `remaining / MIN_ENTRY_FRAME` is lying.
+const MIN_ENTRY_FRAME: usize = 4 + 9 + 4;
+
+/// The head's count field for a batch of `len` entries, or an error
+/// when `len` exceeds [`MAX_FRAMES_PER_REPLY`] (the old code did
+/// `len as u32` here, silently truncating oversized batches into a
+/// corrupt frame).
+fn batch_count(len: usize) -> Result<u32> {
+    u32::try_from(len).map_err(|_| {
+        StoreError::BadConfig(format!(
+            "frames reply batch of {len} entries exceeds the u32 count field; chunk it"
+        ))
+    })
+}
+
 /// Encodes a frames reply: CRC-framed head, then one on-disk-format
-/// frame per WAL entry.
+/// frame per WAL entry. Fails (rather than silently truncating the
+/// count) when the batch exceeds [`MAX_FRAMES_PER_REPLY`].
 pub fn encode_frames_reply(
     entries: &[WalEntry],
     leader_next_seq: u64,
     retained_from: u64,
-) -> Vec<u8> {
+) -> Result<Vec<u8>> {
+    let count = batch_count(entries.len())?;
     let mut head = Enc::new();
     head.u8(REPLY_FRAMES);
-    head.u32(entries.len() as u32);
+    head.u32(count);
     head.u64(leader_next_seq);
     head.u64(retained_from);
     let mut out = frame(&head.into_bytes());
     for entry in entries {
         out.extend_from_slice(&frame(&encode_wal_entry(entry.seq, &entry.op)));
     }
-    out
+    Ok(out)
 }
 
 /// Encodes a compacted reply (cursor older than retention).
@@ -208,6 +231,15 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply> {
             let leader_next_seq = d.u64()?;
             let retained_from = d.u64()?;
             d.finish()?;
+            // Fail fast on implausible counts: the remaining bytes
+            // cannot possibly hold `count` framed entries, so this is
+            // structural damage (a lying head), not a truncated tail.
+            if count.saturating_mul(MIN_ENTRY_FRAME) > rest.len() {
+                return Err(wire_corrupt(format!(
+                    "frames reply declares {count} entries but only {} bytes follow",
+                    rest.len()
+                )));
+            }
             let mut entries = Vec::with_capacity(count.min(1024));
             let mut corrupt_frames = 0u64;
             for _ in 0..count {
@@ -251,6 +283,15 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply> {
             let segment_seconds = d.i64()?;
             let next_seq = d.u64()?;
             let n = d.u32()? as usize;
+            // Every encoded segment costs at least its 4-byte length
+            // prefix; reject declared counts the payload cannot hold
+            // before allocating or looping over them.
+            if n.saturating_mul(4) > d.remaining() {
+                return Err(wire_corrupt(format!(
+                    "snapshot declares {n} segments but only {} payload bytes remain",
+                    d.remaining()
+                )));
+            }
             let mut segments = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
                 segments.push(decode_segment(d.bytes()?, WIRE)?);
@@ -313,7 +354,7 @@ mod tests {
 
     #[test]
     fn frames_reply_roundtrip() {
-        let bytes = encode_frames_reply(&entries(), 6, 2);
+        let bytes = encode_frames_reply(&entries(), 6, 2).unwrap();
         match decode_reply(&bytes).unwrap() {
             Reply::Frames(b) => {
                 assert_eq!(b.entries.len(), 2);
@@ -328,7 +369,7 @@ mod tests {
 
     #[test]
     fn flipped_entry_is_flagged_not_applied() {
-        let mut bytes = encode_frames_reply(&entries(), 6, 2);
+        let mut bytes = encode_frames_reply(&entries(), 6, 2).unwrap();
         // Flip a byte inside the *second* WAL frame's payload: the first
         // entry must survive, the second must be flagged.
         let idx = bytes.len() - 3;
@@ -344,14 +385,14 @@ mod tests {
 
     #[test]
     fn flipped_head_is_an_error() {
-        let mut bytes = encode_frames_reply(&entries(), 6, 2);
+        let mut bytes = encode_frames_reply(&entries(), 6, 2).unwrap();
         bytes[5] ^= 0x01; // inside the head frame payload
         assert!(decode_reply(&bytes).is_err());
     }
 
     #[test]
     fn truncated_reply_flags_missing_entries() {
-        let bytes = encode_frames_reply(&entries(), 6, 2);
+        let bytes = encode_frames_reply(&entries(), 6, 2).unwrap();
         let cut = &bytes[..bytes.len() - 10];
         match decode_reply(cut).unwrap() {
             Reply::Frames(b) => {
@@ -394,6 +435,138 @@ mod tests {
                 leader_next_seq,
             } => assert_eq!((retained_from, leader_next_seq), (17, 99)),
             other => panic!("expected compacted, got {other:?}"),
+        }
+    }
+
+    /// The u32 boundary of the head's count field: the largest batch
+    /// that fits encodes, one more is an explicit error instead of the
+    /// old silent `len as u32` wrap-around.
+    #[test]
+    fn batch_count_guards_the_u32_boundary() {
+        assert_eq!(batch_count(0).unwrap(), 0);
+        assert_eq!(batch_count(MAX_FRAMES_PER_REPLY).unwrap(), u32::MAX);
+        let err = batch_count(MAX_FRAMES_PER_REPLY + 1).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::BadConfig(msg) if msg.contains("4294967296")),
+            "want BadConfig naming the batch size, got {err:?}"
+        );
+    }
+
+    /// A CRC-valid head whose declared entry count cannot fit the bytes
+    /// that follow fails fast with a distinct error (no loop over
+    /// millions of phantom entries).
+    #[test]
+    fn implausible_frames_count_fails_fast() {
+        let mut head = Enc::new();
+        head.u8(REPLY_FRAMES);
+        head.u32(1_000_000);
+        head.u64(9);
+        head.u64(0);
+        let bytes = frame(&head.into_bytes());
+        let err = decode_reply(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("declares 1000000 entries"),
+            "want the fail-fast count error, got {err}"
+        );
+    }
+
+    /// Same for snapshots: a declared segment count larger than the
+    /// remaining payload could hold is rejected before any allocation.
+    #[test]
+    fn implausible_snapshot_segment_count_fails_fast() {
+        let mut e = Enc::new();
+        e.u8(REPLY_SNAPSHOT);
+        e.i64(0);
+        e.i64(3600);
+        e.u64(5);
+        e.u32(u32::MAX);
+        let bytes = frame(&e.into_bytes());
+        let err = decode_reply(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("declares 4294967295 segments"),
+            "want the fail-fast segment-count error, got {err}"
+        );
+    }
+
+    mod decode_proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Truncating a valid frames reply anywhere never panics:
+            /// it either fails cleanly or yields a prefix of the
+            /// entries with the missing ones flagged.
+            #[test]
+            fn truncated_frames_reply_decodes_or_errors(cut in 0usize..200) {
+                let bytes = encode_frames_reply(&entries(), 6, 2).unwrap();
+                let cut = cut.min(bytes.len());
+                match decode_reply(&bytes[..bytes.len() - cut]) {
+                    Ok(Reply::Frames(b)) => {
+                        prop_assert!(b.entries.len() <= 2);
+                        if cut > 0 {
+                            prop_assert!(
+                                b.entries.len() < 2 || b.corrupt_frames == 0
+                            );
+                        }
+                    }
+                    Ok(other) => prop_assert!(false, "wrong reply type {other:?}"),
+                    Err(_) => {} // torn head / implausible count: fine
+                }
+            }
+
+            /// Overwriting the head's count with an arbitrary value
+            /// (CRC re-stamped, modelling a hostile sender) never
+            /// panics and never loops: huge counts are rejected up
+            /// front, plausible ones decode with missing entries
+            /// flagged.
+            #[test]
+            fn oversized_declared_count_is_rejected(count in 3u32..u32::MAX) {
+                let mut head = Enc::new();
+                head.u8(REPLY_FRAMES);
+                head.u32(count);
+                head.u64(6);
+                head.u64(2);
+                let mut bytes = frame(&head.into_bytes());
+                let tail = encode_frames_reply(&entries(), 6, 2).unwrap();
+                // Keep the 2 genuine entry frames, swap in our head.
+                let entry_frames = match read_frame(&tail) {
+                    FrameRead::Ok { rest, .. } => rest,
+                    _ => panic!("valid reply must start with a head frame"),
+                };
+                bytes.extend_from_slice(entry_frames);
+                match decode_reply(&bytes) {
+                    Ok(Reply::Frames(b)) => {
+                        // Plausible-but-wrong count: entries decode,
+                        // the shortfall is flagged.
+                        prop_assert_eq!(b.entries.len(), 2);
+                        prop_assert_eq!(b.corrupt_frames, 1);
+                    }
+                    Ok(other) => prop_assert!(false, "wrong reply type {other:?}"),
+                    Err(e) => prop_assert!(
+                        e.to_string().contains("declares"),
+                        "want the fail-fast error, got {}", e
+                    ),
+                }
+            }
+
+            /// Random byte flips anywhere in a snapshot reply are
+            /// always *detected* — decode never panics and never
+            /// returns a silently different snapshot.
+            #[test]
+            fn flipped_snapshot_bytes_never_pass(idx in 0usize..500, bit in 0u8..8) {
+                let mut ingest = gisolap_stream::StreamIngest::new(
+                    gisolap_stream::StreamConfig::new(0, 3600).unwrap(),
+                )
+                .unwrap();
+                ingest.ingest(&[rec(1, 100), rec(2, 4000)]);
+                let mut bytes =
+                    encode_snapshot_reply(ingest.segments(), &ingest.tail_state(), 0, 3600, 9);
+                let idx = idx % bytes.len();
+                bytes[idx] ^= 1 << bit;
+                prop_assert!(decode_reply(&bytes).is_err());
+            }
         }
     }
 }

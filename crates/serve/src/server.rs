@@ -1,0 +1,577 @@
+//! The TCP front door: thread-per-connection serving of rollup queries
+//! and replication fetches against per-tenant durable stores.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use gisolap_obs::{config as obs_config, MetricsRegistry};
+use gisolap_repl::Leader;
+use gisolap_store::{DurableIngest, RealFs, StoreConfig};
+use gisolap_stream::StreamConfig;
+
+use crate::wire::{self, ServeReply, ServeRequest};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Concurrent connections admitted (`GISOLAP_SERVE_MAX_CONNS`); a
+    /// connection over the cap is answered one `Busy` and closed.
+    pub max_conns: usize,
+    /// Requests evaluated concurrently across all connections
+    /// (`GISOLAP_SERVE_MAX_INFLIGHT`); one over the cap is answered
+    /// `Busy` without being evaluated — bounded in-flight work is the
+    /// backpressure contract.
+    pub max_inflight: usize,
+    /// Requests one tenant may have in flight concurrently
+    /// (`GISOLAP_SERVE_TENANT_QUOTA`); `0` = unlimited. A tenant at its
+    /// quota is answered `Busy` while other tenants proceed.
+    pub tenant_quota: usize,
+    /// Stream configuration for tenant stores *created* by this server
+    /// (recovered stores keep their manifest's configuration).
+    pub stream: StreamConfig,
+    /// Store configuration for every tenant store it opens.
+    pub store: StoreConfig,
+}
+
+impl ServeConfig {
+    /// Defaults for `stream`/`store`, caps from the documented
+    /// `GISOLAP_SERVE_*` environment flags.
+    pub fn from_env(stream: StreamConfig, store: StoreConfig) -> ServeConfig {
+        ServeConfig {
+            max_conns: obs_config::SERVE_MAX_CONNS.parse_u64().unwrap_or(64) as usize,
+            max_inflight: obs_config::SERVE_MAX_INFLIGHT.parse_u64().unwrap_or(8) as usize,
+            tenant_quota: obs_config::SERVE_TENANT_QUOTA.parse_u64().unwrap_or(0) as usize,
+            stream,
+            store,
+        }
+    }
+
+    /// Explicit caps (tests, benches).
+    pub fn with_caps(
+        stream: StreamConfig,
+        store: StoreConfig,
+        max_conns: usize,
+        max_inflight: usize,
+        tenant_quota: usize,
+    ) -> ServeConfig {
+        ServeConfig {
+            max_conns,
+            max_inflight,
+            tenant_quota,
+            stream,
+            store,
+        }
+    }
+}
+
+/// A point-in-time copy of a server's counters. Field order is the
+/// single source for [`ServeStats::fields`], the
+/// `gisolap_serve_<field>_total` metric names and the
+/// `OBSERVABILITY.md` table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted and admitted.
+    pub connections_accepted: u64,
+    /// Connections turned away at the connection cap.
+    pub connections_rejected: u64,
+    /// Requests decoded (any reply).
+    pub requests: u64,
+    /// Rollup evaluations served.
+    pub rollup_requests: u64,
+    /// Replication exchanges served.
+    pub repl_requests: u64,
+    /// Pings answered.
+    pub ping_requests: u64,
+    /// Requests answered `Busy` at the global in-flight cap.
+    pub busy_rejections: u64,
+    /// Requests answered `Busy` at the per-tenant quota.
+    pub quota_rejections: u64,
+    /// Requests rejected as structurally corrupt or inadmissible.
+    pub bad_requests: u64,
+    /// Request bytes read off sockets.
+    pub bytes_in: u64,
+    /// Reply bytes written to sockets.
+    pub bytes_out: u64,
+}
+
+impl ServeStats {
+    /// Every server counter as a `(name, value)` pair, in declaration
+    /// order.
+    pub fn fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("connections_accepted", self.connections_accepted),
+            ("connections_rejected", self.connections_rejected),
+            ("requests", self.requests),
+            ("rollup_requests", self.rollup_requests),
+            ("repl_requests", self.repl_requests),
+            ("ping_requests", self.ping_requests),
+            ("busy_rejections", self.busy_rejections),
+            ("quota_rejections", self.quota_rejections),
+            ("bad_requests", self.bad_requests),
+            ("bytes_in", self.bytes_in),
+            ("bytes_out", self.bytes_out),
+        ]
+    }
+
+    /// Publishes the server counters into `registry` as
+    /// `gisolap_serve_<field>_total`.
+    pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
+        for (field, value) in self.fields() {
+            let name = format!("gisolap_serve_{field}_total");
+            registry.set_counter_u64(&name, "Query/replication server counter.", &[], value);
+        }
+    }
+}
+
+/// Shared-atomic mirror of [`ServeStats`], bumped by handler threads.
+#[derive(Debug, Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    requests: AtomicU64,
+    rollup_requests: AtomicU64,
+    repl_requests: AtomicU64,
+    ping_requests: AtomicU64,
+    busy_rejections: AtomicU64,
+    quota_rejections: AtomicU64,
+    bad_requests: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            rollup_requests: self.rollup_requests.load(Ordering::Relaxed),
+            repl_requests: self.repl_requests.load(Ordering::Relaxed),
+            ping_requests: self.ping_requests.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            quota_rejections: self.quota_rejections.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Admissible tenant names: non-empty, at most 64 bytes, drawn from
+/// `[A-Za-z0-9_-]` — a name can never traverse outside the store root.
+pub fn tenant_admissible(tenant: &str) -> bool {
+    !tenant.is_empty()
+        && tenant.len() <= 64
+        && tenant
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// State shared between the accept loop and every handler thread.
+struct Shared {
+    root: PathBuf,
+    config: ServeConfig,
+    counters: Counters,
+    shutdown: AtomicBool,
+    conns: AtomicUsize,
+    inflight: AtomicUsize,
+    tenants: Mutex<HashMap<String, Arc<Mutex<Leader>>>>,
+    tenant_inflight: Mutex<HashMap<String, usize>>,
+    /// One socket clone per live connection, keyed by connection id —
+    /// [`Server::stop`] shuts these down so blocked reads return
+    /// end-of-stream immediately instead of waiting out the peer.
+    open_conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+impl Shared {
+    /// The cached leader for `tenant`, opening (create-or-recover) its
+    /// store under `root/<tenant>` on first use.
+    fn leader(&self, tenant: &str) -> Result<Arc<Mutex<Leader>>, String> {
+        if !tenant_admissible(tenant) {
+            return Err(format!("inadmissible tenant name {tenant:?}"));
+        }
+        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+        if let Some(leader) = tenants.get(tenant) {
+            return Ok(leader.clone());
+        }
+        let dir = self.root.join(tenant);
+        let (durable, _report) = DurableIngest::open(
+            Arc::new(RealFs),
+            &dir,
+            self.config.stream,
+            self.config.store,
+            None,
+        )
+        .map_err(|e| format!("open store for tenant {tenant}: {e}"))?;
+        let leader = Arc::new(Mutex::new(Leader::new(durable)));
+        tenants.insert(tenant.to_string(), leader.clone());
+        Ok(leader)
+    }
+
+    /// Claims one per-tenant in-flight slot, or says why not.
+    fn claim_tenant_slot(&self, tenant: &str) -> Result<(), String> {
+        if self.config.tenant_quota == 0 {
+            return Ok(());
+        }
+        let mut map = self.tenant_inflight.lock().expect("quota map poisoned");
+        let slot = map.entry(tenant.to_string()).or_insert(0);
+        if *slot >= self.config.tenant_quota {
+            return Err(format!(
+                "tenant {tenant} at its quota of {} in-flight requests",
+                self.config.tenant_quota
+            ));
+        }
+        *slot += 1;
+        Ok(())
+    }
+
+    fn release_tenant_slot(&self, tenant: &str) {
+        if self.config.tenant_quota == 0 {
+            return;
+        }
+        let mut map = self.tenant_inflight.lock().expect("quota map poisoned");
+        if let Some(slot) = map.get_mut(tenant) {
+            *slot = slot.saturating_sub(1);
+        }
+    }
+
+    /// Evaluates one admitted request (quota and in-flight slots
+    /// already claimed).
+    fn evaluate(&self, req: &ServeRequest) -> ServeReply {
+        match req {
+            ServeRequest::Ping { tenant } => {
+                self.counters.ping_requests.fetch_add(1, Ordering::Relaxed);
+                if tenant_admissible(tenant) {
+                    ServeReply::Pong
+                } else {
+                    self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    ServeReply::Err(format!("inadmissible tenant name {tenant:?}"))
+                }
+            }
+            ServeRequest::Rollup { tenant, query } => {
+                self.counters
+                    .rollup_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                match self.leader(tenant) {
+                    Ok(leader) => {
+                        let leader = leader.lock().expect("leader poisoned");
+                        match leader.rollup(query) {
+                            Ok(rows) => ServeReply::Rows(rows),
+                            Err(e) => ServeReply::Err(format!("rollup failed: {e}")),
+                        }
+                    }
+                    Err(detail) => {
+                        self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        ServeReply::Err(detail)
+                    }
+                }
+            }
+            ServeRequest::Repl { tenant, request } => {
+                self.counters.repl_requests.fetch_add(1, Ordering::Relaxed);
+                match self.leader(tenant) {
+                    Ok(leader) => {
+                        let mut leader = leader.lock().expect("leader poisoned");
+                        match leader.handle(request) {
+                            Ok(reply) => ServeReply::Repl(reply),
+                            Err(e) => ServeReply::Err(format!("repl exchange failed: {e}")),
+                        }
+                    }
+                    Err(detail) => {
+                        self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        ServeReply::Err(detail)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One connection's request loop. Returns on peer close, shutdown
+/// (the server shuts the socket down, so the blocking read ends), or
+/// an unrecoverable socket error.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = io::BufReader::new(read_half);
+    let mut writer = io::BufWriter::new(stream);
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        let payload = match wire::read_message(&mut reader) {
+            Ok(Some(payload)) => payload,
+            // Clean peer close, a shut-down socket, or garbage on the
+            // wire: either way this connection is done.
+            Ok(None) | Err(_) => break,
+        };
+        shared
+            .counters
+            .bytes_in
+            .fetch_add(payload.len() as u64 + 8, Ordering::Relaxed);
+        let reply = handle_payload(shared, &payload);
+        let framed = wire::encode_reply(&reply);
+        shared
+            .counters
+            .bytes_out
+            .fetch_add(framed.len() as u64, Ordering::Relaxed);
+        if wire::write_message(&mut writer, &framed).is_err() {
+            break;
+        }
+    }
+}
+
+/// Decodes, admits (in-flight + quota) and evaluates one request.
+fn handle_payload(shared: &Shared, payload: &[u8]) -> ServeReply {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let req = match wire::decode_request(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return ServeReply::Err(format!("bad request: {e}"));
+        }
+    };
+
+    // Global in-flight cap: claim optimistically, back out over the cap.
+    let inflight = shared.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+    if inflight > shared.config.max_inflight {
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        shared
+            .counters
+            .busy_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        return ServeReply::Busy(format!(
+            "server at its cap of {} in-flight requests",
+            shared.config.max_inflight
+        ));
+    }
+    let reply = match shared.claim_tenant_slot(req.tenant()) {
+        Err(detail) => {
+            shared
+                .counters
+                .quota_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            ServeReply::Busy(detail)
+        }
+        Ok(()) => {
+            let reply = shared.evaluate(&req);
+            shared.release_tenant_slot(req.tenant());
+            reply
+        }
+    };
+    shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    reply
+}
+
+/// The network front door: accepts connections on a TCP listener and
+/// serves the [`crate::wire`] protocol against per-tenant durable
+/// stores homed under one root directory.
+///
+/// Dropping the server (or calling [`Server::stop`]) shuts it down:
+/// the accept loop and every connection thread are joined, so no
+/// handler outlives the value that owns the stores.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port; the real address
+    /// is [`Server::addr`]) and starts accepting. Tenant stores live
+    /// under `root/<tenant>`, opened lazily on first request.
+    pub fn bind(addr: impl ToSocketAddrs, root: &Path, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            root: root.to_path_buf(),
+            config,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            tenants: Mutex::new(HashMap::new()),
+            tenant_inflight: Mutex::new(HashMap::new()),
+            open_conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        let accept_shared = shared.clone();
+        let accept = std::thread::Builder::new()
+            .name("gisolap-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the listener actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the server counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Publishes the server counters into `registry` as
+    /// `gisolap_serve_<field>_total`.
+    pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
+        self.stats().fill_metrics(registry);
+    }
+
+    /// The cached leader for `tenant`, opening its store on first use —
+    /// the same handle requests are served from, so ingesting through
+    /// it is immediately visible to clients and followers.
+    pub fn leader(&self, tenant: &str) -> Result<Arc<Mutex<Leader>>, String> {
+        self.shared.leader(tenant)
+    }
+
+    /// Stops accepting, shuts down every live connection socket (so
+    /// blocked reads end immediately), waits for the accept loop and
+    /// every connection thread to finish, and returns the final
+    /// counters. Idempotent.
+    pub fn stop(&mut self) -> ServeStats {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for (_, conn) in self
+            .shared
+            .open_conns
+            .lock()
+            .expect("conn map poisoned")
+            .drain()
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(handle) = self.accept.take() {
+            // A throwaway connection unblocks accept() so the loop
+            // observes the flag without waiting for a real client.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+        self.shared.counters.snapshot()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        workers.retain(|w| !w.is_finished());
+        let conns = shared.conns.fetch_add(1, Ordering::AcqRel) + 1;
+        if conns > shared.config.max_conns {
+            shared.conns.fetch_sub(1, Ordering::AcqRel);
+            shared
+                .counters
+                .connections_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            // One explicit Busy so the client can tell backpressure
+            // from a network failure, then close.
+            let framed = wire::encode_reply(&ServeReply::Busy(format!(
+                "server at its cap of {} connections",
+                shared.config.max_conns
+            )));
+            let mut stream = stream;
+            let _ = wire::write_message(&mut stream, &framed);
+            continue;
+        }
+        shared
+            .counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .open_conns
+                .lock()
+                .expect("conn map poisoned")
+                .insert(conn_id, clone);
+        }
+        let conn_shared = shared.clone();
+        let worker = std::thread::Builder::new()
+            .name("gisolap-serve-conn".into())
+            .spawn(move || {
+                serve_connection(&conn_shared, stream);
+                conn_shared
+                    .open_conns
+                    .lock()
+                    .expect("conn map poisoned")
+                    .remove(&conn_id);
+                conn_shared.conns.fetch_sub(1, Ordering::AcqRel);
+            })
+            .expect("spawn connection thread");
+        workers.push(worker);
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_names_are_vetted() {
+        assert!(tenant_admissible("acme"));
+        assert!(tenant_admissible("t-1_B"));
+        assert!(!tenant_admissible(""));
+        assert!(!tenant_admissible("../escape"));
+        assert!(!tenant_admissible("a/b"));
+        assert!(!tenant_admissible("dot.dot"));
+        assert!(!tenant_admissible(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn stats_fields_match_declaration_order() {
+        let stats = ServeStats {
+            connections_accepted: 1,
+            bytes_out: 11,
+            ..ServeStats::default()
+        };
+        let fields = stats.fields();
+        assert_eq!(fields.len(), 11);
+        assert_eq!(fields[0], ("connections_accepted", 1));
+        assert_eq!(fields[10], ("bytes_out", 11));
+    }
+
+    #[test]
+    fn stats_render_as_serve_metrics() {
+        let mut registry = MetricsRegistry::new();
+        ServeStats {
+            requests: 5,
+            ..ServeStats::default()
+        }
+        .fill_metrics(&mut registry);
+        let text = registry.render_prometheus();
+        assert!(text.contains("gisolap_serve_requests_total 5\n"), "{text}");
+        assert!(
+            text.contains("gisolap_serve_busy_rejections_total 0\n"),
+            "{text}"
+        );
+    }
+}

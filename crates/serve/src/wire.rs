@@ -1,0 +1,521 @@
+//! The serving wire format: one CRC32 frame per message, both ways.
+//!
+//! ```text
+//! message := len(u32 LE) | payload | crc32(payload)   // the store codec's frame()
+//! request := tag(u8) | tenant(str) | body
+//! reply   := tag(u8) | body
+//! ```
+//!
+//! The envelope reuses [`gisolap_store::codec::frame`], so every
+//! message the socket delivers is checksummed end to end: a flipped bit
+//! anywhere in a request or reply is *detected* before any field is
+//! trusted. Replication payloads ride through opaquely — the inner
+//! bytes are themselves the replication wire format with its own
+//! per-entry CRCs, nested intact inside the envelope.
+//!
+//! Floats (rollup values) cross the wire as IEEE-754 bit patterns
+//! (`f64::to_bits`), so a follower or client sees *bit-identical*
+//! aggregates — the convergence contract survives serialization.
+
+use std::io::{self, Read, Write};
+
+use gisolap_olap::agg::AggFn;
+use gisolap_olap::time::{TimeId, TimeLevel};
+use gisolap_store::codec::{frame, read_frame, Dec, Enc, FrameRead};
+use gisolap_store::{Result, StoreError};
+use gisolap_stream::{Measure, RollupQuery, RollupRow};
+
+/// Attribution label for serve-level decode errors.
+const WIRE: &str = "serve-wire";
+
+/// Largest message either side accepts: mirrors the store codec's
+/// private frame cap, so a mangled length prefix can never drive a
+/// multi-gigabyte allocation.
+pub const MAX_MESSAGE: u32 = 1 << 30;
+
+fn wire_corrupt(detail: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        file: WIRE.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// What a client asks the server. Every request names its tenant — the
+/// server routes it to that tenant's store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeRequest {
+    /// Liveness + routing check: answered [`ServeReply::Pong`].
+    Ping {
+        /// Tenant the connection wants to talk to.
+        tenant: String,
+    },
+    /// Evaluate a rollup against the tenant's recovered store.
+    Rollup {
+        /// Tenant whose store answers.
+        tenant: String,
+        /// The rollup to evaluate.
+        query: RollupQuery,
+    },
+    /// One replication exchange: the opaque bytes are a
+    /// [`gisolap_repl::wire`] request, handed to the tenant's
+    /// [`gisolap_repl::Leader`] verbatim.
+    Repl {
+        /// Tenant whose leader answers.
+        tenant: String,
+        /// The nested replication request frame.
+        request: Vec<u8>,
+    },
+}
+
+impl ServeRequest {
+    /// The tenant this request addresses.
+    pub fn tenant(&self) -> &str {
+        match self {
+            ServeRequest::Ping { tenant }
+            | ServeRequest::Rollup { tenant, .. }
+            | ServeRequest::Repl { tenant, .. } => tenant,
+        }
+    }
+}
+
+/// What the server answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeReply {
+    /// The server is up and the tenant name is admissible.
+    Pong,
+    /// Rollup result rows, in the store's deterministic order.
+    Rows(Vec<RollupRow>),
+    /// The nested replication reply frame, verbatim from the leader.
+    Repl(Vec<u8>),
+    /// Backpressure: over the connection, in-flight or tenant quota.
+    /// Retry later; nothing was evaluated.
+    Busy(String),
+    /// The request was understood but failed server-side.
+    Err(String),
+}
+
+const REQ_PING: u8 = 1;
+const REQ_ROLLUP: u8 = 2;
+const REQ_REPL: u8 = 3;
+
+const REPLY_PONG: u8 = 1;
+const REPLY_ROWS: u8 = 2;
+const REPLY_REPL: u8 = 3;
+const REPLY_BUSY: u8 = 4;
+const REPLY_ERR: u8 = 5;
+
+fn level_code(level: TimeLevel) -> u8 {
+    match level {
+        TimeLevel::TimeId => 0,
+        TimeLevel::Minute => 1,
+        TimeLevel::Hour => 2,
+        TimeLevel::Day => 3,
+        TimeLevel::Month => 4,
+        TimeLevel::Year => 5,
+        TimeLevel::TimeOfDayLevel => 6,
+        TimeLevel::DayOfWeekLevel => 7,
+        TimeLevel::TypeOfDayLevel => 8,
+        TimeLevel::All => 9,
+    }
+}
+
+fn level_from(code: u8) -> Result<TimeLevel> {
+    Ok(match code {
+        0 => TimeLevel::TimeId,
+        1 => TimeLevel::Minute,
+        2 => TimeLevel::Hour,
+        3 => TimeLevel::Day,
+        4 => TimeLevel::Month,
+        5 => TimeLevel::Year,
+        6 => TimeLevel::TimeOfDayLevel,
+        7 => TimeLevel::DayOfWeekLevel,
+        8 => TimeLevel::TypeOfDayLevel,
+        9 => TimeLevel::All,
+        c => return Err(wire_corrupt(format!("unknown time level code {c}"))),
+    })
+}
+
+fn agg_code(f: AggFn) -> u8 {
+    match f {
+        AggFn::Min => 0,
+        AggFn::Max => 1,
+        AggFn::Count => 2,
+        AggFn::Sum => 3,
+        AggFn::Avg => 4,
+    }
+}
+
+fn agg_from(code: u8) -> Result<AggFn> {
+    Ok(match code {
+        0 => AggFn::Min,
+        1 => AggFn::Max,
+        2 => AggFn::Count,
+        3 => AggFn::Sum,
+        4 => AggFn::Avg,
+        c => return Err(wire_corrupt(format!("unknown aggregate code {c}"))),
+    })
+}
+
+fn measure_code(m: Measure) -> u8 {
+    match m {
+        Measure::X => 0,
+        Measure::Y => 1,
+    }
+}
+
+fn measure_from(code: u8) -> Result<Measure> {
+    Ok(match code {
+        0 => Measure::X,
+        1 => Measure::Y,
+        c => return Err(wire_corrupt(format!("unknown measure code {c}"))),
+    })
+}
+
+/// Encodes a request as one CRC frame ready for the socket.
+pub fn encode_request(req: &ServeRequest) -> Vec<u8> {
+    let mut e = Enc::new();
+    match req {
+        ServeRequest::Ping { tenant } => {
+            e.u8(REQ_PING);
+            e.str(tenant);
+        }
+        ServeRequest::Rollup { tenant, query } => {
+            e.u8(REQ_ROLLUP);
+            e.str(tenant);
+            e.u8(level_code(query.level));
+            e.u8(measure_code(query.measure));
+            e.u8(agg_code(query.f));
+            match query.between {
+                None => e.u8(0),
+                Some((a, b)) => {
+                    e.u8(1);
+                    e.i64(a.0);
+                    e.i64(b.0);
+                }
+            }
+        }
+        ServeRequest::Repl { tenant, request } => {
+            e.u8(REQ_REPL);
+            e.str(tenant);
+            e.bytes(request);
+        }
+    }
+    frame(&e.into_bytes())
+}
+
+/// Decodes a request payload (server side, envelope already stripped
+/// and CRC-checked by [`read_message`]).
+pub fn decode_request(payload: &[u8]) -> Result<ServeRequest> {
+    let mut d = Dec::new(payload, WIRE);
+    let tag = d.u8()?;
+    let tenant = d.str()?;
+    let req = match tag {
+        REQ_PING => ServeRequest::Ping { tenant },
+        REQ_ROLLUP => {
+            let level = level_from(d.u8()?)?;
+            let measure = measure_from(d.u8()?)?;
+            let f = agg_from(d.u8()?)?;
+            let between = match d.u8()? {
+                0 => None,
+                1 => Some((TimeId(d.i64()?), TimeId(d.i64()?))),
+                c => return Err(wire_corrupt(format!("bad between flag {c}"))),
+            };
+            ServeRequest::Rollup {
+                tenant,
+                query: RollupQuery {
+                    level,
+                    measure,
+                    f,
+                    between,
+                },
+            }
+        }
+        REQ_REPL => ServeRequest::Repl {
+            tenant,
+            request: d.bytes()?.to_vec(),
+        },
+        t => return Err(wire_corrupt(format!("unknown request tag {t}"))),
+    };
+    d.finish()?;
+    Ok(req)
+}
+
+/// Encodes a reply as one CRC frame ready for the socket.
+pub fn encode_reply(reply: &ServeReply) -> Vec<u8> {
+    let mut e = Enc::new();
+    match reply {
+        ServeReply::Pong => e.u8(REPLY_PONG),
+        ServeReply::Rows(rows) => {
+            e.u8(REPLY_ROWS);
+            e.u64(rows.len() as u64);
+            for row in rows {
+                e.i64(row.granule);
+                match row.geo {
+                    None => e.u8(0),
+                    Some(g) => {
+                        e.u8(1);
+                        e.u32(g);
+                    }
+                }
+                e.u64(row.value.to_bits());
+            }
+        }
+        ServeReply::Repl(bytes) => {
+            e.u8(REPLY_REPL);
+            e.bytes(bytes);
+        }
+        ServeReply::Busy(detail) => {
+            e.u8(REPLY_BUSY);
+            e.str(detail);
+        }
+        ServeReply::Err(detail) => {
+            e.u8(REPLY_ERR);
+            e.str(detail);
+        }
+    }
+    frame(&e.into_bytes())
+}
+
+/// Per-row wire cost: granule `i64` + geo flag byte + value bits. A
+/// rows reply declaring more rows than `remaining / MIN_ROW` is lying.
+const MIN_ROW: usize = 8 + 1 + 8;
+
+/// Decodes a reply payload (client side, envelope already stripped).
+pub fn decode_reply(payload: &[u8]) -> Result<ServeReply> {
+    let mut d = Dec::new(payload, WIRE);
+    let reply = match d.u8()? {
+        REPLY_PONG => ServeReply::Pong,
+        REPLY_ROWS => {
+            let count = d.u64()?;
+            if count.saturating_mul(MIN_ROW as u64) > d.remaining() as u64 {
+                return Err(wire_corrupt(format!(
+                    "rows reply declares {count} rows but only {} payload bytes remain",
+                    d.remaining()
+                )));
+            }
+            let mut rows = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let granule = d.i64()?;
+                let geo = match d.u8()? {
+                    0 => None,
+                    1 => Some(d.u32()?),
+                    c => return Err(wire_corrupt(format!("bad geo flag {c}"))),
+                };
+                let value = f64::from_bits(d.u64()?);
+                rows.push(RollupRow {
+                    granule,
+                    geo,
+                    value,
+                });
+            }
+            ServeReply::Rows(rows)
+        }
+        REPLY_REPL => ServeReply::Repl(d.bytes()?.to_vec()),
+        REPLY_BUSY => ServeReply::Busy(d.str()?),
+        REPLY_ERR => ServeReply::Err(d.str()?),
+        t => return Err(wire_corrupt(format!("unknown reply tag {t}"))),
+    };
+    d.finish()?;
+    Ok(reply)
+}
+
+/// Writes one framed message to the socket.
+pub fn write_message(w: &mut impl Write, framed: &[u8]) -> io::Result<()> {
+    w.write_all(framed)?;
+    w.flush()
+}
+
+/// Reads one framed message off the socket and returns its CRC-checked
+/// payload. `Ok(None)` is clean end-of-stream (peer closed between
+/// messages); a length prefix beyond [`MAX_MESSAGE`], a short read
+/// mid-frame, or a checksum mismatch is `InvalidData`.
+pub fn read_message(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_MESSAGE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("message length {len} exceeds the {MAX_MESSAGE}-byte cap"),
+        ));
+    }
+    let mut rest = vec![0u8; len as usize + 4];
+    r.read_exact(&mut rest)?;
+    let mut full = Vec::with_capacity(8 + len as usize);
+    full.extend_from_slice(&len_bytes);
+    full.extend_from_slice(&rest);
+    match read_frame(&full) {
+        FrameRead::Ok { payload, rest: [] } => Ok(Some(payload.to_vec())),
+        FrameRead::Ok { .. } => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes inside message envelope",
+        )),
+        FrameRead::End => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "empty message envelope",
+        )),
+        FrameRead::Torn { detail } => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("torn message: {detail}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_rows() -> Vec<RollupRow> {
+        vec![
+            RollupRow {
+                granule: -3,
+                geo: None,
+                value: 1.5,
+            },
+            RollupRow {
+                granule: 490_000,
+                geo: Some(7),
+                value: f64::from_bits(0x7ff8_0000_0000_0001), // a NaN payload
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            ServeRequest::Ping {
+                tenant: "acme".into(),
+            },
+            ServeRequest::Rollup {
+                tenant: "t-1".into(),
+                query: RollupQuery::new(TimeLevel::Day, Measure::Y, AggFn::Avg)
+                    .between(TimeId(3600), TimeId(7200)),
+            },
+            ServeRequest::Repl {
+                tenant: "x".into(),
+                request: vec![1, 2, 3, 255],
+            },
+        ];
+        for req in reqs {
+            let framed = encode_request(&req);
+            let payload = read_message(&mut framed.as_slice())
+                .unwrap()
+                .expect("one message");
+            assert_eq!(decode_request(&payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip_bit_identically() {
+        let replies = [
+            ServeReply::Pong,
+            ServeReply::Rows(sample_rows()),
+            ServeReply::Repl(vec![9; 40]),
+            ServeReply::Busy("over quota".into()),
+            ServeReply::Err("no such tenant".into()),
+        ];
+        for reply in replies {
+            let framed = encode_reply(&reply);
+            let payload = read_message(&mut framed.as_slice())
+                .unwrap()
+                .expect("one message");
+            let decoded = decode_reply(&payload).unwrap();
+            match (&decoded, &reply) {
+                (ServeReply::Rows(got), ServeReply::Rows(want)) => {
+                    // NaN-safe bit comparison: the wire must preserve the
+                    // exact IEEE-754 pattern, not just PartialEq.
+                    assert_eq!(got.len(), want.len());
+                    for (g, w) in got.iter().zip(want) {
+                        assert_eq!(g.granule, w.granule);
+                        assert_eq!(g.geo, w.geo);
+                        assert_eq!(g.value.to_bits(), w.value.to_bits());
+                    }
+                }
+                _ => assert_eq!(decoded, reply),
+            }
+        }
+    }
+
+    #[test]
+    fn every_level_and_aggregate_roundtrips() {
+        let levels = [
+            TimeLevel::TimeId,
+            TimeLevel::Minute,
+            TimeLevel::Hour,
+            TimeLevel::Day,
+            TimeLevel::Month,
+            TimeLevel::Year,
+            TimeLevel::TimeOfDayLevel,
+            TimeLevel::DayOfWeekLevel,
+            TimeLevel::TypeOfDayLevel,
+            TimeLevel::All,
+        ];
+        let aggs = [AggFn::Min, AggFn::Max, AggFn::Count, AggFn::Sum, AggFn::Avg];
+        for level in levels {
+            for f in aggs {
+                for measure in [Measure::X, Measure::Y] {
+                    assert_eq!(level_from(level_code(level)).unwrap(), level);
+                    assert_eq!(agg_from(agg_code(f)).unwrap(), f);
+                    assert_eq!(measure_from(measure_code(measure)).unwrap(), measure);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut bytes = (MAX_MESSAGE + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        let err = read_message(&mut bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn implausible_row_count_fails_fast() {
+        let mut e = Enc::new();
+        e.u8(REPLY_ROWS);
+        e.u64(u64::MAX / 32);
+        let err = decode_reply(&e.into_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declares"), "{err}");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_message(&mut [].as_slice()).unwrap().is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn flipped_message_bytes_never_pass(idx in 0usize..200, bit in 0u8..8) {
+            let reply = ServeReply::Rows(sample_rows());
+            let mut framed = encode_reply(&reply);
+            let idx = idx % framed.len();
+            framed[idx] ^= 1 << bit;
+            // Either the envelope rejects it, or (if the flip landed in
+            // the length prefix making it longer) the read runs short.
+            if let Ok(Some(payload)) = read_message(&mut framed.as_slice()) {
+                prop_assert!(decode_reply(&payload).is_err());
+            }
+        }
+
+        #[test]
+        fn truncated_messages_never_panic(cut in 0usize..100) {
+            let framed = encode_request(&ServeRequest::Rollup {
+                tenant: "acme".into(),
+                query: RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Sum),
+            });
+            let cut = cut % framed.len();
+            if let Ok(Some(payload)) = read_message(&mut &framed[..cut]) {
+                prop_assert!(decode_request(&payload).is_err());
+            }
+        }
+    }
+}

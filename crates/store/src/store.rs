@@ -158,7 +158,7 @@ impl StoreStats {
     pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
         for (field, value) in self.fields() {
             let name = format!("gisolap_store_{field}_total");
-            registry.set_counter(&name, "Durable segment store counter.", &[], value as f64);
+            registry.set_counter_u64(&name, "Durable segment store counter.", &[], value);
         }
     }
 }

@@ -69,11 +69,14 @@ pub struct WalScan {
 /// distinguishes two failure shapes:
 ///
 /// * the **first** entry not matching `start_seq` is
-///   [`StoreError::StaleCursor`] — the reader's position is wrong (e.g.
-///   a replication cursor that predates this rotated generation), and
-///   the right response is to re-seek or fall back to a snapshot;
-/// * a jump **between** entries is [`StoreError::SequenceGap`] — frames
-///   are checksum-valid but non-contiguous, which is real corruption.
+///   [`StoreError::StaleCursor`](crate::StoreError::StaleCursor) — the
+///   reader's position is wrong (e.g. a replication cursor that
+///   predates this rotated generation), and the right response is to
+///   re-seek or fall back to a snapshot;
+/// * a jump **between** entries is
+///   [`StoreError::SequenceGap`](crate::StoreError::SequenceGap) —
+///   frames are checksum-valid but non-contiguous, which is real
+///   corruption.
 pub fn scan(vfs: &dyn Vfs, path: &Path, start_seq: u64) -> Result<WalScan> {
     let name = path
         .file_name()

@@ -53,7 +53,7 @@ impl IngestStats {
     pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
         for (field, value) in self.fields() {
             let name = format!("gisolap_ingest_{field}_total");
-            registry.set_counter(&name, "Streaming ingest counter.", &[], value as f64);
+            registry.set_counter_u64(&name, "Streaming ingest counter.", &[], value);
         }
     }
 }

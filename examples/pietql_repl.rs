@@ -10,8 +10,11 @@
 //! and catches an in-memory [`Follower`] up to it through a
 //! deliberately lossy [`FaultTransport`] — a one-command demo that the
 //! replica converges bit-identically despite drops, duplicates and bit
-//! flips. Reads from stdin; with no terminal attached it runs a demo
-//! script instead.
+//! flips. A fourth, `\connect <addr> <tenant>`, does the same catch-up
+//! cross-process: it tails a tenant's store behind a running
+//! `gisolap-serve` server over a real TCP socket via [`TcpTransport`].
+//! Reads from stdin; with no terminal attached it runs a demo script
+//! instead.
 //!
 //! Run with: `cargo run --bin pietql_repl`
 
@@ -27,6 +30,7 @@ use gisolap_pietql::{parse, QueryOutput};
 use gisolap_repl::{
     DirectTransport, FaultConfig, FaultTransport, Follower, FollowerConfig, Leader,
 };
+use gisolap_serve::{Client, ServeConfig, Server, TcpTransport};
 use gisolap_store::{DurableIngest, RealFs, ScratchDir, StoreConfig};
 use gisolap_stream::StreamConfig;
 use gisolap_traj::Moft;
@@ -219,8 +223,47 @@ fn follow(dir: &Path) -> Result<(Moft, Vec<String>), String> {
     Ok((moft, lines))
 }
 
+/// `\connect <addr> <tenant>`: tails `tenant`'s store behind the
+/// `gisolap-serve` server at `addr` over a real TCP socket. A fresh
+/// in-memory [`Follower`] rides a [`TcpTransport`] until it is caught
+/// up; its snapshot becomes the session MOFT — the same convergence
+/// contract as `\follow`, but cross-process.
+fn connect(addr: &str, tenant: &str) -> Result<(Moft, Vec<String>), String> {
+    let fail = |cause: String| format!("connect failed for {addr}: {cause}");
+    // Probe first: a refused connection or an inadmissible tenant name
+    // should answer in one line, not after a retry/backoff loop.
+    let mut probe = Client::connect(addr).map_err(|e| fail(e.to_string()))?;
+    probe.ping(tenant).map_err(|e| fail(e.to_string()))?;
+    drop(probe);
+
+    let config = FollowerConfig {
+        backoff_base_ms: 1,
+        backoff_max_ms: 10,
+        ..FollowerConfig::default()
+    };
+    let mut follower = Follower::memory(TcpTransport::new(addr, tenant), None, config);
+    follower.sync(1000).map_err(|e| fail(e.to_string()))?;
+    let snapshot = follower.snapshot().map_err(|e| fail(e.to_string()))?;
+    let moft = snapshot.moft().clone();
+    let s = follower.stats();
+    let lines = vec![
+        format!(
+            "connected to {addr}, tenant '{tenant}': replica at seq {} ({} records)",
+            follower.cursor(),
+            moft.records().len(),
+        ),
+        format!(
+            "caught up over TCP: {} polls, {} entries applied, {} retries, \
+             {} snapshots installed",
+            s.polls, s.entries_applied, s.retries, s.snapshots_installed,
+        ),
+    ];
+    Ok((moft, lines))
+}
+
 /// Dispatches one REPL line: a `\`-meta-command or a Piet-QL query.
-/// Returns the new MOFT when a `\load` or `\follow` replaced it.
+/// Returns the new MOFT when a `\load`, `\follow` or `\connect`
+/// replaced it.
 fn handle_line(gis: &Gis, moft: &Moft, line: &str) -> Option<Moft> {
     if let Some(rest) = line.strip_prefix("\\save") {
         let dir = rest.trim();
@@ -255,6 +298,24 @@ fn handle_line(gis: &Gis, moft: &Moft, line: &str) -> Option<Moft> {
             return None;
         }
         match follow(Path::new(dir)) {
+            Ok((replica, lines)) => {
+                for line in lines {
+                    println!("  {line}");
+                }
+                Some(replica)
+            }
+            Err(line) => {
+                println!("  {line}");
+                None
+            }
+        }
+    } else if let Some(rest) = line.strip_prefix("\\connect") {
+        let mut parts = rest.split_whitespace();
+        let (Some(addr), Some(tenant), None) = (parts.next(), parts.next(), parts.next()) else {
+            println!("  usage: \\connect <addr> <tenant>");
+            return None;
+        };
+        match connect(addr, tenant) {
             Ok((replica, lines)) => {
                 for line in lines {
                     println!("  {line}");
@@ -310,6 +371,28 @@ fn main() {
             }
             println!();
         }
+        // Serve the session MOFT over TCP and re-tail it cross-process
+        // style: the network front door end to end in one command.
+        let config = ServeConfig::from_env(
+            StreamConfig::new(0, 3600).expect("valid stream config"),
+            StoreConfig::from_env(),
+        );
+        let mut server =
+            Server::bind("127.0.0.1:0", scratch.path(), config).expect("bind demo server");
+        {
+            let leader = server.leader("fig1").expect("open demo tenant");
+            let mut l = leader.lock().expect("demo leader lock");
+            l.ingest(moft.records()).expect("seed demo tenant");
+            l.finish().expect("finish demo tenant");
+            l.flush().expect("flush demo tenant");
+        }
+        let cmd = format!("\\connect {} fig1", server.addr());
+        println!("piet> {cmd}");
+        if let Some(replica) = handle_line(&s.gis, &moft, &cmd) {
+            moft = replica;
+        }
+        server.stop();
+        println!();
         // The recovered MOFT answers queries identically.
         println!("piet> {}", DEMO[0]);
         handle_line(&s.gis, &moft, DEMO[0]);
@@ -317,8 +400,8 @@ fn main() {
     }
 
     println!(
-        "Enter Piet-QL queries, \\save <dir>, \\load <dir> or \\follow <dir> \
-         (empty line or Ctrl-D to quit).\n"
+        "Enter Piet-QL queries, \\save <dir>, \\load <dir>, \\follow <dir> or \
+         \\connect <addr> <tenant> (empty line or Ctrl-D to quit).\n"
     );
     let mut lines = stdin.lock().lines();
     loop {
@@ -385,6 +468,54 @@ mod tests {
         let (loaded, line) = load(&dir).expect("load succeeds");
         assert_eq!(loaded.records().len(), s.moft.records().len());
         assert!(line.starts_with("loaded "));
+    }
+
+    /// `\connect` against a refused address must fail with a one-line
+    /// message naming both the address and the cause.
+    #[test]
+    fn connect_error_names_addr_and_cause() {
+        // Port 1 on localhost: connection refused immediately.
+        let err = connect("127.0.0.1:1", "fig1").expect_err("refused connect must fail");
+        assert!(!err.contains('\n'), "one line, got: {err:?}");
+        assert!(
+            err.starts_with("connect failed for 127.0.0.1:1: "),
+            "actionable: {err}"
+        );
+    }
+
+    /// `\connect` refuses inadmissible tenant names in one line, and
+    /// against a served tenant it converges a replica with the same
+    /// record count over a real socket.
+    #[test]
+    fn connect_vets_tenants_and_converges() {
+        let s = Fig1Scenario::build();
+        let scratch = ScratchDir::new("pietql-connect-smoke");
+        let config = ServeConfig::from_env(
+            StreamConfig::new(0, 3600).expect("valid stream config"),
+            StoreConfig::from_env(),
+        );
+        let mut server =
+            Server::bind("127.0.0.1:0", scratch.path(), config).expect("bind smoke server");
+        {
+            let leader = server.leader("fig1").expect("open smoke tenant");
+            let mut l = leader.lock().expect("smoke leader lock");
+            l.ingest(s.moft.records()).expect("seed smoke tenant");
+            l.finish().expect("finish smoke tenant");
+            l.flush().expect("flush smoke tenant");
+        }
+        let addr = server.addr().to_string();
+
+        let err = connect(&addr, "../escape").expect_err("inadmissible tenant must fail");
+        assert!(!err.contains('\n'), "one line, got: {err:?}");
+        assert!(
+            err.starts_with(&format!("connect failed for {addr}: ")),
+            "actionable: {err}"
+        );
+
+        let (replica, lines) = connect(&addr, "fig1").expect("connect converges");
+        assert_eq!(replica.records().len(), s.moft.records().len());
+        assert!(lines[0].starts_with("connected to "), "{lines:?}");
+        server.stop();
     }
 
     /// `\follow` on a missing store reports path + cause; on a saved

@@ -225,6 +225,26 @@ fn observability_doc_covers_every_repl_stat_field() {
 }
 
 #[test]
+fn observability_doc_covers_every_serve_stat_field() {
+    let doc = include_str!("../../OBSERVABILITY.md");
+    let stats = gisolap_serve::ServeStats::default();
+    let missing: Vec<&str> = stats
+        .fields()
+        .iter()
+        .map(|(name, _)| *name)
+        .filter(|name| !doc.contains(name))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "OBSERVABILITY.md does not document serving counters: {missing:?}"
+    );
+    assert!(
+        doc.contains("gisolap_serve_<field>_total"),
+        "OBSERVABILITY.md missing `gisolap_serve_<field>_total`"
+    );
+}
+
+#[test]
 fn observability_doc_covers_every_repl_span_name() {
     let doc = include_str!("../../OBSERVABILITY.md");
     for span in [

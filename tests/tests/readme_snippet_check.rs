@@ -101,6 +101,71 @@ fn readme_observability_snippet_compiles_and_runs() {
 }
 
 #[test]
+fn readme_serving_snippet_compiles_and_runs() {
+    use gisolap_datagen::{replay_fig1, ReplayConfig};
+    use gisolap_olap::{agg::AggFn, time::TimeLevel};
+    use gisolap_repl::{Follower, FollowerConfig};
+    use gisolap_serve::{Client, ServeConfig, Server, TcpTransport};
+    use gisolap_store::{ScratchDir, StoreConfig};
+    use gisolap_stream::{Measure, RollupQuery, StreamConfig, StreamIngest};
+
+    // Setup from the streaming snippet: batches and the expected rollup.
+    let (_s, batches) = replay_fig1(&ReplayConfig {
+        shuffle_seconds: 120,
+        batch_size: 8,
+        seed: 1,
+    });
+    let q = RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Count);
+    let mut reference = StreamIngest::new(StreamConfig::new(120, 3600).unwrap()).unwrap();
+    for batch in &batches {
+        reference.ingest(batch);
+    }
+    let per_hour = reference.rollup(&q).unwrap();
+
+    // README uses a fixed temp-dir name; the test needs a unique one.
+    let scratch = ScratchDir::new("readme-serve-snippet");
+    let root = scratch.path().to_path_buf();
+
+    // --- the README snippet, verbatim from here ---
+    let config = ServeConfig::from_env(
+        StreamConfig::new(120, 3600).unwrap(),
+        StoreConfig::from_env(),
+    );
+    let mut server = Server::bind("127.0.0.1:0", &root, config).unwrap();
+
+    // Tenant stores open lazily (create-or-recover) on first touch.
+    let leader = server.leader("acme").unwrap();
+    {
+        let mut l = leader.lock().unwrap();
+        for batch in &batches {
+            l.ingest(batch).unwrap();
+        }
+        l.flush().unwrap();
+    }
+
+    // A client evaluates rollups over the socket — values travel as
+    // IEEE-754 bit patterns, so the answer is bit-identical.
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(client.rollup("acme", &q).unwrap(), per_hour);
+
+    // And a follower tails the served leader cross-process: TcpTransport
+    // is the same `Transport` the in-process stack uses, so retry,
+    // backoff and convergence carry over a real socket unchanged.
+    let transport = TcpTransport::new(server.addr().to_string(), "acme");
+    // Not in the README (it would only slow the prose down): the test
+    // disables backoff sleeps to stay fast.
+    let follower_config = FollowerConfig {
+        backoff_base_ms: 0,
+        ..FollowerConfig::default()
+    };
+    let mut follower = Follower::memory(transport, None, follower_config);
+    follower.sync(1000).unwrap();
+    assert_eq!(follower.rollup(&q).unwrap(), per_hour);
+
+    server.stop(); // EOFs every connection at a message boundary, joins workers
+}
+
+#[test]
 fn readme_replication_snippet_compiles_and_runs() {
     use gisolap_datagen::{replay_fig1, ReplayConfig};
     use gisolap_olap::{agg::AggFn, time::TimeLevel};

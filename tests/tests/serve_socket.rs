@@ -1,0 +1,374 @@
+//! End-to-end tests of the network front door: real sockets, real
+//! per-tenant stores, a real follower tailing a served leader.
+//!
+//! The acceptance bar (`DESIGN.md` §5g): a durable follower replicating
+//! over [`TcpTransport`] — including one forced server shutdown and
+//! restart mid-catch-up — converges **bit-identically** both to the
+//! leader and to an in-process follower tailing the same leader through
+//! the [`FaultTransport`] path, and the server's backpressure caps
+//! answer explicit `Busy` instead of silently dropping work.
+
+use std::sync::Arc;
+
+use gisolap_datagen::movers::RandomWaypoint;
+use gisolap_datagen::{CityConfig, CityScenario};
+use gisolap_olap::agg::AggFn;
+use gisolap_olap::time::TimeLevel;
+use gisolap_repl::{
+    DirectTransport, FaultConfig, FaultTransport, Follower, FollowerConfig, Transport,
+};
+use gisolap_serve::{Client, ClientError, Endpoint, ServeConfig, Server, TcpTransport};
+use gisolap_store::{RealFs, ScratchDir, StoreConfig, SyncPolicy};
+use gisolap_stream::{Measure, RollupQuery, StreamConfig, StreamIngest};
+use gisolap_traj::{Moft, Record};
+
+fn workload(seed: u64) -> Moft {
+    let city = CityScenario::generate(CityConfig {
+        blocks_x: 2,
+        blocks_y: 2,
+        seed,
+        ..CityConfig::default()
+    });
+    RandomWaypoint {
+        seed: seed.wrapping_add(1),
+        ..RandomWaypoint::new(city.bbox, 6, 24)
+    }
+    .generate(0)
+}
+
+fn store_config(retain: usize) -> StoreConfig {
+    StoreConfig {
+        sync: SyncPolicy::Never,
+        retain_wal_generations: retain,
+        ..StoreConfig::default()
+    }
+}
+
+fn serve_config(retain: usize) -> ServeConfig {
+    ServeConfig::with_caps(
+        StreamConfig::new(0, 3600).unwrap(),
+        store_config(retain),
+        16, // max_conns
+        8,  // max_inflight
+        0,  // tenant quota off
+    )
+}
+
+fn follower_config() -> FollowerConfig {
+    FollowerConfig {
+        backoff_base_ms: 0, // deterministic tests never benefit from sleeping
+        max_batch: 4,       // small batches force multi-round catch-up
+        ..FollowerConfig::default()
+    }
+}
+
+/// Every-level, every-aggregate rollup bits of a pipeline.
+fn rollup_bits(pipeline: &StreamIngest) -> Vec<(i64, Option<u32>, u64)> {
+    let mut out = Vec::new();
+    for level in [TimeLevel::Hour, TimeLevel::Day] {
+        for measure in [Measure::X, Measure::Y] {
+            for f in [AggFn::Count, AggFn::Sum, AggFn::Avg, AggFn::Min, AggFn::Max] {
+                let q = RollupQuery::new(level, measure, f);
+                out.extend(
+                    pipeline
+                        .rollup(&q)
+                        .unwrap()
+                        .into_iter()
+                        .map(|r| (r.granule, r.geo, r.value.to_bits())),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn rollup_and_ping_over_socket() {
+    let root = ScratchDir::new("serve-rollup");
+    let mut server = Server::bind("127.0.0.1:0", root.path(), serve_config(0)).unwrap();
+
+    // Feed the tenant's store through the same leader the server
+    // serves from, so the write is immediately visible to clients.
+    let leader = server.leader("acme").unwrap();
+    let moft = workload(11);
+    leader.lock().unwrap().ingest(moft.records()).unwrap();
+    leader.lock().unwrap().finish().unwrap();
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.ping("acme").unwrap();
+
+    let q = RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Sum);
+    let served = client.rollup("acme", &q).unwrap();
+    let direct = leader.lock().unwrap().rollup(&q).unwrap();
+    assert!(!served.is_empty());
+    assert_eq!(served.len(), direct.len());
+    for (s, d) in served.iter().zip(&direct) {
+        assert_eq!(s.granule, d.granule);
+        assert_eq!(s.geo, d.geo);
+        assert_eq!(s.value.to_bits(), d.value.to_bits(), "served bits differ");
+    }
+
+    // A second tenant is an independent store: empty rollup, no bleed.
+    assert!(client.rollup("other", &q).unwrap().is_empty());
+
+    let stats = server.stop();
+    assert!(stats.rollup_requests >= 2);
+    assert_eq!(stats.ping_requests, 1);
+    assert_eq!(stats.busy_rejections, 0);
+}
+
+#[test]
+fn inadmissible_tenants_are_refused() {
+    let root = ScratchDir::new("serve-tenant");
+    let server = Server::bind("127.0.0.1:0", root.path(), serve_config(0)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let q = RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Count);
+    for tenant in ["../escape", "a/b", ""] {
+        match client.rollup(tenant, &q) {
+            Err(ClientError::Remote(detail)) => {
+                assert!(detail.contains("inadmissible"), "{detail}")
+            }
+            other => panic!("tenant {tenant:?}: expected Remote error, got {other:?}"),
+        }
+    }
+    // No store directory was created for any of them.
+    assert_eq!(std::fs::read_dir(root.path()).unwrap().count(), 0);
+}
+
+#[test]
+fn connection_cap_answers_busy_then_closes() {
+    let root = ScratchDir::new("serve-conncap");
+    let config = ServeConfig::with_caps(
+        StreamConfig::new(0, 3600).unwrap(),
+        store_config(0),
+        1, // exactly one admitted connection
+        8,
+        0,
+    );
+    let mut server = Server::bind("127.0.0.1:0", root.path(), config).unwrap();
+    let mut first = Client::connect(server.addr()).unwrap();
+    first.ping("acme").unwrap(); // the admitted one works
+
+    let mut second = Client::connect(server.addr()).unwrap();
+    match second.ping("acme") {
+        Err(ClientError::Busy(detail)) => assert!(detail.contains("connections"), "{detail}"),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    let stats = server.stop();
+    assert_eq!(stats.connections_accepted, 1);
+    assert_eq!(stats.connections_rejected, 1);
+}
+
+#[test]
+fn tenant_quota_sheds_load_per_tenant() {
+    let root = ScratchDir::new("serve-quota");
+    let config = ServeConfig::with_caps(
+        StreamConfig::new(0, 3600).unwrap(),
+        store_config(0),
+        16,
+        16,
+        1, // one in-flight request per tenant
+    );
+    let mut server = Server::bind("127.0.0.1:0", root.path(), config).unwrap();
+
+    // Hold tenant "hog"'s only slot by parking a slow request: a rollup
+    // over a big-enough store is not reliably slow, so instead pin the
+    // leader lock from the test while a second thread sends a request.
+    let leader = server.leader("hog").unwrap();
+    let moft = workload(7);
+    leader.lock().unwrap().ingest(moft.records()).unwrap();
+
+    let addr = server.addr();
+    let guard = leader.lock().unwrap(); // evaluation will block on this
+    let hog = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let q = RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Count);
+        c.rollup("hog", &q).map(|rows| rows.len())
+    });
+    // Wait until the parked request holds the tenant slot.
+    let t0 = std::time::Instant::now();
+    while server.stats().rollup_requests == 0 {
+        assert!(t0.elapsed().as_secs() < 10, "parked request never arrived");
+        std::thread::yield_now();
+    }
+
+    // Same tenant: quota bounces it. Other tenant: proceeds.
+    let mut c2 = Client::connect(addr).unwrap();
+    match c2.ping("hog") {
+        Err(ClientError::Busy(detail)) => assert!(detail.contains("quota"), "{detail}"),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    c2.ping("polite").unwrap();
+
+    drop(guard); // release the leader; the parked rollup completes
+    assert!(hog.join().unwrap().unwrap() > 0);
+
+    let stats = server.stop();
+    assert_eq!(stats.quota_rejections, 1);
+}
+
+/// The tentpole acceptance test: a durable follower tails a TCP-served
+/// leader, the server is killed and restarted mid-catch-up, and the
+/// follower still converges bit-identically — matched against an
+/// in-process follower running the `FaultTransport` path on the same
+/// leader.
+#[test]
+fn follower_converges_over_tcp_with_forced_disconnect() {
+    let root = ScratchDir::new("serve-repl-root");
+    let follower_home = ScratchDir::new("serve-repl-follower");
+    let tenant = "acme";
+    let retain = 4;
+
+    let mut server = Server::bind("127.0.0.1:0", root.path(), serve_config(retain)).unwrap();
+    let endpoint = Endpoint::new(server.addr().to_string());
+
+    // Phase 1: half the workload, flushed once (rotating the WAL under
+    // the follower's feet).
+    let moft = workload(23);
+    let records: Vec<Record> = moft.records().to_vec();
+    let half = records.len() / 2;
+    {
+        let leader = server.leader(tenant).unwrap();
+        let mut l = leader.lock().unwrap();
+        for batch in records[..half].chunks(5) {
+            l.ingest(batch).unwrap();
+        }
+        l.flush().unwrap();
+    }
+
+    let transport = TcpTransport::with_endpoint(endpoint.clone(), tenant);
+    let mut follower = Follower::durable(
+        transport,
+        Arc::new(RealFs),
+        follower_home.path(),
+        store_config(0),
+        None,
+        follower_config(),
+    )
+    .unwrap();
+
+    // Partial catch-up only: with max_batch=4 the follower is provably
+    // mid-stream when the server dies.
+    for _ in 0..3 {
+        follower.poll().unwrap();
+    }
+    let cursor_before = follower.cursor();
+    assert!(cursor_before > 0, "follower should have started applying");
+
+    // Forced disconnect: the server stops (shutting down the live
+    // socket). Polls now fail as transport errors — counted, retried,
+    // never fatal.
+    server.stop();
+    drop(server);
+    let errors_before = follower.stats().transport_errors;
+    for _ in 0..2 {
+        follower.poll().unwrap();
+    }
+    assert!(
+        follower.stats().transport_errors > errors_before,
+        "polls against a dead server must count transport errors"
+    );
+    assert_eq!(follower.cursor(), cursor_before, "no progress while down");
+
+    // Restart: a new server over the same store root (recovery path),
+    // on a fresh port; the shared endpoint repoints the follower.
+    let mut server = Server::bind("127.0.0.1:0", root.path(), serve_config(retain)).unwrap();
+    endpoint.set(server.addr().to_string());
+
+    // Phase 2: the rest of the workload arrives after the restart.
+    let leader = server.leader(tenant).unwrap();
+    {
+        let mut l = leader.lock().unwrap();
+        for batch in records[half..].chunks(7) {
+            l.ingest(batch).unwrap();
+        }
+        l.finish().unwrap();
+        l.flush().unwrap();
+    }
+
+    // The follower reconnects and converges.
+    let target = leader.lock().unwrap().next_seq();
+    follower.sync(10_000).unwrap();
+    assert!(follower.caught_up());
+    assert_eq!(follower.cursor(), target);
+
+    // Reference replica: in-process, same leader, through the
+    // fault-injection transport (a few drops to keep it honest).
+    let fault = FaultTransport::new(
+        DirectTransport::new(leader.clone()),
+        FaultConfig {
+            drop_permille: 150,
+            seed: 42,
+            ..FaultConfig::default()
+        },
+    );
+    let mut reference = Follower::memory(fault, None, follower_config());
+    reference.sync(10_000).unwrap();
+    assert!(reference.caught_up());
+
+    // Bit-identity, three ways: TCP follower vs leader, and TCP
+    // follower vs the in-process FaultTransport follower.
+    let tcp_pipeline = follower.pipeline().expect("tcp follower bootstrapped");
+    let ref_pipeline = reference.pipeline().expect("reference bootstrapped");
+    let leader_guard = leader.lock().unwrap();
+    let leader_bits = rollup_bits(leader_guard.durable().pipeline());
+    assert!(!leader_bits.is_empty());
+    assert_eq!(rollup_bits(tcp_pipeline), leader_bits);
+    assert_eq!(rollup_bits(ref_pipeline), leader_bits);
+    drop(leader_guard);
+
+    let stats = server.stop();
+    assert!(stats.repl_requests > 0, "replication must go over TCP");
+}
+
+/// A busy server answers `Busy`, and the transport maps it to a
+/// retryable `Unavailable` — load shedding never kills replication.
+#[test]
+fn busy_reply_is_retryable_for_transports() {
+    let root = ScratchDir::new("serve-busy");
+    let config = ServeConfig::with_caps(
+        StreamConfig::new(0, 3600).unwrap(),
+        store_config(0),
+        16,
+        16,
+        1, // quota of one: the parked request saturates the tenant
+    );
+    let mut server = Server::bind("127.0.0.1:0", root.path(), config).unwrap();
+    let leader = server.leader("acme").unwrap();
+    leader
+        .lock()
+        .unwrap()
+        .ingest(workload(3).records())
+        .unwrap();
+
+    let addr = server.addr();
+    let guard = leader.lock().unwrap();
+    let parked = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let q = RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Count);
+        c.rollup("acme", &q).map(|r| r.len())
+    });
+    let t0 = std::time::Instant::now();
+    while server.stats().rollup_requests == 0 {
+        assert!(t0.elapsed().as_secs() < 10, "parked request never arrived");
+        std::thread::yield_now();
+    }
+
+    let mut transport = TcpTransport::new(addr.to_string(), "acme");
+    let request = gisolap_repl::wire::encode_request(&gisolap_repl::Request::Frames {
+        from_seq: 0,
+        max: 4,
+    });
+    match transport.exchange(&request) {
+        Err(gisolap_repl::TransportError::Unavailable(msg)) => {
+            assert!(msg.contains("busy"), "{msg}")
+        }
+        other => panic!("expected retryable Unavailable, got {other:?}"),
+    }
+
+    drop(guard);
+    assert!(parked.join().unwrap().unwrap() > 0);
+    let stats = server.stop();
+    assert!(stats.quota_rejections >= 1);
+}
