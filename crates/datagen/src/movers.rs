@@ -329,6 +329,120 @@ impl GridWalkers {
     }
 }
 
+/// A deliberately skewed fleet for sharding experiments: a **hot
+/// district** holds a disproportionate share of the fleet's homes, and
+/// a **commuter rush** pulls the whole fleet toward it for a window of
+/// the day — so spatial partitions are unbalanced and region queries
+/// over the hot district are selective at some hours and not others.
+///
+/// Every coordinate is quantized to a 0.25 grid, keeping sums of
+/// positions exactly representable in f64 — the property the sharded
+/// bit-identity suites rely on.
+#[derive(Debug, Clone)]
+pub struct SkewedFleet {
+    /// Full movement area.
+    pub bbox: BBox,
+    /// The hot district (must sit inside `bbox`).
+    pub hot: BBox,
+    /// Fraction of the fleet homed inside the hot district, in `0..=1`.
+    pub hot_share: f64,
+    /// Number of objects.
+    pub objects: usize,
+    /// Samples per object.
+    pub samples_per_object: usize,
+    /// Seconds between samples.
+    pub sample_interval: i64,
+    /// Hour of day the commuter rush begins (everyone heads hot-ward).
+    pub rush_start_hour: u32,
+    /// Hour of day the rush ends (everyone heads home).
+    pub rush_end_hour: u32,
+    /// First sample instant.
+    pub start: TimeId,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SkewedFleet {
+    /// A reasonable default: 70% of homes in the hot district, rush
+    /// from 08:00 to 10:00, quarter-hour samples.
+    pub fn new(bbox: BBox, hot: BBox, objects: usize) -> SkewedFleet {
+        SkewedFleet {
+            bbox,
+            hot,
+            hot_share: 0.7,
+            objects,
+            samples_per_object: 96,
+            sample_interval: 900,
+            rush_start_hour: 8,
+            rush_end_hour: 10,
+            start: TimeId::from_ymd_hms(2006, 1, 9, 0, 0, 0),
+            seed: 41,
+        }
+    }
+
+    /// Snaps to the 0.25 lattice (exactly representable, so position
+    /// sums are exact in f64).
+    fn quantize(v: f64) -> f64 {
+        (v * 4.0).round() * 0.25
+    }
+
+    fn random_point(rng: &mut SmallRng, b: &BBox) -> Point {
+        Point::new(
+            Self::quantize(rng.gen_range(b.min_x..b.max_x)),
+            Self::quantize(rng.gen_range(b.min_y..b.max_y)),
+        )
+    }
+
+    /// Generates the MOFT. Object ids start at `first_oid`.
+    ///
+    /// # Panics
+    /// Panics if `hot` is not inside `bbox` or `hot_share` is outside
+    /// `0..=1`.
+    pub fn generate(&self, first_oid: u64) -> Moft {
+        assert!(
+            self.bbox.contains_box(&self.hot),
+            "hot district must sit inside the fleet area"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.hot_share),
+            "hot_share must be a fraction"
+        );
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let hot_homes = (self.objects as f64 * self.hot_share).round() as usize;
+        let rush_s = (self.rush_start_hour as i64) * 3600;
+        let rush_e = (self.rush_end_hour as i64) * 3600;
+        let mut moft = Moft::new();
+        for k in 0..self.objects {
+            let oid = ObjectId(first_oid + k as u64);
+            let home = if k < hot_homes {
+                Self::random_point(&mut rng, &self.hot)
+            } else {
+                Self::random_point(&mut rng, &self.bbox)
+            };
+            // Everyone's rush destination is in the hot district — the
+            // commuter convergence that makes the skew time-dependent.
+            let anchor = Self::random_point(&mut rng, &self.hot);
+            for s in 0..self.samples_per_object {
+                let t = TimeId(self.start.0 + s as i64 * self.sample_interval);
+                let day_s = (t.0 - self.start.0).rem_euclid(86_400);
+                let pos = if (rush_s..rush_e).contains(&day_s) {
+                    // Converge home → anchor across the rush window,
+                    // snapping the interpolated point back to the
+                    // lattice.
+                    let u = (day_s - rush_s) as f64 / (rush_e - rush_s).max(1) as f64;
+                    let p = home.lerp(anchor, u);
+                    Point::new(Self::quantize(p.x), Self::quantize(p.y))
+                } else {
+                    home
+                };
+                moft.push(oid, t, pos.x, pos.y);
+            }
+        }
+        moft.rebuild_index();
+        moft
+    }
+}
+
 /// Merges several MOFTs into one (object ids must already be disjoint).
 pub fn merge_mofts(mofts: &[Moft]) -> Moft {
     let mut out = Moft::new();
@@ -460,6 +574,53 @@ mod tests {
     #[should_panic(expected = "two cuts")]
     fn degenerate_grid_rejected() {
         GridWalkers::new(vec![0.0], vec![0.0, 1.0], 1).generate(0);
+    }
+
+    #[test]
+    fn skewed_fleet_is_hot_heavy_and_quantized() {
+        let hot = BBox::new(0.0, 0.0, 25.0, 25.0);
+        let gen = SkewedFleet::new(area(), hot, 40);
+        let moft = gen.generate(0);
+        assert_eq!(moft.object_count(), 40);
+        assert_eq!(moft.len(), 40 * 96);
+        // Every coordinate sits on the 0.25 lattice.
+        for r in moft.records() {
+            assert_eq!(r.x, (r.x * 4.0).round() * 0.25, "x off-lattice: {}", r.x);
+            assert_eq!(r.y, (r.y * 4.0).round() * 0.25, "y off-lattice: {}", r.y);
+        }
+        // Off-rush the hot district holds roughly the hot share; during
+        // the rush the whole fleet converges there.
+        let in_hot = |r: &gisolap_traj::Record| hot.contains(r.pos());
+        let rush = |r: &gisolap_traj::Record| {
+            let s = (r.t.0 - gen.start.0).rem_euclid(86_400);
+            (8 * 3600..10 * 3600).contains(&s)
+        };
+        let (mut rush_hot, mut rush_n, mut idle_hot, mut idle_n) = (0usize, 0usize, 0usize, 0usize);
+        for r in moft.records() {
+            if rush(r) {
+                rush_n += 1;
+                rush_hot += usize::from(in_hot(r));
+            } else {
+                idle_n += 1;
+                idle_hot += usize::from(in_hot(r));
+            }
+        }
+        let rush_frac = rush_hot as f64 / rush_n as f64;
+        let idle_frac = idle_hot as f64 / idle_n as f64;
+        assert!(idle_frac > 0.5, "hot share off-rush: {idle_frac}");
+        assert!(
+            rush_frac > idle_frac,
+            "rush must pull the fleet hot-ward ({rush_frac} vs {idle_frac})"
+        );
+        // Deterministic.
+        assert_eq!(gen.generate(0).records(), moft.records());
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the fleet area")]
+    fn skewed_fleet_rejects_escaping_hot_district() {
+        let hot = BBox::new(90.0, 90.0, 120.0, 120.0);
+        SkewedFleet::new(area(), hot, 2).generate(0);
     }
 
     #[test]

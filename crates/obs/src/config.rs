@@ -138,8 +138,26 @@ pub const SERVE_TENANT_QUOTA: EnvFlag = EnvFlag {
     doc: "concurrent in-flight requests allowed per tenant (0 = unlimited)",
 };
 
+/// Whether a shard coordinator scatters across shards on the rayon
+/// pool (`1`, the default) or queries them sequentially (`0`) —
+/// sequential scatter is mostly a debugging and benchmarking baseline.
+pub const SHARD_PARALLEL: EnvFlag = EnvFlag {
+    name: "GISOLAP_SHARD_PARALLEL",
+    default: "1 (parallel scatter)",
+    doc: "shard coordinator scatter mode: 1 = parallel over the rayon pool, 0 = sequential",
+};
+
+/// Case count for the sharded-vs-single-store equivalence property
+/// tests (`tests/tests/shard_equivalence.rs`); CI's shard job raises it
+/// well above the local default.
+pub const SHARD_CASES: EnvFlag = EnvFlag {
+    name: "GISOLAP_SHARD_CASES",
+    default: "16",
+    doc: "property-test cases for the sharded scatter-gather equivalence suite",
+};
+
 /// Every flag the workspace reads, for discovery and doc-coverage tests.
-pub const ALL: [&EnvFlag; 12] = [
+pub const ALL: [&EnvFlag; 14] = [
     &THREADS,
     &SLOW_QUERY_MS,
     &STORE_SYNC,
@@ -152,6 +170,8 @@ pub const ALL: [&EnvFlag; 12] = [
     &SERVE_MAX_CONNS,
     &SERVE_MAX_INFLIGHT,
     &SERVE_TENANT_QUOTA,
+    &SHARD_PARALLEL,
+    &SHARD_CASES,
 ];
 
 #[cfg(test)]

@@ -169,6 +169,13 @@ impl Leader {
         self.ingest.rollup(q)
     }
 
+    /// Every `(hour, geo)` partial cell the live pipeline holds,
+    /// ascending by key ([`DurableIngest::extract_partials`]) — what a
+    /// shard coordinator gathers from this store.
+    pub fn extract_partials(&self) -> Vec<(gisolap_stream::GroupKey, gisolap_stream::CellPartial)> {
+        self.ingest.extract_partials()
+    }
+
     /// Leader-side replication counters.
     pub fn stats(&self) -> LeaderStats {
         self.stats

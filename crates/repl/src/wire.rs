@@ -21,6 +21,7 @@ use gisolap_store::codec::{
     decode_segment, decode_tail, decode_wal_entry, encode_segment, encode_tail, encode_wal_entry,
     frame, read_frame, Dec, Enc, FrameRead,
 };
+use gisolap_store::framing::{self, decode_single_frame};
 use gisolap_store::wal::WalEntry;
 use gisolap_store::{Result, StoreError};
 use gisolap_stream::{ReplayOp, Segment, TailState};
@@ -29,10 +30,7 @@ use gisolap_stream::{ReplayOp, Segment, TailState};
 const WIRE: &str = "repl-wire";
 
 fn wire_corrupt(detail: impl Into<String>) -> StoreError {
-    StoreError::Corrupt {
-        file: WIRE.to_string(),
-        detail: detail.into(),
-    }
+    framing::wire_corrupt(WIRE, detail)
 }
 
 /// What a follower asks its leader.
@@ -72,12 +70,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 /// Decodes a request (leader side). Any structural damage is
 /// [`StoreError::Corrupt`]; the leader reports it and serves nothing.
 pub fn decode_request(bytes: &[u8]) -> Result<Request> {
-    let payload = match read_frame(bytes) {
-        FrameRead::Ok { payload, rest: [] } => payload,
-        FrameRead::Ok { .. } => return Err(wire_corrupt("trailing bytes after request frame")),
-        FrameRead::End => return Err(wire_corrupt("empty request")),
-        FrameRead::Torn { detail } => return Err(wire_corrupt(format!("torn request: {detail}"))),
-    };
+    let payload = decode_single_frame(bytes, WIRE, "request")?;
     let mut d = Dec::new(payload, WIRE);
     let req = match d.u8()? {
         REQ_FRAMES => Request::Frames {

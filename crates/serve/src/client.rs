@@ -4,9 +4,24 @@
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use gisolap_stream::{RollupQuery, RollupRow};
+use gisolap_geom::BBox;
+use gisolap_shard::GridSpec;
+use gisolap_stream::{CellPartial, GroupKey, RollupQuery, RollupRow};
 
 use crate::wire::{self, ServeReply, ServeRequest};
+
+/// What a sharded rollup returned: the merged rows plus the
+/// coordinator's pruning counts, so callers can see scatter width
+/// without a second request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRows {
+    /// Merged rollup rows, bit-identical to a single-store evaluation.
+    pub rows: Vec<RollupRow>,
+    /// Shards the coordinator skipped entirely (spatial pruning).
+    pub shards_pruned: u32,
+    /// Shards actually scattered to.
+    pub shards_queried: u32,
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -100,6 +115,52 @@ impl Client {
             query: *query,
         })? {
             ServeReply::Rows(rows) => Ok(rows),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the tenant store's aggregate cells — the scatter leg of
+    /// a remote shard coordinator. `grid` seeds the store's geometry
+    /// resolver if this request is what first opens it; `region`
+    /// filters the returned cells server-side.
+    pub fn partials(
+        &mut self,
+        tenant: &str,
+        grid: Option<&GridSpec>,
+        region: Option<&BBox>,
+    ) -> Result<Vec<(GroupKey, CellPartial)>, ClientError> {
+        match self.exchange(&ServeRequest::Partials {
+            tenant: tenant.to_string(),
+            grid: grid.copied(),
+            region: region.copied(),
+        })? {
+            ServeReply::Cells(cells) => Ok(cells),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Evaluates a rollup against the tenant's shard cluster,
+    /// scatter-gathered server-side.
+    pub fn sharded_rollup(
+        &mut self,
+        tenant: &str,
+        query: &RollupQuery,
+        region: Option<&BBox>,
+    ) -> Result<ShardedRows, ClientError> {
+        match self.exchange(&ServeRequest::ShardedRollup {
+            tenant: tenant.to_string(),
+            query: *query,
+            region: region.copied(),
+        })? {
+            ServeReply::ShardedRows {
+                rows,
+                shards_pruned,
+                shards_queried,
+            } => Ok(ShardedRows {
+                rows,
+                shards_pruned,
+                shards_queried,
+            }),
             other => Err(unexpected(other)),
         }
     }

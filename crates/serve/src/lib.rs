@@ -19,6 +19,11 @@
 //!   `gisolap_serve_<field>_total`.
 //! * [`client`] — [`Client`]: a blocking connection for REPLs, tools
 //!   and benches.
+//! * [`remote`] — [`RemoteShards`]: a
+//!   [`ShardExecutor`](gisolap_shard::ShardExecutor) whose shards sit
+//!   behind served endpoints, so one
+//!   [`Coordinator`](gisolap_shard::Coordinator) scatter-gathers across
+//!   machines with the same deterministic merge it uses in process.
 //! * [`transport`] — [`TcpTransport`]: the cross-process
 //!   [`gisolap_repl::Transport`], so a
 //!   [`Follower`](gisolap_repl::Follower) tails a served leader over a
@@ -30,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod remote;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ShardedRows};
+pub use remote::{RemoteShard, RemoteShards};
 pub use server::{tenant_admissible, ServeConfig, ServeStats, Server};
 pub use transport::{Endpoint, TcpTransport};
 pub use wire::{ServeReply, ServeRequest};

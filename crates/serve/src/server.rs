@@ -11,6 +11,10 @@ use std::thread::JoinHandle;
 
 use gisolap_obs::{config as obs_config, MetricsRegistry};
 use gisolap_repl::Leader;
+use gisolap_shard::{
+    filter_region, ClusterExecutor, Coordinator, GridSpec, ShardQuery, ShardedIngest,
+    SHARDS_MANIFEST,
+};
 use gisolap_store::{DurableIngest, RealFs, StoreConfig};
 use gisolap_stream::StreamConfig;
 
@@ -91,6 +95,10 @@ pub struct ServeStats {
     pub busy_rejections: u64,
     /// Requests answered `Busy` at the per-tenant quota.
     pub quota_rejections: u64,
+    /// Shard-leaf partial-cell extractions served.
+    pub partials_requests: u64,
+    /// Server-side scatter-gather rollups served.
+    pub sharded_requests: u64,
     /// Requests rejected as structurally corrupt or inadmissible.
     pub bad_requests: u64,
     /// Request bytes read off sockets.
@@ -102,7 +110,7 @@ pub struct ServeStats {
 impl ServeStats {
     /// Every server counter as a `(name, value)` pair, in declaration
     /// order.
-    pub fn fields(&self) -> [(&'static str, u64); 11] {
+    pub fn fields(&self) -> [(&'static str, u64); 13] {
         [
             ("connections_accepted", self.connections_accepted),
             ("connections_rejected", self.connections_rejected),
@@ -110,6 +118,8 @@ impl ServeStats {
             ("rollup_requests", self.rollup_requests),
             ("repl_requests", self.repl_requests),
             ("ping_requests", self.ping_requests),
+            ("partials_requests", self.partials_requests),
+            ("sharded_requests", self.sharded_requests),
             ("busy_rejections", self.busy_rejections),
             ("quota_rejections", self.quota_rejections),
             ("bad_requests", self.bad_requests),
@@ -137,6 +147,8 @@ struct Counters {
     rollup_requests: AtomicU64,
     repl_requests: AtomicU64,
     ping_requests: AtomicU64,
+    partials_requests: AtomicU64,
+    sharded_requests: AtomicU64,
     busy_rejections: AtomicU64,
     quota_rejections: AtomicU64,
     bad_requests: AtomicU64,
@@ -153,6 +165,8 @@ impl Counters {
             rollup_requests: self.rollup_requests.load(Ordering::Relaxed),
             repl_requests: self.repl_requests.load(Ordering::Relaxed),
             ping_requests: self.ping_requests.load(Ordering::Relaxed),
+            partials_requests: self.partials_requests.load(Ordering::Relaxed),
+            sharded_requests: self.sharded_requests.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             quota_rejections: self.quota_rejections.load(Ordering::Relaxed),
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
@@ -181,6 +195,9 @@ struct Shared {
     conns: AtomicUsize,
     inflight: AtomicUsize,
     tenants: Mutex<HashMap<String, Arc<Mutex<Leader>>>>,
+    /// Sharded tenants: a tenant directory holding a `SHARDS` manifest
+    /// opens as a whole cluster instead of a single store.
+    clusters: Mutex<HashMap<String, Arc<Mutex<ShardedIngest>>>>,
     tenant_inflight: Mutex<HashMap<String, usize>>,
     /// One socket clone per live connection, keyed by connection id —
     /// [`Server::stop`] shuts these down so blocked reads return
@@ -193,8 +210,25 @@ impl Shared {
     /// The cached leader for `tenant`, opening (create-or-recover) its
     /// store under `root/<tenant>` on first use.
     fn leader(&self, tenant: &str) -> Result<Arc<Mutex<Leader>>, String> {
+        self.leader_with_grid(tenant, None)
+    }
+
+    /// Like [`Shared::leader`], but a store opened for the *first* time
+    /// here gets `grid`'s resolver — how a shard leaf acquires the
+    /// cluster geometry a coordinator ships with its `Partials`
+    /// request. An already-open store keeps whatever resolver it has.
+    fn leader_with_grid(
+        &self,
+        tenant: &str,
+        grid: Option<GridSpec>,
+    ) -> Result<Arc<Mutex<Leader>>, String> {
         if !tenant_admissible(tenant) {
             return Err(format!("inadmissible tenant name {tenant:?}"));
+        }
+        if self.is_cluster(tenant) {
+            return Err(format!(
+                "tenant {tenant} is a shard cluster; use sharded requests"
+            ));
         }
         let mut tenants = self.tenants.lock().expect("tenant map poisoned");
         if let Some(leader) = tenants.get(tenant) {
@@ -206,12 +240,53 @@ impl Shared {
             &dir,
             self.config.stream,
             self.config.store,
-            None,
+            grid.map(|g| g.resolver()),
         )
         .map_err(|e| format!("open store for tenant {tenant}: {e}"))?;
         let leader = Arc::new(Mutex::new(Leader::new(durable)));
         tenants.insert(tenant.to_string(), leader.clone());
         Ok(leader)
+    }
+
+    /// Whether `tenant`'s directory holds a shard-cluster manifest.
+    fn is_cluster(&self, tenant: &str) -> bool {
+        if self
+            .clusters
+            .lock()
+            .expect("cluster map poisoned")
+            .contains_key(tenant)
+        {
+            return true;
+        }
+        self.root.join(tenant).join(SHARDS_MANIFEST).exists()
+    }
+
+    /// The cached cluster for `tenant`, opening every shard store under
+    /// `root/<tenant>` on first use. Unlike single-store tenants,
+    /// clusters are never created lazily — the membership manifest must
+    /// already exist (written by whoever laid the cluster out).
+    fn cluster(&self, tenant: &str) -> Result<Arc<Mutex<ShardedIngest>>, String> {
+        if !tenant_admissible(tenant) {
+            return Err(format!("inadmissible tenant name {tenant:?}"));
+        }
+        let mut clusters = self.clusters.lock().expect("cluster map poisoned");
+        if let Some(cluster) = clusters.get(tenant) {
+            return Ok(cluster.clone());
+        }
+        let dir = self.root.join(tenant);
+        if !dir.join(SHARDS_MANIFEST).exists() {
+            return Err(format!("tenant {tenant} holds no shard cluster"));
+        }
+        let (cluster, _reports) = ShardedIngest::open(
+            Arc::new(RealFs),
+            &dir,
+            self.config.stream,
+            self.config.store,
+        )
+        .map_err(|e| format!("open shard cluster for tenant {tenant}: {e}"))?;
+        let cluster = Arc::new(Mutex::new(cluster));
+        clusters.insert(tenant.to_string(), cluster.clone());
+        Ok(cluster)
     }
 
     /// Claims one per-tenant in-flight slot, or says why not.
@@ -280,6 +355,59 @@ impl Shared {
                         match leader.handle(request) {
                             Ok(reply) => ServeReply::Repl(reply),
                             Err(e) => ServeReply::Err(format!("repl exchange failed: {e}")),
+                        }
+                    }
+                    Err(detail) => {
+                        self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        ServeReply::Err(detail)
+                    }
+                }
+            }
+            ServeRequest::Partials {
+                tenant,
+                grid,
+                region,
+            } => {
+                self.counters
+                    .partials_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                match self.leader_with_grid(tenant, *grid) {
+                    Ok(leader) => {
+                        let leader = leader.lock().expect("leader poisoned");
+                        match filter_region(leader.extract_partials(), *grid, region.as_ref()) {
+                            Ok(cells) => ServeReply::Cells(cells),
+                            Err(e) => ServeReply::Err(format!("partials extraction failed: {e}")),
+                        }
+                    }
+                    Err(detail) => {
+                        self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        ServeReply::Err(detail)
+                    }
+                }
+            }
+            ServeRequest::ShardedRollup {
+                tenant,
+                query,
+                region,
+            } => {
+                self.counters
+                    .sharded_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                match self.cluster(tenant) {
+                    Ok(cluster) => {
+                        let cluster = cluster.lock().expect("cluster poisoned");
+                        let mut shard_query = ShardQuery::new(*query);
+                        shard_query.region = *region;
+                        let result =
+                            Coordinator::new(ClusterExecutor::new(&cluster), cluster.spec())
+                                .and_then(|mut coord| coord.eval(&shard_query));
+                        match result {
+                            Ok(res) => ServeReply::ShardedRows {
+                                rows: res.rows,
+                                shards_pruned: res.explain.shards_pruned as u32,
+                                shards_queried: res.explain.shards_queried as u32,
+                            },
+                            Err(e) => ServeReply::Err(format!("sharded rollup failed: {e}")),
                         }
                     }
                     Err(detail) => {
@@ -404,6 +532,7 @@ impl Server {
             conns: AtomicUsize::new(0),
             inflight: AtomicUsize::new(0),
             tenants: Mutex::new(HashMap::new()),
+            clusters: Mutex::new(HashMap::new()),
             tenant_inflight: Mutex::new(HashMap::new()),
             open_conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
@@ -441,6 +570,25 @@ impl Server {
     /// it is immediately visible to clients and followers.
     pub fn leader(&self, tenant: &str) -> Result<Arc<Mutex<Leader>>, String> {
         self.shared.leader(tenant)
+    }
+
+    /// Like [`Server::leader`], but a store opened for the first time
+    /// here resolves geometry with `grid` — how a shard-leaf tenant is
+    /// seeded before remote coordinators scatter to it.
+    pub fn leader_with_grid(
+        &self,
+        tenant: &str,
+        grid: Option<GridSpec>,
+    ) -> Result<Arc<Mutex<Leader>>, String> {
+        self.shared.leader_with_grid(tenant, grid)
+    }
+
+    /// The cached shard cluster for `tenant` (a tenant directory laid
+    /// out by [`ShardedIngest::create`]), opened on first use — the
+    /// same handle sharded requests are served from, so ingesting
+    /// through it is immediately visible to clients.
+    pub fn cluster(&self, tenant: &str) -> Result<Arc<Mutex<ShardedIngest>>, String> {
+        self.shared.cluster(tenant)
     }
 
     /// Stops accepting, shuts down every live connection socket (so
@@ -554,9 +702,9 @@ mod tests {
             ..ServeStats::default()
         };
         let fields = stats.fields();
-        assert_eq!(fields.len(), 11);
+        assert_eq!(fields.len(), 13);
         assert_eq!(fields[0], ("connections_accepted", 1));
-        assert_eq!(fields[10], ("bytes_out", 11));
+        assert_eq!(fields[12], ("bytes_out", 11));
     }
 
     #[test]

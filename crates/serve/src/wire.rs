@@ -17,27 +17,25 @@
 //! (`f64::to_bits`), so a follower or client sees *bit-identical*
 //! aggregates — the convergence contract survives serialization.
 
-use std::io::{self, Read, Write};
-
+use gisolap_geom::BBox;
 use gisolap_olap::agg::AggFn;
 use gisolap_olap::time::{TimeId, TimeLevel};
-use gisolap_store::codec::{frame, read_frame, Dec, Enc, FrameRead};
+use gisolap_shard::wire as shard_wire;
+use gisolap_shard::GridSpec;
+use gisolap_store::codec::{decode_cells, encode_cells, frame, Dec, Enc};
+use gisolap_store::framing;
 use gisolap_store::{Result, StoreError};
-use gisolap_stream::{Measure, RollupQuery, RollupRow};
+use gisolap_stream::{CellPartial, GroupKey, Measure, RollupQuery, RollupRow};
+
+// The socket envelope is the shared framing module's: one CRC frame
+// per message, length prefix capped at `MAX_MESSAGE`.
+pub use gisolap_store::framing::{read_message, write_message, MAX_MESSAGE};
 
 /// Attribution label for serve-level decode errors.
 const WIRE: &str = "serve-wire";
 
-/// Largest message either side accepts: mirrors the store codec's
-/// private frame cap, so a mangled length prefix can never drive a
-/// multi-gigabyte allocation.
-pub const MAX_MESSAGE: u32 = 1 << 30;
-
 fn wire_corrupt(detail: impl Into<String>) -> StoreError {
-    StoreError::Corrupt {
-        file: WIRE.to_string(),
-        detail: detail.into(),
-    }
+    framing::wire_corrupt(WIRE, detail)
 }
 
 /// What a client asks the server. Every request names its tenant — the
@@ -65,6 +63,30 @@ pub enum ServeRequest {
         /// The nested replication request frame.
         request: Vec<u8>,
     },
+    /// Extract the tenant store's `(hour, geo)` partial cells — the
+    /// remote leaf of a shard coordinator's scatter. The grid rides
+    /// along so the leaf resolves geometry (and filters the region)
+    /// shard-side, shipping only contributing cells back.
+    Partials {
+        /// Tenant acting as one shard.
+        tenant: String,
+        /// The cluster's overlay grid (opens the store with its
+        /// resolver on first use; required when `region` is set).
+        grid: Option<GridSpec>,
+        /// Optional region filter applied before shipping.
+        region: Option<BBox>,
+    },
+    /// Evaluate a rollup over a *sharded* tenant (a directory holding a
+    /// `SHARDS` cluster): the server prunes, scatters across its local
+    /// shard stores and gathers — one round trip for the client.
+    ShardedRollup {
+        /// Cluster tenant whose shards answer.
+        tenant: String,
+        /// The rollup to evaluate.
+        query: RollupQuery,
+        /// Optional region filter (prunes shards on spatial clusters).
+        region: Option<BBox>,
+    },
 }
 
 impl ServeRequest {
@@ -73,7 +95,9 @@ impl ServeRequest {
         match self {
             ServeRequest::Ping { tenant }
             | ServeRequest::Rollup { tenant, .. }
-            | ServeRequest::Repl { tenant, .. } => tenant,
+            | ServeRequest::Repl { tenant, .. }
+            | ServeRequest::Partials { tenant, .. }
+            | ServeRequest::ShardedRollup { tenant, .. } => tenant,
         }
     }
 }
@@ -92,17 +116,35 @@ pub enum ServeReply {
     Busy(String),
     /// The request was understood but failed server-side.
     Err(String),
+    /// A shard's extracted partial cells, ascending by key — partial
+    /// sums cross as IEEE-754 bit patterns, so the coordinator's gather
+    /// merge starts from exactly the bits the shard held.
+    Cells(Vec<(GroupKey, CellPartial)>),
+    /// A server-side scatter-gather result: merged rows plus the
+    /// pruning evidence.
+    ShardedRows {
+        /// Merged rollup rows, identical to a single store's answer.
+        rows: Vec<RollupRow>,
+        /// Shards the region filter excluded before any fetch.
+        shards_pruned: u32,
+        /// Shards actually fetched.
+        shards_queried: u32,
+    },
 }
 
 const REQ_PING: u8 = 1;
 const REQ_ROLLUP: u8 = 2;
 const REQ_REPL: u8 = 3;
+const REQ_PARTIALS: u8 = 4;
+const REQ_SHARDED: u8 = 5;
 
 const REPLY_PONG: u8 = 1;
 const REPLY_ROWS: u8 = 2;
 const REPLY_REPL: u8 = 3;
 const REPLY_BUSY: u8 = 4;
 const REPLY_ERR: u8 = 5;
+const REPLY_CELLS: u8 = 6;
+const REPLY_SHARDED_ROWS: u8 = 7;
 
 fn level_code(level: TimeLevel) -> u8 {
     match level {
@@ -171,6 +213,37 @@ fn measure_from(code: u8) -> Result<Measure> {
     })
 }
 
+fn enc_rollup(e: &mut Enc, query: &RollupQuery) {
+    e.u8(level_code(query.level));
+    e.u8(measure_code(query.measure));
+    e.u8(agg_code(query.f));
+    match query.between {
+        None => e.u8(0),
+        Some((a, b)) => {
+            e.u8(1);
+            e.i64(a.0);
+            e.i64(b.0);
+        }
+    }
+}
+
+fn dec_rollup(d: &mut Dec<'_>) -> Result<RollupQuery> {
+    let level = level_from(d.u8()?)?;
+    let measure = measure_from(d.u8()?)?;
+    let f = agg_from(d.u8()?)?;
+    let between = match d.u8()? {
+        0 => None,
+        1 => Some((TimeId(d.i64()?), TimeId(d.i64()?))),
+        c => return Err(wire_corrupt(format!("bad between flag {c}"))),
+    };
+    Ok(RollupQuery {
+        level,
+        measure,
+        f,
+        between,
+    })
+}
+
 /// Encodes a request as one CRC frame ready for the socket.
 pub fn encode_request(req: &ServeRequest) -> Vec<u8> {
     let mut e = Enc::new();
@@ -182,22 +255,32 @@ pub fn encode_request(req: &ServeRequest) -> Vec<u8> {
         ServeRequest::Rollup { tenant, query } => {
             e.u8(REQ_ROLLUP);
             e.str(tenant);
-            e.u8(level_code(query.level));
-            e.u8(measure_code(query.measure));
-            e.u8(agg_code(query.f));
-            match query.between {
-                None => e.u8(0),
-                Some((a, b)) => {
-                    e.u8(1);
-                    e.i64(a.0);
-                    e.i64(b.0);
-                }
-            }
+            enc_rollup(&mut e, query);
         }
         ServeRequest::Repl { tenant, request } => {
             e.u8(REQ_REPL);
             e.str(tenant);
             e.bytes(request);
+        }
+        ServeRequest::Partials {
+            tenant,
+            grid,
+            region,
+        } => {
+            e.u8(REQ_PARTIALS);
+            e.str(tenant);
+            shard_wire::enc_opt_grid(&mut e, grid.as_ref());
+            shard_wire::enc_region(&mut e, region.as_ref());
+        }
+        ServeRequest::ShardedRollup {
+            tenant,
+            query,
+            region,
+        } => {
+            e.u8(REQ_SHARDED);
+            e.str(tenant);
+            enc_rollup(&mut e, query);
+            shard_wire::enc_region(&mut e, region.as_ref());
         }
     }
     frame(&e.into_bytes())
@@ -211,33 +294,69 @@ pub fn decode_request(payload: &[u8]) -> Result<ServeRequest> {
     let tenant = d.str()?;
     let req = match tag {
         REQ_PING => ServeRequest::Ping { tenant },
-        REQ_ROLLUP => {
-            let level = level_from(d.u8()?)?;
-            let measure = measure_from(d.u8()?)?;
-            let f = agg_from(d.u8()?)?;
-            let between = match d.u8()? {
-                0 => None,
-                1 => Some((TimeId(d.i64()?), TimeId(d.i64()?))),
-                c => return Err(wire_corrupt(format!("bad between flag {c}"))),
-            };
-            ServeRequest::Rollup {
-                tenant,
-                query: RollupQuery {
-                    level,
-                    measure,
-                    f,
-                    between,
-                },
-            }
-        }
+        REQ_ROLLUP => ServeRequest::Rollup {
+            tenant,
+            query: dec_rollup(&mut d)?,
+        },
         REQ_REPL => ServeRequest::Repl {
             tenant,
             request: d.bytes()?.to_vec(),
+        },
+        REQ_PARTIALS => ServeRequest::Partials {
+            tenant,
+            grid: shard_wire::dec_opt_grid(&mut d)?,
+            region: shard_wire::dec_region(&mut d)?,
+        },
+        REQ_SHARDED => ServeRequest::ShardedRollup {
+            tenant,
+            query: dec_rollup(&mut d)?,
+            region: shard_wire::dec_region(&mut d)?,
         },
         t => return Err(wire_corrupt(format!("unknown request tag {t}"))),
     };
     d.finish()?;
     Ok(req)
+}
+
+fn enc_rows(e: &mut Enc, rows: &[RollupRow]) {
+    e.u64(rows.len() as u64);
+    for row in rows {
+        e.i64(row.granule);
+        match row.geo {
+            None => e.u8(0),
+            Some(g) => {
+                e.u8(1);
+                e.u32(g);
+            }
+        }
+        e.u64(row.value.to_bits());
+    }
+}
+
+fn dec_rows(d: &mut Dec<'_>) -> Result<Vec<RollupRow>> {
+    let count = d.u64()?;
+    if count.saturating_mul(MIN_ROW as u64) > d.remaining() as u64 {
+        return Err(wire_corrupt(format!(
+            "rows reply declares {count} rows but only {} payload bytes remain",
+            d.remaining()
+        )));
+    }
+    let mut rows = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let granule = d.i64()?;
+        let geo = match d.u8()? {
+            0 => None,
+            1 => Some(d.u32()?),
+            c => return Err(wire_corrupt(format!("bad geo flag {c}"))),
+        };
+        let value = f64::from_bits(d.u64()?);
+        rows.push(RollupRow {
+            granule,
+            geo,
+            value,
+        });
+    }
+    Ok(rows)
 }
 
 /// Encodes a reply as one CRC frame ready for the socket.
@@ -247,18 +366,7 @@ pub fn encode_reply(reply: &ServeReply) -> Vec<u8> {
         ServeReply::Pong => e.u8(REPLY_PONG),
         ServeReply::Rows(rows) => {
             e.u8(REPLY_ROWS);
-            e.u64(rows.len() as u64);
-            for row in rows {
-                e.i64(row.granule);
-                match row.geo {
-                    None => e.u8(0),
-                    Some(g) => {
-                        e.u8(1);
-                        e.u32(g);
-                    }
-                }
-                e.u64(row.value.to_bits());
-            }
+            enc_rows(&mut e, rows);
         }
         ServeReply::Repl(bytes) => {
             e.u8(REPLY_REPL);
@@ -271,6 +379,20 @@ pub fn encode_reply(reply: &ServeReply) -> Vec<u8> {
         ServeReply::Err(detail) => {
             e.u8(REPLY_ERR);
             e.str(detail);
+        }
+        ServeReply::Cells(cells) => {
+            e.u8(REPLY_CELLS);
+            encode_cells(&mut e, cells);
+        }
+        ServeReply::ShardedRows {
+            rows,
+            shards_pruned,
+            shards_queried,
+        } => {
+            e.u8(REPLY_SHARDED_ROWS);
+            e.u32(*shards_pruned);
+            e.u32(*shards_queried);
+            enc_rows(&mut e, rows);
         }
     }
     frame(&e.into_bytes())
@@ -285,90 +407,35 @@ pub fn decode_reply(payload: &[u8]) -> Result<ServeReply> {
     let mut d = Dec::new(payload, WIRE);
     let reply = match d.u8()? {
         REPLY_PONG => ServeReply::Pong,
-        REPLY_ROWS => {
-            let count = d.u64()?;
-            if count.saturating_mul(MIN_ROW as u64) > d.remaining() as u64 {
-                return Err(wire_corrupt(format!(
-                    "rows reply declares {count} rows but only {} payload bytes remain",
-                    d.remaining()
-                )));
-            }
-            let mut rows = Vec::with_capacity(count as usize);
-            for _ in 0..count {
-                let granule = d.i64()?;
-                let geo = match d.u8()? {
-                    0 => None,
-                    1 => Some(d.u32()?),
-                    c => return Err(wire_corrupt(format!("bad geo flag {c}"))),
-                };
-                let value = f64::from_bits(d.u64()?);
-                rows.push(RollupRow {
-                    granule,
-                    geo,
-                    value,
-                });
-            }
-            ServeReply::Rows(rows)
-        }
+        REPLY_ROWS => ServeReply::Rows(dec_rows(&mut d)?),
         REPLY_REPL => ServeReply::Repl(d.bytes()?.to_vec()),
         REPLY_BUSY => ServeReply::Busy(d.str()?),
         REPLY_ERR => ServeReply::Err(d.str()?),
+        REPLY_CELLS => ServeReply::Cells(decode_cells(&mut d)?),
+        REPLY_SHARDED_ROWS => {
+            let shards_pruned = d.u32()?;
+            let shards_queried = d.u32()?;
+            ServeReply::ShardedRows {
+                rows: dec_rows(&mut d)?,
+                shards_pruned,
+                shards_queried,
+            }
+        }
         t => return Err(wire_corrupt(format!("unknown reply tag {t}"))),
     };
     d.finish()?;
     Ok(reply)
 }
 
-/// Writes one framed message to the socket.
-pub fn write_message(w: &mut impl Write, framed: &[u8]) -> io::Result<()> {
-    w.write_all(framed)?;
-    w.flush()
-}
-
-/// Reads one framed message off the socket and returns its CRC-checked
-/// payload. `Ok(None)` is clean end-of-stream (peer closed between
-/// messages); a length prefix beyond [`MAX_MESSAGE`], a short read
-/// mid-frame, or a checksum mismatch is `InvalidData`.
-pub fn read_message(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len_bytes = [0u8; 4];
-    match r.read_exact(&mut len_bytes) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_le_bytes(len_bytes);
-    if len > MAX_MESSAGE {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("message length {len} exceeds the {MAX_MESSAGE}-byte cap"),
-        ));
-    }
-    let mut rest = vec![0u8; len as usize + 4];
-    r.read_exact(&mut rest)?;
-    let mut full = Vec::with_capacity(8 + len as usize);
-    full.extend_from_slice(&len_bytes);
-    full.extend_from_slice(&rest);
-    match read_frame(&full) {
-        FrameRead::Ok { payload, rest: [] } => Ok(Some(payload.to_vec())),
-        FrameRead::Ok { .. } => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "trailing bytes inside message envelope",
-        )),
-        FrameRead::End => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "empty message envelope",
-        )),
-        FrameRead::Torn { detail } => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("torn message: {detail}"),
-        )),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::io;
+
+    fn sample_grid() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 4.0, 4.0), 2, 2).unwrap()
+    }
 
     fn sample_rows() -> Vec<RollupRow> {
         vec![
@@ -400,6 +467,21 @@ mod tests {
                 tenant: "x".into(),
                 request: vec![1, 2, 3, 255],
             },
+            ServeRequest::Partials {
+                tenant: "shard-0".into(),
+                grid: Some(sample_grid()),
+                region: Some(BBox::new(0.5, 0.5, 2.5, 2.5)),
+            },
+            ServeRequest::Partials {
+                tenant: "shard-1".into(),
+                grid: None,
+                region: None,
+            },
+            ServeRequest::ShardedRollup {
+                tenant: "fleet".into(),
+                query: RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Sum),
+                region: Some(BBox::new(-1.0, -1.0, 1.0, 1.0)),
+            },
         ];
         for req in reqs {
             let framed = encode_request(&req);
@@ -412,12 +494,27 @@ mod tests {
 
     #[test]
     fn replies_roundtrip_bit_identically() {
+        let cell = {
+            let p = gisolap_olap::agg::Partial::from_raw(4, 10.25, 1.25, 4.5);
+            CellPartial { x: p, y: p }
+        };
         let replies = [
             ServeReply::Pong,
             ServeReply::Rows(sample_rows()),
             ServeReply::Repl(vec![9; 40]),
             ServeReply::Busy("over quota".into()),
             ServeReply::Err("no such tenant".into()),
+            ServeReply::Cells(vec![((3, None), cell), ((7, Some(12)), cell)]),
+            ServeReply::ShardedRows {
+                // NaN-free rows: this arm is compared with PartialEq.
+                rows: vec![RollupRow {
+                    granule: 42,
+                    geo: Some(3),
+                    value: -0.75,
+                }],
+                shards_pruned: 3,
+                shards_queried: 1,
+            },
         ];
         for reply in replies {
             let framed = encode_reply(&reply);

@@ -1,0 +1,431 @@
+//! The sharded store: N per-shard [`DurableIngest`] stores under one
+//! cluster root, a persisted membership manifest, and routed ingest.
+//!
+//! On disk a cluster is a directory holding a `SHARDS` manifest (the
+//! serialized [`PartitionerSpec`], CRC-framed like every other store
+//! file) plus one `shard-NNN/` subdirectory per shard, each a complete,
+//! independently recoverable [`DurableIngest`] store. Reopening the
+//! cluster reads the manifest first — the partitioner is part of the
+//! data's identity, not a query-time choice: records were *placed* by
+//! it, so querying with a different one would silently misroute
+//! pruning.
+
+use crate::partition::{Partitioner, PartitionerSpec};
+use crate::wire;
+use gisolap_obs::MetricsRegistry;
+use gisolap_repl::{DirectTransport, Follower, FollowerConfig, Leader};
+use gisolap_store::codec::{frame, header, FileKind};
+use gisolap_store::framing::decode_single_frame;
+use gisolap_store::{
+    CompactionReport, DurableIngest, FlushReport, RecoveryReport, Result, StoreConfig, StoreError,
+    Vfs,
+};
+use gisolap_stream::{IngestReport, StreamConfig};
+use gisolap_traj::Record;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Cluster manifest file name under the cluster root.
+pub const SHARDS_MANIFEST: &str = "SHARDS";
+
+/// Counters for ingest routing across the cluster. Field order is the
+/// single source for [`RouteStats::fields`], metrics names and the
+/// `OBSERVABILITY.md` table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Batches routed through [`ShardedIngest::ingest`].
+    pub routed_batches: u64,
+    /// Records routed to a shard store.
+    pub routed_records: u64,
+}
+
+impl RouteStats {
+    /// Every routing counter as a `(name, value)` pair, in declaration
+    /// order.
+    pub fn fields(&self) -> [(&'static str, u64); 2] {
+        [
+            ("routed_batches", self.routed_batches),
+            ("routed_records", self.routed_records),
+        ]
+    }
+
+    /// Publishes the routing counters into `registry` as
+    /// `gisolap_shard_<field>_total`.
+    pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
+        for (field, value) in self.fields() {
+            let name = format!("gisolap_shard_{field}_total");
+            registry.set_counter_u64(&name, "Shard routing counter.", &[], value);
+        }
+    }
+}
+
+/// N durable shard stores behind one ingest front door: every batch is
+/// split by the cluster's [`Partitioner`] and appended to the owning
+/// shard's WAL, preserving arrival order within each shard.
+pub struct ShardedIngest {
+    vfs: Arc<dyn Vfs>,
+    root: PathBuf,
+    spec: PartitionerSpec,
+    partitioner: Box<dyn Partitioner>,
+    shards: Vec<DurableIngest>,
+    stats: RouteStats,
+}
+
+impl std::fmt::Debug for ShardedIngest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIngest")
+            .field("root", &self.root)
+            .field("spec", &self.spec)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// The directory shard `index` lives in under `root`.
+pub fn shard_dir(root: &Path, index: usize) -> PathBuf {
+    root.join(format!("shard-{index:03}"))
+}
+
+impl ShardedIngest {
+    /// Creates a fresh cluster at `root`: writes the membership
+    /// manifest, then creates one empty shard store per partition.
+    /// Errors if `root` already holds a cluster.
+    pub fn create(
+        vfs: Arc<dyn Vfs>,
+        root: &Path,
+        spec: PartitionerSpec,
+        stream_config: StreamConfig,
+        store_config: StoreConfig,
+    ) -> Result<ShardedIngest> {
+        let partitioner = spec.build()?;
+        vfs.create_dir_all(root)?;
+        let manifest_path = root.join(SHARDS_MANIFEST);
+        if vfs.exists(&manifest_path) {
+            return Err(StoreError::BadConfig(format!(
+                "{} already holds a shard cluster; open it instead of creating",
+                root.display()
+            )));
+        }
+        let mut bytes = header(FileKind::ShardManifest);
+        bytes.extend_from_slice(&frame(&wire::encode_spec(&spec)));
+        vfs.write_atomic(&manifest_path, &bytes, true)?;
+
+        let mut shards = Vec::with_capacity(partitioner.shards());
+        for i in 0..partitioner.shards() {
+            let resolver = spec.grid().map(|g| g.resolver());
+            shards.push(DurableIngest::create(
+                vfs.clone(),
+                &shard_dir(root, i),
+                stream_config,
+                store_config,
+                resolver,
+            )?);
+        }
+        Ok(ShardedIngest {
+            vfs,
+            root: root.to_path_buf(),
+            spec,
+            partitioner,
+            shards,
+            stats: RouteStats::default(),
+        })
+    }
+
+    /// Reopens the cluster at `root`: reads the membership manifest,
+    /// rebuilds the partitioner it describes, then opens
+    /// (create-or-recover) every shard store. Per-shard recovery
+    /// reports come back positionally (`None` for shards that were
+    /// created fresh, e.g. after adding capacity by hand).
+    pub fn open(
+        vfs: Arc<dyn Vfs>,
+        root: &Path,
+        stream_config: StreamConfig,
+        store_config: StoreConfig,
+    ) -> Result<(ShardedIngest, Vec<Option<RecoveryReport>>)> {
+        let manifest_path = root.join(SHARDS_MANIFEST);
+        let bytes = vfs.read(&manifest_path)?;
+        let body =
+            gisolap_store::codec::check_header(&bytes, FileKind::ShardManifest, SHARDS_MANIFEST)?;
+        let payload = decode_single_frame(body, SHARDS_MANIFEST, "shard manifest")?;
+        let spec = wire::decode_spec(payload, SHARDS_MANIFEST)?;
+        let partitioner = spec.build()?;
+
+        let mut shards = Vec::with_capacity(partitioner.shards());
+        let mut reports = Vec::with_capacity(partitioner.shards());
+        for i in 0..partitioner.shards() {
+            let resolver = spec.grid().map(|g| g.resolver());
+            let (shard, report) = DurableIngest::open(
+                vfs.clone(),
+                &shard_dir(root, i),
+                stream_config,
+                store_config,
+                resolver,
+            )?;
+            shards.push(shard);
+            reports.push(report);
+        }
+        Ok((
+            ShardedIngest {
+                vfs,
+                root: root.to_path_buf(),
+                spec,
+                partitioner,
+                shards,
+                stats: RouteStats::default(),
+            },
+            reports,
+        ))
+    }
+
+    /// Routes a batch: each record goes to the shard its partitioner
+    /// assigns, preserving the batch's arrival order within every
+    /// shard. Returns the summed per-shard reports.
+    pub fn ingest(&mut self, batch: &[Record]) -> Result<IngestReport> {
+        let mut routed: Vec<Vec<Record>> = vec![Vec::new(); self.shards.len()];
+        for r in batch {
+            routed[self.partitioner.route(r)].push(*r);
+        }
+        let mut total = IngestReport::default();
+        for (shard, records) in self.shards.iter_mut().zip(&routed) {
+            if records.is_empty() {
+                continue;
+            }
+            let report = shard.ingest(records)?;
+            total.accepted += report.accepted;
+            total.late += report.late;
+            total.sealed += report.sealed;
+        }
+        self.stats.routed_batches += 1;
+        self.stats.routed_records += batch.len() as u64;
+        Ok(total)
+    }
+
+    /// Closes the stream on every shard; returns the total number of
+    /// segments sealed by the close.
+    pub fn finish(&mut self) -> Result<u64> {
+        let mut sealed = 0;
+        for shard in &mut self.shards {
+            sealed += shard.finish()?;
+        }
+        Ok(sealed)
+    }
+
+    /// Flushes every shard store; reports come back positionally.
+    pub fn flush(&mut self) -> Result<Vec<FlushReport>> {
+        self.shards.iter_mut().map(|s| s.flush()).collect()
+    }
+
+    /// Compacts every shard store; reports come back positionally.
+    pub fn compact(&mut self) -> Result<Vec<CompactionReport>> {
+        self.shards.iter_mut().map(|s| s.compact()).collect()
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard stores, in shard order.
+    pub fn shards(&self) -> &[DurableIngest] {
+        &self.shards
+    }
+
+    /// The shard stores, mutable (flush/compact orchestration beyond
+    /// the whole-cluster passthroughs).
+    pub fn shards_mut(&mut self) -> &mut [DurableIngest] {
+        &mut self.shards
+    }
+
+    /// The persisted membership spec.
+    pub fn spec(&self) -> PartitionerSpec {
+        self.spec
+    }
+
+    /// The live partitioner (routing + pruning).
+    pub fn partitioner(&self) -> &dyn Partitioner {
+        self.partitioner.as_ref()
+    }
+
+    /// The cluster root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The Vfs the cluster lives on.
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        self.vfs.clone()
+    }
+
+    /// Routing counters.
+    pub fn stats(&self) -> RouteStats {
+        self.stats
+    }
+
+    /// Publishes routing counters as `gisolap_shard_*` metrics.
+    pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
+        self.stats.fill_metrics(registry);
+    }
+
+    /// Converts every shard store into a replication [`Leader`], in
+    /// shard order — the handles a replica set fronts each shard with.
+    /// The cluster itself is consumed; keep ingesting through the
+    /// returned leaders.
+    pub fn into_leaders(self) -> Vec<Arc<Mutex<Leader>>> {
+        self.shards
+            .into_iter()
+            .map(|s| Arc::new(Mutex::new(Leader::new(s))))
+            .collect()
+    }
+}
+
+/// One in-process replica per shard leader: each follower tails its
+/// leader over a [`DirectTransport`] and resolves geometry with the
+/// cluster grid, so a coordinator can serve scatter reads from the
+/// replica set instead of the primaries.
+pub fn replica_set(
+    leaders: &[Arc<Mutex<Leader>>],
+    spec: &PartitionerSpec,
+    config: FollowerConfig,
+) -> Vec<Follower<DirectTransport>> {
+    leaders
+        .iter()
+        .map(|leader| {
+            let resolver = spec
+                .grid()
+                .map(|g| Arc::new(move |p| vec![g.cell_of(p)]) as gisolap_repl::SharedResolver);
+            Follower::memory(DirectTransport::new(leader.clone()), resolver, config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::GridSpec;
+    use gisolap_geom::BBox;
+    use gisolap_olap::agg::AggFn;
+    use gisolap_olap::time::{TimeId, TimeLevel};
+    use gisolap_store::ScratchDir;
+    use gisolap_stream::{Measure, RollupQuery};
+    use gisolap_traj::ObjectId;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 8.0, 8.0), 4, 4).unwrap()
+    }
+
+    fn records(n: u64) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record {
+                oid: ObjectId(i % 7),
+                t: TimeId(i as i64 * 60),
+                x: (i % 8) as f64,
+                y: ((i * 3) % 8) as f64,
+            })
+            .collect()
+    }
+
+    fn vfs() -> Arc<dyn Vfs> {
+        Arc::new(gisolap_store::RealFs)
+    }
+
+    #[test]
+    fn create_route_reopen_roundtrip() {
+        let scratch = ScratchDir::new("shard-cluster-roundtrip");
+        let spec = PartitionerSpec::Spatial {
+            shards: 4,
+            grid: grid(),
+        };
+        let stream = StreamConfig::new(3600, 3600).unwrap();
+        let store = StoreConfig::default();
+        let batch = records(64);
+
+        let mut cluster =
+            ShardedIngest::create(vfs(), scratch.path(), spec, stream, store).unwrap();
+        let report = cluster.ingest(&batch).unwrap();
+        assert_eq!(report.accepted, 64);
+        assert_eq!(cluster.stats().routed_records, 64);
+        cluster.finish().unwrap();
+        cluster.flush().unwrap();
+        let before: Vec<_> = cluster
+            .shards()
+            .iter()
+            .map(|s| s.extract_partials())
+            .collect();
+        assert!(before.iter().any(|cells| !cells.is_empty()));
+        drop(cluster);
+
+        let (reopened, reports) =
+            ShardedIngest::open(vfs(), scratch.path(), stream, store).unwrap();
+        assert_eq!(reopened.spec(), spec);
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().all(|r| r.is_some()), "all shards recover");
+        let after: Vec<_> = reopened
+            .shards()
+            .iter()
+            .map(|s| s.extract_partials())
+            .collect();
+        assert_eq!(before, after, "per-shard contents survive reopen");
+    }
+
+    #[test]
+    fn create_refuses_existing_cluster() {
+        let scratch = ScratchDir::new("shard-cluster-exists");
+        let spec = PartitionerSpec::Hash {
+            shards: 2,
+            grid: None,
+        };
+        let stream = StreamConfig::new(3600, 3600).unwrap();
+        ShardedIngest::create(vfs(), scratch.path(), spec, stream, StoreConfig::default()).unwrap();
+        let err =
+            ShardedIngest::create(vfs(), scratch.path(), spec, stream, StoreConfig::default())
+                .unwrap_err();
+        assert!(matches!(err, StoreError::BadConfig(_)));
+    }
+
+    #[test]
+    fn spatial_routing_keeps_shards_disjoint() {
+        let scratch = ScratchDir::new("shard-cluster-disjoint");
+        let spec = PartitionerSpec::Spatial {
+            shards: 4,
+            grid: grid(),
+        };
+        let stream = StreamConfig::new(3600, 3600).unwrap();
+        let mut cluster =
+            ShardedIngest::create(vfs(), scratch.path(), spec, stream, StoreConfig::default())
+                .unwrap();
+        cluster.ingest(&records(200)).unwrap();
+        cluster.finish().unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for shard in cluster.shards() {
+            for (key, _) in shard.extract_partials() {
+                assert!(seen.insert(key), "cell {key:?} appears in two shards");
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn replica_set_serves_each_shard() {
+        let scratch = ScratchDir::new("shard-cluster-replicas");
+        let spec = PartitionerSpec::Spatial {
+            shards: 2,
+            grid: grid(),
+        };
+        let stream = StreamConfig::new(3600, 3600).unwrap();
+        let mut cluster =
+            ShardedIngest::create(vfs(), scratch.path(), spec, stream, StoreConfig::default())
+                .unwrap();
+        cluster.ingest(&records(64)).unwrap();
+        cluster.finish().unwrap();
+        let leaders = cluster.into_leaders();
+        let mut replicas = replica_set(&leaders, &spec, FollowerConfig::default());
+        for (leader, replica) in leaders.iter().zip(replicas.iter_mut()) {
+            replica.sync(16).unwrap();
+            assert!(replica.caught_up());
+            let q = RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Count);
+            let from_leader = leader.lock().unwrap().rollup(&q).unwrap();
+            let from_replica = replica.rollup(&q).unwrap();
+            assert_eq!(from_leader, from_replica);
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! The scatter-gather coordinator: prune, fan out, merge.
+//!
+//! Evaluation is three steps with a proof obligation attached:
+//!
+//! 1. **Prune** — ask the partitioner which shards a region filter can
+//!    rule out (spatial clusters skip whole shards before any I/O;
+//!    hash clusters cannot).
+//! 2. **Scatter** — fetch every surviving shard's extracted `(hour,
+//!    geo)` partial cells, in parallel on the rayon pool
+//!    (`GISOLAP_SHARD_PARALLEL=0` forces the sequential baseline).
+//! 3. **Gather** — absorb the per-shard cell lists into one fresh
+//!    [`DeltaCube`] in **ascending shard order**, then answer the
+//!    rollup from it.
+//!
+//! Why this is bit-identical to a single store: each shard's extraction
+//! is ascending by key, and the gather absorbs per key. Under a spatial
+//! partitioner shard key sets are disjoint, so the gather is a pure
+//! concatenation — the exact cell multiset a single store would hold.
+//! Under a hash partitioner the same key can appear in several shards;
+//! absorbing in ascending shard order fixes one deterministic merge
+//! order, so results are reproducible run-to-run and machine-to-machine
+//! (and exactly equal to the single store's whenever the measure sums
+//! are exactly representable, e.g. quantized coordinates — see
+//! `tests/shard_equivalence.rs`).
+
+use crate::partition::{GridSpec, Partitioner, PartitionerSpec};
+use gisolap_geom::BBox;
+use gisolap_obs::{MetricsRegistry, Span, Tracer};
+use gisolap_store::{Result, StoreError};
+use gisolap_stream::{CellPartial, DeltaCube, GroupKey, RollupQuery, RollupRow, StreamIngest};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A rollup plus an optional geometric region filter: only cells whose
+/// overlay-grid area intersects the box contribute. The region is what
+/// pruning and shard-side filtering key on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardQuery {
+    /// The aggregate to compute.
+    pub rollup: RollupQuery,
+    /// Optional spatial filter (requires the cluster to have a grid).
+    pub region: Option<BBox>,
+}
+
+impl ShardQuery {
+    /// A whole-space sharded rollup.
+    pub fn new(rollup: RollupQuery) -> ShardQuery {
+        ShardQuery {
+            rollup,
+            region: None,
+        }
+    }
+
+    /// Restricts the query to cells intersecting `region`.
+    pub fn in_region(mut self, region: BBox) -> ShardQuery {
+        self.region = Some(region);
+        self
+    }
+}
+
+/// What one sharded evaluation did — the scatter-gather analogue of an
+/// `EXPLAIN` line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardExplain {
+    /// Shards in the cluster.
+    pub shards_total: u64,
+    /// Shards the region filter excluded before any fetch.
+    pub shards_pruned: u64,
+    /// Shards actually fetched.
+    pub shards_queried: u64,
+    /// Partial cells collected across all fetched shards.
+    pub cells_gathered: u64,
+    /// Gathered cells that merged into an already-present key (always 0
+    /// under a spatial partitioner: shard key sets are disjoint).
+    pub cells_merged: u64,
+    /// Whether the scatter ran on the rayon pool.
+    pub parallel: bool,
+}
+
+impl std::fmt::Display for ShardExplain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shards: {} queried, {} pruned of {}; cells: {} gathered, {} merged; scatter: {}",
+            self.shards_queried,
+            self.shards_pruned,
+            self.shards_total,
+            self.cells_gathered,
+            self.cells_merged,
+            if self.parallel {
+                "parallel"
+            } else {
+                "sequential"
+            },
+        )
+    }
+}
+
+/// Rows plus the explain record of how they were computed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResult {
+    /// The merged rollup rows, identical to a single store's answer.
+    pub rows: Vec<RollupRow>,
+    /// What the scatter-gather did.
+    pub explain: ShardExplain,
+}
+
+/// Counters for coordinator work. Field order is the single source for
+/// [`ShardStats::fields`], metrics names and the `OBSERVABILITY.md`
+/// table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Sharded queries evaluated.
+    pub queries: u64,
+    /// Shard fetches issued (after pruning).
+    pub shards_queried: u64,
+    /// Shards excluded by region pruning before any fetch.
+    pub shards_pruned: u64,
+    /// Partial cells gathered from shards.
+    pub cells_gathered: u64,
+    /// Gathered cells merged into an existing key during gather.
+    pub gather_merges: u64,
+}
+
+impl ShardStats {
+    /// Every coordinator counter as a `(name, value)` pair, in
+    /// declaration order.
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("queries", self.queries),
+            ("shards_queried", self.shards_queried),
+            ("shards_pruned", self.shards_pruned),
+            ("cells_gathered", self.cells_gathered),
+            ("gather_merges", self.gather_merges),
+        ]
+    }
+
+    /// Publishes the coordinator counters into `registry` as
+    /// `gisolap_shard_<field>_total`.
+    pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
+        for (field, value) in self.fields() {
+            let name = format!("gisolap_shard_{field}_total");
+            registry.set_counter_u64(&name, "Shard coordinator counter.", &[], value);
+        }
+    }
+}
+
+/// Where the coordinator fetches per-shard cells from: a local cluster,
+/// a replica set, or remote serve endpoints — anything that can hand
+/// back shard `i`'s extracted partials, optionally pre-filtered to a
+/// region shard-side.
+pub trait ShardExecutor: Sync {
+    /// Shard count (must match the coordinator's partitioner).
+    fn shards(&self) -> usize;
+
+    /// Shard `shard`'s `(hour, geo)` partial cells, ascending by key,
+    /// restricted to cells intersecting `region` when one is given.
+    fn fetch(&self, shard: usize, region: Option<&BBox>) -> Result<Vec<(GroupKey, CellPartial)>>;
+}
+
+/// Merges per-shard partial aggregates into single-store-identical
+/// rollup answers.
+pub struct Coordinator<E> {
+    executor: E,
+    partitioner: Box<dyn Partitioner>,
+    parallel: bool,
+    stats: ShardStats,
+    tracer: Tracer,
+    spans: Vec<Span>,
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for Coordinator<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("executor", &self.executor)
+            .field("spec", &self.partitioner.spec())
+            .field("parallel", &self.parallel)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<E: ShardExecutor> Coordinator<E> {
+    /// A coordinator over `executor`, pruning with the partitioner
+    /// `spec` describes. The spec must be the one the data was placed
+    /// by ([`ShardedIngest::spec`](crate::ShardedIngest::spec)) — a
+    /// mismatched shard count is rejected here, a mismatched strategy
+    /// cannot be detected and would misroute pruning.
+    pub fn new(executor: E, spec: PartitionerSpec) -> Result<Coordinator<E>> {
+        let partitioner = spec.build()?;
+        if executor.shards() != partitioner.shards() {
+            return Err(StoreError::BadConfig(format!(
+                "executor has {} shards but the partitioner spec describes {}",
+                executor.shards(),
+                partitioner.shards()
+            )));
+        }
+        // On by default; only an explicit 0 forces sequential scatter.
+        let parallel = gisolap_obs::config::SHARD_PARALLEL.parse_u64() != Some(0);
+        Ok(Coordinator {
+            executor,
+            partitioner,
+            parallel,
+            stats: ShardStats::default(),
+            tracer: Tracer::default(),
+            spans: Vec::new(),
+        })
+    }
+
+    /// Evaluates a sharded rollup: prune, scatter, gather.
+    pub fn eval(&mut self, q: &ShardQuery) -> Result<ShardResult> {
+        let total = self.partitioner.shards();
+        if q.region.is_some() && self.partitioner.grid().is_none() {
+            return Err(StoreError::BadConfig(
+                "a region filter needs a cluster with an overlay grid".to_string(),
+            ));
+        }
+        self.stats.queries += 1;
+
+        // Prune: a spatial partitioner maps the region to the shards
+        // owning intersecting cells; everything else queries all shards
+        // (cell-level filtering still applies shard-side).
+        let targets: Vec<usize> = match &q.region {
+            Some(region) => self
+                .partitioner
+                .prune(region)
+                .unwrap_or_else(|| (0..total).collect()),
+            None => (0..total).collect(),
+        };
+        debug_assert!(targets.windows(2).all(|w| w[0] < w[1]));
+        self.stats.shards_pruned += (total - targets.len()) as u64;
+        self.stats.shards_queried += targets.len() as u64;
+
+        // Scatter.
+        let t_scatter = Instant::now();
+        let fetched: Result<Vec<Vec<(GroupKey, CellPartial)>>> = if self.parallel {
+            targets
+                .par_iter()
+                .map(|&s| self.executor.fetch(s, q.region.as_ref()))
+                .collect()
+        } else {
+            targets
+                .iter()
+                .map(|&s| self.executor.fetch(s, q.region.as_ref()))
+                .collect()
+        };
+        let fetched = fetched?;
+        let scatter_ns = t_scatter.elapsed().as_nanos() as u64;
+        let cells_gathered: u64 = fetched.iter().map(|c| c.len() as u64).sum();
+        self.stats.cells_gathered += cells_gathered;
+
+        // Gather: absorb in ascending shard order (targets are
+        // ascending, `fetched` is positionally aligned with them) so the
+        // per-key merge order is deterministic.
+        let t_gather = Instant::now();
+        let mut cube = DeltaCube::new();
+        let mut cells_merged = 0u64;
+        for cells in &fetched {
+            cells_merged += cube.absorb(cells).merged;
+        }
+        self.stats.gather_merges += cells_merged;
+        let rows = cube
+            .rollup(&q.rollup, &BTreeMap::new())
+            .map_err(StoreError::Stream)?;
+        let gather_ns = t_gather.elapsed().as_nanos() as u64;
+
+        let explain = ShardExplain {
+            shards_total: total as u64,
+            shards_pruned: (total - targets.len()) as u64,
+            shards_queried: targets.len() as u64,
+            cells_gathered,
+            cells_merged,
+            parallel: self.parallel,
+        };
+        if self.tracer.enabled() {
+            self.spans.push(Span {
+                name: "shard-eval",
+                duration_ns: scatter_ns + gather_ns,
+                counters: vec![("queries", 1)],
+                children: vec![
+                    Span {
+                        name: "shard-scatter",
+                        duration_ns: scatter_ns,
+                        counters: vec![
+                            ("shards_queried", explain.shards_queried),
+                            ("shards_pruned", explain.shards_pruned),
+                            ("cells_gathered", cells_gathered),
+                        ],
+                        children: Vec::new(),
+                    },
+                    Span {
+                        name: "shard-gather",
+                        duration_ns: gather_ns,
+                        counters: vec![
+                            ("gather_merges", cells_merged),
+                            ("rows", rows.len() as u64),
+                        ],
+                        children: Vec::new(),
+                    },
+                ],
+            });
+        }
+        Ok(ShardResult { rows, explain })
+    }
+
+    /// The executor (e.g. to reach the underlying cluster or clients).
+    pub fn executor(&self) -> &E {
+        &self.executor
+    }
+
+    /// Coordinator counters.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// Publishes coordinator counters as `gisolap_shard_*` metrics.
+    pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
+        self.stats.fill_metrics(registry);
+    }
+
+    /// Switches `shard-eval` span collection.
+    pub fn set_traced(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    /// Collected `shard-eval` span trees (when traced).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Forces sequential or parallel scatter, overriding
+    /// `GISOLAP_SHARD_PARALLEL` (benchmarks pin both modes explicitly).
+    pub fn set_parallel(&mut self, on: bool) {
+        self.parallel = on;
+    }
+}
+
+/// Applies the executor-side region filter: with a grid, keep only
+/// intersecting cells; a region without a grid is a config error (the
+/// cells carry no geometry to filter on).
+pub fn filter_region(
+    cells: Vec<(GroupKey, CellPartial)>,
+    grid: Option<GridSpec>,
+    region: Option<&BBox>,
+) -> Result<Vec<(GroupKey, CellPartial)>> {
+    match region {
+        None => Ok(cells),
+        Some(region) => {
+            let grid = grid.ok_or_else(|| {
+                StoreError::BadConfig(
+                    "a region filter needs a cluster with an overlay grid".to_string(),
+                )
+            })?;
+            Ok(grid.filter_cells(cells, region))
+        }
+    }
+}
+
+/// The reference evaluator sharded execution must match bit-for-bit: a
+/// single unsharded pipeline, same extraction, same filter, same fold.
+pub fn eval_single(
+    pipeline: &StreamIngest,
+    grid: Option<GridSpec>,
+    q: &ShardQuery,
+) -> Result<Vec<RollupRow>> {
+    let cells = filter_region(pipeline.extract_partials(), grid, q.region.as_ref())?;
+    let mut cube = DeltaCube::new();
+    cube.absorb(&cells);
+    cube.rollup(&q.rollup, &BTreeMap::new())
+        .map_err(StoreError::Stream)
+}
+
+/// Scatter reads straight off a local cluster's shard stores.
+#[derive(Debug)]
+pub struct ClusterExecutor<'a> {
+    cluster: &'a crate::ShardedIngest,
+}
+
+impl<'a> ClusterExecutor<'a> {
+    /// Reads from `cluster`'s shard stores.
+    pub fn new(cluster: &'a crate::ShardedIngest) -> ClusterExecutor<'a> {
+        ClusterExecutor { cluster }
+    }
+}
+
+impl ShardExecutor for ClusterExecutor<'_> {
+    fn shards(&self) -> usize {
+        self.cluster.shard_count()
+    }
+
+    fn fetch(&self, shard: usize, region: Option<&BBox>) -> Result<Vec<(GroupKey, CellPartial)>> {
+        let cells = self.cluster.shards()[shard].extract_partials();
+        filter_region(cells, self.cluster.partitioner().grid(), region)
+    }
+}
+
+/// Scatter reads off a per-shard replica set instead of the primaries:
+/// follower `i` must replicate shard `i`.
+pub struct FollowerExecutor<'a, T> {
+    followers: &'a [gisolap_repl::Follower<T>],
+    grid: Option<GridSpec>,
+}
+
+impl<'a, T> FollowerExecutor<'a, T> {
+    /// Reads from `followers`, filtering regions with `grid` (pass the
+    /// cluster spec's grid).
+    pub fn new(
+        followers: &'a [gisolap_repl::Follower<T>],
+        grid: Option<GridSpec>,
+    ) -> FollowerExecutor<'a, T> {
+        FollowerExecutor { followers, grid }
+    }
+}
+
+impl<T: gisolap_repl::Transport + Sync> ShardExecutor for FollowerExecutor<'_, T> {
+    fn shards(&self) -> usize {
+        self.followers.len()
+    }
+
+    fn fetch(&self, shard: usize, region: Option<&BBox>) -> Result<Vec<(GroupKey, CellPartial)>> {
+        let pipeline = self.followers[shard].pipeline().ok_or_else(|| {
+            StoreError::BadConfig(format!(
+                "replica for shard {shard} has not seeded yet; sync it before serving reads"
+            ))
+        })?;
+        filter_region(pipeline.extract_partials(), self.grid, region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ShardedIngest;
+    use crate::partition::GridSpec;
+    use gisolap_olap::agg::AggFn;
+    use gisolap_olap::time::{TimeId, TimeLevel};
+    use gisolap_store::{ScratchDir, StoreConfig, Vfs};
+    use gisolap_stream::{Measure, StreamConfig};
+    use gisolap_traj::{ObjectId, Record};
+    use std::sync::Arc;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 8.0, 8.0), 4, 4).unwrap()
+    }
+
+    fn records(n: u64) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record {
+                oid: ObjectId(i % 9),
+                t: TimeId((i as i64 * 97) % 7200),
+                x: ((i * 5) % 32) as f64 * 0.25,
+                y: ((i * 11) % 32) as f64 * 0.25,
+            })
+            .collect()
+    }
+
+    fn cluster_with(
+        scratch: &ScratchDir,
+        spec: PartitionerSpec,
+        batch: &[Record],
+    ) -> ShardedIngest {
+        let vfs: Arc<dyn Vfs> = Arc::new(gisolap_store::RealFs);
+        let stream = StreamConfig::new(86_400, 3600).unwrap();
+        let mut cluster =
+            ShardedIngest::create(vfs, scratch.path(), spec, stream, StoreConfig::default())
+                .unwrap();
+        cluster.ingest(batch).unwrap();
+        cluster
+    }
+
+    fn single_with(batch: &[Record]) -> StreamIngest {
+        let mut single = StreamIngest::new(StreamConfig::new(86_400, 3600).unwrap())
+            .unwrap()
+            .with_resolver(grid().resolver());
+        single.ingest(batch);
+        single
+    }
+
+    #[test]
+    fn sharded_matches_single_store() {
+        let scratch = ScratchDir::new("shard-coord-identity");
+        let batch = records(300);
+        let spec = PartitionerSpec::Spatial {
+            shards: 4,
+            grid: grid(),
+        };
+        let cluster = cluster_with(&scratch, spec, &batch);
+        let single = single_with(&batch);
+        let mut coord = Coordinator::new(ClusterExecutor::new(&cluster), spec).unwrap();
+        for f in [AggFn::Count, AggFn::Sum, AggFn::Avg, AggFn::Min, AggFn::Max] {
+            let q = ShardQuery::new(RollupQuery::new(TimeLevel::Hour, Measure::X, f));
+            let got = coord.eval(&q).unwrap();
+            let want = eval_single(&single, Some(grid()), &q).unwrap();
+            assert_eq!(got.rows, want, "{f:?}");
+            assert_eq!(got.explain.cells_merged, 0, "spatial shards are disjoint");
+        }
+    }
+
+    #[test]
+    fn region_filter_prunes_spatial_shards() {
+        let scratch = ScratchDir::new("shard-coord-prune");
+        let batch = records(300);
+        let spec = PartitionerSpec::Spatial {
+            shards: 4,
+            grid: grid(),
+        };
+        let cluster = cluster_with(&scratch, spec, &batch);
+        let single = single_with(&batch);
+        let mut coord = Coordinator::new(ClusterExecutor::new(&cluster), spec).unwrap();
+        coord.set_traced(true);
+        let region = BBox::new(0.1, 0.1, 1.9, 1.9);
+        let q = ShardQuery::new(RollupQuery::new(TimeLevel::Hour, Measure::Y, AggFn::Sum))
+            .in_region(region);
+        let got = coord.eval(&q).unwrap();
+        assert!(got.explain.shards_pruned > 0, "{}", got.explain);
+        assert_eq!(
+            got.explain.shards_pruned + got.explain.shards_queried,
+            got.explain.shards_total
+        );
+        assert_eq!(got.rows, eval_single(&single, Some(grid()), &q).unwrap());
+        let spans = coord.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].children[0].name, "shard-scatter");
+        assert_eq!(spans[0].children[1].name, "shard-gather");
+        assert_eq!(
+            spans[0].total("shards_pruned"),
+            got.explain.shards_pruned,
+            "span counters mirror the explain"
+        );
+    }
+
+    #[test]
+    fn hash_cluster_answers_region_queries_without_pruning() {
+        let scratch = ScratchDir::new("shard-coord-hash-region");
+        let batch = records(300);
+        let spec = PartitionerSpec::Hash {
+            shards: 3,
+            grid: Some(grid()),
+        };
+        let cluster = cluster_with(&scratch, spec, &batch);
+        let single = single_with(&batch);
+        let mut coord = Coordinator::new(ClusterExecutor::new(&cluster), spec).unwrap();
+        let q = ShardQuery::new(RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Count))
+            .in_region(BBox::new(0.1, 0.1, 3.9, 3.9));
+        let got = coord.eval(&q).unwrap();
+        assert_eq!(got.explain.shards_pruned, 0, "hash cannot prune");
+        assert_eq!(got.rows, eval_single(&single, Some(grid()), &q).unwrap());
+    }
+
+    #[test]
+    fn region_without_grid_is_rejected() {
+        let scratch = ScratchDir::new("shard-coord-no-grid");
+        let spec = PartitionerSpec::Hash {
+            shards: 2,
+            grid: None,
+        };
+        let cluster = cluster_with(&scratch, spec, &records(10));
+        let mut coord = Coordinator::new(ClusterExecutor::new(&cluster), spec).unwrap();
+        let q = ShardQuery::new(RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Count))
+            .in_region(BBox::new(0.0, 0.0, 1.0, 1.0));
+        assert!(matches!(
+            coord.eval(&q).unwrap_err(),
+            StoreError::BadConfig(_)
+        ));
+    }
+
+    #[test]
+    fn shard_count_mismatch_is_rejected() {
+        let scratch = ScratchDir::new("shard-coord-mismatch");
+        let spec = PartitionerSpec::Hash {
+            shards: 2,
+            grid: None,
+        };
+        let cluster = cluster_with(&scratch, spec, &records(10));
+        let wrong = PartitionerSpec::Hash {
+            shards: 3,
+            grid: None,
+        };
+        assert!(Coordinator::new(ClusterExecutor::new(&cluster), wrong).is_err());
+    }
+
+    #[test]
+    fn sequential_scatter_matches_parallel() {
+        let scratch = ScratchDir::new("shard-coord-seq");
+        let batch = records(300);
+        let spec = PartitionerSpec::Spatial {
+            shards: 4,
+            grid: grid(),
+        };
+        let cluster = cluster_with(&scratch, spec, &batch);
+        let q = ShardQuery::new(RollupQuery::new(TimeLevel::Day, Measure::Y, AggFn::Avg));
+        let mut coord = Coordinator::new(ClusterExecutor::new(&cluster), spec).unwrap();
+        coord.set_parallel(true);
+        let par = coord.eval(&q).unwrap();
+        coord.set_parallel(false);
+        let seq = coord.eval(&q).unwrap();
+        assert_eq!(par.rows, seq.rows);
+        assert!(par.explain.parallel && !seq.explain.parallel);
+    }
+
+    #[test]
+    fn follower_executor_serves_replica_reads() {
+        let scratch = ScratchDir::new("shard-coord-followers");
+        let batch = records(200);
+        let spec = PartitionerSpec::Spatial {
+            shards: 2,
+            grid: grid(),
+        };
+        let cluster = cluster_with(&scratch, spec, &batch);
+        let single = single_with(&batch);
+        let leaders = cluster.into_leaders();
+        let mut replicas =
+            crate::cluster::replica_set(&leaders, &spec, gisolap_repl::FollowerConfig::default());
+        for r in replicas.iter_mut() {
+            r.sync(16).unwrap();
+            assert!(r.caught_up());
+        }
+        let exec = FollowerExecutor::new(&replicas, spec.grid());
+        let mut coord = Coordinator::new(exec, spec).unwrap();
+        let q = ShardQuery::new(RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Sum))
+            .in_region(BBox::new(0.1, 0.1, 5.9, 5.9));
+        let got = coord.eval(&q).unwrap();
+        assert_eq!(got.rows, eval_single(&single, Some(grid()), &q).unwrap());
+        assert_eq!(coord.stats().queries, 1);
+    }
+}

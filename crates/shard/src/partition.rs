@@ -1,0 +1,451 @@
+//! Partitioners: how the MOFT splits across shard stores.
+//!
+//! Two strategies, behind one [`Partitioner`] trait:
+//!
+//! * [`HashPartitioner`] — route by a stable mix of the object id.
+//!   Perfectly balanced under any spatial distribution, but a
+//!   geometric region filter cannot exclude any shard (every shard may
+//!   hold every cell).
+//! * [`SpatialPartitioner`] — route by the overlay grid cell under the
+//!   record's position, assigning contiguous cell-id ranges to shards.
+//!   Every `(hour, geo)` cell lives wholly in one shard, which makes
+//!   the gather merge a pure concatenation (bit-identical for *all*
+//!   aggregates), and lets a region filter prune whole shards before
+//!   any store is touched.
+
+use gisolap_geom::{BBox, Point};
+use gisolap_store::{Result, StoreError};
+use gisolap_stream::{CellPartial, GeoResolver, GroupKey};
+use gisolap_traj::Record;
+
+/// A uniform `nx × ny` overlay grid over a bounding box — both the
+/// geometry resolver shards ingest with (one cell id per point,
+/// row-major, positions clamped into the box) and the pruning map a
+/// coordinator filters with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSpec {
+    /// Covered area; positions outside are clamped to the border cells.
+    pub bbox: BBox,
+    /// Columns.
+    pub nx: u32,
+    /// Rows.
+    pub ny: u32,
+}
+
+impl GridSpec {
+    /// A validated grid: at least one cell, a non-empty box.
+    pub fn new(bbox: BBox, nx: u32, ny: u32) -> Result<GridSpec> {
+        if nx == 0 || ny == 0 {
+            return Err(StoreError::BadConfig(format!(
+                "grid must have at least one cell, got {nx}x{ny}"
+            )));
+        }
+        // `> 0.0` fails for NaN extents too, which must be rejected.
+        let positive = |v: f64| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if bbox.is_empty() || !positive(bbox.width()) || !positive(bbox.height()) {
+            return Err(StoreError::BadConfig(
+                "grid bbox must have positive area".to_string(),
+            ));
+        }
+        Ok(GridSpec { bbox, nx, ny })
+    }
+
+    /// Total cell count.
+    pub fn cells(&self) -> u32 {
+        self.nx * self.ny
+    }
+
+    /// The cell id under `p` (row-major; out-of-box positions clamp to
+    /// the nearest border cell, so every point has exactly one cell).
+    pub fn cell_of(&self, p: Point) -> u32 {
+        let fx = (p.x - self.bbox.min_x) / self.bbox.width() * self.nx as f64;
+        let fy = (p.y - self.bbox.min_y) / self.bbox.height() * self.ny as f64;
+        let ix = (fx.floor().max(0.0) as u32).min(self.nx - 1);
+        let iy = (fy.floor().max(0.0) as u32).min(self.ny - 1);
+        iy * self.nx + ix
+    }
+
+    /// The area cell `id` covers (`id` must be `< cells()`).
+    pub fn cell_bbox(&self, id: u32) -> BBox {
+        debug_assert!(id < self.cells(), "cell id out of range");
+        let ix = (id % self.nx) as f64;
+        let iy = (id / self.nx) as f64;
+        let w = self.bbox.width() / self.nx as f64;
+        let h = self.bbox.height() / self.ny as f64;
+        BBox::new(
+            self.bbox.min_x + ix * w,
+            self.bbox.min_y + iy * h,
+            self.bbox.min_x + (ix + 1.0) * w,
+            self.bbox.min_y + (iy + 1.0) * h,
+        )
+    }
+
+    /// Cell ids whose closed area intersects `region`, ascending.
+    pub fn cells_intersecting(&self, region: &BBox) -> Vec<u32> {
+        let mut out = Vec::new();
+        for id in 0..self.cells() {
+            if self.cell_bbox(id).intersects(region) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// A [`GeoResolver`] assigning every position its single grid cell.
+    pub fn resolver(&self) -> GeoResolver {
+        let spec = *self;
+        Box::new(move |p: Point| vec![spec.cell_of(p)])
+    }
+
+    /// Drops cells that cannot contribute to a `region`-filtered query:
+    /// keeps exactly the cells whose geo id intersects the region
+    /// (cells with no geo id are dropped — they carry positions the
+    /// grid never resolved, which a grid-filtered query must not see).
+    pub fn filter_cells(
+        &self,
+        cells: Vec<(GroupKey, CellPartial)>,
+        region: &BBox,
+    ) -> Vec<(GroupKey, CellPartial)> {
+        let allowed: std::collections::BTreeSet<u32> =
+            self.cells_intersecting(region).into_iter().collect();
+        cells
+            .into_iter()
+            .filter(|((_, geo), _)| geo.map(|g| allowed.contains(&g)).unwrap_or(false))
+            .collect()
+    }
+}
+
+/// How records route to shards, and which shards a region filter can
+/// rule out before any store I/O.
+pub trait Partitioner: Send + Sync {
+    /// Number of shards this partitioner routes across.
+    fn shards(&self) -> usize;
+
+    /// The shard `r` belongs to (`< shards()`).
+    fn route(&self, r: &Record) -> usize;
+
+    /// Shards that may hold cells intersecting `region`, ascending —
+    /// or `None` when this strategy cannot exclude any shard.
+    fn prune(&self, region: &BBox) -> Option<Vec<usize>>;
+
+    /// The overlay grid shards ingest with, if any.
+    fn grid(&self) -> Option<GridSpec>;
+
+    /// Whether distinct shards are guaranteed disjoint `(hour, geo)`
+    /// key sets — when true, the gather merge is a concatenation and
+    /// sharded evaluation is bit-identical for every aggregate.
+    fn cells_disjoint(&self) -> bool;
+
+    /// The serializable description of this partitioner.
+    fn spec(&self) -> PartitionerSpec;
+}
+
+/// A stable 64-bit mix (splitmix64 finalizer) — the routing hash must
+/// never depend on `std` hasher internals, or a cluster written by one
+/// toolchain would route differently under another.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash-by-object-id routing. An optional [`GridSpec`] gives every
+/// shard the same geometry resolver, so region-*filtered* queries work
+/// (cell-level filtering); region *pruning* is impossible — any object
+/// may wander anywhere, so every shard may hold every cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HashPartitioner {
+    shards: usize,
+    grid: Option<GridSpec>,
+}
+
+impl HashPartitioner {
+    /// A hash partitioner over `shards` stores (`shards ≥ 1`).
+    pub fn new(shards: usize, grid: Option<GridSpec>) -> Result<HashPartitioner> {
+        if shards == 0 {
+            return Err(StoreError::BadConfig(
+                "a cluster needs at least one shard".to_string(),
+            ));
+        }
+        Ok(HashPartitioner { shards, grid })
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn route(&self, r: &Record) -> usize {
+        (mix64(r.oid.0) % self.shards as u64) as usize
+    }
+
+    fn prune(&self, _region: &BBox) -> Option<Vec<usize>> {
+        None
+    }
+
+    fn grid(&self) -> Option<GridSpec> {
+        self.grid
+    }
+
+    fn cells_disjoint(&self) -> bool {
+        false
+    }
+
+    fn spec(&self) -> PartitionerSpec {
+        PartitionerSpec::Hash {
+            shards: self.shards as u32,
+            grid: self.grid,
+        }
+    }
+}
+
+/// Spatial routing by overlay grid cell: cell ids split into contiguous
+/// ranges, one per shard, so a compact region maps to few shards and a
+/// selective filter prunes the rest outright.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialPartitioner {
+    shards: usize,
+    grid: GridSpec,
+}
+
+impl SpatialPartitioner {
+    /// A spatial partitioner over `shards` stores (`1 ≤ shards ≤`
+    /// grid cells — an empty shard range would never receive a record).
+    pub fn new(shards: usize, grid: GridSpec) -> Result<SpatialPartitioner> {
+        if shards == 0 {
+            return Err(StoreError::BadConfig(
+                "a cluster needs at least one shard".to_string(),
+            ));
+        }
+        if shards as u64 > grid.cells() as u64 {
+            return Err(StoreError::BadConfig(format!(
+                "{shards} shards over a {} cell grid leaves shards unroutable",
+                grid.cells()
+            )));
+        }
+        Ok(SpatialPartitioner { shards, grid })
+    }
+
+    /// The shard owning grid cell `id` (contiguous range assignment —
+    /// monotone in the cell id, so nearby rows land together).
+    pub fn shard_of_cell(&self, id: u32) -> usize {
+        ((id as u64 * self.shards as u64) / self.grid.cells() as u64) as usize
+    }
+}
+
+impl Partitioner for SpatialPartitioner {
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn route(&self, r: &Record) -> usize {
+        self.shard_of_cell(self.grid.cell_of(r.pos()))
+    }
+
+    fn prune(&self, region: &BBox) -> Option<Vec<usize>> {
+        let mut shards: Vec<usize> = self
+            .grid
+            .cells_intersecting(region)
+            .into_iter()
+            .map(|c| self.shard_of_cell(c))
+            .collect();
+        shards.dedup(); // already ascending: shard_of_cell is monotone
+        Some(shards)
+    }
+
+    fn grid(&self) -> Option<GridSpec> {
+        Some(self.grid)
+    }
+
+    fn cells_disjoint(&self) -> bool {
+        true
+    }
+
+    fn spec(&self) -> PartitionerSpec {
+        PartitionerSpec::Spatial {
+            shards: self.shards as u32,
+            grid: self.grid,
+        }
+    }
+}
+
+/// The serializable description of a partitioner — what the cluster
+/// manifest persists, and what [`PartitionerSpec::build`] turns back
+/// into a live [`Partitioner`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartitionerSpec {
+    /// Hash-by-oid across `shards` stores; `grid`, when present, is
+    /// the resolver every shard ingests with.
+    Hash {
+        /// Shard count.
+        shards: u32,
+        /// Optional shared overlay grid (resolver only, no pruning).
+        grid: Option<GridSpec>,
+    },
+    /// Route by overlay cell, contiguous cell ranges per shard.
+    Spatial {
+        /// Shard count.
+        shards: u32,
+        /// The overlay grid (resolver *and* pruning map).
+        grid: GridSpec,
+    },
+}
+
+impl PartitionerSpec {
+    /// Shard count of the described cluster.
+    pub fn shards(&self) -> usize {
+        match self {
+            PartitionerSpec::Hash { shards, .. } | PartitionerSpec::Spatial { shards, .. } => {
+                *shards as usize
+            }
+        }
+    }
+
+    /// The overlay grid, if the spec carries one.
+    pub fn grid(&self) -> Option<GridSpec> {
+        match self {
+            PartitionerSpec::Hash { grid, .. } => *grid,
+            PartitionerSpec::Spatial { grid, .. } => Some(*grid),
+        }
+    }
+
+    /// Builds the live partitioner this spec describes.
+    pub fn build(&self) -> Result<Box<dyn Partitioner>> {
+        Ok(match *self {
+            PartitionerSpec::Hash { shards, grid } => {
+                Box::new(HashPartitioner::new(shards as usize, grid)?)
+            }
+            PartitionerSpec::Spatial { shards, grid } => {
+                Box::new(SpatialPartitioner::new(shards as usize, grid)?)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gisolap_olap::time::TimeId;
+    use gisolap_traj::ObjectId;
+
+    fn rec(oid: u64, x: f64, y: f64) -> Record {
+        Record {
+            oid: ObjectId(oid),
+            t: TimeId(0),
+            x,
+            y,
+        }
+    }
+
+    fn grid() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 8.0, 4.0), 8, 4).unwrap()
+    }
+
+    #[test]
+    fn grid_cells_partition_the_box() {
+        let g = grid();
+        assert_eq!(g.cells(), 32);
+        assert_eq!(g.cell_of(Point::new(0.5, 0.5)), 0);
+        assert_eq!(g.cell_of(Point::new(7.5, 0.5)), 7);
+        assert_eq!(g.cell_of(Point::new(0.5, 3.5)), 24);
+        // Clamping: outside positions land in border cells.
+        assert_eq!(g.cell_of(Point::new(-10.0, -10.0)), 0);
+        assert_eq!(g.cell_of(Point::new(100.0, 100.0)), 31);
+        // The max corner belongs to the last cell, not cell nx*ny.
+        assert_eq!(g.cell_of(Point::new(8.0, 4.0)), 31);
+        // Every cell's bbox contains its own center.
+        for id in 0..g.cells() {
+            assert_eq!(g.cell_of(g.cell_bbox(id).center()), id);
+        }
+    }
+
+    #[test]
+    fn resolver_returns_exactly_one_cell() {
+        let g = grid();
+        let r = g.resolver();
+        assert_eq!(
+            r(Point::new(3.3, 1.1)),
+            vec![g.cell_of(Point::new(3.3, 1.1))]
+        );
+    }
+
+    #[test]
+    fn spatial_routing_and_pruning_agree() {
+        let p = SpatialPartitioner::new(4, grid()).unwrap();
+        // Routing covers every shard index and nothing more.
+        let mut seen = std::collections::BTreeSet::new();
+        for id in 0..p.grid.cells() {
+            let s = p.shard_of_cell(id);
+            assert!(s < 4);
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 4);
+        // A query region only ever touches the shards pruning returns.
+        let region = BBox::new(0.2, 0.2, 1.8, 1.8);
+        let keep = p.prune(&region).unwrap();
+        for cell in p.grid.cells_intersecting(&region) {
+            assert!(keep.contains(&p.shard_of_cell(cell)));
+        }
+        assert!(keep.len() < 4, "a selective region must prune shards");
+    }
+
+    #[test]
+    fn hash_routing_is_stable_and_never_prunes() {
+        let p = HashPartitioner::new(4, None).unwrap();
+        for oid in 0..100 {
+            let s = p.route(&rec(oid, 1.0, 1.0));
+            assert!(s < 4);
+            // Position-independent.
+            assert_eq!(s, p.route(&rec(oid, 7.9, 3.9)));
+        }
+        assert!(p.prune(&BBox::new(0.0, 0.0, 1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn specs_roundtrip_through_build() {
+        let specs = [
+            PartitionerSpec::Hash {
+                shards: 3,
+                grid: Some(grid()),
+            },
+            PartitionerSpec::Hash {
+                shards: 1,
+                grid: None,
+            },
+            PartitionerSpec::Spatial {
+                shards: 4,
+                grid: grid(),
+            },
+        ];
+        for spec in specs {
+            assert_eq!(spec.build().unwrap().spec(), spec);
+        }
+        assert!(PartitionerSpec::Hash {
+            shards: 0,
+            grid: None
+        }
+        .build()
+        .is_err());
+        assert!(PartitionerSpec::Spatial {
+            shards: 64,
+            grid: GridSpec::new(BBox::new(0.0, 0.0, 1.0, 1.0), 2, 2).unwrap(),
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn filter_cells_keeps_only_intersecting_geo() {
+        let g = grid();
+        let region = BBox::new(0.1, 0.1, 0.9, 0.9); // inside cell 0
+        let cells = vec![
+            ((0i64, Some(0u32)), CellPartial::default()),
+            ((0i64, Some(17u32)), CellPartial::default()),
+            ((0i64, None), CellPartial::default()),
+        ];
+        let kept = g.filter_cells(cells, &region);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].0, (0, Some(0)));
+    }
+}

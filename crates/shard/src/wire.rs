@@ -1,0 +1,267 @@
+//! Byte codecs for everything sharding persists or ships: partitioner
+//! specs (the `SHARDS` manifest payload), region filters, grids, and
+//! per-shard cell sets. All of it rides the store's CRC framing — no
+//! third framing implementation.
+
+use crate::partition::{GridSpec, PartitionerSpec};
+use gisolap_geom::BBox;
+use gisolap_store::codec::{frame, Dec, Enc};
+use gisolap_store::framing::{decode_single_frame, wire_corrupt};
+use gisolap_store::{Result, StoreError};
+use gisolap_stream::{CellPartial, GroupKey};
+
+/// Corruption label for shard wire payloads.
+pub const WIRE: &str = "shard-wire";
+
+const KIND_HASH: u8 = 1;
+const KIND_SPATIAL: u8 = 2;
+
+fn enc_f64(e: &mut Enc, v: f64) {
+    e.u64(v.to_bits());
+}
+
+fn dec_f64(d: &mut Dec<'_>) -> Result<f64> {
+    Ok(f64::from_bits(d.u64()?))
+}
+
+/// Appends a grid spec (bbox as four bit-exact floats, then nx, ny).
+pub fn enc_grid(e: &mut Enc, g: &GridSpec) {
+    enc_f64(e, g.bbox.min_x);
+    enc_f64(e, g.bbox.min_y);
+    enc_f64(e, g.bbox.max_x);
+    enc_f64(e, g.bbox.max_y);
+    e.u32(g.nx);
+    e.u32(g.ny);
+}
+
+/// Reads a grid spec, re-validating it (a manifest edited by hand must
+/// not smuggle a zero-cell grid past the constructor).
+pub fn dec_grid(d: &mut Dec<'_>) -> Result<GridSpec> {
+    let bbox = BBox::new(dec_f64(d)?, dec_f64(d)?, dec_f64(d)?, dec_f64(d)?);
+    let nx = d.u32()?;
+    let ny = d.u32()?;
+    GridSpec::new(bbox, nx, ny)
+}
+
+/// Appends an optional region filter (presence flag, then the box).
+pub fn enc_region(e: &mut Enc, region: Option<&BBox>) {
+    match region {
+        None => e.u8(0),
+        Some(b) => {
+            e.u8(1);
+            enc_f64(e, b.min_x);
+            enc_f64(e, b.min_y);
+            enc_f64(e, b.max_x);
+            enc_f64(e, b.max_y);
+        }
+    }
+}
+
+/// Reads an optional region filter.
+pub fn dec_region(d: &mut Dec<'_>) -> Result<Option<BBox>> {
+    match d.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(BBox::new(
+            dec_f64(d)?,
+            dec_f64(d)?,
+            dec_f64(d)?,
+            dec_f64(d)?,
+        ))),
+        b => Err(wire_corrupt(WIRE, format!("bad region flag {b}"))),
+    }
+}
+
+/// Appends an optional grid (presence flag, then the grid).
+pub fn enc_opt_grid(e: &mut Enc, grid: Option<&GridSpec>) {
+    match grid {
+        None => e.u8(0),
+        Some(g) => {
+            e.u8(1);
+            enc_grid(e, g);
+        }
+    }
+}
+
+/// Reads an optional grid.
+pub fn dec_opt_grid(d: &mut Dec<'_>) -> Result<Option<GridSpec>> {
+    match d.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(dec_grid(d)?)),
+        b => Err(wire_corrupt(WIRE, format!("bad grid flag {b}"))),
+    }
+}
+
+/// The `SHARDS` manifest payload: kind, shard count, grid.
+pub fn encode_spec(spec: &PartitionerSpec) -> Vec<u8> {
+    let mut e = Enc::new();
+    match *spec {
+        PartitionerSpec::Hash { shards, grid } => {
+            e.u8(KIND_HASH);
+            e.u32(shards);
+            enc_opt_grid(&mut e, grid.as_ref());
+        }
+        PartitionerSpec::Spatial { shards, grid } => {
+            e.u8(KIND_SPATIAL);
+            e.u32(shards);
+            enc_grid(&mut e, &grid);
+        }
+    }
+    e.into_bytes()
+}
+
+/// Decodes a `SHARDS` manifest payload, strictly (trailing bytes are
+/// corruption, not extensibility).
+pub fn decode_spec(payload: &[u8], file: &str) -> Result<PartitionerSpec> {
+    let mut d = Dec::new(payload, file);
+    let spec = match d.u8()? {
+        KIND_HASH => PartitionerSpec::Hash {
+            shards: d.u32()?,
+            grid: dec_opt_grid(&mut d)?,
+        },
+        KIND_SPATIAL => PartitionerSpec::Spatial {
+            shards: d.u32()?,
+            grid: dec_grid(&mut d)?,
+        },
+        b => {
+            return Err(StoreError::Corrupt {
+                file: file.to_string(),
+                detail: format!("unknown partitioner kind {b}"),
+            })
+        }
+    };
+    d.finish()?;
+    spec.build()?; // reject structurally valid but unbuildable specs
+    Ok(spec)
+}
+
+/// One CRC frame holding a shard's extracted cells — what a remote
+/// shard ships back to the coordinator.
+pub fn encode_cells_payload(cells: &[(GroupKey, CellPartial)]) -> Vec<u8> {
+    let mut e = Enc::new();
+    gisolap_store::codec::encode_cells(&mut e, cells);
+    frame(&e.into_bytes())
+}
+
+/// Decodes a framed cell set, strictly.
+pub fn decode_cells_payload(bytes: &[u8]) -> Result<Vec<(GroupKey, CellPartial)>> {
+    let payload = decode_single_frame(bytes, WIRE, "cells")?;
+    let mut d = Dec::new(payload, WIRE);
+    let cells = gisolap_store::codec::decode_cells(&mut d)?;
+    d.finish()?;
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(BBox::new(-4.0, -2.0, 4.0, 2.0), 8, 4).unwrap()
+    }
+
+    #[test]
+    fn spec_roundtrips() {
+        let specs = [
+            PartitionerSpec::Hash {
+                shards: 7,
+                grid: None,
+            },
+            PartitionerSpec::Hash {
+                shards: 3,
+                grid: Some(grid()),
+            },
+            PartitionerSpec::Spatial {
+                shards: 4,
+                grid: grid(),
+            },
+        ];
+        for spec in specs {
+            let bytes = encode_spec(&spec);
+            assert_eq!(decode_spec(&bytes, "SHARDS").unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn spec_decode_rejects_damage() {
+        let good = encode_spec(&PartitionerSpec::Spatial {
+            shards: 4,
+            grid: grid(),
+        });
+        // Unknown kind byte.
+        let mut bad = good.clone();
+        bad[0] = 9;
+        assert!(decode_spec(&bad, "SHARDS").is_err());
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_spec(&long, "SHARDS").is_err());
+        // Unbuildable spec: zero shards decodes structurally but must
+        // not build.
+        let mut zero = good;
+        zero[1..5].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_spec(&zero, "SHARDS").is_err());
+    }
+
+    #[test]
+    fn region_roundtrips() {
+        for region in [None, Some(BBox::new(0.5, -1.5, 3.25, 0.75))] {
+            let mut e = Enc::new();
+            enc_region(&mut e, region.as_ref());
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes, WIRE);
+            assert_eq!(dec_region(&mut d).unwrap(), region);
+            d.finish().unwrap();
+        }
+    }
+
+    /// Deterministic pseudo-random cells from a seed (the proptest shim
+    /// has no `any::<T>()`; a mixed counter covers the same space).
+    fn synth_cells(seed: u64, n: usize) -> Vec<(GroupKey, CellPartial)> {
+        let mut z = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z ^ (z >> 27)
+        };
+        let mut cells: Vec<(GroupKey, CellPartial)> = (0..n)
+            .map(|_| {
+                let hour = (next() % 10_000) as i64 - 5_000;
+                let geo = if next() % 3 == 0 {
+                    None
+                } else {
+                    Some((next() % 64) as u32)
+                };
+                let v = (next() % 2_000_000) as f64 / 4.0 - 250_000.0;
+                let p = gisolap_olap::agg::Partial::from_raw(next() % 1000 + 1, v, v, v);
+                ((hour, geo), CellPartial { x: p, y: p })
+            })
+            .collect();
+        cells.sort_by_key(|(k, _)| *k);
+        cells.dedup_by_key(|(k, _)| *k);
+        cells
+    }
+
+    proptest! {
+        #[test]
+        fn cells_payload_roundtrips(seed in 0u64..500, n in 0usize..32) {
+            let cells = synth_cells(seed, n);
+            let bytes = encode_cells_payload(&cells);
+            let back = decode_cells_payload(&bytes).unwrap();
+            prop_assert_eq!(back, cells);
+        }
+
+        #[test]
+        fn cells_payload_rejects_bit_flips(flip in 0usize..64) {
+            let p = gisolap_olap::agg::Partial::from_raw(3, 1.5, 0.5, 2.5);
+            let cells = vec![((7i64, Some(2u32)), CellPartial { x: p, y: p })];
+            let mut bytes = encode_cells_payload(&cells);
+            let i = flip % bytes.len();
+            bytes[i] ^= 0x40;
+            // Either the CRC catches it or the decoded value differs;
+            // silent equality would be a framing hole.
+            if let Ok(back) = decode_cells_payload(&bytes) {
+                prop_assert_ne!(back, cells);
+            }
+        }
+    }
+}

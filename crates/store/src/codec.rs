@@ -46,6 +46,8 @@ pub enum FileKind {
     Manifest = 3,
     /// A checkpointed tail state.
     Checkpoint = 4,
+    /// A shard-cluster membership manifest (partitioner spec).
+    ShardManifest = 5,
 }
 
 impl FileKind {
@@ -55,6 +57,7 @@ impl FileKind {
             2 => Some(FileKind::Wal),
             3 => Some(FileKind::Manifest),
             4 => Some(FileKind::Checkpoint),
+            5 => Some(FileKind::ShardManifest),
             _ => None,
         }
     }
@@ -460,6 +463,30 @@ fn dec_cell(d: &mut Dec<'_>) -> Result<(GroupKey, CellPartial)> {
     let x = dec_partial(d)?;
     let y = dec_partial(d)?;
     Ok(((hour, geo), CellPartial { x, y }))
+}
+
+/// Encodes a batch of `(key, cell)` partials into `e` — the scatter
+/// payload of the sharding wire. Keys travel in the given order (the
+/// coordinator relies on ascending-key extraction for its canonical
+/// merge order).
+pub fn encode_cells(e: &mut Enc, cells: &[(GroupKey, CellPartial)]) {
+    e.u64(cells.len() as u64);
+    for (key, cell) in cells {
+        enc_cell(e, key, cell);
+    }
+}
+
+/// Decodes a batch of `(key, cell)` partials written by
+/// [`encode_cells`]. The declared count is plausibility-checked against
+/// the remaining payload before allocation.
+pub fn decode_cells(d: &mut Dec<'_>) -> Result<Vec<(GroupKey, CellPartial)>> {
+    let n = d.u64()? as usize;
+    // Every cell costs at least hour (8) + geo flag (1) + two partials
+    // (2 × 32); a bigger declared count is a lying header.
+    if d.remaining() < n.saturating_mul(8 + 1 + 64) {
+        return Err(corrupt(d.file, format!("cell count {n} exceeds payload")));
+    }
+    (0..n).map(|_| dec_cell(d)).collect()
 }
 
 // --- segment ----------------------------------------------------------

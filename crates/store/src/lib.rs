@@ -11,6 +11,10 @@
 //!   a versioned header for segments, checkpoints, manifests and WAL
 //!   frames. Floats are serialized as IEEE-754 bits, so round-trips are
 //!   exact.
+//! * [`framing`] — the wire-side plumbing shared by every protocol
+//!   built on those frames (replication, serving, sharding): strict
+//!   single-frame decode, wire-attributed corruption errors, and the
+//!   capped socket message envelope.
 //! * [`wal`] — a write-ahead log of ingest operations
 //!   ([`ReplayOp`](gisolap_stream::ReplayOp)s) with a configurable
 //!   fsync policy ([`SyncPolicy`]). A torn or truncated tail frame is
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod framing;
 pub mod store;
 pub mod vfs;
 pub mod wal;

@@ -1059,6 +1059,13 @@ impl DurableIngest {
         self.ingest.rollup(q).map_err(StoreError::Stream)
     }
 
+    /// Every `(hour, geo)` partial cell the live pipeline holds,
+    /// ascending by key ([`StreamIngest::extract_partials`]) — the
+    /// scatter unit of sharded evaluation.
+    pub fn extract_partials(&self) -> Vec<(gisolap_stream::GroupKey, gisolap_stream::CellPartial)> {
+        self.ingest.extract_partials()
+    }
+
     /// Freezes the live pipeline into an owned snapshot.
     pub fn snapshot(&self) -> Result<StreamSnapshot> {
         self.ingest.snapshot().map_err(StoreError::Stream)

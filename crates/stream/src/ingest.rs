@@ -310,6 +310,35 @@ impl StreamIngest {
         self.cube.rollup(q, &tail_cells)
     }
 
+    /// Every `(hour, geo)` partial cell the pipeline currently holds —
+    /// the sealed [`DeltaCube`]'s cells followed by a canonical
+    /// accumulation of the live tail — strictly ascending by key.
+    ///
+    /// This is the *scatter unit* of sharded evaluation
+    /// (`gisolap-shard`). Because partitions are hour-aligned and
+    /// sealing moves whole partitions, every hour cell lives wholly in
+    /// the cube or wholly in the tail, and every tail partition sorts
+    /// after every sealed one — so the returned list is (a) ascending
+    /// by `(hour, geo)` and (b) *independent of seal and compaction
+    /// state*: it equals the canonical accumulation of every accepted
+    /// record. Absorbing these cells into a fresh cube and rolling it
+    /// up reproduces [`StreamIngest::rollup`] bit-identically.
+    pub fn extract_partials(&self) -> Vec<(GroupKey, CellPartial)> {
+        let tail = self.tail_records();
+        self.tail_records_scanned
+            .fetch_add(tail.len() as u64, Ordering::Relaxed);
+        let tail_cells = bucket_partials(&tail, self.resolver.as_ref());
+        let mut out: Vec<(GroupKey, CellPartial)> =
+            Vec::with_capacity(self.cube.len() + tail_cells.len());
+        out.extend(self.cube.cells().map(|(k, c)| (*k, *c)));
+        out.extend(tail_cells.iter().map(|(k, c)| (*k, *c)));
+        debug_assert!(
+            out.windows(2).all(|w| w[0].0 < w[1].0),
+            "extracted cells must be strictly ascending by key"
+        );
+        out
+    }
+
     /// Freezes the current state into an owned [`StreamSnapshot`]: a
     /// MOFT assembled by k-way merging the sorted segment runs and the
     /// canonical tail (`O(n log k)`, no re-sort), the sealed cube, the

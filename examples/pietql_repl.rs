@@ -13,6 +13,10 @@
 //! flips. A fourth, `\connect <addr> <tenant>`, does the same catch-up
 //! cross-process: it tails a tenant's store behind a running
 //! `gisolap-serve` server over a real TCP socket via [`TcpTransport`].
+//! A fifth, `\shards <n>`, partitions the session MOFT across `n`
+//! spatial shard stores and answers rollups by scatter-gather — the
+//! explain line shows whole shards pruned on a selective region, and
+//! every answer is checked bit-for-bit against single-store evaluation.
 //! Reads from stdin; with no terminal attached it runs a demo script
 //! instead.
 //!
@@ -223,6 +227,92 @@ fn follow(dir: &Path) -> Result<(Moft, Vec<String>), String> {
     Ok((moft, lines))
 }
 
+/// `\shards <n>`: partitions the session MOFT across `n` spatial shard
+/// stores (a 4×4 overlay grid over the data's bounding box, contiguous
+/// cell blocks per shard), then evaluates an hourly rollup twice —
+/// whole-space, and restricted to the bottom-left quadrant — by
+/// scatter-gather. Each answer is verified **bit-identical** to a
+/// single unsharded pipeline, and the explain lines show the region
+/// query pruning whole shards before any fetch.
+fn shards(moft: &Moft, n: u32) -> Result<Vec<String>, String> {
+    use gisolap_olap::agg::AggFn;
+    use gisolap_olap::time::TimeLevel;
+    use gisolap_shard::{
+        eval_single, ClusterExecutor, Coordinator, GridSpec, PartitionerSpec, ShardQuery,
+        ShardedIngest,
+    };
+    use gisolap_stream::{Measure, RollupQuery, StreamIngest};
+
+    let fail = |cause: String| format!("shards failed: {cause}");
+    let bbox = moft.bbox();
+    let grid = GridSpec::new(bbox, 4, 4).map_err(|e| fail(e.to_string()))?;
+    let spec = PartitionerSpec::Spatial { shards: n, grid };
+    spec.build().map_err(|e| fail(e.to_string()))?;
+
+    // Lateness beyond any data span: records arrive grouped by object,
+    // not by time, and none may be dropped.
+    let stream = StreamConfig::new(366 * 86_400, 3600).expect("valid stream config");
+    let scratch = ScratchDir::new("pietql-shards");
+    let mut cluster = ShardedIngest::create(
+        Arc::new(RealFs),
+        scratch.path(),
+        spec,
+        stream,
+        StoreConfig::from_env(),
+    )
+    .map_err(|e| fail(e.to_string()))?;
+    moft.records()
+        .chunks(64)
+        .try_for_each(|batch| cluster.ingest(batch).map(|_| ()))
+        .map_err(|e| fail(e.to_string()))?;
+
+    let mut single = StreamIngest::new(stream)
+        .map_err(|e| fail(e.to_string()))?
+        .with_resolver(grid.resolver());
+    single.ingest(moft.records());
+
+    let mut lines = vec![format!(
+        "partitioned {} records across {n} spatial shards ({} per-shard stores under a 4x4 grid)",
+        moft.records().len(),
+        cluster.shard_count(),
+    )];
+    let quadrant = gisolap_geom::BBox::new(
+        bbox.min_x,
+        bbox.min_y,
+        (bbox.min_x + bbox.max_x) / 2.0,
+        (bbox.min_y + bbox.max_y) / 2.0,
+    );
+    let mut coord =
+        Coordinator::new(ClusterExecutor::new(&cluster), spec).map_err(|e| fail(e.to_string()))?;
+    for (label, query) in [
+        (
+            "COUNT per hour, whole space",
+            ShardQuery::new(RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Count)),
+        ),
+        (
+            "AVG(x) per hour, bottom-left quadrant",
+            ShardQuery::new(RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Avg))
+                .in_region(quadrant),
+        ),
+    ] {
+        let got = coord.eval(&query).map_err(|e| fail(e.to_string()))?;
+        let want = eval_single(&single, Some(grid), &query).map_err(|e| fail(e.to_string()))?;
+        let identical = got.rows.len() == want.len()
+            && got.rows.iter().zip(&want).all(|(g, w)| {
+                g.granule == w.granule && g.geo == w.geo && g.value.to_bits() == w.value.to_bits()
+            });
+        if !identical {
+            return Err(fail(format!("sharded answer diverged on: {label}")));
+        }
+        lines.push(format!(
+            "{label}: {} rows, bit-identical to the single store ({})",
+            got.rows.len(),
+            got.explain,
+        ));
+    }
+    Ok(lines)
+}
+
 /// `\connect <addr> <tenant>`: tails `tenant`'s store behind the
 /// `gisolap-serve` server at `addr` over a real TCP socket. A fresh
 /// in-memory [`Follower`] rides a [`TcpTransport`] until it is caught
@@ -309,6 +399,20 @@ fn handle_line(gis: &Gis, moft: &Moft, line: &str) -> Option<Moft> {
                 None
             }
         }
+    } else if let Some(rest) = line.strip_prefix("\\shards") {
+        let arg = rest.trim();
+        match arg.parse::<u32>() {
+            Ok(n) => match shards(moft, n) {
+                Ok(lines) => {
+                    for line in lines {
+                        println!("  {line}");
+                    }
+                }
+                Err(line) => println!("  {line}"),
+            },
+            Err(_) => println!("  usage: \\shards <n>"),
+        }
+        None
     } else if let Some(rest) = line.strip_prefix("\\connect") {
         let mut parts = rest.split_whitespace();
         let (Some(addr), Some(tenant), None) = (parts.next(), parts.next(), parts.next()) else {
@@ -393,6 +497,12 @@ fn main() {
         }
         server.stop();
         println!();
+        // Scatter-gather the session MOFT across four spatial shards:
+        // the explain line shows the selective query pruning shards,
+        // and every answer is checked against the single store.
+        println!("piet> \\shards 4");
+        handle_line(&s.gis, &moft, "\\shards 4");
+        println!();
         // The recovered MOFT answers queries identically.
         println!("piet> {}", DEMO[0]);
         handle_line(&s.gis, &moft, DEMO[0]);
@@ -400,8 +510,8 @@ fn main() {
     }
 
     println!(
-        "Enter Piet-QL queries, \\save <dir>, \\load <dir>, \\follow <dir> or \
-         \\connect <addr> <tenant> (empty line or Ctrl-D to quit).\n"
+        "Enter Piet-QL queries, \\save <dir>, \\load <dir>, \\follow <dir>, \
+         \\connect <addr> <tenant> or \\shards <n> (empty line or Ctrl-D to quit).\n"
     );
     let mut lines = stdin.lock().lines();
     loop {
@@ -516,6 +626,39 @@ mod tests {
         assert_eq!(replica.records().len(), s.moft.records().len());
         assert!(lines[0].starts_with("connected to "), "{lines:?}");
         server.stop();
+    }
+
+    /// `\shards` with more shards than grid cells must fail in one
+    /// line; with a sane count it partitions the Figure 1 MOFT, prunes
+    /// shards on the quadrant query and verifies bit-identity.
+    #[test]
+    fn shards_reports_errors_and_verifies_identity() {
+        let s = Fig1Scenario::build();
+        // The demo grid is 4x4 = 16 cells; 17 shards are unroutable.
+        let err = shards(&s.moft, 17).expect_err("oversized shard count must fail");
+        assert!(!err.contains('\n'), "one line, got: {err:?}");
+        assert!(err.starts_with("shards failed: "), "actionable: {err}");
+
+        let lines = shards(&s.moft, 4).expect("sharded demo succeeds");
+        assert!(
+            lines[0].starts_with("partitioned ") && lines[0].contains("4 spatial shards"),
+            "{lines:?}"
+        );
+        assert_eq!(lines.len(), 3, "one line per query: {lines:?}");
+        assert!(
+            lines
+                .iter()
+                .skip(1)
+                .all(|l| l.contains("bit-identical to the single store")),
+            "{lines:?}"
+        );
+        // The quadrant query must actually prune shards.
+        assert!(
+            lines[2].contains("pruned of 4") && !lines[2].contains("0 pruned"),
+            "selective query must prune: {lines:?}"
+        );
+        // The whole-space query cannot prune anything.
+        assert!(lines[1].contains("0 pruned of 4"), "{lines:?}");
     }
 
     /// `\follow` on a missing store reports path + cause; on a saved

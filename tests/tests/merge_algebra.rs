@@ -1,0 +1,205 @@
+//! The merge algebra the sharded gather leans on, pinned as property
+//! tests: absorbing partial cells into a [`DeltaCube`] is associative
+//! (pre-folding a prefix and absorbing the fold equals absorbing the
+//! parts one by one), order-independent across disjoint key sets (the
+//! spatial-partitioner case), order-independent even on overlapping
+//! keys when measure sums are exactly representable (the
+//! hash-partitioner case on lattice data), and [`Segment::merged`] is
+//! indifferent to merge nesting (one-shot k-way equals pairwise
+//! chaining) — the compaction invariant.
+
+use gisolap_datagen::movers::SkewedFleet;
+use gisolap_geom::BBox;
+use gisolap_olap::agg::{AggFn, Partial};
+use gisolap_olap::time::TimeLevel;
+use gisolap_shard::GridSpec;
+use gisolap_stream::{
+    CellPartial, DeltaCube, GroupKey, Measure, RollupQuery, Segment, StreamConfig, StreamIngest,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Deterministic pseudo-random cell lists (the proptest shim has no
+/// `any::<T>()`; a splitmix-style counter covers the space). Values are
+/// quarters — exactly representable, like quantized coordinates.
+fn synth_cells(seed: u64, n: usize, keyspace: u64) -> Vec<(GroupKey, CellPartial)> {
+    let mut z = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^ (z >> 27)
+    };
+    let mut cells: Vec<(GroupKey, CellPartial)> = (0..n)
+        .map(|_| {
+            let hour = (next() % keyspace) as i64;
+            let geo = if next() % 4 == 0 {
+                None
+            } else {
+                Some((next() % 8) as u32)
+            };
+            let k = next() % 100 + 1;
+            let v = (next() % 4_000) as f64 / 4.0 - 500.0;
+            let w = (next() % 4_000) as f64 / 4.0 - 500.0;
+            (
+                (hour, geo),
+                CellPartial {
+                    x: Partial::from_raw(k, v * k as f64, v.min(w), v.max(w)),
+                    y: Partial::from_raw(k, w * k as f64, v.min(w), v.max(w)),
+                },
+            )
+        })
+        .collect();
+    cells.sort_by_key(|(k, _)| *k);
+    cells.dedup_by_key(|(k, _)| *k);
+    cells
+}
+
+fn cube_of(lists: &[Vec<(GroupKey, CellPartial)>]) -> DeltaCube {
+    let mut cube = DeltaCube::new();
+    for l in lists {
+        cube.absorb(l);
+    }
+    cube
+}
+
+fn cube_cells(cube: &DeltaCube) -> Vec<(GroupKey, CellPartial)> {
+    cube.cells().map(|(k, c)| (*k, *c)).collect()
+}
+
+/// Bitwise comparison of every rollup a cube can answer — stricter than
+/// comparing the cells (it exercises the fold path too).
+fn all_rollup_bits(cube: &DeltaCube) -> Vec<(i64, Option<u32>, u64)> {
+    let mut out = Vec::new();
+    for f in [AggFn::Count, AggFn::Sum, AggFn::Avg, AggFn::Min, AggFn::Max] {
+        for measure in [Measure::X, Measure::Y] {
+            let q = RollupQuery::new(TimeLevel::Hour, measure, f);
+            out.extend(
+                cube.rollup(&q, &BTreeMap::new())
+                    .unwrap()
+                    .into_iter()
+                    .map(|r| (r.granule, r.geo, r.value.to_bits())),
+            );
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Associativity: absorb(a); absorb(b); absorb(c) equals absorbing
+    /// the folded (a+b) and then c — re-grouping never changes bits,
+    /// because the per-key sums are accumulated left-to-right either
+    /// way.
+    #[test]
+    fn absorb_is_associative(seed in 0u64..400, n in 0usize..24) {
+        let a = synth_cells(seed, n, 16);
+        let b = synth_cells(seed ^ 0xABCD, n, 16);
+        let c = synth_cells(seed ^ 0x1234, n, 16);
+
+        let sequential = cube_of(&[a.clone(), b.clone(), c.clone()]);
+        let prefolded = cube_of(&[cube_cells(&cube_of(&[a, b])), c]);
+
+        prop_assert_eq!(cube_cells(&sequential), cube_cells(&prefolded));
+        prop_assert_eq!(all_rollup_bits(&sequential), all_rollup_bits(&prefolded));
+    }
+
+    /// Disjoint key sets (spatial partitioner): absorb order is
+    /// irrelevant, bit for bit, because no key ever merges twice.
+    #[test]
+    fn absorb_order_irrelevant_on_disjoint_keys(seed in 0u64..400, n in 0usize..24) {
+        // Distinct hour bands make the key sets provably disjoint.
+        let shards: Vec<Vec<(GroupKey, CellPartial)>> = (0..4u64)
+            .map(|s| {
+                synth_cells(seed ^ s, n, 8)
+                    .into_iter()
+                    .map(|((h, g), c)| ((h + 100 * s as i64, g), c))
+                    .collect()
+            })
+            .collect();
+        let forward = cube_of(&shards);
+        let mut reversed = shards.clone();
+        reversed.reverse();
+        let backward = cube_of(&reversed);
+        // A rotated order, too.
+        let mut rotated = shards;
+        rotated.rotate_left(1);
+        let rotated = cube_of(&rotated);
+
+        prop_assert_eq!(cube_cells(&forward), cube_cells(&backward));
+        prop_assert_eq!(cube_cells(&forward), cube_cells(&rotated));
+        prop_assert_eq!(all_rollup_bits(&forward), all_rollup_bits(&backward));
+    }
+
+    /// Overlapping keys (hash partitioner): with exactly-representable
+    /// values (quarters), per-key addition is exact, so even the merge
+    /// order across shards washes out.
+    #[test]
+    fn absorb_order_irrelevant_on_lattice_values(seed in 0u64..400, n in 1usize..24) {
+        let a = synth_cells(seed, n, 6);
+        let b = synth_cells(seed ^ 0x5555, n, 6);
+        let c = synth_cells(seed ^ 0xAAAA, n, 6);
+        let forward = cube_of(&[a.clone(), b.clone(), c.clone()]);
+        let backward = cube_of(&[c, b, a]);
+        prop_assert_eq!(all_rollup_bits(&forward), all_rollup_bits(&backward));
+    }
+
+    /// `Segment::merged` nesting: merging `[s0, s1, s2, s3]` in one
+    /// k-way pass equals merging pairwise left-to-right — records,
+    /// partials and summaries all bit-identical. Compaction may batch
+    /// however it likes.
+    #[test]
+    fn segment_merge_nesting_is_irrelevant(seed in 0u64..200) {
+        let segments = sealed_segments(seed);
+        // 48 quarter-hour samples span 12 hours → 12 hour-partitions.
+        prop_assert!(segments.len() >= 3);
+
+        let one_shot = Segment::merged(&segments).unwrap();
+        let mut acc = Segment::merged(&segments[..1]).unwrap();
+        for s in &segments[1..] {
+            let pair = [acc, clone_segment(s)];
+            acc = Segment::merged(&pair).unwrap();
+        }
+
+        prop_assert_eq!(one_shot.meta(), acc.meta());
+        prop_assert_eq!(one_shot.records(), acc.records());
+        prop_assert_eq!(one_shot.partials(), acc.partials());
+    }
+}
+
+/// Seals a skewed fleet into hour segments and hands them back,
+/// ascending by partition.
+fn sealed_segments(seed: u64) -> Vec<Segment> {
+    let area = BBox::new(0.0, 0.0, 32.0, 32.0);
+    let hot = BBox::new(2.0, 2.0, 10.0, 10.0);
+    let fleet = SkewedFleet {
+        seed,
+        objects: 4 + (seed % 4) as usize,
+        samples_per_object: 48,
+        ..SkewedFleet::new(area, hot, 0)
+    };
+    let grid = GridSpec::new(area, 4, 4).unwrap();
+    let mut ingest = StreamIngest::new(StreamConfig::new(0, 3600).unwrap())
+        .unwrap()
+        .with_resolver(grid.resolver());
+    ingest.ingest(fleet.generate(0).records());
+    ingest.finish();
+    ingest
+        .segments()
+        .iter()
+        .map(|s| {
+            Segment::from_parts(
+                s.meta().partition,
+                s.records().to_vec(),
+                s.partials().to_vec(),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn clone_segment(s: &Segment) -> Segment {
+    Segment::from_parts(
+        s.meta().partition,
+        s.records().to_vec(),
+        s.partials().to_vec(),
+    )
+    .unwrap()
+}

@@ -245,6 +245,40 @@ fn observability_doc_covers_every_serve_stat_field() {
 }
 
 #[test]
+fn observability_doc_covers_every_shard_stat_field() {
+    let doc = include_str!("../../OBSERVABILITY.md");
+    let coord = gisolap_shard::ShardStats::default();
+    let route = gisolap_shard::RouteStats::default();
+    let missing: Vec<&str> = coord
+        .fields()
+        .iter()
+        .chain(route.fields().iter())
+        .map(|(name, _)| *name)
+        .filter(|name| !doc.contains(name))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "OBSERVABILITY.md does not document shard counters: {missing:?}"
+    );
+    assert!(
+        doc.contains("gisolap_shard_<field>_total"),
+        "OBSERVABILITY.md missing `gisolap_shard_<field>_total`"
+    );
+}
+
+#[test]
+fn observability_doc_covers_every_shard_span_name() {
+    let doc = include_str!("../../OBSERVABILITY.md");
+    for span in ["shard-eval", "shard-scatter", "shard-gather"] {
+        assert!(doc.contains(span), "OBSERVABILITY.md missing span `{span}`");
+    }
+    // The span-only counters the scatter/gather legs report.
+    for extra in ["cells_gathered", "gather_merges"] {
+        assert!(doc.contains(extra), "OBSERVABILITY.md missing `{extra}`");
+    }
+}
+
+#[test]
 fn observability_doc_covers_every_repl_span_name() {
     let doc = include_str!("../../OBSERVABILITY.md");
     for span in [

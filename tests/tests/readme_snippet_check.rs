@@ -166,6 +166,64 @@ fn readme_serving_snippet_compiles_and_runs() {
 }
 
 #[test]
+fn readme_sharding_snippet_compiles_and_runs() {
+    use gisolap_datagen::movers::SkewedFleet;
+    use gisolap_geom::BBox;
+    use gisolap_olap::{agg::AggFn, time::TimeLevel};
+    use gisolap_shard::{
+        eval_single, ClusterExecutor, Coordinator, GridSpec, PartitionerSpec, ShardQuery,
+        ShardedIngest,
+    };
+    use gisolap_store::{RealFs, ScratchDir, StoreConfig};
+    use gisolap_stream::{Measure, RollupQuery, StreamConfig, StreamIngest};
+    use std::sync::Arc;
+
+    // Setup the README assumes: time-sorted `records` over `area`, a
+    // rollup `q` and a selective `region` in the bottom-left row-block
+    // of the grid (so three of four shards are prunable).
+    let area = BBox::new(0.0, 0.0, 64.0, 64.0);
+    let mut records = SkewedFleet::new(area, BBox::new(4.0, 4.0, 20.0, 20.0), 12)
+        .generate(0)
+        .records()
+        .to_vec();
+    records.sort_by_key(|r| (r.t, r.oid));
+    let q = RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Sum);
+    let region = BBox::new(1.0, 1.0, 15.0, 15.0);
+    // README uses a fixed temp-dir name; the test needs a unique one.
+    let scratch = ScratchDir::new("readme-shard-snippet");
+    let root = scratch.path().to_path_buf();
+
+    // --- the README snippet, verbatim from here ---
+    let grid = GridSpec::new(area, 4, 4).unwrap();
+    let spec = PartitionerSpec::Spatial { shards: 4, grid };
+    let mut cluster = ShardedIngest::create(
+        Arc::new(RealFs),
+        &root,
+        spec,
+        StreamConfig::new(120, 3600).unwrap(),
+        StoreConfig::from_env(),
+    )
+    .unwrap();
+    cluster.ingest(&records).unwrap(); // routed to per-shard durable stores
+
+    let mut coord = Coordinator::new(ClusterExecutor::new(&cluster), spec).unwrap();
+    let result = coord.eval(&ShardQuery::new(q).in_region(region)).unwrap();
+    println!("{}", result.explain); // shards: 1 queried, 3 pruned of 4; ...
+                                    // --- end of the verbatim snippet ---
+
+    assert_eq!(result.explain.shards_queried, 1);
+    assert_eq!(result.explain.shards_pruned, 3);
+    // Bit-identical to one unsharded store, as the README claims.
+    let mut single = StreamIngest::new(StreamConfig::new(120, 3600).unwrap())
+        .unwrap()
+        .with_resolver(grid.resolver());
+    single.ingest(&records);
+    let want = eval_single(&single, Some(grid), &ShardQuery::new(q).in_region(region)).unwrap();
+    assert_eq!(result.rows, want);
+    assert!(!result.rows.is_empty());
+}
+
+#[test]
 fn readme_replication_snippet_compiles_and_runs() {
     use gisolap_datagen::{replay_fig1, ReplayConfig};
     use gisolap_olap::{agg::AggFn, time::TimeLevel};

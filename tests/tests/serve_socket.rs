@@ -10,15 +10,21 @@
 
 use std::sync::Arc;
 
-use gisolap_datagen::movers::RandomWaypoint;
+use gisolap_datagen::movers::{RandomWaypoint, SkewedFleet};
 use gisolap_datagen::{CityConfig, CityScenario};
+use gisolap_geom::BBox;
 use gisolap_olap::agg::AggFn;
 use gisolap_olap::time::TimeLevel;
 use gisolap_repl::{
     DirectTransport, FaultConfig, FaultTransport, Follower, FollowerConfig, Transport,
 };
-use gisolap_serve::{Client, ClientError, Endpoint, ServeConfig, Server, TcpTransport};
-use gisolap_store::{RealFs, ScratchDir, StoreConfig, SyncPolicy};
+use gisolap_serve::{
+    Client, ClientError, Endpoint, RemoteShard, RemoteShards, ServeConfig, Server, TcpTransport,
+};
+use gisolap_shard::{
+    eval_single, Coordinator, GridSpec, PartitionerSpec, ShardQuery, ShardedIngest,
+};
+use gisolap_store::{RealFs, ScratchDir, StoreConfig, SyncPolicy, Vfs};
 use gisolap_stream::{Measure, RollupQuery, StreamConfig, StreamIngest};
 use gisolap_traj::{Moft, Record};
 
@@ -320,6 +326,174 @@ fn follower_converges_over_tcp_with_forced_disconnect() {
 
     let stats = server.stop();
     assert!(stats.repl_requests > 0, "replication must go over TCP");
+}
+
+fn shard_grid() -> GridSpec {
+    GridSpec::new(BBox::new(0.0, 0.0, 64.0, 64.0), 4, 4).unwrap()
+}
+
+/// A quantized skewed fleet (exact f64 sums — the bit-identity
+/// precondition for hash-partitioned clusters), time-sorted so the
+/// server's zero-lateness stores drop nothing.
+fn skewed_records(seed: u64) -> Vec<Record> {
+    let mut records = SkewedFleet {
+        seed,
+        objects: 10,
+        samples_per_object: 48,
+        ..SkewedFleet::new(
+            BBox::new(0.0, 0.0, 64.0, 64.0),
+            BBox::new(4.0, 4.0, 20.0, 20.0),
+            0,
+        )
+    }
+    .generate(0)
+    .records()
+    .to_vec();
+    records.sort_by_key(|r| (r.t, r.oid));
+    records
+}
+
+fn shard_reference(records: &[Record]) -> StreamIngest {
+    let mut single = StreamIngest::new(StreamConfig::new(0, 3600).unwrap())
+        .unwrap()
+        .with_resolver(shard_grid().resolver());
+    single.ingest(records);
+    single
+}
+
+/// A cluster tenant served over TCP: `ShardedRollup` answers are
+/// bit-identical to local single-store evaluation, pruning counts ride
+/// the reply, plain-tenant requests against a cluster are refused, and
+/// sharded requests against a plain tenant are refused.
+#[test]
+fn sharded_rollup_over_socket_matches_local() {
+    let root = ScratchDir::new("serve-sharded");
+    let spec = PartitionerSpec::Spatial {
+        shards: 4,
+        grid: shard_grid(),
+    };
+    let records = skewed_records(5);
+    // Lay the cluster out under the server root before binding (the
+    // server never creates clusters, only serves existing ones).
+    {
+        let vfs: Arc<dyn Vfs> = Arc::new(RealFs);
+        let mut cluster = ShardedIngest::create(
+            vfs,
+            &root.path().join("fleet"),
+            spec,
+            StreamConfig::new(0, 3600).unwrap(), // must match the server's
+            store_config(0),
+        )
+        .unwrap();
+        cluster.ingest(&records).unwrap();
+        cluster.flush().unwrap();
+    }
+
+    let mut server = Server::bind("127.0.0.1:0", root.path(), serve_config(0)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let single = shard_reference(&records);
+
+    for f in [AggFn::Count, AggFn::Sum, AggFn::Avg, AggFn::Min, AggFn::Max] {
+        let q = RollupQuery::new(TimeLevel::Hour, Measure::X, f);
+        let served = client.sharded_rollup("fleet", &q, None).unwrap();
+        let want = eval_single(&single, Some(shard_grid()), &ShardQuery::new(q)).unwrap();
+        assert_eq!(served.rows.len(), want.len());
+        for (s, w) in served.rows.iter().zip(&want) {
+            assert_eq!((s.granule, s.geo), (w.granule, w.geo));
+            assert_eq!(s.value.to_bits(), w.value.to_bits(), "{f:?} bits differ");
+        }
+        assert_eq!(served.shards_queried, 4);
+    }
+
+    // A selective region prunes shards server-side, visibly.
+    let q = RollupQuery::new(TimeLevel::Hour, Measure::Y, AggFn::Sum);
+    let region = BBox::new(1.0, 1.0, 15.0, 15.0);
+    let served = client.sharded_rollup("fleet", &q, Some(&region)).unwrap();
+    assert_eq!(served.shards_queried, 1, "one row-block intersects");
+    assert_eq!(served.shards_pruned, 3);
+    let want = eval_single(
+        &single,
+        Some(shard_grid()),
+        &ShardQuery::new(q).in_region(region),
+    )
+    .unwrap();
+    assert_eq!(served.rows.len(), want.len());
+    for (s, w) in served.rows.iter().zip(&want) {
+        assert_eq!(s.value.to_bits(), w.value.to_bits());
+    }
+
+    // Mixing up tenant kinds is an explicit error, not a silent miss.
+    match client.rollup("fleet", &q) {
+        Err(ClientError::Remote(detail)) => assert!(detail.contains("cluster"), "{detail}"),
+        other => panic!("plain rollup on a cluster: {other:?}"),
+    }
+    match client.sharded_rollup("plain", &q, None) {
+        Err(ClientError::Remote(detail)) => {
+            assert!(detail.contains("no shard cluster"), "{detail}")
+        }
+        other => panic!("sharded rollup on a plain tenant: {other:?}"),
+    }
+
+    let stats = server.stop();
+    assert!(stats.sharded_requests >= 6);
+}
+
+/// Remote scatter: shard leaves live as plain tenants behind a server;
+/// a local coordinator fans out over [`RemoteShards`] (the `Partials`
+/// request path) and still merges bit-identically to a single store.
+#[test]
+fn remote_scatter_gather_matches_single_store() {
+    let root = ScratchDir::new("serve-remote-scatter");
+    let mut server = Server::bind("127.0.0.1:0", root.path(), serve_config(0)).unwrap();
+    let addr = server.addr().to_string();
+    let grid = shard_grid();
+    let spec = PartitionerSpec::Hash {
+        shards: 3,
+        grid: Some(grid),
+    };
+    let records = skewed_records(9);
+
+    // Route records leaf-ward with the same partitioner the coordinator
+    // will prune with, ingesting through the served leaders.
+    let partitioner = spec.build().unwrap();
+    let mut routed: Vec<Vec<Record>> = vec![Vec::new(); 3];
+    for r in &records {
+        routed[partitioner.route(r)].push(*r);
+    }
+    for (i, batch) in routed.iter().enumerate() {
+        let leader = server
+            .leader_with_grid(&format!("leaf-{i}"), Some(grid))
+            .unwrap();
+        let mut l = leader.lock().unwrap();
+        l.ingest(batch).unwrap();
+        if i % 2 == 0 {
+            l.flush().unwrap(); // mixed durability states across leaves
+        }
+    }
+
+    let leaves = (0..3)
+        .map(|i| RemoteShard::new(addr.clone(), format!("leaf-{i}")))
+        .collect();
+    let mut coord = Coordinator::new(RemoteShards::new(leaves, Some(grid)), spec).unwrap();
+    let single = shard_reference(&records);
+
+    for f in [AggFn::Count, AggFn::Sum, AggFn::Avg, AggFn::Min, AggFn::Max] {
+        for region in [None, Some(BBox::new(2.0, 2.0, 30.0, 30.0))] {
+            let mut q = ShardQuery::new(RollupQuery::new(TimeLevel::Hour, Measure::Y, f));
+            q.region = region;
+            let got = coord.eval(&q).unwrap();
+            let want = eval_single(&single, Some(grid), &q).unwrap();
+            assert_eq!(got.rows.len(), want.len(), "{f:?}");
+            for (g, w) in got.rows.iter().zip(&want) {
+                assert_eq!((g.granule, g.geo), (w.granule, w.geo));
+                assert_eq!(g.value.to_bits(), w.value.to_bits(), "{f:?} bits differ");
+            }
+            assert_eq!(got.explain.shards_queried, 3, "hash clusters never prune");
+        }
+    }
+
+    let stats = server.stop();
+    assert!(stats.partials_requests >= 10, "scatter must go over TCP");
 }
 
 /// A busy server answers `Busy`, and the transport maps it to a
