@@ -47,6 +47,7 @@ use gisolap_traj::trajectory::{Lit, TimedSegment};
 
 use crate::gis::Gis;
 use crate::layer::{GeoId, GeometryKind, LayerId};
+use crate::mindex::{conservative_window, MoftIndex};
 use crate::overlay_cache::{georef_intersects, OverlayCache};
 use crate::region::{
     eval_time, CmpOp, GeoFilter, RegionC, SpatialPredicate, SpatialSemantics, TimePredicate,
@@ -123,6 +124,17 @@ pub trait QueryEngine: Sync {
     /// `from_snapshot` constructor), if any — lets [`explain`] report
     /// segment pruning and ties ingest counters to the plan.
     fn stream_snapshot(&self) -> Option<&StreamSnapshot> {
+        None
+    }
+
+    /// The MOFT-side index bundle ([`MoftIndex`]), if this engine built
+    /// one. Engines returning `Some` get index-assisted evaluation from
+    /// the default methods: interval-tree time pruning, zone-map spatial
+    /// pruning, and BVH object pruning — all conservative, with every
+    /// survivor re-checked exactly, so results stay **bit-identical** to
+    /// the pure scan (`docs/indexing.md`). The naive engine keeps the
+    /// default `None`: it *is* the scan reference.
+    fn moft_index(&self) -> Option<&MoftIndex> {
         None
     }
 
@@ -227,15 +239,50 @@ pub trait QueryEngine: Sync {
     /// The MOFT records passing the region's time predicates, in
     /// `(oid, t)` order. Partitioned across threads by record chunk;
     /// order-preserving, so the output matches the sequential scan.
+    ///
+    /// With a [`MoftIndex`] present and a time-bounded region
+    /// (`Between`/`AtInstant`), the interval tree narrows the scan to
+    /// candidate objects' record slices first. Every candidate record is
+    /// still re-checked with the exact predicates, and candidates arrive
+    /// in ascending oid order, so the output is bit-identical to the
+    /// full scan: records of pruned objects (or outside the window)
+    /// fail the bounding predicate anyway.
     fn time_filtered(&self, time_preds: &[TimePredicate]) -> Vec<Record> {
         let t0 = Instant::now();
         let time = self.gis().time();
         let records = self.moft().records();
+        let stats = self.stats();
+        if let (Some(idx), Some((lo, hi))) = (self.moft_index(), conservative_window(time_preds)) {
+            stats.add_index_interval_probes(1);
+            // Per-candidate windows: binary-search each object's
+            // t-sorted run down to [lo, hi].
+            let mut windows: Vec<&[Record]> = Vec::new();
+            let mut examined = 0u64;
+            for ext in idx.objects_overlapping(lo, hi) {
+                let track = &records[ext.start..ext.end];
+                let a = track.partition_point(|r| r.t < lo);
+                let b = track.partition_point(|r| r.t <= hi);
+                examined += (b - a) as u64;
+                windows.push(&track[a..b]);
+            }
+            let out: Vec<Record> = windows
+                .par_iter()
+                .flat_map(|w| {
+                    w.iter()
+                        .filter(|r| eval_time(time_preds, time, r.t))
+                        .copied()
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            stats.add_records_scanned(examined);
+            stats.add_index_records_pruned(records.len() as u64 - examined);
+            stats.add_time_filter_ns(t0);
+            return out;
+        }
         let out: Vec<Record> = records
             .par_iter()
             .flat_map(|r| eval_time(time_preds, time, r.t).then_some(*r))
             .collect();
-        let stats = self.stats();
         stats.add_records_scanned(records.len() as u64);
         stats.add_time_filter_ns(t0);
         out
@@ -448,9 +495,50 @@ pub trait QueryEngine: Sync {
         let match_t0 = Instant::now();
         let out = match region.semantics {
             SpatialSemantics::SampleBased => {
+                // Index prune: no record outside the qualifying
+                // geometries' (inflated) bbox union can match, so skip
+                // whole zone-map blocks — or single records when the
+                // time filter broke zone alignment — before the exact
+                // per-record matching. Pruned records emit nothing under
+                // the scan too, and survivors keep canonical order, so
+                // the output is bit-identical.
+                let survivors: Vec<Record> = match self.moft_index() {
+                    None => records,
+                    Some(idx) => {
+                        let prune_t0 = Instant::now();
+                        let qual =
+                            qualifying_bbox(self.gis(), layer, &geos, spatial.within_distance);
+                        let stats = self.stats();
+                        let out = if records.len() == self.moft().records().len() {
+                            // Zone-aligned: one bbox test per block.
+                            let mut out = Vec::with_capacity(records.len());
+                            for z in idx.zone_map().zones() {
+                                if z.bbox.intersects(&qual) {
+                                    stats.add_index_zones_scanned(1);
+                                    let (s, e) = (z.start as usize, (z.start + z.len) as usize);
+                                    out.extend_from_slice(&records[s..e]);
+                                } else {
+                                    stats.add_index_zones_pruned(1);
+                                    stats.add_index_records_pruned(z.len as u64);
+                                }
+                            }
+                            out
+                        } else {
+                            let before = records.len();
+                            let out: Vec<Record> = records
+                                .into_iter()
+                                .filter(|r| qual.contains(r.pos()))
+                                .collect();
+                            stats.add_index_records_pruned((before - out.len()) as u64);
+                            out
+                        };
+                        trace.phase(stats, "index-prune", prune_t0);
+                        out
+                    }
+                };
                 // One task per record; order-preserving flat_map keeps
                 // the sequential (record, geometry) emission order.
-                let tuples: Vec<CTuple> = records
+                let tuples: Vec<CTuple> = survivors
                     .par_iter()
                     .flat_map(|r| {
                         if excluded.contains(&r.oid) {
@@ -633,7 +721,23 @@ pub trait QueryEngine: Sync {
     ) -> Result<Vec<ObjectId>> {
         let layer = self.gis().layer_id(&spatial.layer)?;
         let geos = self.resolve_filter(layer, &spatial.filter)?;
-        let oids: Vec<ObjectId> = self.moft().objects();
+        // BVH prune: a trajectory's legs stay inside its track bbox
+        // (legs connect samples; boxes are convex), so an object whose
+        // track bbox misses the qualifying bbox union can never pass
+        // through. Candidates come back in ascending oid order — the
+        // same order `Moft::objects` yields — so the result matches the
+        // unpruned evaluation exactly.
+        let oids: Vec<ObjectId> = match self.moft_index() {
+            Some(idx) => {
+                self.stats().add_index_bvh_probes(1);
+                let qual = qualifying_bbox(self.gis(), layer, &geos, spatial.within_distance);
+                idx.objects_intersecting(&qual)
+                    .into_iter()
+                    .map(|e| e.oid)
+                    .collect()
+            }
+            None => self.moft().objects(),
+        };
         let out: Vec<ObjectId> = oids
             .par_iter()
             .flat_map(|&oid| {
@@ -780,6 +884,26 @@ pub trait QueryEngine: Sync {
     }
 }
 
+/// The bounding-box union of the qualifying geometry elements, inflated
+/// by the within-distance margin when set — the conservative spatial
+/// bound behind every index prune: any record or leg matching some
+/// qualifying geometry (by membership or by distance ≤ `within`) lies
+/// inside this box. Empty `geos` yield the empty box, which intersects
+/// and contains nothing — matching the scan, which also matches nothing.
+fn qualifying_bbox(gis: &Gis, layer: LayerId, geos: &[GeoId], within: Option<f64>) -> BBox {
+    let l = gis.layer(layer);
+    let mut bbox = BBox::empty();
+    for &g in geos {
+        if let Ok(geo) = l.geometry(g) {
+            bbox = bbox.union(&geo.bbox());
+        }
+    }
+    match within {
+        None => bbox,
+        Some(d) => bbox.inflated(d),
+    }
+}
+
 /// A human-readable account of how an engine would evaluate a region —
 /// which rollups apply, how the geometric sub-query resolves, and which
 /// semantics drive the moving-object phase.
@@ -882,6 +1006,14 @@ pub fn explain<E: QueryEngine + ?Sized>(engine: &E, region: &RegionC) -> Result<
         steps.push(format!(
             "filter the MOFT through Time-dimension rollups: {}",
             preds.join(" ∧ ")
+        ));
+    }
+    if let Some(idx) = engine.moft_index() {
+        steps.push(format!(
+            "consult the MOFT index: interval tree over {} object extent(s), BVH + zone map of \
+             {} block(s) (disable with GISOLAP_INDEX=0)",
+            idx.extents().len(),
+            idx.zone_map().zones().len()
         ));
     }
     if let Some(forbid) = &region.forbid {
@@ -1275,19 +1407,24 @@ pub struct IndexedEngine<'a> {
     gis: &'a Gis,
     moft: &'a Moft,
     rtrees: HashMap<LayerId, RTree<GeoId>>,
+    mindex: Option<MoftIndex>,
     stream: Option<&'a StreamSnapshot>,
     stats: EngineStats,
     obs: Option<QueryObs>,
 }
 
 impl<'a> IndexedEngine<'a> {
-    /// Creates the engine, building one R-tree per layer.
+    /// Creates the engine, building one R-tree per layer plus the
+    /// MOFT-side [`MoftIndex`] (unless `GISOLAP_INDEX=0`) — independent
+    /// precomputations, run in parallel.
     pub fn new(gis: &'a Gis, moft: &'a Moft) -> IndexedEngine<'a> {
-        let rtrees = build_layer_rtrees(gis);
+        let (rtrees, mindex) =
+            rayon::join(|| build_layer_rtrees(gis), || MoftIndex::from_env(moft));
         IndexedEngine {
             gis,
             moft,
             rtrees,
+            mindex,
             stream: None,
             stats: EngineStats::new(),
             obs: None,
@@ -1345,6 +1482,10 @@ impl QueryEngine for IndexedEngine<'_> {
         self.stream
     }
 
+    fn moft_index(&self) -> Option<&MoftIndex> {
+        self.mindex.as_ref()
+    }
+
     fn candidates(&self, layer: LayerId, bbox: &BBox) -> Vec<GeoId> {
         self.stats.add_rtree_probes(1);
         self.rtrees[&layer]
@@ -1378,6 +1519,7 @@ pub struct OverlayEngine<'a> {
     gis: &'a Gis,
     moft: &'a Moft,
     rtrees: HashMap<LayerId, RTree<GeoId>>,
+    mindex: Option<MoftIndex>,
     cache: OverlayCache,
     stream: Option<&'a StreamSnapshot>,
     stats: EngineStats,
@@ -1387,13 +1529,17 @@ pub struct OverlayEngine<'a> {
 impl<'a> OverlayEngine<'a> {
     /// Creates the engine, precomputing the full layer overlay.
     pub fn new(gis: &'a Gis, moft: &'a Moft) -> OverlayEngine<'a> {
-        // The R-trees and the overlay are independent precomputations.
-        let (rtrees, cache) =
-            rayon::join(|| build_layer_rtrees(gis), || OverlayCache::precompute(gis));
+        // The R-trees, the overlay and the MOFT index are independent
+        // precomputations.
+        let ((rtrees, cache), mindex) = rayon::join(
+            || rayon::join(|| build_layer_rtrees(gis), || OverlayCache::precompute(gis)),
+            || MoftIndex::from_env(moft),
+        );
         OverlayEngine {
             gis,
             moft,
             rtrees,
+            mindex,
             cache,
             stream: None,
             stats: EngineStats::new(),
@@ -1417,6 +1563,7 @@ impl<'a> OverlayEngine<'a> {
             gis,
             moft,
             rtrees: build_layer_rtrees(gis),
+            mindex: MoftIndex::from_env(moft),
             cache,
             stream: None,
             stats: EngineStats::new(),
@@ -1455,6 +1602,10 @@ impl QueryEngine for OverlayEngine<'_> {
     }
     fn stream_snapshot(&self) -> Option<&StreamSnapshot> {
         self.stream
+    }
+
+    fn moft_index(&self) -> Option<&MoftIndex> {
+        self.mindex.as_ref()
     }
 
     fn candidates(&self, layer: LayerId, bbox: &BBox) -> Vec<GeoId> {

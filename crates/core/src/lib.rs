@@ -54,6 +54,7 @@ pub mod geoagg;
 pub mod gis;
 pub mod layer;
 pub mod metrics;
+pub mod mindex;
 pub mod overlay_cache;
 pub mod qtypes;
 pub mod query;
@@ -71,6 +72,7 @@ pub use gis::Gis;
 pub use gisolap_obs::QueryObs;
 pub use layer::{GeoId, GeometryKind, Layer, LayerId};
 pub use metrics::{engine_metrics, fill_engine_metrics};
+pub use mindex::{MoftIndex, ObjectExtent};
 pub use query::{MoAggSpec, MoQuery, MoQueryResult};
 pub use region::{GeoFilter, RegionC, SpatialPredicate, SpatialSemantics, TimePredicate};
 pub use result::CTuple;

@@ -28,6 +28,11 @@ fn field_help(name: &str) -> &'static str {
         "segments_sealed" => "Stream segments sealed.",
         "partials_merged" => "Partial-aggregate entries merged into the delta cube.",
         "tail_records_scanned" => "Live tail records scanned by incremental rollups.",
+        "index_interval_probes" => "Interval-tree window searches over object time extents.",
+        "index_bvh_probes" => "BVH searches over object bounding boxes.",
+        "index_zones_scanned" => "Zone-map blocks scanned after index pruning.",
+        "index_zones_pruned" => "Zone-map blocks skipped wholesale by index pruning.",
+        "index_records_pruned" => "Records excluded by index pruning before exact tests.",
         _ => "Engine counter.",
     }
 }

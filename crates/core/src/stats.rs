@@ -33,6 +33,11 @@ pub struct EngineStats {
     segments_sealed: AtomicU64,
     partials_merged: AtomicU64,
     tail_records_scanned: AtomicU64,
+    index_interval_probes: AtomicU64,
+    index_bvh_probes: AtomicU64,
+    index_zones_scanned: AtomicU64,
+    index_zones_pruned: AtomicU64,
+    index_records_pruned: AtomicU64,
 }
 
 impl EngineStats {
@@ -95,6 +100,31 @@ impl EngineStats {
             .fetch_add(elapsed_ns(since), Ordering::Relaxed);
     }
 
+    /// Interval-tree window searches issued over object time extents.
+    pub fn add_index_interval_probes(&self, n: u64) {
+        self.index_interval_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// BVH searches issued over object bounding boxes.
+    pub fn add_index_bvh_probes(&self, n: u64) {
+        self.index_bvh_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Zone-map blocks whose records were scanned after the prune.
+    pub fn add_index_zones_scanned(&self, n: u64) {
+        self.index_zones_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Zone-map blocks skipped wholesale by the prune.
+    pub fn add_index_zones_pruned(&self, n: u64) {
+        self.index_zones_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records excluded by index pruning before any exact test ran.
+    pub fn add_index_records_pruned(&self, n: u64) {
+        self.index_records_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Seeds the ingest counters from a streaming pipeline's tallies —
     /// used by the `from_snapshot` engine constructors so stream-fed
     /// engines surface ingestion work next to their query work.
@@ -133,6 +163,11 @@ impl EngineStats {
             segments_sealed: self.segments_sealed.load(Ordering::Relaxed),
             partials_merged: self.partials_merged.load(Ordering::Relaxed),
             tail_records_scanned: self.tail_records_scanned.load(Ordering::Relaxed),
+            index_interval_probes: self.index_interval_probes.load(Ordering::Relaxed),
+            index_bvh_probes: self.index_bvh_probes.load(Ordering::Relaxed),
+            index_zones_scanned: self.index_zones_scanned.load(Ordering::Relaxed),
+            index_zones_pruned: self.index_zones_pruned.load(Ordering::Relaxed),
+            index_records_pruned: self.index_records_pruned.load(Ordering::Relaxed),
         }
     }
 
@@ -153,6 +188,11 @@ impl EngineStats {
         self.segments_sealed.store(0, Ordering::Relaxed);
         self.partials_merged.store(0, Ordering::Relaxed);
         self.tail_records_scanned.store(0, Ordering::Relaxed);
+        self.index_interval_probes.store(0, Ordering::Relaxed);
+        self.index_bvh_probes.store(0, Ordering::Relaxed);
+        self.index_zones_scanned.store(0, Ordering::Relaxed);
+        self.index_zones_pruned.store(0, Ordering::Relaxed);
+        self.index_records_pruned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -193,6 +233,16 @@ pub struct StatsSnapshot {
     pub partials_merged: u64,
     /// Live tail records scanned by incremental rollups.
     pub tail_records_scanned: u64,
+    /// Interval-tree window searches issued over object time extents.
+    pub index_interval_probes: u64,
+    /// BVH searches issued over object bounding boxes.
+    pub index_bvh_probes: u64,
+    /// Zone-map blocks whose records were scanned after the prune.
+    pub index_zones_scanned: u64,
+    /// Zone-map blocks skipped wholesale by the prune.
+    pub index_zones_pruned: u64,
+    /// Records excluded by index pruning before any exact test ran.
+    pub index_records_pruned: u64,
 }
 
 impl StatsSnapshot {
@@ -201,7 +251,7 @@ impl StatsSnapshot {
     /// tracer and the `OBSERVABILITY.md` coverage test all iterate, so a
     /// counter added here is automatically exported and documented-or-
     /// caught.
-    pub fn fields(&self) -> [(&'static str, u64); 15] {
+    pub fn fields(&self) -> [(&'static str, u64); 20] {
         [
             ("records_scanned", self.records_scanned),
             ("bbox_rejections", self.bbox_rejections),
@@ -218,6 +268,11 @@ impl StatsSnapshot {
             ("segments_sealed", self.segments_sealed),
             ("partials_merged", self.partials_merged),
             ("tail_records_scanned", self.tail_records_scanned),
+            ("index_interval_probes", self.index_interval_probes),
+            ("index_bvh_probes", self.index_bvh_probes),
+            ("index_zones_scanned", self.index_zones_scanned),
+            ("index_zones_pruned", self.index_zones_pruned),
+            ("index_records_pruned", self.index_records_pruned),
         ]
     }
 
@@ -260,6 +315,21 @@ impl StatsSnapshot {
             tail_records_scanned: self
                 .tail_records_scanned
                 .saturating_sub(earlier.tail_records_scanned),
+            index_interval_probes: self
+                .index_interval_probes
+                .saturating_sub(earlier.index_interval_probes),
+            index_bvh_probes: self
+                .index_bvh_probes
+                .saturating_sub(earlier.index_bvh_probes),
+            index_zones_scanned: self
+                .index_zones_scanned
+                .saturating_sub(earlier.index_zones_scanned),
+            index_zones_pruned: self
+                .index_zones_pruned
+                .saturating_sub(earlier.index_zones_pruned),
+            index_records_pruned: self
+                .index_records_pruned
+                .saturating_sub(earlier.index_records_pruned),
         }
     }
 
@@ -385,6 +455,26 @@ impl std::fmt::Display for StatsSnapshot {
             self.filter_resolve_ns as f64 / 1e6,
             self.spatial_match_ns as f64 / 1e6,
         )?;
+        // Index counters only appear once index-assisted evaluation ran,
+        // so scan-only engines (and the pinned explain goldens) keep the
+        // compact line.
+        if self.index_interval_probes > 0
+            || self.index_bvh_probes > 0
+            || self.index_zones_scanned > 0
+            || self.index_zones_pruned > 0
+            || self.index_records_pruned > 0
+        {
+            write!(
+                f,
+                " index_interval_probes={} index_bvh_probes={} index_zones_scanned={} \
+                 index_zones_pruned={} index_records_pruned={}",
+                self.index_interval_probes,
+                self.index_bvh_probes,
+                self.index_zones_scanned,
+                self.index_zones_pruned,
+                self.index_records_pruned,
+            )?;
+        }
         // Ingest counters only appear for stream-fed engines.
         if self.records_ingested > 0 || self.segments_sealed > 0 {
             write!(
@@ -444,9 +534,17 @@ mod tests {
         stats.add_records_scanned(2);
         stats.add_query();
         stats.set_ingest_counters(5, 1, 3, 4, 6);
+        stats.add_index_interval_probes(1);
+        stats.add_index_bvh_probes(2);
+        stats.add_index_zones_scanned(3);
+        stats.add_index_zones_pruned(4);
+        stats.add_index_records_pruned(9);
         let snap = stats.snapshot();
         let fields = snap.fields();
-        assert_eq!(fields.len(), 15);
+        assert_eq!(fields.len(), 20);
+        assert!(fields.contains(&("index_interval_probes", 1)));
+        assert!(fields.contains(&("index_zones_pruned", 4)));
+        assert!(fields.contains(&("index_records_pruned", 9)));
         assert!(fields.contains(&("records_scanned", 2)));
         assert!(fields.contains(&("queries", 1)));
         assert!(fields.contains(&("records_ingested", 5)));
@@ -537,5 +635,10 @@ mod tests {
         stats.add_query();
         let text = stats.snapshot().to_string();
         assert!(text.contains("queries=1"), "{text}");
+        // Index counters stay hidden until index-assisted work happens.
+        assert!(!text.contains("index_"), "{text}");
+        stats.add_index_zones_pruned(2);
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("index_zones_pruned=2"), "{text}");
     }
 }

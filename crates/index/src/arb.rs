@@ -55,6 +55,20 @@ impl ArbTree {
     ///   neighborhoods); region ids are the vector indices.
     /// * `observations` — `(region, time_bucket, measure)` triples, e.g.
     ///   "region 3 had 17 samples during hour 12".
+    ///
+    /// ```
+    /// use gisolap_geom::BBox;
+    /// use gisolap_index::arb::RegionId;
+    /// use gisolap_index::ArbTree;
+    ///
+    /// let regions = [BBox::new(0.0, 0.0, 1.0, 1.0), BBox::new(2.0, 0.0, 3.0, 1.0)];
+    /// let tree = ArbTree::build(
+    ///     &regions,
+    ///     [(RegionId(0), 12, 17.0), (RegionId(1), 12, 4.0)],
+    /// );
+    /// // Only region 0 lies inside the window: its pre-aggregate answers.
+    /// assert_eq!(tree.count(&BBox::new(-0.5, -0.5, 1.5, 1.5), 12, 12), 17.0);
+    /// ```
     pub fn build(
         regions: &[BBox],
         observations: impl IntoIterator<Item = (RegionId, i64, f64)>,

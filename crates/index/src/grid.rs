@@ -23,6 +23,16 @@ pub struct GridIndex {
 impl GridIndex {
     /// Creates an empty grid of `cols × rows` cells over `bounds`.
     ///
+    /// ```
+    /// use gisolap_geom::BBox;
+    /// use gisolap_index::GridIndex;
+    ///
+    /// let mut grid = GridIndex::new(BBox::new(0.0, 0.0, 8.0, 8.0), 4, 4);
+    /// grid.insert(&BBox::new(1.0, 1.0, 1.5, 1.5), 7);
+    /// assert_eq!(grid.candidates(&BBox::new(0.5, 0.5, 2.0, 2.0)), vec![7]);
+    /// assert!(grid.candidates(&BBox::new(6.0, 6.0, 7.0, 7.0)).is_empty());
+    /// ```
+    ///
     /// # Panics
     /// Panics if `cols` or `rows` is zero or `bounds` is empty.
     pub fn new(bounds: BBox, cols: usize, rows: usize) -> GridIndex {

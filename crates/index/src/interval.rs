@@ -1,0 +1,259 @@
+//! A static interval tree over inclusive `i64` ranges.
+//!
+//! Built once from a batch of `(lo, hi, payload)` intervals, queried with
+//! window-overlap and point-stab searches. The layout is an implicit
+//! balanced BST over the intervals sorted by `(lo, hi, insertion order)`,
+//! with each node augmented by the maximum `hi` in its subtree, so a
+//! query visits only subtrees that can still contain a hit.
+//!
+//! # Determinism contract
+//!
+//! * **Hit order:** every query returns payloads in **ascending insertion
+//!   order** (the order the intervals were passed to
+//!   [`IntervalTree::build`]), regardless of tree shape.
+//! * **Tie-breaks:** intervals with identical endpoints are kept distinct
+//!   and ordered by insertion order; none is ever dropped or merged.
+//! * **Bounds:** endpoints are inclusive on both sides. An interval with
+//!   `hi < lo` is rejected by `build` (`None`), never silently fixed.
+//! * Repeated builds from the same input produce the same tree and the
+//!   same answers — there is no randomness and no address-dependent
+//!   ordering anywhere.
+
+/// One stored interval: inclusive endpoints plus the caller's payload and
+/// its insertion rank (the hit-order key).
+#[derive(Debug, Clone)]
+struct Node<T> {
+    lo: i64,
+    hi: i64,
+    /// Maximum `hi` anywhere in this node's implicit subtree.
+    max_hi: i64,
+    /// Insertion rank: position in the `build` input.
+    seq: u32,
+    item: T,
+}
+
+/// A static interval tree mapping inclusive `[lo, hi]` ranges to payloads.
+///
+/// ```
+/// use gisolap_index::IntervalTree;
+///
+/// let tree = IntervalTree::build(vec![
+///     (0, 10, "a"),
+///     (5, 7, "b"),
+///     (20, 30, "c"),
+/// ])
+/// .expect("all intervals well-formed");
+///
+/// // Hits come back in insertion order, never tree order.
+/// assert_eq!(tree.overlapping(6, 25), vec![&"a", &"b", &"c"]);
+/// assert_eq!(tree.stab(8), vec![&"a"]);
+/// assert!(tree.overlapping(11, 19).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IntervalTree<T> {
+    /// Implicit balanced BST in sorted order; `mid`-rooted recursion over
+    /// index ranges replaces child pointers.
+    nodes: Vec<Node<T>>,
+}
+
+impl<T> IntervalTree<T> {
+    /// Builds a tree from `(lo, hi, payload)` intervals (inclusive on
+    /// both ends). Returns `None` if any interval has `hi < lo`.
+    pub fn build(items: Vec<(i64, i64, T)>) -> Option<IntervalTree<T>> {
+        if items.iter().any(|&(lo, hi, _)| hi < lo) {
+            return None;
+        }
+        let mut nodes: Vec<Node<T>> = items
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (lo, hi, item))| Node {
+                lo,
+                hi,
+                max_hi: hi,
+                seq: seq as u32,
+                item,
+            })
+            .collect();
+        nodes.sort_by_key(|a| (a.lo, a.hi, a.seq));
+        let mut tree = IntervalTree { nodes };
+        if !tree.nodes.is_empty() {
+            tree.fill_max(0, tree.nodes.len());
+        }
+        Some(tree)
+    }
+
+    /// Computes `max_hi` for the implicit subtree rooted at the midpoint
+    /// of `range`, bottom-up.
+    fn fill_max(&mut self, lo: usize, hi: usize) -> i64 {
+        let mid = lo + (hi - lo) / 2;
+        let mut m = self.nodes[mid].hi;
+        if lo < mid {
+            m = m.max(self.fill_max(lo, mid));
+        }
+        if mid + 1 < hi {
+            m = m.max(self.fill_max(mid + 1, hi));
+        }
+        self.nodes[mid].max_hi = m;
+        m
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff the tree stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All payloads whose interval overlaps the inclusive window
+    /// `[lo, hi]`, in ascending insertion order. An inverted window
+    /// (`hi < lo`) matches nothing.
+    pub fn overlapping(&self, lo: i64, hi: i64) -> Vec<&T> {
+        let mut hits: Vec<(u32, &T)> = Vec::new();
+        if !self.nodes.is_empty() && lo <= hi {
+            self.collect(0, self.nodes.len(), lo, hi, &mut hits);
+        }
+        hits.sort_by_key(|&(seq, _)| seq);
+        hits.into_iter().map(|(_, item)| item).collect()
+    }
+
+    /// All payloads whose interval contains the point `t`, in ascending
+    /// insertion order.
+    pub fn stab(&self, t: i64) -> Vec<&T> {
+        self.overlapping(t, t)
+    }
+
+    fn collect<'a>(
+        &'a self,
+        lo: usize,
+        hi: usize,
+        qlo: i64,
+        qhi: i64,
+        hits: &mut Vec<(u32, &'a T)>,
+    ) {
+        let mid = lo + (hi - lo) / 2;
+        let node = &self.nodes[mid];
+        // Nothing in this subtree reaches the window from the left.
+        if node.max_hi < qlo {
+            return;
+        }
+        if lo < mid {
+            self.collect(lo, mid, qlo, qhi, hits);
+        }
+        if node.lo <= qhi && node.hi >= qlo {
+            hits.push((node.seq, &node.item));
+        }
+        // Right subtree starts at `node.lo` or later: once the sort key
+        // passes the window's right edge no descendant can overlap.
+        if mid + 1 < hi && node.lo <= qhi {
+            self.collect(mid + 1, hi, qlo, qhi, hits);
+        }
+    }
+
+    /// Iterates `(lo, hi, payload)` in ascending insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, i64, &T)> {
+        let mut order: Vec<&Node<T>> = self.nodes.iter().collect();
+        order.sort_by_key(|n| n.seq);
+        order.into_iter().map(|n| (n.lo, n.hi, &n.item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(items: &[(i64, i64, usize)], qlo: i64, qhi: i64) -> Vec<usize> {
+        items
+            .iter()
+            .filter(|&&(lo, hi, _)| lo <= qhi && hi >= qlo)
+            .map(|&(_, _, id)| id)
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_invalid() {
+        let t: IntervalTree<u32> = IntervalTree::build(Vec::new()).unwrap();
+        assert!(t.is_empty());
+        assert!(t.overlapping(0, 100).is_empty());
+        assert!(IntervalTree::build(vec![(5, 4, ())]).is_none());
+    }
+
+    #[test]
+    fn matches_bruteforce_and_insertion_order() {
+        // Deliberately unsorted input with duplicate endpoints.
+        let items: Vec<(i64, i64, usize)> = vec![
+            (10, 20, 0),
+            (0, 5, 1),
+            (15, 35, 2),
+            (10, 20, 3), // exact duplicate of 0
+            (-7, -1, 4),
+            (21, 21, 5),
+            (0, 100, 6),
+        ];
+        let t = IntervalTree::build(items.clone()).unwrap();
+        assert_eq!(t.len(), 7);
+        for (qlo, qhi) in [
+            (0, 100),
+            (-100, -8),
+            (12, 13),
+            (20, 21),
+            (5, 5),
+            (36, 50),
+            (3, -3), // inverted
+        ] {
+            let got: Vec<usize> = t.overlapping(qlo, qhi).into_iter().copied().collect();
+            let want = if qlo <= qhi {
+                brute(&items, qlo, qhi)
+            } else {
+                Vec::new()
+            };
+            assert_eq!(got, want, "window [{qlo}, {qhi}]");
+            // Insertion order == ascending payload here by construction.
+            assert!(got.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn stab_is_inclusive_on_both_ends() {
+        let t = IntervalTree::build(vec![(3, 7, 'x')]).unwrap();
+        assert_eq!(t.stab(3), vec![&'x']);
+        assert_eq!(t.stab(7), vec![&'x']);
+        assert!(t.stab(2).is_empty());
+        assert!(t.stab(8).is_empty());
+    }
+
+    #[test]
+    fn many_intervals_random_shape() {
+        // Pseudo-random but fixed: LCG so the test is reproducible.
+        let mut s: u64 = 42;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as i64
+        };
+        let items: Vec<(i64, i64, usize)> = (0..500)
+            .map(|id| {
+                let lo = next() % 1000;
+                let len = (next() % 50).abs();
+                (lo, lo + len, id)
+            })
+            .collect();
+        let t = IntervalTree::build(items.clone()).unwrap();
+        for _ in 0..50 {
+            let qlo = next() % 1100;
+            let qhi = qlo + (next() % 80).abs();
+            let got: Vec<usize> = t.overlapping(qlo, qhi).into_iter().copied().collect();
+            assert_eq!(got, brute(&items, qlo, qhi), "window [{qlo}, {qhi}]");
+        }
+    }
+
+    #[test]
+    fn iter_returns_insertion_order() {
+        let t = IntervalTree::build(vec![(9, 9, 'a'), (1, 2, 'b'), (4, 6, 'c')]).unwrap();
+        let seen: Vec<char> = t.iter().map(|(_, _, c)| *c).collect();
+        assert_eq!(seen, vec!['a', 'b', 'c']);
+    }
+}

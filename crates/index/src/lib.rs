@@ -13,14 +13,34 @@
 //!   regions whose nodes carry time-bucketed pre-aggregates, answering
 //!   COUNT/SUM over region × time-window queries without touching raw
 //!   samples.
+//! * [`interval::IntervalTree`] — a static interval tree over inclusive
+//!   `i64` ranges (trajectory/segment time extents), hits in ascending
+//!   insertion order.
+//! * [`bvh::Bvh`] — a deterministic median-split bounding-volume
+//!   hierarchy over rectangles (trajectory bounding boxes), hits in
+//!   ascending insertion order.
+//! * [`zone::ZoneMap`] — per-block pruning metadata over canonically
+//!   ordered rows, baked into segment files by `gisolap-store` and
+//!   validated on decode.
+//!
+//! The interval tree, BVH and zone map carry the written determinism
+//! contracts documented in `docs/indexing.md`: ascending-id hit order,
+//! stable tie-breaks, and conservative pruning such that index-assisted
+//! evaluation is bit-identical to a full scan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arb;
+pub mod bvh;
 pub mod grid;
+pub mod interval;
 pub mod rtree;
+pub mod zone;
 
 pub use arb::ArbTree;
+pub use bvh::Bvh;
 pub use grid::GridIndex;
+pub use interval::IntervalTree;
 pub use rtree::RTree;
+pub use zone::{Zone, ZoneMap, DEFAULT_ZONE_ROWS};

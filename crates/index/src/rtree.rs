@@ -63,6 +63,17 @@ impl<T> RTree<T> {
 
     /// Bulk loads with the STR (Sort-Tile-Recursive) packing algorithm —
     /// near-optimal space utilization for static data.
+    ///
+    /// ```
+    /// use gisolap_geom::BBox;
+    /// use gisolap_index::RTree;
+    ///
+    /// let tree = RTree::bulk_load(vec![
+    ///     (BBox::new(0.0, 0.0, 1.0, 1.0), "a"),
+    ///     (BBox::new(2.0, 2.0, 3.0, 3.0), "b"),
+    /// ]);
+    /// assert_eq!(tree.search(&BBox::new(0.5, 0.5, 1.5, 1.5)), vec![&"a"]);
+    /// ```
     pub fn bulk_load(items: Vec<(BBox, T)>) -> RTree<T> {
         let mut tree = RTree::new();
         if items.is_empty() {

@@ -156,12 +156,51 @@ pub const SHARD_CASES: EnvFlag = EnvFlag {
     doc: "property-test cases for the sharded scatter-gather equivalence suite",
 };
 
+/// Whether engines that build a `MoftIndex` consult it during
+/// evaluation (`1`, the default) or fall back to pure scans (`0`) —
+/// the scan path is the reference the equivalence proptests compare
+/// against.
+pub const INDEX: EnvFlag = EnvFlag {
+    name: "GISOLAP_INDEX",
+    default: "1 (index-assisted evaluation)",
+    doc: "index-assisted query evaluation: 1 = consult MoftIndex, 0 = pure scan",
+};
+
+/// Rows summarized per zone when building zone maps over canonical
+/// record order (segments and the in-memory `MoftIndex`). Smaller zones
+/// prune more precisely but cost more metadata.
+pub const INDEX_ZONE_ROWS: EnvFlag = EnvFlag {
+    name: "GISOLAP_INDEX_ZONE_ROWS",
+    default: "256",
+    doc: "rows per zone-map block for segment and MoftIndex zone maps",
+};
+
+/// Case count for the index-vs-scan equivalence property tests
+/// (`tests/tests/index_equivalence.rs`); CI's index job raises it well
+/// above the local default.
+pub const INDEX_CASES: EnvFlag = EnvFlag {
+    name: "GISOLAP_INDEX_CASES",
+    default: "16",
+    doc: "property-test cases for the index-vs-scan equivalence suite",
+};
+
+/// Delta checkpoints a store chains after its last full checkpoint
+/// before the next flush writes a full one again. `0` makes every
+/// flush write a full checkpoint (the pre-delta behavior).
+pub const STORE_MAX_DELTAS: EnvFlag = EnvFlag {
+    name: "GISOLAP_STORE_MAX_DELTAS",
+    default: "4",
+    doc:
+        "delta checkpoints chained per full checkpoint before forcing a full one (0 = always full)",
+};
+
 /// Every flag the workspace reads, for discovery and doc-coverage tests.
-pub const ALL: [&EnvFlag; 14] = [
+pub const ALL: [&EnvFlag; 18] = [
     &THREADS,
     &SLOW_QUERY_MS,
     &STORE_SYNC,
     &STORE_COMPACT_SEGMENTS,
+    &STORE_MAX_DELTAS,
     &FAULT_CASES,
     &REPL_RETAIN_WALS,
     &REPL_MAX_LAG_SEQS,
@@ -172,6 +211,9 @@ pub const ALL: [&EnvFlag; 14] = [
     &SERVE_TENANT_QUOTA,
     &SHARD_PARALLEL,
     &SHARD_CASES,
+    &INDEX,
+    &INDEX_ZONE_ROWS,
+    &INDEX_CASES,
 ];
 
 #[cfg(test)]

@@ -791,9 +791,8 @@ mod tests {
     fn store_config(retain: usize) -> StoreConfig {
         StoreConfig {
             sync: SyncPolicy::Never,
-            compact_min_segments: 0,
             retain_wal_generations: retain,
-            traced: false,
+            ..StoreConfig::default()
         }
     }
 

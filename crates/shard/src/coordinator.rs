@@ -7,7 +7,10 @@
 //!    hash clusters cannot).
 //! 2. **Scatter** — fetch every surviving shard's extracted `(hour,
 //!    geo)` partial cells, in parallel on the rayon pool
-//!    (`GISOLAP_SHARD_PARALLEL=0` forces the sequential baseline).
+//!    (`GISOLAP_SHARD_PARALLEL=0` forces the sequential baseline), and
+//!    drop out-of-window cells at the fetch edge ([`filter_window`] —
+//!    result-neutral because the rollup's `between` masks the same
+//!    hours).
 //! 3. **Gather** — absorb the per-shard cell lists into one fresh
 //!    [`DeltaCube`] in **ascending shard order**, then answer the
 //!    rollup from it.
@@ -26,21 +29,28 @@
 use crate::partition::{GridSpec, Partitioner, PartitionerSpec};
 use gisolap_geom::BBox;
 use gisolap_obs::{MetricsRegistry, Span, Tracer};
+use gisolap_olap::time::TimeId;
 use gisolap_store::{Result, StoreError};
 use gisolap_stream::{CellPartial, DeltaCube, GroupKey, RollupQuery, RollupRow, StreamIngest};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-/// A rollup plus an optional geometric region filter: only cells whose
-/// overlay-grid area intersects the box contribute. The region is what
-/// pruning and shard-side filtering key on.
+/// A rollup plus optional geometric and temporal filters: only cells
+/// whose overlay-grid area intersects the region box and whose hour span
+/// intersects the time window contribute. The region is what shard
+/// pruning and shard-side filtering key on; the window is what cell
+/// pruning before the gather keys on.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardQuery {
     /// The aggregate to compute.
     pub rollup: RollupQuery,
     /// Optional spatial filter (requires the cluster to have a grid).
     pub region: Option<BBox>,
+    /// Optional time window `[lo, hi]` pruning whole `(hour, geo)` cells
+    /// before the gather. Kept in sync with `rollup.between` by
+    /// [`ShardQuery::in_window`] so pruning is result-neutral.
+    pub window: Option<(TimeId, TimeId)>,
 }
 
 impl ShardQuery {
@@ -49,12 +59,26 @@ impl ShardQuery {
         ShardQuery {
             rollup,
             region: None,
+            window: None,
         }
     }
 
     /// Restricts the query to cells intersecting `region`.
     pub fn in_region(mut self, region: BBox) -> ShardQuery {
         self.region = Some(region);
+        self
+    }
+
+    /// Restricts the query to hours intersecting `[lo, hi]`.
+    ///
+    /// Sets both the cell-prune window and the rollup's `between` bound
+    /// to the same interval, so the early prune ([`filter_window`]) and
+    /// the rollup's own hour mask apply *exactly* the same predicate:
+    /// the pruned evaluation is bit-identical to running the plain
+    /// `between` rollup over every cell (see `docs/indexing.md`).
+    pub fn in_window(mut self, lo: TimeId, hi: TimeId) -> ShardQuery {
+        self.window = Some((lo, hi));
+        self.rollup = self.rollup.between(lo, hi);
         self
     }
 }
@@ -71,6 +95,9 @@ pub struct ShardExplain {
     pub shards_queried: u64,
     /// Partial cells collected across all fetched shards.
     pub cells_gathered: u64,
+    /// Fetched cells dropped by the time-window prune before the gather
+    /// (their hour span misses the query window).
+    pub cells_window_pruned: u64,
     /// Gathered cells that merged into an already-present key (always 0
     /// under a spatial partitioner: shard key sets are disjoint).
     pub cells_merged: u64,
@@ -82,11 +109,12 @@ impl std::fmt::Display for ShardExplain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "shards: {} queried, {} pruned of {}; cells: {} gathered, {} merged; scatter: {}",
+            "shards: {} queried, {} pruned of {}; cells: {} gathered, {} window-pruned, {} merged; scatter: {}",
             self.shards_queried,
             self.shards_pruned,
             self.shards_total,
             self.cells_gathered,
+            self.cells_window_pruned,
             self.cells_merged,
             if self.parallel {
                 "parallel"
@@ -119,6 +147,8 @@ pub struct ShardStats {
     pub shards_pruned: u64,
     /// Partial cells gathered from shards.
     pub cells_gathered: u64,
+    /// Fetched cells dropped by the time-window prune before the gather.
+    pub cells_window_pruned: u64,
     /// Gathered cells merged into an existing key during gather.
     pub gather_merges: u64,
 }
@@ -126,12 +156,13 @@ pub struct ShardStats {
 impl ShardStats {
     /// Every coordinator counter as a `(name, value)` pair, in
     /// declaration order.
-    pub fn fields(&self) -> [(&'static str, u64); 5] {
+    pub fn fields(&self) -> [(&'static str, u64); 6] {
         [
             ("queries", self.queries),
             ("shards_queried", self.shards_queried),
             ("shards_pruned", self.shards_pruned),
             ("cells_gathered", self.cells_gathered),
+            ("cells_window_pruned", self.cells_window_pruned),
             ("gather_merges", self.gather_merges),
         ]
     }
@@ -232,23 +263,33 @@ impl<E: ShardExecutor> Coordinator<E> {
         self.stats.shards_pruned += (total - targets.len()) as u64;
         self.stats.shards_queried += targets.len() as u64;
 
-        // Scatter.
+        // Scatter. Each shard's cells pass the time-window prune right at
+        // the fetch edge, so out-of-window cells never reach the gather;
+        // `in_window` keeps `rollup.between` on the same interval, which
+        // makes the prune result-neutral (the rollup would mask those
+        // hours anyway).
         let t_scatter = Instant::now();
-        let fetched: Result<Vec<Vec<(GroupKey, CellPartial)>>> = if self.parallel {
-            targets
-                .par_iter()
-                .map(|&s| self.executor.fetch(s, q.region.as_ref()))
-                .collect()
+        // One shard's kept cells plus how many its window prune dropped.
+        type ShardFetch = (Vec<(GroupKey, CellPartial)>, u64);
+        let window = q.window;
+        let fetch_one = |s: usize| -> Result<ShardFetch> {
+            let cells = self.executor.fetch(s, q.region.as_ref())?;
+            let before = cells.len();
+            let kept = filter_window(cells, window);
+            let pruned = (before - kept.len()) as u64;
+            Ok((kept, pruned))
+        };
+        let fetched: Result<Vec<ShardFetch>> = if self.parallel {
+            targets.par_iter().map(|&s| fetch_one(s)).collect()
         } else {
-            targets
-                .iter()
-                .map(|&s| self.executor.fetch(s, q.region.as_ref()))
-                .collect()
+            targets.iter().map(|&s| fetch_one(s)).collect()
         };
         let fetched = fetched?;
         let scatter_ns = t_scatter.elapsed().as_nanos() as u64;
-        let cells_gathered: u64 = fetched.iter().map(|c| c.len() as u64).sum();
+        let cells_gathered: u64 = fetched.iter().map(|(c, _)| c.len() as u64).sum();
+        let cells_window_pruned: u64 = fetched.iter().map(|&(_, pruned)| pruned).sum();
         self.stats.cells_gathered += cells_gathered;
+        self.stats.cells_window_pruned += cells_window_pruned;
 
         // Gather: absorb in ascending shard order (targets are
         // ascending, `fetched` is positionally aligned with them) so the
@@ -256,7 +297,7 @@ impl<E: ShardExecutor> Coordinator<E> {
         let t_gather = Instant::now();
         let mut cube = DeltaCube::new();
         let mut cells_merged = 0u64;
-        for cells in &fetched {
+        for (cells, _) in &fetched {
             cells_merged += cube.absorb(cells).merged;
         }
         self.stats.gather_merges += cells_merged;
@@ -270,6 +311,7 @@ impl<E: ShardExecutor> Coordinator<E> {
             shards_pruned: (total - targets.len()) as u64,
             shards_queried: targets.len() as u64,
             cells_gathered,
+            cells_window_pruned,
             cells_merged,
             parallel: self.parallel,
         };
@@ -286,6 +328,7 @@ impl<E: ShardExecutor> Coordinator<E> {
                             ("shards_queried", explain.shards_queried),
                             ("shards_pruned", explain.shards_pruned),
                             ("cells_gathered", cells_gathered),
+                            ("cells_window_pruned", cells_window_pruned),
                         ],
                         children: Vec::new(),
                     },
@@ -357,6 +400,26 @@ pub fn filter_region(
     }
 }
 
+/// Applies the time-window cell prune: keep cells whose hour span
+/// `[h·3600, h·3600+3599]` intersects `[lo, hi]` — the *same* predicate
+/// [`DeltaCube::rollup`] applies for `RollupQuery::between`, which is
+/// what makes pruning before the gather result-neutral.
+pub fn filter_window(
+    cells: Vec<(GroupKey, CellPartial)>,
+    window: Option<(TimeId, TimeId)>,
+) -> Vec<(GroupKey, CellPartial)> {
+    match window {
+        None => cells,
+        Some((lo, hi)) => cells
+            .into_iter()
+            .filter(|&((hour, _), _)| {
+                let start = hour * 3600;
+                start + 3599 >= lo.0 && start <= hi.0
+            })
+            .collect(),
+    }
+}
+
 /// The reference evaluator sharded execution must match bit-for-bit: a
 /// single unsharded pipeline, same extraction, same filter, same fold.
 pub fn eval_single(
@@ -365,6 +428,7 @@ pub fn eval_single(
     q: &ShardQuery,
 ) -> Result<Vec<RollupRow>> {
     let cells = filter_region(pipeline.extract_partials(), grid, q.region.as_ref())?;
+    let cells = filter_window(cells, q.window);
     let mut cube = DeltaCube::new();
     cube.absorb(&cells);
     cube.rollup(&q.rollup, &BTreeMap::new())
@@ -527,6 +591,45 @@ mod tests {
             spans[0].total("shards_pruned"),
             got.explain.shards_pruned,
             "span counters mirror the explain"
+        );
+    }
+
+    #[test]
+    fn window_filter_prunes_cells_before_gather() {
+        let scratch = ScratchDir::new("shard-coord-window");
+        let batch = records(300); // hours 0 and 1
+        let spec = PartitionerSpec::Spatial {
+            shards: 4,
+            grid: grid(),
+        };
+        let cluster = cluster_with(&scratch, spec, &batch);
+        let single = single_with(&batch);
+        let mut coord = Coordinator::new(ClusterExecutor::new(&cluster), spec).unwrap();
+        coord.set_traced(true);
+        let q = ShardQuery::new(RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Sum))
+            .in_window(TimeId(0), TimeId(3599));
+        let got = coord.eval(&q).unwrap();
+        assert!(got.explain.cells_window_pruned > 0, "{}", got.explain);
+        assert!(got.rows.iter().all(|r| r.granule == 0), "only hour 0 left");
+        // Identical to the single-store reference with the same prune...
+        assert_eq!(got.rows, eval_single(&single, Some(grid()), &q).unwrap());
+        // ...and to the un-pruned rollup that only uses `between`: the
+        // early window prune is result-neutral.
+        let plain = ShardQuery::new(
+            RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Sum)
+                .between(TimeId(0), TimeId(3599)),
+        );
+        assert_eq!(
+            got.rows,
+            eval_single(&single, Some(grid()), &plain).unwrap()
+        );
+        assert_eq!(
+            coord.spans()[0].total("cells_window_pruned"),
+            got.explain.cells_window_pruned
+        );
+        assert_eq!(
+            coord.stats().cells_window_pruned,
+            got.explain.cells_window_pruned
         );
     }
 

@@ -39,7 +39,7 @@ pub mod wire;
 
 pub use cluster::{replica_set, shard_dir, RouteStats, ShardedIngest, SHARDS_MANIFEST};
 pub use coordinator::{
-    eval_single, filter_region, ClusterExecutor, Coordinator, FollowerExecutor, ShardExecutor,
-    ShardExplain, ShardQuery, ShardResult, ShardStats,
+    eval_single, filter_region, filter_window, ClusterExecutor, Coordinator, FollowerExecutor,
+    ShardExecutor, ShardExplain, ShardQuery, ShardResult, ShardStats,
 };
 pub use partition::{GridSpec, HashPartitioner, Partitioner, PartitionerSpec, SpatialPartitioner};

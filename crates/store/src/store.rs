@@ -17,6 +17,7 @@ use gisolap_traj::Record;
 
 use crate::codec::{
     self, check_header, frame, header, read_single_frame, FileKind, Manifest, SegmentEntry,
+    TailDelta,
 };
 use crate::vfs::Vfs;
 use crate::wal::{self, SyncPolicy, Wal};
@@ -31,6 +32,10 @@ fn wal_name(gen: u64) -> String {
 
 fn ck_name(gen: u64) -> String {
     format!("ck-{gen}.ck")
+}
+
+fn ckd_name(gen: u64) -> String {
+    format!("ckd-{gen}.ckd")
 }
 
 fn seg_name(lo: i64, hi: i64) -> String {
@@ -57,6 +62,11 @@ pub struct StoreConfig {
     /// the flush commit point, forcing lagging followers onto the
     /// snapshot-transfer path.
     pub retain_wal_generations: usize,
+    /// Delta checkpoints a flush may chain onto one full checkpoint
+    /// before the next flush is forced to rewrite the whole tail
+    /// (`GISOLAP_STORE_MAX_DELTAS`); `0` makes every flush write a full
+    /// checkpoint.
+    pub max_checkpoint_deltas: usize,
     /// Collect `wal-append` / `segment-flush` / `recover-replay` spans.
     pub traced: bool,
 }
@@ -67,6 +77,7 @@ impl Default for StoreConfig {
             sync: SyncPolicy::Always,
             compact_min_segments: 0,
             retain_wal_generations: 0,
+            max_checkpoint_deltas: 4,
             traced: false,
         }
     }
@@ -88,10 +99,14 @@ impl StoreConfig {
         let retain_wal_generations = gisolap_obs::config::REPL_RETAIN_WALS
             .parse_u64()
             .unwrap_or(0) as usize;
+        let max_checkpoint_deltas = gisolap_obs::config::STORE_MAX_DELTAS
+            .parse_u64()
+            .unwrap_or(4) as usize;
         StoreConfig {
             sync,
             compact_min_segments,
             retain_wal_generations,
+            max_checkpoint_deltas,
             traced: false,
         }
     }
@@ -113,8 +128,11 @@ pub struct StoreStats {
     pub segments_flushed: u64,
     /// Bytes written by flushes (segments + checkpoint + manifest).
     pub flush_bytes: u64,
-    /// Checkpoints written.
+    /// Full checkpoints written.
     pub checkpoints: u64,
+    /// Delta checkpoints written (incremental flushes that diffed the
+    /// tail against the previous checkpoint instead of rewriting it).
+    pub delta_checkpoints: u64,
     /// Successful recoveries performed.
     pub recoveries: u64,
     /// WAL entries replayed during recovery.
@@ -134,7 +152,7 @@ pub struct StoreStats {
 impl StoreStats {
     /// Every store counter as a `(name, value)` pair, in declaration
     /// order — the single source for metrics and `OBSERVABILITY.md`.
-    pub fn fields(&self) -> [(&'static str, u64); 14] {
+    pub fn fields(&self) -> [(&'static str, u64); 15] {
         [
             ("wal_appends", self.wal_appends),
             ("wal_records", self.wal_records),
@@ -143,6 +161,7 @@ impl StoreStats {
             ("segments_flushed", self.segments_flushed),
             ("flush_bytes", self.flush_bytes),
             ("checkpoints", self.checkpoints),
+            ("delta_checkpoints", self.delta_checkpoints),
             ("recoveries", self.recoveries),
             ("wal_entries_replayed", self.wal_entries_replayed),
             ("wal_records_replayed", self.wal_records_replayed),
@@ -253,6 +272,50 @@ fn read_file(vfs: &dyn Vfs, dir: &Path, name: &str, kind: FileKind) -> Result<Ve
     Ok(read_single_frame(body, name)?.to_vec())
 }
 
+/// Reads and decodes one manifest segment entry, validating its
+/// partition against the manifest.
+fn decode_segment_entry(vfs: &dyn Vfs, dir: &Path, entry: &SegmentEntry) -> Result<Segment> {
+    let payload = read_file(vfs, dir, &entry.file, FileKind::Segment)?;
+    let seg = codec::decode_segment(&payload, &entry.file)?;
+    if seg.meta().partition != entry.lo {
+        return Err(corrupt(
+            &entry.file,
+            format!(
+                "segment partition {} disagrees with manifest entry {}..={}",
+                seg.meta().partition,
+                entry.lo,
+                entry.hi
+            ),
+        ));
+    }
+    Ok(seg)
+}
+
+/// Decodes the manifest's segment files on the worker pool by recursive
+/// binary split over `rayon::join`, preserving manifest order. Each file
+/// decodes independently (read + CRC + zone-map validation), so recovery
+/// wall-clock scales with the largest file, not the sum.
+fn decode_segments_parallel(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    entries: &[SegmentEntry],
+) -> Result<Vec<Segment>> {
+    match entries.len() {
+        0 => Ok(Vec::new()),
+        1 => Ok(vec![decode_segment_entry(vfs, dir, &entries[0])?]),
+        n => {
+            let (a, b) = entries.split_at(n / 2);
+            let (left, right) = rayon::join(
+                || decode_segments_parallel(vfs, dir, a),
+                || decode_segments_parallel(vfs, dir, b),
+            );
+            let mut out = left?;
+            out.extend(right?);
+            Ok(out)
+        }
+    }
+}
+
 /// The durable half of the pipeline: a directory of store files plus the
 /// open WAL. It persists state produced by a [`StreamIngest`] but holds
 /// no pipeline state itself; [`DurableIngest`] pairs the two.
@@ -274,6 +337,12 @@ pub struct SegmentStore {
     /// Highest partition index already persisted in a segment file.
     flushed_hi: i64,
     checkpoint: Option<String>,
+    /// Delta files chained onto `checkpoint`, oldest first; folding them
+    /// over the base reproduces the tail at the last flush.
+    checkpoint_deltas: Vec<String>,
+    /// The tail state the last flush made durable (base + deltas) —
+    /// the diff base for the next delta checkpoint.
+    last_tail: Option<TailState>,
     stats: StoreStats,
     tracer: Tracer,
     spans: Vec<Span>,
@@ -314,6 +383,7 @@ impl SegmentStore {
             segment_seconds: stream_config.segment_seconds,
             segments: Vec::new(),
             checkpoint: None,
+            checkpoint_deltas: Vec::new(),
             wal: wal_name(0),
             wal_start_seq: 0,
         };
@@ -338,6 +408,8 @@ impl SegmentStore {
             retained_wals: Vec::new(),
             flushed_hi: i64::MIN,
             checkpoint: None,
+            checkpoint_deltas: Vec::new(),
+            last_tail: None,
             stats: StoreStats::default(),
             tracer,
             spans: Vec::new(),
@@ -364,31 +436,22 @@ impl SegmentStore {
             .map_err(StoreError::Stream)?;
 
         // Segments, ascending (the manifest decoder already validated
-        // order and disjointness).
-        let mut segments = Vec::with_capacity(manifest.segments.len());
-        for entry in &manifest.segments {
-            let payload = read_file(vfs.as_ref(), dir, &entry.file, FileKind::Segment)?;
-            let seg = codec::decode_segment(&payload, &entry.file)?;
-            if seg.meta().partition != entry.lo {
-                return Err(corrupt(
-                    &entry.file,
-                    format!(
-                        "segment partition {} disagrees with manifest entry {}..={}",
-                        seg.meta().partition,
-                        entry.lo,
-                        entry.hi
-                    ),
-                ));
-            }
-            segments.push(seg);
-        }
+        // order and disjointness). Files decode in parallel on the
+        // worker pool; order is preserved by the binary-split merge.
+        let segments = decode_segments_parallel(vfs.as_ref(), dir, &manifest.segments)?;
 
-        // Checkpoint: the tail state at the last flush. A never-flushed
-        // store has neither checkpoint nor segments.
+        // Checkpoint: the tail state at the last flush — the full base
+        // folded through any chained delta checkpoints, oldest first.
+        // A never-flushed store has neither checkpoint nor segments.
         let tail = match &manifest.checkpoint {
             Some(name) => {
                 let payload = read_file(vfs.as_ref(), dir, name, FileKind::Checkpoint)?;
-                codec::decode_tail(&payload, name)?
+                let mut tail = codec::decode_tail(&payload, name)?;
+                for dname in &manifest.checkpoint_deltas {
+                    let payload = read_file(vfs.as_ref(), dir, dname, FileKind::CheckpointDelta)?;
+                    codec::decode_tail_delta(&payload, dname)?.apply(&mut tail);
+                }
+                tail
             }
             None => {
                 if !segments.is_empty() {
@@ -407,6 +470,7 @@ impl SegmentStore {
                 }
             }
         };
+        let last_tail = manifest.checkpoint.as_ref().map(|_| tail.clone());
 
         // WAL: everything durable since that flush.
         let wal_path = dir.join(&manifest.wal);
@@ -489,6 +553,8 @@ impl SegmentStore {
             retained_wals: Vec::new(),
             flushed_hi,
             checkpoint: manifest.checkpoint,
+            checkpoint_deltas: manifest.checkpoint_deltas,
+            last_tail,
             stats,
             tracer,
             spans,
@@ -660,14 +726,40 @@ impl SegmentStore {
         }
 
         let next_gen = self.generation + 1;
-        let ck = ck_name(next_gen);
-        report.bytes_written += write_file(
-            self.vfs.as_ref(),
-            &self.dir.join(&ck),
-            FileKind::Checkpoint,
-            &codec::encode_tail(&ingest.tail_state()),
-            true,
-        )?;
+        let tail = ingest.tail_state();
+        // Incremental checkpoint: when a full base exists and the delta
+        // chain has room, persist only the diff against the last flushed
+        // tail instead of rewriting the whole tail state. The chain is
+        // bounded, so recovery folds at most `max_checkpoint_deltas`
+        // files over one base.
+        let write_delta = self.config.max_checkpoint_deltas > 0
+            && self.checkpoint.is_some()
+            && self.last_tail.is_some()
+            && self.checkpoint_deltas.len() < self.config.max_checkpoint_deltas;
+        let (ck, deltas) = if write_delta {
+            let base = self.last_tail.as_ref().expect("checked above");
+            let name = ckd_name(next_gen);
+            report.bytes_written += write_file(
+                self.vfs.as_ref(),
+                &self.dir.join(&name),
+                FileKind::CheckpointDelta,
+                &codec::encode_tail_delta(&TailDelta::diff(base, &tail)),
+                true,
+            )?;
+            let mut chain = self.checkpoint_deltas.clone();
+            chain.push(name);
+            (self.checkpoint.clone().expect("checked above"), chain)
+        } else {
+            let ck = ck_name(next_gen);
+            report.bytes_written += write_file(
+                self.vfs.as_ref(),
+                &self.dir.join(&ck),
+                FileKind::Checkpoint,
+                &codec::encode_tail(&tail),
+                true,
+            )?;
+            (ck, Vec::new())
+        };
 
         let next_seq = self.wal.next_seq();
         let new_wal = Wal::create(
@@ -686,6 +778,7 @@ impl SegmentStore {
             segment_seconds: self.stream_config.segment_seconds,
             segments: entries.clone(),
             checkpoint: Some(ck.clone()),
+            checkpoint_deltas: deltas.clone(),
             wal: wal_name(next_gen),
             wal_start_seq: next_seq,
         };
@@ -715,18 +808,31 @@ impl SegmentStore {
         } else {
             old_wal.delete()?;
         }
-        if let Some(old_ck) = self.checkpoint.take() {
-            self.vfs.remove_file(&self.dir.join(old_ck))?;
+        if write_delta {
+            // The base checkpoint and earlier deltas are still
+            // referenced by the chain: delete nothing.
+            self.stats.delta_checkpoints += 1;
+        } else {
+            // A full checkpoint supersedes the old base and its whole
+            // delta chain.
+            if let Some(old_ck) = self.checkpoint.take() {
+                self.vfs.remove_file(&self.dir.join(old_ck))?;
+            }
+            for old in self.checkpoint_deltas.drain(..) {
+                self.vfs.remove_file(&self.dir.join(old))?;
+            }
+            self.stats.checkpoints += 1;
         }
         self.generation = next_gen;
         self.checkpoint = Some(ck);
+        self.checkpoint_deltas = deltas;
+        self.last_tail = Some(tail);
         self.segments = entries;
         self.wal_start_seq = next_seq;
         self.flushed_hi = self.segments.iter().map(|e| e.hi).max().unwrap_or(i64::MIN);
 
         self.stats.segments_flushed += report.segments_written;
         self.stats.flush_bytes += report.bytes_written;
-        self.stats.checkpoints += 1;
         if self.tracer.enabled() {
             self.spans.push(Span {
                 name: "segment-flush",
@@ -791,6 +897,7 @@ impl SegmentStore {
             segment_seconds: self.stream_config.segment_seconds,
             segments: new_entries.clone(),
             checkpoint: self.checkpoint.clone(),
+            checkpoint_deltas: self.checkpoint_deltas.clone(),
             wal: wal_name(self.generation),
             wal_start_seq: self.wal_start_seq,
         };
@@ -881,6 +988,7 @@ impl SegmentStore {
             segment_seconds: stream_config.segment_seconds,
             segments: entries.clone(),
             checkpoint: Some(ck.clone()),
+            checkpoint_deltas: Vec::new(),
             wal: wal_name(next_gen),
             wal_start_seq: next_seq,
         };
@@ -892,6 +1000,7 @@ impl SegmentStore {
             true,
         )?;
 
+        let last_tail = Some(tail.clone());
         let ingest = StreamIngest::restore(stream_config, resolver, segments, tail)
             .map_err(StoreError::Stream)?;
         let flushed_hi = entries.iter().map(|e| e.hi).max().unwrap_or(i64::MIN);
@@ -909,6 +1018,8 @@ impl SegmentStore {
             retained_wals: Vec::new(),
             flushed_hi,
             checkpoint: Some(ck),
+            checkpoint_deltas: Vec::new(),
+            last_tail,
             stats: StoreStats::default(),
             tracer,
             spans: Vec::new(),
@@ -1369,6 +1480,88 @@ mod tests {
         .unwrap();
         assert_eq!(r.store_stats().recoveries, 1);
         assert_eq!(r.store().spans()[0].name, "recover-replay");
+    }
+
+    fn file_names(dir: &Path) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn delta_checkpoints_fold_on_recovery() {
+        let dir = ScratchDir::new("store-deltas");
+        let config = StoreConfig {
+            max_checkpoint_deltas: 2,
+            ..StoreConfig::default()
+        };
+        let mut d = DurableIngest::create(vfs(), dir.path(), cfg(), config, None).unwrap();
+        let mut reference = StreamIngest::new(cfg()).unwrap();
+        let all = batches();
+        // Flush after each of the first three batches: the first writes
+        // the full base, the next two chain deltas onto it.
+        for b in &all[..3] {
+            d.ingest(b).unwrap();
+            reference.ingest(b);
+            d.flush().unwrap();
+        }
+        let stats = d.store_stats();
+        assert_eq!((stats.checkpoints, stats.delta_checkpoints), (1, 2));
+        let names = file_names(dir.path());
+        assert!(names.iter().any(|n| n == "ck-1.ck"), "{names:?}");
+        assert!(names.iter().any(|n| n == "ckd-2.ckd"), "{names:?}");
+        assert!(names.iter().any(|n| n == "ckd-3.ckd"), "{names:?}");
+
+        // Post-flush traffic lands in the WAL only.
+        d.ingest(&all[3]).unwrap();
+        reference.ingest(&all[3]);
+        drop(d); // crash with a two-delta chain plus a WAL tail
+
+        let (mut r, report) = DurableIngest::recover(vfs(), dir.path(), config, None).unwrap();
+        assert!(report.checkpoint_loaded);
+        assert_eq!(report.wal_entries_replayed, 1);
+        assert_same_state(r.pipeline(), &reference);
+
+        // The chain is at capacity, so the next flush forces a full
+        // checkpoint and garbage-collects the base and both deltas.
+        r.flush().unwrap();
+        assert_eq!(r.store_stats().checkpoints, 1);
+        assert_eq!(r.store_stats().delta_checkpoints, 0);
+        let names = file_names(dir.path());
+        assert!(
+            !names.iter().any(|n| n.ends_with(".ckd") || n == "ck-1.ck"),
+            "{names:?}"
+        );
+        drop(r);
+        // (Not assert_same_state: the earlier rollup bumped the
+        // reference's tail_records_scanned counter.)
+        let (r, _) = DurableIngest::recover(vfs(), dir.path(), config, None).unwrap();
+        let q = RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Sum);
+        assert_eq!(r.rollup(&q).unwrap(), reference.rollup(&q).unwrap());
+        assert_eq!(
+            r.pipeline().snapshot().unwrap().moft().records(),
+            reference.snapshot().unwrap().moft().records()
+        );
+    }
+
+    #[test]
+    fn zero_max_deltas_always_writes_full_checkpoints() {
+        let dir = ScratchDir::new("store-nodeltas");
+        let config = StoreConfig {
+            max_checkpoint_deltas: 0,
+            ..StoreConfig::default()
+        };
+        let mut d = DurableIngest::create(vfs(), dir.path(), cfg(), config, None).unwrap();
+        for b in batches() {
+            d.ingest(&b).unwrap();
+            d.flush().unwrap();
+        }
+        let stats = d.store_stats();
+        assert_eq!((stats.checkpoints, stats.delta_checkpoints), (4, 0));
+        assert!(!file_names(dir.path()).iter().any(|n| n.ends_with(".ckd")));
     }
 
     #[test]

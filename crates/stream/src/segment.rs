@@ -1,12 +1,29 @@
 //! Immutable, time-partitioned segments sealed from the ingest buffer.
 
 use gisolap_geom::BBox;
+use gisolap_index::ZoneMap;
 use gisolap_olap::time::TimeId;
 use gisolap_traj::{ObjectId, Record};
 
 use crate::config::GeoResolver;
 use crate::delta::{bucket_partials, CellPartial, GroupKey};
 use crate::{Result, StreamError};
+
+/// Rows per zone-map block (`GISOLAP_INDEX_ZONE_ROWS`, default 256).
+pub(crate) fn zone_rows() -> u32 {
+    gisolap_obs::config::INDEX_ZONE_ROWS
+        .parse_u64()
+        .map(|v| v.clamp(1, u32::MAX as u64) as u32)
+        .unwrap_or(gisolap_index::DEFAULT_ZONE_ROWS)
+}
+
+/// Builds the zone map summarizing `records` (already canonical order).
+pub(crate) fn derive_zone_map(records: &[Record], rows_per_zone: u32) -> ZoneMap {
+    ZoneMap::build(
+        records.iter().map(|r| (r.oid.0, r.t.0, r.x, r.y)),
+        rows_per_zone,
+    )
+}
 
 /// Summary of a sealed segment — enough for time/space pruning without
 /// touching the records.
@@ -37,6 +54,9 @@ pub struct Segment {
     object_ranges: Vec<(ObjectId, usize, usize)>,
     /// Per-`(hour, geo)` partials, ascending by key.
     partials: Vec<(GroupKey, CellPartial)>,
+    /// Zone map over `records` — baked into segment files by the store
+    /// and validated against re-derivation on decode.
+    zone_map: ZoneMap,
 }
 
 impl Segment {
@@ -74,11 +94,13 @@ impl Segment {
             bbox: BBox::from_points(records.iter().map(Record::pos)),
         };
         let partials = bucket_partials(&records, resolver).into_iter().collect();
+        let zone_map = derive_zone_map(&records, zone_rows());
         Segment {
             meta,
             records,
             object_ranges,
             partials,
+            zone_map,
         }
     }
 
@@ -111,6 +133,13 @@ impl Segment {
     /// Per-`(hour, geo)` partial aggregates, ascending by key.
     pub fn partials(&self) -> &[(GroupKey, CellPartial)] {
         &self.partials
+    }
+
+    /// The zone map over this segment's records: per-block oid/time/bbox
+    /// summaries in canonical row order, the record-level prune the
+    /// store persists inside the segment file (`docs/indexing.md`).
+    pub fn zone_map(&self) -> &ZoneMap {
+        &self.zone_map
     }
 
     /// Reassembles a segment from its canonical parts — the persistence
@@ -166,11 +195,13 @@ impl Segment {
             last,
             bbox: BBox::from_points(records.iter().map(Record::pos)),
         };
+        let zone_map = derive_zone_map(&records, zone_rows());
         Ok(Segment {
             meta,
             records,
             object_ranges,
             partials,
+            zone_map,
         })
     }
 

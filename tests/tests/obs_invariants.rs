@@ -168,6 +168,7 @@ fn observability_doc_covers_every_span_name() {
         "eval",
         "time-filter",
         "filter-resolve",
+        "index-prune",
         "spatial-match",
         "aggregate",
         "segment-seal",
@@ -273,7 +274,7 @@ fn observability_doc_covers_every_shard_span_name() {
         assert!(doc.contains(span), "OBSERVABILITY.md missing span `{span}`");
     }
     // The span-only counters the scatter/gather legs report.
-    for extra in ["cells_gathered", "gather_merges"] {
+    for extra in ["cells_gathered", "cells_window_pruned", "gather_merges"] {
         assert!(doc.contains(extra), "OBSERVABILITY.md missing `{extra}`");
     }
 }
