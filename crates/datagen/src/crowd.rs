@@ -1,0 +1,182 @@
+//! A bursty event crowd: the audience of a stadium show.
+//!
+//! Most of the day the crowd is scattered across the city; for the
+//! event window everyone sits in one small **venue** box, producing a
+//! density spike concentrated in a single overlay cell. This is the
+//! canonical workload for *standing queries*: a per-region count
+//! subscription over the venue cell is quiet all day, crosses its
+//! threshold upward when the doors open, and back downward when the
+//! show ends — exercising notification emission, hysteresis and the
+//! incremental-vs-batch equivalence suites on data with a real burst.
+//!
+//! Every coordinate is quantized to the 0.25 lattice, so sums of
+//! positions are exactly representable in f64 — the precondition the
+//! bit-identity property tests rely on.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gisolap_geom::{BBox, Point};
+use gisolap_olap::time::TimeId;
+use gisolap_traj::{Moft, ObjectId};
+
+/// An audience that converges on one venue box for an event window and
+/// disperses afterwards.
+#[derive(Debug, Clone)]
+pub struct EventCrowd {
+    /// Full movement area.
+    pub bbox: BBox,
+    /// The venue (must sit inside `bbox`); sized to fall inside one
+    /// overlay cell so the spike lands in a single geo group.
+    pub venue: BBox,
+    /// Number of attendees.
+    pub objects: usize,
+    /// Samples per attendee.
+    pub samples_per_object: usize,
+    /// Seconds between samples.
+    pub sample_interval: i64,
+    /// Hour of day the doors open (everyone is seated from here).
+    pub event_start_hour: u32,
+    /// Hour of day the show ends (everyone is home again from here).
+    pub event_end_hour: u32,
+    /// First sample instant.
+    pub start: TimeId,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl EventCrowd {
+    /// A reasonable default: quarter-hour samples across one day, doors
+    /// at 18:00, lights out at 20:00.
+    ///
+    /// # Panics
+    /// [`EventCrowd::generate`] panics if `venue` is not inside `bbox`
+    /// or the event window is empty.
+    pub fn new(bbox: BBox, venue: BBox, objects: usize) -> EventCrowd {
+        EventCrowd {
+            bbox,
+            venue,
+            objects,
+            samples_per_object: 96,
+            sample_interval: 900,
+            event_start_hour: 18,
+            event_end_hour: 20,
+            start: TimeId::from_ymd_hms(2006, 1, 9, 0, 0, 0),
+            seed: 61,
+        }
+    }
+
+    /// Snaps to the 0.25 lattice (exactly representable, so position
+    /// sums are exact in f64).
+    fn quantize(v: f64) -> f64 {
+        (v * 4.0).round() * 0.25
+    }
+
+    fn random_point(rng: &mut SmallRng, b: &BBox) -> Point {
+        Point::new(
+            Self::quantize(rng.gen_range(b.min_x..b.max_x)),
+            Self::quantize(rng.gen_range(b.min_y..b.max_y)),
+        )
+    }
+
+    /// Generates the MOFT. Object ids start at `first_oid`.
+    ///
+    /// # Panics
+    /// Panics if `venue` is not inside `bbox` or the event window is
+    /// empty.
+    pub fn generate(&self, first_oid: u64) -> Moft {
+        assert!(
+            self.bbox.contains_box(&self.venue),
+            "venue must sit inside the crowd area"
+        );
+        assert!(
+            self.event_start_hour < self.event_end_hour,
+            "event window must be non-empty"
+        );
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let doors = (self.event_start_hour as i64) * 3600;
+        let out = (self.event_end_hour as i64) * 3600;
+        let mut moft = Moft::new();
+        for k in 0..self.objects {
+            let oid = ObjectId(first_oid + k as u64);
+            let home = Self::random_point(&mut rng, &self.bbox);
+            let seat = Self::random_point(&mut rng, &self.venue);
+            for s in 0..self.samples_per_object {
+                let t = TimeId(self.start.0 + s as i64 * self.sample_interval);
+                let day_s = (t.0 - self.start.0).rem_euclid(86_400);
+                // The burst is deliberately sharp: everyone is seated
+                // for the whole window and nowhere near it otherwise.
+                let pos = if (doors..out).contains(&day_s) {
+                    seat
+                } else {
+                    home
+                };
+                moft.push(oid, t, pos.x, pos.y);
+            }
+        }
+        moft.rebuild_index();
+        moft
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area() -> BBox {
+        BBox::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn venue() -> BBox {
+        BBox::new(60.0, 60.0, 70.0, 70.0)
+    }
+
+    #[test]
+    fn crowd_spikes_into_the_venue_and_is_quantized() {
+        let gen = EventCrowd::new(area(), venue(), 30);
+        let moft = gen.generate(0);
+        assert_eq!(moft.object_count(), 30);
+        assert_eq!(moft.len(), 30 * 96);
+        for r in moft.records() {
+            assert_eq!(r.x, (r.x * 4.0).round() * 0.25, "x off-lattice: {}", r.x);
+            assert_eq!(r.y, (r.y * 4.0).round() * 0.25, "y off-lattice: {}", r.y);
+        }
+        // During the event every sample sits in the venue; off-event the
+        // venue holds only the attendees who happen to live there.
+        let in_venue = |r: &gisolap_traj::Record| venue().contains(r.pos());
+        let during = |r: &gisolap_traj::Record| {
+            let s = (r.t.0 - gen.start.0).rem_euclid(86_400);
+            (18 * 3600..20 * 3600).contains(&s)
+        };
+        let (mut event_n, mut idle_venue, mut idle_n) = (0usize, 0usize, 0usize);
+        for r in moft.records() {
+            if during(r) {
+                event_n += 1;
+                assert!(in_venue(r), "attendee off-venue mid-event: {:?}", r.pos());
+            } else {
+                idle_n += 1;
+                idle_venue += usize::from(in_venue(r));
+            }
+        }
+        assert!(event_n > 0, "the window must contain samples");
+        let idle_frac = idle_venue as f64 / idle_n as f64;
+        assert!(idle_frac < 0.5, "off-event venue density: {idle_frac}");
+        // Deterministic.
+        assert_eq!(gen.generate(0).records(), moft.records());
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the crowd area")]
+    fn escaping_venue_rejected() {
+        EventCrowd::new(area(), BBox::new(90.0, 90.0, 120.0, 120.0), 2).generate(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn empty_event_window_rejected() {
+        let mut gen = EventCrowd::new(area(), venue(), 2);
+        gen.event_start_hour = 20;
+        gen.event_end_hour = 20;
+        gen.generate(0);
+    }
+}

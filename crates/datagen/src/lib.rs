@@ -16,6 +16,8 @@
 //! * [`movers`] — moving-object generators (random waypoint, bus-route
 //!   followers, commuters) producing MOFTs of any size, seeded and
 //!   reproducible.
+//! * [`crowd`] — a bursty event crowd converging on one venue cell, the
+//!   canonical density-spike workload for standing queries.
 //! * [`stream`] — replays any of the above as timestamped, out-of-order
 //!   record batches (bounded shuffle) for the streaming ingest pipeline.
 
@@ -23,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod city;
+pub mod crowd;
 pub mod fig1;
 pub mod io;
 pub mod movers;
 pub mod stream;
 
 pub use city::{CityConfig, CityScenario};
+pub use crowd::EventCrowd;
 pub use fig1::Fig1Scenario;
 pub use stream::{
     crash_replay, replay_city, replay_fig1, stream_batches, CrashScenario, ReplayConfig,

@@ -194,8 +194,35 @@ pub const STORE_MAX_DELTAS: EnvFlag = EnvFlag {
         "delta checkpoints chained per full checkpoint before forcing a full one (0 = always full)",
 };
 
+/// Standing subscriptions one evaluator admits; registration past the
+/// cap is refused with an explicit error instead of degrading fold
+/// latency for every subscriber already registered.
+pub const SUB_MAX: EnvFlag = EnvFlag {
+    name: "GISOLAP_SUB_MAX",
+    default: "1024",
+    doc: "standing subscriptions one evaluator admits (over-cap registration is refused)",
+};
+
+/// Notifications the standing-query evaluator buffers for catch-up
+/// reads; the oldest are dropped first once the ring is full (sinks
+/// attached directly still see every notification).
+pub const SUB_BUFFER: EnvFlag = EnvFlag {
+    name: "GISOLAP_SUB_BUFFER",
+    default: "1024",
+    doc: "buffered notifications kept for standing-query catch-up reads (oldest dropped first)",
+};
+
+/// Case count for the standing-query incremental-vs-batch equivalence
+/// property tests (`tests/tests/sub_equivalence.rs`); CI's sub job
+/// raises it well above the local default.
+pub const SUB_CASES: EnvFlag = EnvFlag {
+    name: "GISOLAP_SUB_CASES",
+    default: "16",
+    doc: "property-test cases for the standing-query equivalence suite",
+};
+
 /// Every flag the workspace reads, for discovery and doc-coverage tests.
-pub const ALL: [&EnvFlag; 18] = [
+pub const ALL: [&EnvFlag; 21] = [
     &THREADS,
     &SLOW_QUERY_MS,
     &STORE_SYNC,
@@ -214,6 +241,9 @@ pub const ALL: [&EnvFlag; 18] = [
     &INDEX,
     &INDEX_ZONE_ROWS,
     &INDEX_CASES,
+    &SUB_MAX,
+    &SUB_BUFFER,
+    &SUB_CASES,
 ];
 
 #[cfg(test)]

@@ -660,6 +660,22 @@ impl<T: Transport> Follower<T> {
         })
     }
 
+    /// Wraps any follower-derived `value` in the staleness contract:
+    /// [`LagBounded::Fresh`] while the follower is within its configured
+    /// bounds, [`LagBounded::Stale`] (value discarded) otherwise. This
+    /// is the same gate [`Follower::rollup_bounded`] applies, exposed so
+    /// consumers that compute their own reads off
+    /// [`Follower::pipeline`] — standing-query evaluators, engines over
+    /// snapshots — surface lag identically instead of silently serving
+    /// old data.
+    pub fn bounded<V>(&self, value: V) -> LagBounded<V> {
+        let lag = self.lag();
+        if self.out_of_bounds(&lag) {
+            return LagBounded::Stale { lag };
+        }
+        LagBounded::Fresh { value, lag }
+    }
+
     /// Answers a rollup best-effort, regardless of lag.
     pub fn rollup(&self, q: &RollupQuery) -> Result<Vec<RollupRow>> {
         match &self.state {

@@ -7,6 +7,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use gisolap_geom::BBox;
 use gisolap_shard::GridSpec;
 use gisolap_stream::{CellPartial, GroupKey, RollupQuery, RollupRow};
+use gisolap_sub::{Notification, SubId, Subscription};
 
 use crate::wire::{self, ServeReply, ServeRequest};
 
@@ -161,6 +162,39 @@ impl Client {
                 shards_pruned,
                 shards_queried,
             }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Registers a standing query on the tenant's store. The server
+    /// evaluates it incrementally at every seal from registration on;
+    /// read results back with [`Client::notifications`]. Server-side
+    /// evaluators are grid-less, so a subscription carrying a region
+    /// is rejected with a `Remote` error naming the missing grid.
+    pub fn subscribe(&mut self, tenant: &str, sub: &Subscription) -> Result<SubId, ClientError> {
+        match self.exchange(&ServeRequest::Subscribe {
+            tenant: tenant.to_string(),
+            sub: sub.clone(),
+        })? {
+            ServeReply::Subscribed(id) => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Pulls buffered standing-query notifications with `seq >= since`,
+    /// returning them plus the cursor to pass next time. The server
+    /// folds newly sealed segments before answering, so a pull always
+    /// reflects the store's current seal frontier.
+    pub fn notifications(
+        &mut self,
+        tenant: &str,
+        since: u64,
+    ) -> Result<(Vec<Notification>, u64), ClientError> {
+        match self.exchange(&ServeRequest::Notifications {
+            tenant: tenant.to_string(),
+            since,
+        })? {
+            ServeReply::Notifications { items, next } => Ok((items, next)),
             other => Err(unexpected(other)),
         }
     }

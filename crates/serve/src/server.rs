@@ -17,6 +17,7 @@ use gisolap_shard::{
 };
 use gisolap_store::{DurableIngest, RealFs, StoreConfig};
 use gisolap_stream::StreamConfig;
+use gisolap_sub::StandingEvaluator;
 
 use crate::wire::{self, ServeReply, ServeRequest};
 
@@ -99,6 +100,10 @@ pub struct ServeStats {
     pub partials_requests: u64,
     /// Server-side scatter-gather rollups served.
     pub sharded_requests: u64,
+    /// Standing-query registrations served.
+    pub subscribe_requests: u64,
+    /// Standing-query catch-up reads served.
+    pub notifications_requests: u64,
     /// Requests rejected as structurally corrupt or inadmissible.
     pub bad_requests: u64,
     /// Request bytes read off sockets.
@@ -110,7 +115,7 @@ pub struct ServeStats {
 impl ServeStats {
     /// Every server counter as a `(name, value)` pair, in declaration
     /// order.
-    pub fn fields(&self) -> [(&'static str, u64); 13] {
+    pub fn fields(&self) -> [(&'static str, u64); 15] {
         [
             ("connections_accepted", self.connections_accepted),
             ("connections_rejected", self.connections_rejected),
@@ -120,6 +125,8 @@ impl ServeStats {
             ("ping_requests", self.ping_requests),
             ("partials_requests", self.partials_requests),
             ("sharded_requests", self.sharded_requests),
+            ("subscribe_requests", self.subscribe_requests),
+            ("notifications_requests", self.notifications_requests),
             ("busy_rejections", self.busy_rejections),
             ("quota_rejections", self.quota_rejections),
             ("bad_requests", self.bad_requests),
@@ -149,6 +156,8 @@ struct Counters {
     ping_requests: AtomicU64,
     partials_requests: AtomicU64,
     sharded_requests: AtomicU64,
+    subscribe_requests: AtomicU64,
+    notifications_requests: AtomicU64,
     busy_rejections: AtomicU64,
     quota_rejections: AtomicU64,
     bad_requests: AtomicU64,
@@ -167,6 +176,8 @@ impl Counters {
             ping_requests: self.ping_requests.load(Ordering::Relaxed),
             partials_requests: self.partials_requests.load(Ordering::Relaxed),
             sharded_requests: self.sharded_requests.load(Ordering::Relaxed),
+            subscribe_requests: self.subscribe_requests.load(Ordering::Relaxed),
+            notifications_requests: self.notifications_requests.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             quota_rejections: self.quota_rejections.load(Ordering::Relaxed),
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
@@ -198,6 +209,12 @@ struct Shared {
     /// Sharded tenants: a tenant directory holding a `SHARDS` manifest
     /// opens as a whole cluster instead of a single store.
     clusters: Mutex<HashMap<String, Arc<Mutex<ShardedIngest>>>>,
+    /// Per-tenant standing-query evaluators, created on first subscribe.
+    /// Server-side evaluators are grid-less (tenant stores own their
+    /// resolvers privately), so region subscriptions are rejected here
+    /// with a clear error; regional standing queries run follower-side
+    /// (`gisolap_sub::StandingFollower`), where the grid is known.
+    subs: Mutex<HashMap<String, Arc<Mutex<StandingEvaluator>>>>,
     tenant_inflight: Mutex<HashMap<String, usize>>,
     /// One socket clone per live connection, keyed by connection id —
     /// [`Server::stop`] shuts these down so blocked reads return
@@ -287,6 +304,19 @@ impl Shared {
         let cluster = Arc::new(Mutex::new(cluster));
         clusters.insert(tenant.to_string(), cluster.clone());
         Ok(cluster)
+    }
+
+    /// The cached standing-query evaluator for `tenant`, created
+    /// grid-less on first use. Callers must re-sync it from the
+    /// tenant's pipeline *under the leader lock* before reading, so
+    /// folds observe a quiescent seal frontier.
+    fn sub_evaluator(&self, tenant: &str) -> Arc<Mutex<StandingEvaluator>> {
+        self.subs
+            .lock()
+            .expect("sub map poisoned")
+            .entry(tenant.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(StandingEvaluator::new(None))))
+            .clone()
     }
 
     /// Claims one per-tenant in-flight slot, or says why not.
@@ -416,6 +446,52 @@ impl Shared {
                     }
                 }
             }
+            ServeRequest::Subscribe { tenant, sub } => {
+                self.counters
+                    .subscribe_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                match self.leader(tenant) {
+                    Ok(leader) => {
+                        let evaluator = self.sub_evaluator(tenant);
+                        let leader = leader.lock().expect("leader poisoned");
+                        let mut evaluator = evaluator.lock().expect("sub evaluator poisoned");
+                        // Catch up *before* registering: every
+                        // subscription starts at the current seal
+                        // frontier and observes only seals after it.
+                        evaluator.sync_pipeline(leader.durable().pipeline());
+                        match evaluator.register(sub.clone()) {
+                            Ok(id) => ServeReply::Subscribed(id),
+                            Err(e) => {
+                                self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                                ServeReply::Err(format!("subscribe failed: {e}"))
+                            }
+                        }
+                    }
+                    Err(detail) => {
+                        self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        ServeReply::Err(detail)
+                    }
+                }
+            }
+            ServeRequest::Notifications { tenant, since } => {
+                self.counters
+                    .notifications_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                match self.leader(tenant) {
+                    Ok(leader) => {
+                        let evaluator = self.sub_evaluator(tenant);
+                        let leader = leader.lock().expect("leader poisoned");
+                        let mut evaluator = evaluator.lock().expect("sub evaluator poisoned");
+                        evaluator.sync_pipeline(leader.durable().pipeline());
+                        let (items, next) = evaluator.notifications_since(*since);
+                        ServeReply::Notifications { items, next }
+                    }
+                    Err(detail) => {
+                        self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        ServeReply::Err(detail)
+                    }
+                }
+            }
         }
     }
 }
@@ -533,6 +609,7 @@ impl Server {
             inflight: AtomicUsize::new(0),
             tenants: Mutex::new(HashMap::new()),
             clusters: Mutex::new(HashMap::new()),
+            subs: Mutex::new(HashMap::new()),
             tenant_inflight: Mutex::new(HashMap::new()),
             open_conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
@@ -702,9 +779,9 @@ mod tests {
             ..ServeStats::default()
         };
         let fields = stats.fields();
-        assert_eq!(fields.len(), 13);
+        assert_eq!(fields.len(), 15);
         assert_eq!(fields[0], ("connections_accepted", 1));
-        assert_eq!(fields[12], ("bytes_out", 11));
+        assert_eq!(fields[14], ("bytes_out", 11));
     }
 
     #[test]

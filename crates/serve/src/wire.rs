@@ -26,6 +26,7 @@ use gisolap_store::codec::{decode_cells, encode_cells, frame, Dec, Enc};
 use gisolap_store::framing;
 use gisolap_store::{Result, StoreError};
 use gisolap_stream::{CellPartial, GroupKey, Measure, RollupQuery, RollupRow};
+use gisolap_sub::{Notification, SubId, Subscription};
 
 // The socket envelope is the shared framing module's: one CRC frame
 // per message, length prefix capped at `MAX_MESSAGE`.
@@ -87,6 +88,26 @@ pub enum ServeRequest {
         /// Optional region filter (prunes shards on spatial clusters).
         region: Option<BBox>,
     },
+    /// Register a standing query on the tenant's evaluator: answered
+    /// [`ServeReply::Subscribed`] with the stable subscription id.
+    Subscribe {
+        /// Tenant whose stream is subscribed to.
+        tenant: String,
+        /// The standing query (validated server-side on registration).
+        sub: Subscription,
+    },
+    /// Catch-up read of the tenant's buffered standing-query
+    /// notifications from a cursor: answered
+    /// [`ServeReply::Notifications`]. The server folds any newly sealed
+    /// segments before answering, so the reply reflects everything the
+    /// store had sealed at evaluation time.
+    Notifications {
+        /// Tenant whose evaluator answers.
+        tenant: String,
+        /// Return notifications with `seq >= since` (0 = from the
+        /// oldest still buffered).
+        since: u64,
+    },
 }
 
 impl ServeRequest {
@@ -97,7 +118,9 @@ impl ServeRequest {
             | ServeRequest::Rollup { tenant, .. }
             | ServeRequest::Repl { tenant, .. }
             | ServeRequest::Partials { tenant, .. }
-            | ServeRequest::ShardedRollup { tenant, .. } => tenant,
+            | ServeRequest::ShardedRollup { tenant, .. }
+            | ServeRequest::Subscribe { tenant, .. }
+            | ServeRequest::Notifications { tenant, .. } => tenant,
         }
     }
 }
@@ -130,6 +153,18 @@ pub enum ServeReply {
         /// Shards actually fetched.
         shards_queried: u32,
     },
+    /// A standing query was registered; its stable id.
+    Subscribed(SubId),
+    /// Buffered standing-query notifications plus the next catch-up
+    /// cursor. The buffer is a bounded ring (`GISOLAP_SUB_BUFFER`), so
+    /// very old notifications may be gone — values never lie, delivery
+    /// of every historical push is not promised over this pull path.
+    Notifications {
+        /// Notifications with `seq >= since`, in emission order.
+        items: Vec<Notification>,
+        /// The cursor to poll from next.
+        next: u64,
+    },
 }
 
 const REQ_PING: u8 = 1;
@@ -137,6 +172,8 @@ const REQ_ROLLUP: u8 = 2;
 const REQ_REPL: u8 = 3;
 const REQ_PARTIALS: u8 = 4;
 const REQ_SHARDED: u8 = 5;
+const REQ_SUBSCRIBE: u8 = 6;
+const REQ_NOTIFICATIONS: u8 = 7;
 
 const REPLY_PONG: u8 = 1;
 const REPLY_ROWS: u8 = 2;
@@ -145,6 +182,8 @@ const REPLY_BUSY: u8 = 4;
 const REPLY_ERR: u8 = 5;
 const REPLY_CELLS: u8 = 6;
 const REPLY_SHARDED_ROWS: u8 = 7;
+const REPLY_SUBSCRIBED: u8 = 8;
+const REPLY_NOTIFICATIONS: u8 = 9;
 
 fn level_code(level: TimeLevel) -> u8 {
     match level {
@@ -282,6 +321,16 @@ pub fn encode_request(req: &ServeRequest) -> Vec<u8> {
             enc_rollup(&mut e, query);
             shard_wire::enc_region(&mut e, region.as_ref());
         }
+        ServeRequest::Subscribe { tenant, sub } => {
+            e.u8(REQ_SUBSCRIBE);
+            e.str(tenant);
+            gisolap_sub::wire::enc_subscription(&mut e, sub);
+        }
+        ServeRequest::Notifications { tenant, since } => {
+            e.u8(REQ_NOTIFICATIONS);
+            e.str(tenant);
+            e.u64(*since);
+        }
     }
     frame(&e.into_bytes())
 }
@@ -311,6 +360,14 @@ pub fn decode_request(payload: &[u8]) -> Result<ServeRequest> {
             tenant,
             query: dec_rollup(&mut d)?,
             region: shard_wire::dec_region(&mut d)?,
+        },
+        REQ_SUBSCRIBE => ServeRequest::Subscribe {
+            tenant,
+            sub: gisolap_sub::wire::dec_subscription(&mut d)?,
+        },
+        REQ_NOTIFICATIONS => ServeRequest::Notifications {
+            tenant,
+            since: d.u64()?,
         },
         t => return Err(wire_corrupt(format!("unknown request tag {t}"))),
     };
@@ -394,6 +451,18 @@ pub fn encode_reply(reply: &ServeReply) -> Vec<u8> {
             e.u32(*shards_queried);
             enc_rows(&mut e, rows);
         }
+        ServeReply::Subscribed(id) => {
+            e.u8(REPLY_SUBSCRIBED);
+            e.u64(id.0);
+        }
+        ServeReply::Notifications { items, next } => {
+            e.u8(REPLY_NOTIFICATIONS);
+            e.u64(*next);
+            e.u64(items.len() as u64);
+            for n in items {
+                gisolap_sub::wire::enc_notification(&mut e, n);
+            }
+        }
     }
     frame(&e.into_bytes())
 }
@@ -401,6 +470,11 @@ pub fn encode_reply(reply: &ServeReply) -> Vec<u8> {
 /// Per-row wire cost: granule `i64` + geo flag byte + value bits. A
 /// rows reply declaring more rows than `remaining / MIN_ROW` is lying.
 const MIN_ROW: usize = 8 + 1 + 8;
+
+/// Minimum wire cost of one notification (ids, partition, empty rows,
+/// optional-value flags and the crossing byte) — the plausibility bound
+/// for declared notification counts.
+const MIN_NOTIFICATION: usize = 8 + 8 + 8 + 8 + 1 + 1 + 1;
 
 /// Decodes a reply payload (client side, envelope already stripped).
 pub fn decode_reply(payload: &[u8]) -> Result<ServeReply> {
@@ -420,6 +494,22 @@ pub fn decode_reply(payload: &[u8]) -> Result<ServeReply> {
                 shards_pruned,
                 shards_queried,
             }
+        }
+        REPLY_SUBSCRIBED => ServeReply::Subscribed(SubId(d.u64()?)),
+        REPLY_NOTIFICATIONS => {
+            let next = d.u64()?;
+            let count = d.u64()?;
+            if count.saturating_mul(MIN_NOTIFICATION as u64) > d.remaining() as u64 {
+                return Err(wire_corrupt(format!(
+                    "notifications reply declares {count} items but only {} payload bytes remain",
+                    d.remaining()
+                )));
+            }
+            let mut items = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                items.push(gisolap_sub::wire::dec_notification(&mut d)?);
+            }
+            ServeReply::Notifications { items, next }
         }
         t => return Err(wire_corrupt(format!("unknown reply tag {t}"))),
     };
@@ -482,6 +572,16 @@ mod tests {
                 query: RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Sum),
                 region: Some(BBox::new(-1.0, -1.0, 1.0, 1.0)),
             },
+            ServeRequest::Subscribe {
+                tenant: "acme".into(),
+                sub: Subscription::new(TimeLevel::Hour, Measure::X, AggFn::Count)
+                    .over_hours(6)
+                    .with_threshold(100.0, 50.0),
+            },
+            ServeRequest::Notifications {
+                tenant: "acme".into(),
+                since: 17,
+            },
         ];
         for req in reqs {
             let framed = encode_request(&req);
@@ -514,6 +614,24 @@ mod tests {
                 }],
                 shards_pruned: 3,
                 shards_queried: 1,
+            },
+            ServeReply::Subscribed(SubId(11)),
+            ServeReply::Notifications {
+                // NaN-free: this arm is compared with PartialEq.
+                items: vec![Notification {
+                    sub: SubId(2),
+                    seq: 5,
+                    partition: 1,
+                    rows: vec![RollupRow {
+                        granule: 3600,
+                        geo: None,
+                        value: 8.5,
+                    }],
+                    value: Some(8.5),
+                    prev: Some(3.0),
+                    crossing: Some(gisolap_sub::Crossing::Up),
+                }],
+                next: 6,
             },
         ];
         for reply in replies {

@@ -59,7 +59,8 @@ pub mod segment;
 pub use config::{GeoResolver, StreamConfig};
 pub use delta::{AbsorbOutcome, CellPartial, DeltaCube, GroupKey, Measure, RollupQuery, RollupRow};
 pub use ingest::{
-    IngestReport, IngestStats, ReplayOp, ReplayReport, StreamIngest, StreamSnapshot, TailState,
+    IngestReport, IngestStats, ReplayOp, ReplayReport, SealEvent, SealHook, StreamIngest,
+    StreamSnapshot, TailState,
 };
 pub use segment::{Segment, SegmentMeta};
 

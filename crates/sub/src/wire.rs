@@ -1,0 +1,393 @@
+//! Wire forms for subscriptions and notifications: single CRC frames
+//! over the store codec, like every other protocol in the workspace.
+//! The region codec is shared with the shard wire; the level/aggregate/
+//! measure code tables use the same numbering the serve wire assigned,
+//! so a value that roundtrips there roundtrips here.
+
+use crate::registry::{SubId, Subscription, Threshold};
+use crate::standing::{Crossing, Notification};
+use gisolap_olap::agg::AggFn;
+use gisolap_olap::time::TimeLevel;
+use gisolap_store::codec::{frame, Dec, Enc};
+use gisolap_store::framing::decode_single_frame;
+use gisolap_store::Result;
+use gisolap_stream::{Measure, RollupRow};
+
+/// The label corrupt frames are attributed to.
+const WIRE: &str = "sub-wire";
+
+fn wire_corrupt(detail: impl Into<String>) -> gisolap_store::StoreError {
+    gisolap_store::framing::wire_corrupt(WIRE, detail)
+}
+
+/// Bytes one encoded notification row needs at minimum (granule + geo
+/// flag + value) — the plausibility bound for declared row counts.
+const MIN_ROW: usize = 8 + 1 + 8;
+
+fn level_code(level: TimeLevel) -> u8 {
+    match level {
+        TimeLevel::TimeId => 0,
+        TimeLevel::Minute => 1,
+        TimeLevel::Hour => 2,
+        TimeLevel::Day => 3,
+        TimeLevel::Month => 4,
+        TimeLevel::Year => 5,
+        TimeLevel::TimeOfDayLevel => 6,
+        TimeLevel::DayOfWeekLevel => 7,
+        TimeLevel::TypeOfDayLevel => 8,
+        TimeLevel::All => 9,
+    }
+}
+
+fn level_from(code: u8) -> Result<TimeLevel> {
+    Ok(match code {
+        0 => TimeLevel::TimeId,
+        1 => TimeLevel::Minute,
+        2 => TimeLevel::Hour,
+        3 => TimeLevel::Day,
+        4 => TimeLevel::Month,
+        5 => TimeLevel::Year,
+        6 => TimeLevel::TimeOfDayLevel,
+        7 => TimeLevel::DayOfWeekLevel,
+        8 => TimeLevel::TypeOfDayLevel,
+        9 => TimeLevel::All,
+        c => return Err(wire_corrupt(format!("unknown time level code {c}"))),
+    })
+}
+
+fn agg_code(f: AggFn) -> u8 {
+    match f {
+        AggFn::Min => 0,
+        AggFn::Max => 1,
+        AggFn::Count => 2,
+        AggFn::Sum => 3,
+        AggFn::Avg => 4,
+    }
+}
+
+fn agg_from(code: u8) -> Result<AggFn> {
+    Ok(match code {
+        0 => AggFn::Min,
+        1 => AggFn::Max,
+        2 => AggFn::Count,
+        3 => AggFn::Sum,
+        4 => AggFn::Avg,
+        c => return Err(wire_corrupt(format!("unknown aggregate code {c}"))),
+    })
+}
+
+fn measure_code(m: Measure) -> u8 {
+    match m {
+        Measure::X => 0,
+        Measure::Y => 1,
+    }
+}
+
+fn measure_from(code: u8) -> Result<Measure> {
+    Ok(match code {
+        0 => Measure::X,
+        1 => Measure::Y,
+        c => return Err(wire_corrupt(format!("unknown measure code {c}"))),
+    })
+}
+
+fn enc_f64(e: &mut Enc, v: f64) {
+    e.u64(v.to_bits());
+}
+
+fn dec_f64(d: &mut Dec<'_>) -> Result<f64> {
+    Ok(f64::from_bits(d.u64()?))
+}
+
+fn enc_opt_f64(e: &mut Enc, v: Option<f64>) {
+    match v {
+        None => e.u8(0),
+        Some(v) => {
+            e.u8(1);
+            enc_f64(e, v);
+        }
+    }
+}
+
+fn dec_opt_f64(d: &mut Dec<'_>) -> Result<Option<f64>> {
+    match d.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(dec_f64(d)?)),
+        c => Err(wire_corrupt(format!("bad optional-value flag {c}"))),
+    }
+}
+
+/// Appends a subscription's raw encoding to `e` (no frame) — for
+/// embedding in a larger message (the serve request body).
+pub fn enc_subscription(e: &mut Enc, sub: &Subscription) {
+    gisolap_shard::wire::enc_region(e, sub.region.as_ref());
+    e.u8(level_code(sub.level));
+    e.u8(measure_code(sub.measure));
+    e.u8(agg_code(sub.agg));
+    match sub.window_hours {
+        None => e.u8(0),
+        Some(w) => {
+            e.u8(1);
+            e.u32(w);
+        }
+    }
+    match sub.threshold {
+        None => e.u8(0),
+        Some(t) => {
+            e.u8(1);
+            enc_f64(e, t.rise);
+            enc_f64(e, t.fall);
+        }
+    }
+}
+
+/// Decodes [`enc_subscription`]'s form. Does **not** re-validate — the
+/// caller does ([`decode_subscription`], or registration itself).
+pub fn dec_subscription(d: &mut Dec<'_>) -> Result<Subscription> {
+    let region = gisolap_shard::wire::dec_region(d)?;
+    let level = level_from(d.u8()?)?;
+    let measure = measure_from(d.u8()?)?;
+    let agg = agg_from(d.u8()?)?;
+    let window_hours = match d.u8()? {
+        0 => None,
+        1 => Some(d.u32()?),
+        c => return Err(wire_corrupt(format!("bad window flag {c}"))),
+    };
+    let threshold = match d.u8()? {
+        0 => None,
+        1 => Some(Threshold {
+            rise: dec_f64(d)?,
+            fall: dec_f64(d)?,
+        }),
+        c => return Err(wire_corrupt(format!("bad threshold flag {c}"))),
+    };
+    Ok(Subscription {
+        region,
+        level,
+        measure,
+        agg,
+        window_hours,
+        threshold,
+    })
+}
+
+/// One CRC frame holding a subscription ([`Subscription::to_bytes`]).
+pub fn encode_subscription(sub: &Subscription) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_subscription(&mut e, sub);
+    frame(&e.into_bytes())
+}
+
+/// Decodes [`encode_subscription`]'s frame, re-validating the result so
+/// a frame that decodes but describes an unanswerable subscription is
+/// rejected here, not at fold time.
+pub fn decode_subscription(bytes: &[u8]) -> Result<Subscription> {
+    let payload = decode_single_frame(bytes, WIRE, "subscription")?;
+    let mut d = Dec::new(payload, WIRE);
+    let sub = dec_subscription(&mut d)?;
+    d.finish()?;
+    sub.validate()?;
+    Ok(sub)
+}
+
+/// Appends a notification's raw encoding to `e` (no frame) — for
+/// embedding in the serve reply body. Values travel as IEEE-754 bit
+/// patterns, so even a NaN roundtrips exactly.
+pub fn enc_notification(e: &mut Enc, n: &Notification) {
+    e.u64(n.sub.0);
+    e.u64(n.seq);
+    e.i64(n.partition);
+    e.u64(n.rows.len() as u64);
+    for row in &n.rows {
+        e.i64(row.granule);
+        match row.geo {
+            None => e.u8(0),
+            Some(g) => {
+                e.u8(1);
+                e.u32(g);
+            }
+        }
+        enc_f64(e, row.value);
+    }
+    enc_opt_f64(e, n.value);
+    enc_opt_f64(e, n.prev);
+    e.u8(match n.crossing {
+        None => 0,
+        Some(Crossing::Up) => 1,
+        Some(Crossing::Down) => 2,
+    });
+}
+
+/// Decodes [`enc_notification`]'s form.
+pub fn dec_notification(d: &mut Dec<'_>) -> Result<Notification> {
+    let sub = SubId(d.u64()?);
+    let seq = d.u64()?;
+    let partition = d.i64()?;
+    let count = d.u64()?;
+    if count as usize > d.remaining() / MIN_ROW + 1 {
+        return Err(wire_corrupt(format!(
+            "notification declares {count} rows but only {} bytes remain",
+            d.remaining()
+        )));
+    }
+    let mut rows = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let granule = d.i64()?;
+        let geo = match d.u8()? {
+            0 => None,
+            1 => Some(d.u32()?),
+            c => return Err(wire_corrupt(format!("bad geo flag {c}"))),
+        };
+        let value = dec_f64(d)?;
+        rows.push(RollupRow {
+            granule,
+            geo,
+            value,
+        });
+    }
+    let value = dec_opt_f64(d)?;
+    let prev = dec_opt_f64(d)?;
+    let crossing = match d.u8()? {
+        0 => None,
+        1 => Some(Crossing::Up),
+        2 => Some(Crossing::Down),
+        c => return Err(wire_corrupt(format!("unknown crossing code {c}"))),
+    };
+    Ok(Notification {
+        sub,
+        seq,
+        partition,
+        rows,
+        value,
+        prev,
+        crossing,
+    })
+}
+
+/// One CRC frame holding a notification.
+pub fn encode_notification(n: &Notification) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_notification(&mut e, n);
+    frame(&e.into_bytes())
+}
+
+/// Decodes [`encode_notification`]'s frame.
+pub fn decode_notification(bytes: &[u8]) -> Result<Notification> {
+    let payload = decode_single_frame(bytes, WIRE, "notification")?;
+    let mut d = Dec::new(payload, WIRE);
+    let n = dec_notification(&mut d)?;
+    d.finish()?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gisolap_geom::BBox;
+    use proptest::prelude::*;
+
+    fn subscriptions() -> Vec<Subscription> {
+        vec![
+            Subscription::new(TimeLevel::Hour, Measure::X, AggFn::Count),
+            Subscription::new(TimeLevel::Day, Measure::Y, AggFn::Avg)
+                .in_region(BBox::new(-1.5, 0.0, 2.5, 8.0))
+                .over_hours(24)
+                .with_threshold(10.0, 2.0),
+            Subscription::new(TimeLevel::All, Measure::Y, AggFn::Min).over_hours(1),
+        ]
+    }
+
+    fn sample_notification() -> Notification {
+        Notification {
+            sub: SubId(42),
+            seq: 7,
+            partition: 3600,
+            rows: vec![
+                RollupRow {
+                    granule: 0,
+                    geo: None,
+                    value: 1.25,
+                },
+                RollupRow {
+                    granule: 3600,
+                    geo: Some(9),
+                    value: f64::NAN,
+                },
+            ],
+            value: Some(f64::NEG_INFINITY),
+            prev: None,
+            crossing: Some(Crossing::Down),
+        }
+    }
+
+    #[test]
+    fn subscriptions_roundtrip() {
+        for sub in subscriptions() {
+            let bytes = sub.to_bytes();
+            assert_eq!(Subscription::from_bytes(&bytes).unwrap(), sub);
+        }
+    }
+
+    #[test]
+    fn decode_revalidates() {
+        // Encodes fine (the wire is shape-only) but is unanswerable:
+        // minute level. Decode must reject it.
+        let fine = Subscription::new(TimeLevel::Minute, Measure::X, AggFn::Count);
+        let err = Subscription::from_bytes(&fine.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("finer"), "{err}");
+    }
+
+    #[test]
+    fn notifications_roundtrip_bit_exactly() {
+        let n = sample_notification();
+        let got = decode_notification(&encode_notification(&n)).unwrap();
+        assert_eq!(
+            (got.sub, got.seq, got.partition),
+            (n.sub, n.seq, n.partition)
+        );
+        assert_eq!(got.prev, n.prev);
+        assert_eq!(got.crossing, n.crossing);
+        assert_eq!(got.value.map(f64::to_bits), n.value.map(f64::to_bits));
+        assert_eq!(got.rows.len(), n.rows.len());
+        for (g, w) in got.rows.iter().zip(&n.rows) {
+            assert_eq!((g.granule, g.geo), (w.granule, w.geo));
+            assert_eq!(g.value.to_bits(), w.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn implausible_row_count_fails_fast() {
+        let mut e = Enc::new();
+        e.u64(1); // sub
+        e.u64(2); // seq
+        e.i64(0); // partition
+        e.u64(u64::MAX / 32); // declared rows
+        let framed = frame(&e.into_bytes());
+        let err = decode_notification(&framed).unwrap_err();
+        assert!(err.to_string().contains("declares"), "{err}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn flipped_subscription_bytes_never_roundtrip_wrong(idx in 0usize..200, bit in 0u8..8) {
+            let sub = subscriptions().remove(1);
+            let mut bytes = sub.to_bytes();
+            let idx = idx % bytes.len();
+            bytes[idx] ^= 1 << bit;
+            // The CRC envelope rejects the flip; decode never panics and
+            // never silently yields a different subscription.
+            if let Ok(got) = Subscription::from_bytes(&bytes) {
+                prop_assert_eq!(got, sub);
+            }
+        }
+
+        #[test]
+        fn truncated_notifications_never_panic(cut in 0usize..100) {
+            let framed = encode_notification(&sample_notification());
+            let cut = cut % framed.len();
+            prop_assert!(decode_notification(&framed[..cut]).is_err());
+        }
+    }
+}

@@ -280,6 +280,38 @@ fn observability_doc_covers_every_shard_span_name() {
 }
 
 #[test]
+fn observability_doc_covers_every_sub_stat_field() {
+    let doc = include_str!("../../OBSERVABILITY.md");
+    let stats = gisolap_sub::SubStats::default();
+    let missing: Vec<&str> = stats
+        .fields()
+        .iter()
+        .map(|(name, _)| *name)
+        .filter(|name| !doc.contains(name))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "OBSERVABILITY.md does not document standing-query counters: {missing:?}"
+    );
+    for name in ["gisolap_sub_<field>_total", "gisolap_sub_value"] {
+        assert!(doc.contains(name), "OBSERVABILITY.md missing `{name}`");
+    }
+}
+
+#[test]
+fn observability_doc_covers_the_sub_span() {
+    let doc = include_str!("../../OBSERVABILITY.md");
+    assert!(
+        doc.contains("sub-fold"),
+        "OBSERVABILITY.md missing span `sub-fold`"
+    );
+    // The span-only counters one standing-query fold reports.
+    for extra in ["subs_evaluated", "cells_folded", "sub_notifications"] {
+        assert!(doc.contains(extra), "OBSERVABILITY.md missing `{extra}`");
+    }
+}
+
+#[test]
 fn observability_doc_covers_every_repl_span_name() {
     let doc = include_str!("../../OBSERVABILITY.md");
     for span in [

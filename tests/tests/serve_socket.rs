@@ -14,7 +14,7 @@ use gisolap_datagen::movers::{RandomWaypoint, SkewedFleet};
 use gisolap_datagen::{CityConfig, CityScenario};
 use gisolap_geom::BBox;
 use gisolap_olap::agg::AggFn;
-use gisolap_olap::time::TimeLevel;
+use gisolap_olap::time::{TimeId, TimeLevel};
 use gisolap_repl::{
     DirectTransport, FaultConfig, FaultTransport, Follower, FollowerConfig, Transport,
 };
@@ -26,7 +26,8 @@ use gisolap_shard::{
 };
 use gisolap_store::{RealFs, ScratchDir, StoreConfig, SyncPolicy, Vfs};
 use gisolap_stream::{Measure, RollupQuery, StreamConfig, StreamIngest};
-use gisolap_traj::{Moft, Record};
+use gisolap_sub::Subscription;
+use gisolap_traj::{Moft, ObjectId, Record};
 
 fn workload(seed: u64) -> Moft {
     let city = CityScenario::generate(CityConfig {
@@ -494,6 +495,74 @@ fn remote_scatter_gather_matches_single_store() {
 
     let stats = server.stop();
     assert!(stats.partials_requests >= 10, "scatter must go over TCP");
+}
+
+/// Standing queries over the socket: a subscription registered through
+/// the front door is evaluated incrementally at the tenant's seal
+/// points, catch-up pulls return each seal's notification exactly once,
+/// and the served values carry the same bits a local evaluator would.
+#[test]
+fn standing_queries_over_socket() {
+    let root = ScratchDir::new("serve-standing");
+    let mut server = Server::bind("127.0.0.1:0", root.path(), serve_config(0)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let rec = |oid: u64, t: i64, x: f64| Record {
+        oid: ObjectId(oid),
+        t: TimeId(t),
+        x,
+        y: 0.0,
+    };
+
+    // Register before any data: the subscription observes every seal
+    // from here on.
+    let sub = Subscription::new(TimeLevel::Hour, Measure::X, AggFn::Sum);
+    let id = client.subscribe("acme", &sub).unwrap();
+
+    // Two hours of data, sealed by finish() through the served leader.
+    let leader = server.leader("acme").unwrap();
+    {
+        let mut l = leader.lock().unwrap();
+        l.ingest(&[rec(1, 100, 3.0), rec(2, 200, 4.0), rec(1, 3700, 5.0)])
+            .unwrap();
+        l.finish().unwrap();
+    }
+
+    // One pull drains both seal notifications in fold order, and the
+    // running value matches the store's own rollup bit for bit.
+    let (items, next) = client.notifications("acme", 0).unwrap();
+    assert_eq!(items.len(), 2, "{items:?}");
+    assert!(items.iter().all(|n| n.sub == id));
+    assert_eq!(items[0].value, Some(7.0));
+    assert_eq!(items[1].value, Some(12.0));
+    assert_eq!(items[1].prev, Some(7.0));
+    assert_eq!(next, items[1].seq + 1);
+    let q = RollupQuery::new(TimeLevel::All, Measure::X, AggFn::Sum);
+    let direct = leader.lock().unwrap().rollup(&q).unwrap();
+    assert_eq!(
+        direct[0].value.to_bits(),
+        items[1].value.unwrap().to_bits(),
+        "served standing value must match the batch rollup"
+    );
+
+    // The cursor is stable: nothing new, nothing re-delivered.
+    let (again, next_again) = client.notifications("acme", next).unwrap();
+    assert!(again.is_empty(), "{again:?}");
+    assert_eq!(next_again, next);
+
+    // Server-side evaluators are grid-less: a regional subscription is
+    // an explicit error naming the missing grid, not a silent miss.
+    let regional = Subscription::new(TimeLevel::Hour, Measure::X, AggFn::Sum)
+        .in_region(BBox::new(0.0, 0.0, 4.0, 4.0));
+    match client.subscribe("acme", &regional) {
+        Err(ClientError::Remote(detail)) => assert!(detail.contains("grid"), "{detail}"),
+        other => panic!("regional subscribe on a grid-less server: {other:?}"),
+    }
+
+    let stats = server.stop();
+    assert_eq!(stats.subscribe_requests, 2);
+    assert_eq!(stats.notifications_requests, 2);
+    assert_eq!(stats.bad_requests, 1);
 }
 
 /// A busy server answers `Busy`, and the transport maps it to a
