@@ -221,8 +221,34 @@ pub const SUB_CASES: EnvFlag = EnvFlag {
     doc: "property-test cases for the standing-query equivalence suite",
 };
 
+/// Ticks a shard leader's lease stays valid after its last successful
+/// probe. Failover may begin only once the lease has expired *and* the
+/// current probe failed, so one dropped probe never deposes a healthy
+/// leader.
+pub const ELASTIC_LEASE_TICKS: EnvFlag = EnvFlag {
+    name: "GISOLAP_ELASTIC_LEASE_TICKS",
+    default: "10",
+    doc: "ticks a shard leader's lease stays valid after a successful probe",
+};
+
+/// Controller ticks between leader health probes.
+pub const ELASTIC_PROBE_TICKS: EnvFlag = EnvFlag {
+    name: "GISOLAP_ELASTIC_PROBE_TICKS",
+    default: "2",
+    doc: "controller ticks between shard-leader health probes",
+};
+
+/// Case count for the elasticity fault-injection property tests
+/// (`tests/tests/elastic_failover.rs`); CI's elasticity job raises it
+/// well above the local default.
+pub const ELASTIC_CASES: EnvFlag = EnvFlag {
+    name: "GISOLAP_ELASTIC_CASES",
+    default: "16",
+    doc: "property-test cases for the shard-elasticity fault-injection suite",
+};
+
 /// Every flag the workspace reads, for discovery and doc-coverage tests.
-pub const ALL: [&EnvFlag; 21] = [
+pub const ALL: [&EnvFlag; 24] = [
     &THREADS,
     &SLOW_QUERY_MS,
     &STORE_SYNC,
@@ -244,6 +270,9 @@ pub const ALL: [&EnvFlag; 21] = [
     &SUB_MAX,
     &SUB_BUFFER,
     &SUB_CASES,
+    &ELASTIC_LEASE_TICKS,
+    &ELASTIC_PROBE_TICKS,
+    &ELASTIC_CASES,
 ];
 
 #[cfg(test)]

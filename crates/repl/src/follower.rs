@@ -2,6 +2,7 @@
 //! entries through the normal ingest path, and serves reads with an
 //! explicit staleness contract.
 
+use crate::leader::{EpochFence, Leader};
 use crate::transport::Transport;
 use crate::wire::{self, Reply, Request, SnapshotTransfer};
 use gisolap_obs::config as obs_config;
@@ -159,12 +160,15 @@ pub struct ReplStats {
     pub snapshot_fallbacks: u64,
     /// Full snapshots installed.
     pub snapshots_installed: u64,
+    /// Replies dropped because they carried an epoch below the highest
+    /// this follower has seen — a deposed leader still answering.
+    pub stale_epoch_rejections: u64,
 }
 
 impl ReplStats {
     /// Every follower counter as a `(name, value)` pair, in declaration
     /// order.
-    pub fn fields(&self) -> [(&'static str, u64); 12] {
+    pub fn fields(&self) -> [(&'static str, u64); 13] {
         [
             ("polls", self.polls),
             ("entries_applied", self.entries_applied),
@@ -178,6 +182,7 @@ impl ReplStats {
             ("reconnects", self.reconnects),
             ("snapshot_fallbacks", self.snapshot_fallbacks),
             ("snapshots_installed", self.snapshots_installed),
+            ("stale_epoch_rejections", self.stale_epoch_rejections),
         ]
     }
 
@@ -226,6 +231,10 @@ pub struct Follower<T> {
     durable_home: Option<DurableHome>,
     /// Next sequence number to apply.
     cursor: u64,
+    /// Highest leader epoch seen in any reply. Adopted monotonically:
+    /// replies below it are a deposed leader's and are dropped, so a
+    /// follower straddling a failover never applies forked history.
+    epoch: u64,
     /// Highest `leader_next_seq` heard (monotonic: stale duplicate
     /// replies can repeat old values but never lower this).
     leader_next: u64,
@@ -244,6 +253,7 @@ impl<T> std::fmt::Debug for Follower<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Follower")
             .field("cursor", &self.cursor)
+            .field("epoch", &self.epoch)
             .field("leader_next", &self.leader_next)
             .field("stats", &self.stats)
             .finish()
@@ -268,6 +278,7 @@ impl<T: Transport> Follower<T> {
             state,
             durable_home,
             cursor,
+            epoch: 0,
             leader_next: 0,
             synced: false,
             last_contact: None,
@@ -361,6 +372,7 @@ impl<T: Transport> Follower<T> {
             Request::Frames {
                 from_seq: self.cursor,
                 max: self.config.max_batch,
+                epoch: self.epoch,
             }
         };
         let reply = match self.fetch(&request, traced, children) {
@@ -471,6 +483,20 @@ impl<T: Transport> Follower<T> {
                 return None;
             }
         };
+        // Epoch gate: a reply below the highest epoch seen is a deposed
+        // leader's — drop it before any of its contents (cursor, frames,
+        // snapshot) can touch the replica. Higher epochs are adopted.
+        let reply_epoch = match &reply {
+            Reply::Frames(batch) => batch.epoch,
+            Reply::Compacted { epoch, .. } => *epoch,
+            Reply::Snapshot(snap) => snap.epoch,
+        };
+        if reply_epoch < self.epoch {
+            self.stats.stale_epoch_rejections += 1;
+            self.note_failure();
+            return None;
+        }
+        self.epoch = reply_epoch;
         if traced {
             children.push(Span {
                 name: "repl-fetch",
@@ -740,6 +766,52 @@ impl<T: Transport> Follower<T> {
         self.cursor
     }
 
+    /// Highest leader epoch this follower has seen in any reply.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the follower currently violates a configured staleness
+    /// bound — the same gate every `*_bounded` read applies, exposed so
+    /// failover controllers can probe health without running a query.
+    pub fn stale(&self) -> bool {
+        self.out_of_bounds(&self.lag())
+    }
+
+    /// Repoints the follower at a different leader (same shard, new
+    /// address) after a failover. Cursor, epoch and applied state are
+    /// kept — WAL sequence numbers and epochs are properties of the
+    /// shard's history, not of any one leader — but contact bookkeeping
+    /// resets: the follower counts as unsynced until the new leader
+    /// answers.
+    pub fn retarget(&mut self, transport: T) {
+        self.transport = transport;
+        self.synced = false;
+        self.last_contact = None;
+        self.failures = 0;
+    }
+
+    /// Consumes a **durable** follower and promotes it into a
+    /// replication [`Leader`] appointed at `epoch` — the failover step
+    /// once the old leader's lease lapses. The follower's local WAL
+    /// cursor carries over as the leader's next sequence number, so
+    /// sibling replicas keep tailing the promoted store through the
+    /// normal cursor/snapshot paths without a reseed. An in-memory
+    /// follower has nothing durable to lead from and is refused.
+    pub fn promote(self, epoch: u64, fence: Option<EpochFence>) -> Result<Leader> {
+        match self.state {
+            Some(State::Durable(durable)) => Ok(Leader::with_epoch(*durable, epoch, fence)),
+            Some(State::Memory(_)) => Err(StoreError::BadConfig(
+                "in-memory follower cannot be promoted to leader: it has no durable store \
+                 (open it with Follower::durable)"
+                    .to_string(),
+            )),
+            None => Err(StoreError::BadConfig(
+                "follower has not bootstrapped from its leader yet".to_string(),
+            )),
+        }
+    }
+
     /// The transport the follower polls through (e.g. to read
     /// [`FaultTransport`](crate::FaultTransport) injection counters).
     pub fn transport(&self) -> &T {
@@ -786,6 +858,7 @@ mod tests {
     use gisolap_store::{RealFs, ScratchDir, SyncPolicy};
     use gisolap_stream::Measure;
     use gisolap_traj::{ObjectId, Record};
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Mutex;
 
     fn rec(oid: u64, t: i64, x: f64, y: f64) -> Record {
@@ -814,6 +887,15 @@ mod tests {
 
     /// A leader on a scratch store plus a transport to it.
     fn leader_fixture(dir: &ScratchDir, retain: usize) -> (Arc<Mutex<Leader>>, DirectTransport) {
+        leader_fixture_at(dir, retain, 0)
+    }
+
+    /// [`leader_fixture`] appointed at a specific epoch.
+    fn leader_fixture_at(
+        dir: &ScratchDir,
+        retain: usize,
+        epoch: u64,
+    ) -> (Arc<Mutex<Leader>>, DirectTransport) {
         let durable = DurableIngest::create(
             Arc::new(RealFs),
             dir.path(),
@@ -822,7 +904,7 @@ mod tests {
             None,
         )
         .unwrap();
-        let leader = Arc::new(Mutex::new(Leader::new(durable)));
+        let leader = Arc::new(Mutex::new(Leader::with_epoch(durable, epoch, None)));
         let transport = DirectTransport::new(leader.clone());
         (leader, transport)
     }
@@ -1147,6 +1229,154 @@ mod tests {
         // Convergence *is* the no-double-apply proof (a double-applied
         // batch would shift Count/Sum), but check the counter moved too.
         assert!(f.stats().duplicates_skipped > 0 || f.stats().snapshots_installed == 1);
+    }
+
+    #[test]
+    fn replies_below_the_adopted_epoch_are_dropped() {
+        /// Switches between a live leader link and a replayed reply, so
+        /// one follower can see both a fenced exchange and a delayed
+        /// stale reply (a frame from before the failover arriving after
+        /// the epoch bump).
+        enum TestLink {
+            Direct(DirectTransport),
+            Canned(Vec<u8>),
+        }
+        impl Transport for TestLink {
+            fn exchange(
+                &mut self,
+                request: &[u8],
+            ) -> std::result::Result<Vec<u8>, crate::transport::TransportError> {
+                match self {
+                    TestLink::Direct(t) => t.exchange(request),
+                    TestLink::Canned(bytes) => Ok(bytes.clone()),
+                }
+            }
+        }
+
+        let adir = ScratchDir::new("repl-epoch-a");
+        let bdir = ScratchDir::new("repl-epoch-b");
+        let (leader_a, transport_a) = leader_fixture_at(&adir, 2, 2);
+        leader_a
+            .lock()
+            .unwrap()
+            .ingest(&[rec(1, 100, 1.0, 2.0)])
+            .unwrap();
+        let mut f = Follower::memory(TestLink::Direct(transport_a.clone()), None, test_config());
+        f.sync(16).unwrap();
+        assert_eq!(f.epoch(), 2, "follower adopts the leader's epoch");
+        assert_converged(&leader_a, &f);
+
+        // A deposed leader (lower epoch) with a forked history.
+        let (leader_b, transport_b) = leader_fixture_at(&bdir, 2, 1);
+        leader_b
+            .lock()
+            .unwrap()
+            .ingest(&[rec(9, 100, 99.0, 99.0)])
+            .unwrap();
+
+        // Leg 1: a genuine epoch-1 reply (captured from the deposed
+        // leader, which still answers requests at its own epoch) keeps
+        // arriving — the follower's reply gate drops every copy before
+        // any of its contents can touch the replica.
+        let stale_reply = leader_b
+            .lock()
+            .unwrap()
+            .handle(&wire::encode_request(&Request::Frames {
+                from_seq: 0,
+                max: 16,
+                epoch: 1,
+            }))
+            .unwrap();
+        f.retarget(TestLink::Canned(stale_reply));
+        let applied_before = f.stats().entries_applied;
+        for _ in 0..4 {
+            assert_eq!(f.poll().unwrap(), PollOutcome::Retry);
+        }
+        let s = f.stats();
+        assert_eq!(s.stale_epoch_rejections, 4);
+        assert_eq!(
+            s.entries_applied, applied_before,
+            "no forked history applied"
+        );
+        assert_eq!(f.epoch(), 2, "epoch never lowers");
+
+        // Leg 2: polling the deposed leader directly — the follower's
+        // higher request epoch proves a newer leader exists, so leader B
+        // fences itself instead of answering at all.
+        f.retarget(TestLink::Direct(transport_b));
+        for _ in 0..2 {
+            assert_eq!(f.poll().unwrap(), PollOutcome::Retry);
+        }
+        assert_eq!(leader_b.lock().unwrap().stats().fenced_rejections, 2);
+        assert_eq!(f.stats().entries_applied, applied_before);
+        assert_eq!(f.epoch(), 2);
+
+        // Rejoining the live leader converges as if nothing happened.
+        f.retarget(TestLink::Direct(transport_a));
+        f.sync(16).unwrap();
+        assert_converged(&leader_a, &f);
+    }
+
+    #[test]
+    fn durable_follower_promotes_to_leader() {
+        let ldir = ScratchDir::new("repl-promote-leader");
+        let fdir = ScratchDir::new("repl-promote-follower");
+        let (leader, transport) = leader_fixture(&ldir, 2);
+        leader
+            .lock()
+            .unwrap()
+            .ingest(&[rec(1, 100, 1.0, 2.0), rec(2, 5000, 3.0, 4.0)])
+            .unwrap();
+        let mut f = Follower::durable(
+            transport,
+            Arc::new(RealFs),
+            fdir.path(),
+            store_config(2),
+            None,
+            test_config(),
+        )
+        .unwrap();
+        f.sync(16).unwrap();
+        assert_converged(&leader, &f);
+        let cursor = f.cursor();
+
+        // Promotion: the follower's store becomes the shard's new leader
+        // at a bumped epoch, cursor intact, and keeps accepting writes.
+        let fence: EpochFence = Arc::new(AtomicU64::new(1));
+        let mut promoted = f.promote(1, Some(fence.clone())).unwrap();
+        assert_eq!(promoted.epoch(), 1);
+        assert_eq!(promoted.next_seq(), cursor, "WAL cursor carries over");
+        promoted.ingest(&[rec(3, 9000, 5.0, 6.0)]).unwrap();
+
+        // Once the fence moves past it, the promoted leader is deposed
+        // in turn and refuses writes.
+        fence.store(2, Ordering::SeqCst);
+        match promoted.ingest(&[rec(4, 9100, 7.0, 8.0)]) {
+            Err(StoreError::StaleEpoch {
+                held: 1,
+                current: 2,
+            }) => {}
+            other => panic!("expected StaleEpoch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_follower_refuses_promotion() {
+        let dir = ScratchDir::new("repl-promote-memory");
+        let (leader, transport) = leader_fixture(&dir, 2);
+        leader
+            .lock()
+            .unwrap()
+            .ingest(&[rec(1, 100, 1.0, 1.0)])
+            .unwrap();
+        let mut f = Follower::memory(transport, None, test_config());
+        f.sync(16).unwrap();
+        match f.promote(1, None) {
+            Err(StoreError::BadConfig(msg)) => {
+                assert!(msg.contains("in-memory"), "unhelpful message: {msg}")
+            }
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
     }
 
     #[test]

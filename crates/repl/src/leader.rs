@@ -3,9 +3,18 @@
 
 use crate::wire::{self, Request};
 use gisolap_obs::MetricsRegistry;
-use gisolap_store::{DurableIngest, Result, WalFetch};
+use gisolap_store::{DurableIngest, Result, StoreError, WalFetch};
 use gisolap_stream::{IngestReport, RollupQuery, RollupRow};
 use gisolap_traj::Record;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The shared per-shard epoch cell a lease controller fences deposed
+/// leaders with: promotion stores the new epoch here, and every leader
+/// holding the same fence refuses writes once the cell exceeds the
+/// epoch it was appointed under. One fence per shard, shared by every
+/// leader the shard has ever had.
+pub type EpochFence = Arc<AtomicU64>;
 
 /// Counters for leader-side replication work. Field order is the single
 /// source for [`LeaderStats::fields`], metrics names and the
@@ -22,18 +31,22 @@ pub struct LeaderStats {
     pub snapshots_shipped: u64,
     /// Requests rejected as structurally corrupt.
     pub bad_requests: u64,
+    /// Operations refused because this leader's epoch was fenced (a
+    /// newer leader exists) or a request proved a newer epoch.
+    pub fenced_rejections: u64,
 }
 
 impl LeaderStats {
     /// Every leader counter as a `(name, value)` pair, in declaration
     /// order.
-    pub fn fields(&self) -> [(&'static str, u64); 5] {
+    pub fn fields(&self) -> [(&'static str, u64); 6] {
         [
             ("requests", self.requests),
             ("frames_shipped", self.frames_shipped),
             ("compacted_replies", self.compacted_replies),
             ("snapshots_shipped", self.snapshots_shipped),
             ("bad_requests", self.bad_requests),
+            ("fenced_rejections", self.fenced_rejections),
         ]
     }
 
@@ -61,29 +74,73 @@ impl LeaderStats {
 /// snapshot transfer.
 pub struct Leader {
     ingest: DurableIngest,
+    /// The epoch this leader was appointed under.
+    epoch: u64,
+    /// The shard's shared fence; `None` for standalone leaders (manual
+    /// replica sets without a lease controller), which never fence.
+    fence: Option<EpochFence>,
     stats: LeaderStats,
 }
 
 impl std::fmt::Debug for Leader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Leader")
+            .field("epoch", &self.epoch)
             .field("stats", &self.stats)
             .finish()
     }
 }
 
 impl Leader {
-    /// Wraps a durable pipeline as a replication source.
+    /// Wraps a durable pipeline as a replication source at epoch 0 with
+    /// no fence — the standalone configuration every pre-elasticity
+    /// caller gets.
     pub fn new(ingest: DurableIngest) -> Leader {
+        Leader::with_epoch(ingest, 0, None)
+    }
+
+    /// Wraps a durable pipeline as a replication source appointed at
+    /// `epoch`. When `fence` is given and its cell ever exceeds
+    /// `epoch`, every write and every served request is refused with
+    /// [`StoreError::StaleEpoch`] — a deposed leader can go on
+    /// *reading* its local store, but can never extend or ship history.
+    pub fn with_epoch(ingest: DurableIngest, epoch: u64, fence: Option<EpochFence>) -> Leader {
         Leader {
             ingest,
+            epoch,
+            fence,
             stats: LeaderStats::default(),
         }
     }
 
+    /// The epoch this leader was appointed under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Errs with [`StoreError::StaleEpoch`] when the shared fence has
+    /// moved past this leader's epoch.
+    fn check_fence(&mut self) -> Result<()> {
+        if let Some(fence) = &self.fence {
+            let current = fence.load(Ordering::SeqCst);
+            if current > self.epoch {
+                self.stats.fenced_rejections += 1;
+                return Err(StoreError::StaleEpoch {
+                    held: self.epoch,
+                    current,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Answers one follower request. Structural damage in the request is
     /// an error (counted in [`LeaderStats::bad_requests`]); the
-    /// transport layer decides how to surface it.
+    /// transport layer decides how to surface it. A fenced leader
+    /// refuses every request ([`StoreError::StaleEpoch`]), and a
+    /// request whose epoch exceeds this leader's proves a newer leader
+    /// exists — answered [`StoreError::NotLeader`], which also counts
+    /// as a fenced rejection.
     pub fn handle(&mut self, request: &[u8]) -> Result<Vec<u8>> {
         let req = match wire::decode_request(request) {
             Ok(r) => r,
@@ -92,9 +149,18 @@ impl Leader {
                 return Err(e);
             }
         };
+        self.check_fence()?;
         self.stats.requests += 1;
         match req {
-            Request::Frames { from_seq, max } => {
+            Request::Frames {
+                from_seq,
+                max,
+                epoch,
+            } => {
+                if epoch > self.epoch {
+                    self.stats.fenced_rejections += 1;
+                    return Err(StoreError::NotLeader { held: self.epoch });
+                }
                 // A cursor *ahead* of the leader means the follower
                 // replicated from a different (or reset) leader; serve a
                 // snapshot so it re-seeds instead of erroring forever.
@@ -106,6 +172,7 @@ impl Leader {
                     WalFetch::Entries(entries) => {
                         self.stats.frames_shipped += entries.len() as u64;
                         wire::encode_frames_reply(
+                            self.epoch,
                             &entries,
                             self.ingest.next_seq(),
                             self.ingest.store().retained_from(),
@@ -114,6 +181,7 @@ impl Leader {
                     WalFetch::Compacted { retained_from } => {
                         self.stats.compacted_replies += 1;
                         Ok(wire::encode_compacted_reply(
+                            self.epoch,
                             retained_from,
                             self.ingest.next_seq(),
                         ))
@@ -131,6 +199,7 @@ impl Leader {
         let pipeline = self.ingest.pipeline();
         let cfg = self.ingest.store().stream_config();
         Ok(wire::encode_snapshot_reply(
+            self.epoch,
             pipeline.segments(),
             &pipeline.tail_state(),
             cfg.lateness_seconds,
@@ -139,13 +208,17 @@ impl Leader {
         ))
     }
 
-    /// Logs and applies a batch ([`DurableIngest::ingest`]).
+    /// Logs and applies a batch ([`DurableIngest::ingest`]); refused
+    /// with [`StoreError::StaleEpoch`] once fenced.
     pub fn ingest(&mut self, batch: &[Record]) -> Result<IngestReport> {
+        self.check_fence()?;
         self.ingest.ingest(batch)
     }
 
-    /// Logs and applies a close ([`DurableIngest::finish`]).
+    /// Logs and applies a close ([`DurableIngest::finish`]); refused
+    /// with [`StoreError::StaleEpoch`] once fenced.
     pub fn finish(&mut self) -> Result<u64> {
+        self.check_fence()?;
         self.ingest.finish()
     }
 
@@ -174,6 +247,17 @@ impl Leader {
     /// shard coordinator gathers from this store.
     pub fn extract_partials(&self) -> Vec<(gisolap_stream::GroupKey, gisolap_stream::CellPartial)> {
         self.ingest.extract_partials()
+    }
+
+    /// Like [`Leader::extract_partials`], but refused with
+    /// [`StoreError::StaleEpoch`] once this leader is fenced — the read
+    /// a coordinator pinned to leader handles must use, so a deposed
+    /// leader's (possibly forked-behind) cells never reach a gather.
+    pub fn extract_partials_fenced(
+        &mut self,
+    ) -> Result<Vec<(gisolap_stream::GroupKey, gisolap_stream::CellPartial)>> {
+        self.check_fence()?;
+        Ok(self.ingest.extract_partials())
     }
 
     /// Leader-side replication counters.

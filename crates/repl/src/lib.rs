@@ -32,6 +32,20 @@
 //!   to an explicit [`LagBounded::Stale`] instead of silently serving
 //!   old data.
 //!
+//! ## Epoch fencing
+//!
+//! Every reply carries the leader's **epoch** — the monotonically
+//! increasing term a failover controller appoints leaders under
+//! (`DESIGN.md` §5k). A [`Leader`] built with an [`EpochFence`] refuses
+//! writes and replication service with
+//! [`StoreError`](gisolap_store::StoreError)`::StaleEpoch` once the
+//! fence moves past its epoch, and answers `NotLeader` to any request
+//! proving a newer epoch exists. A [`Follower`] adopts the highest
+//! epoch it has seen and drops lower-epoch replies, so two leaders can
+//! never both extend a replica's history. [`Follower::promote`] turns a
+//! durable replica into the shard's next leader; [`Follower::retarget`]
+//! repoints survivors at it.
+//!
 //! ## Convergence contract
 //!
 //! Replay determinism (`StreamIngest::restore`/`recover`) makes the
@@ -58,7 +72,7 @@ pub mod wire;
 pub use follower::{
     Follower, FollowerConfig, Lag, LagBounded, PollOutcome, ReplStats, SharedResolver,
 };
-pub use leader::{Leader, LeaderStats};
+pub use leader::{EpochFence, Leader, LeaderStats};
 pub use transport::{
     DirectTransport, FaultConfig, FaultStats, FaultTransport, Transport, TransportError,
 };

@@ -42,6 +42,11 @@ pub enum Request {
         from_seq: u64,
         /// Entry cap per reply (`u32::MAX` for unbounded).
         max: u32,
+        /// Highest leader epoch the follower has seen. A leader served
+        /// a request carrying an epoch above its own has been deposed
+        /// and must answer [`StoreError::NotLeader`] instead of frames
+        /// — the request itself fences it.
+        epoch: u64,
     },
     /// A full state transfer (segments + tail + high-water mark).
     Snapshot,
@@ -57,10 +62,15 @@ const REPLY_SNAPSHOT: u8 = 3;
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut e = Enc::new();
     match req {
-        Request::Frames { from_seq, max } => {
+        Request::Frames {
+            from_seq,
+            max,
+            epoch,
+        } => {
             e.u8(REQ_FRAMES);
             e.u64(*from_seq);
             e.u32(*max);
+            e.u64(*epoch);
         }
         Request::Snapshot => e.u8(REQ_SNAPSHOT),
     }
@@ -76,6 +86,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request> {
         REQ_FRAMES => Request::Frames {
             from_seq: d.u64()?,
             max: d.u32()?,
+            epoch: d.u64()?,
         },
         REQ_SNAPSHOT => Request::Snapshot,
         tag => return Err(wire_corrupt(format!("unknown request tag {tag}"))),
@@ -90,6 +101,10 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request> {
 /// the entries that survive are checksum-valid.
 #[derive(Debug)]
 pub struct FrameBatch {
+    /// The epoch the answering leader holds; followers reject batches
+    /// below the highest epoch they have seen (a deposed leader's
+    /// writes), and adopt higher ones.
+    pub epoch: u64,
     /// Checksum-valid `(seq, op)` entries, in shipped order.
     pub entries: Vec<(u64, ReplayOp)>,
     /// Entries flagged corrupt (torn, flipped, or undecodable).
@@ -103,6 +118,9 @@ pub struct FrameBatch {
 /// A decoded full state transfer.
 #[derive(Debug)]
 pub struct SnapshotTransfer {
+    /// The epoch the answering leader holds (same fencing rules as
+    /// [`FrameBatch::epoch`]).
+    pub epoch: u64,
     /// Stream lateness bound the leader runs under.
     pub lateness_seconds: i64,
     /// Stream partition width the leader runs under.
@@ -123,6 +141,8 @@ pub enum Reply {
     Frames(FrameBatch),
     /// The cursor predates retention; a snapshot transfer is needed.
     Compacted {
+        /// The epoch the answering leader holds.
+        epoch: u64,
         /// Oldest sequence number still servable from WAL files.
         retained_from: u64,
         /// The leader's next sequence number.
@@ -157,6 +177,7 @@ fn batch_count(len: usize) -> Result<u32> {
 /// frame per WAL entry. Fails (rather than silently truncating the
 /// count) when the batch exceeds [`MAX_FRAMES_PER_REPLY`].
 pub fn encode_frames_reply(
+    epoch: u64,
     entries: &[WalEntry],
     leader_next_seq: u64,
     retained_from: u64,
@@ -164,6 +185,7 @@ pub fn encode_frames_reply(
     let count = batch_count(entries.len())?;
     let mut head = Enc::new();
     head.u8(REPLY_FRAMES);
+    head.u64(epoch);
     head.u32(count);
     head.u64(leader_next_seq);
     head.u64(retained_from);
@@ -175,9 +197,10 @@ pub fn encode_frames_reply(
 }
 
 /// Encodes a compacted reply (cursor older than retention).
-pub fn encode_compacted_reply(retained_from: u64, leader_next_seq: u64) -> Vec<u8> {
+pub fn encode_compacted_reply(epoch: u64, retained_from: u64, leader_next_seq: u64) -> Vec<u8> {
     let mut e = Enc::new();
     e.u8(REPLY_COMPACTED);
+    e.u64(epoch);
     e.u64(retained_from);
     e.u64(leader_next_seq);
     frame(&e.into_bytes())
@@ -186,6 +209,7 @@ pub fn encode_compacted_reply(retained_from: u64, leader_next_seq: u64) -> Vec<u
 /// Encodes a snapshot reply as one frame, so a single checksum covers
 /// the entire transferred state.
 pub fn encode_snapshot_reply(
+    epoch: u64,
     segments: &[Segment],
     tail: &TailState,
     lateness_seconds: i64,
@@ -194,6 +218,7 @@ pub fn encode_snapshot_reply(
 ) -> Vec<u8> {
     let mut e = Enc::new();
     e.u8(REPLY_SNAPSHOT);
+    e.u64(epoch);
     e.i64(lateness_seconds);
     e.i64(segment_seconds);
     e.u64(next_seq);
@@ -220,6 +245,7 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply> {
     let mut d = Dec::new(payload, WIRE);
     match d.u8()? {
         REPLY_FRAMES => {
+            let epoch = d.u64()?;
             let count = d.u32()? as usize;
             let leader_next_seq = d.u64()?;
             let retained_from = d.u64()?;
@@ -256,6 +282,7 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply> {
                 }
             }
             Ok(Reply::Frames(FrameBatch {
+                epoch,
                 entries,
                 corrupt_frames,
                 leader_next_seq,
@@ -263,15 +290,18 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply> {
             }))
         }
         REPLY_COMPACTED => {
+            let epoch = d.u64()?;
             let retained_from = d.u64()?;
             let leader_next_seq = d.u64()?;
             d.finish()?;
             Ok(Reply::Compacted {
+                epoch,
                 retained_from,
                 leader_next_seq,
             })
         }
         REPLY_SNAPSHOT => {
+            let epoch = d.u64()?;
             let lateness_seconds = d.i64()?;
             let segment_seconds = d.i64()?;
             let next_seq = d.u64()?;
@@ -292,6 +322,7 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply> {
             let tail = decode_tail(d.bytes()?, WIRE)?;
             d.finish()?;
             Ok(Reply::Snapshot(SnapshotTransfer {
+                epoch,
                 lateness_seconds,
                 segment_seconds,
                 segments,
@@ -337,6 +368,7 @@ mod tests {
             Request::Frames {
                 from_seq: 42,
                 max: 7,
+                epoch: 3,
             },
             Request::Snapshot,
         ] {
@@ -347,9 +379,10 @@ mod tests {
 
     #[test]
     fn frames_reply_roundtrip() {
-        let bytes = encode_frames_reply(&entries(), 6, 2).unwrap();
+        let bytes = encode_frames_reply(11, &entries(), 6, 2).unwrap();
         match decode_reply(&bytes).unwrap() {
             Reply::Frames(b) => {
+                assert_eq!(b.epoch, 11);
                 assert_eq!(b.entries.len(), 2);
                 assert_eq!(b.entries[0].0, 4);
                 assert_eq!(b.entries[1].1, ReplayOp::Finish);
@@ -362,7 +395,7 @@ mod tests {
 
     #[test]
     fn flipped_entry_is_flagged_not_applied() {
-        let mut bytes = encode_frames_reply(&entries(), 6, 2).unwrap();
+        let mut bytes = encode_frames_reply(11, &entries(), 6, 2).unwrap();
         // Flip a byte inside the *second* WAL frame's payload: the first
         // entry must survive, the second must be flagged.
         let idx = bytes.len() - 3;
@@ -378,14 +411,14 @@ mod tests {
 
     #[test]
     fn flipped_head_is_an_error() {
-        let mut bytes = encode_frames_reply(&entries(), 6, 2).unwrap();
+        let mut bytes = encode_frames_reply(11, &entries(), 6, 2).unwrap();
         bytes[5] ^= 0x01; // inside the head frame payload
         assert!(decode_reply(&bytes).is_err());
     }
 
     #[test]
     fn truncated_reply_flags_missing_entries() {
-        let bytes = encode_frames_reply(&entries(), 6, 2).unwrap();
+        let bytes = encode_frames_reply(11, &entries(), 6, 2).unwrap();
         let cut = &bytes[..bytes.len() - 10];
         match decode_reply(cut).unwrap() {
             Reply::Frames(b) => {
@@ -402,9 +435,10 @@ mod tests {
             gisolap_stream::StreamIngest::new(gisolap_stream::StreamConfig::new(0, 3600).unwrap())
                 .unwrap();
         ingest.ingest(&[rec(1, 100), rec(2, 4000), rec(1, 8000)]);
-        let bytes = encode_snapshot_reply(ingest.segments(), &ingest.tail_state(), 0, 3600, 9);
+        let bytes = encode_snapshot_reply(4, ingest.segments(), &ingest.tail_state(), 0, 3600, 9);
         match decode_reply(&bytes).unwrap() {
             Reply::Snapshot(s) => {
+                assert_eq!(s.epoch, 4);
                 assert_eq!(s.segments.len(), ingest.segments().len());
                 assert_eq!(s.tail, ingest.tail_state());
                 assert_eq!(s.next_seq, 9);
@@ -422,11 +456,12 @@ mod tests {
 
     #[test]
     fn compacted_roundtrip() {
-        match decode_reply(&encode_compacted_reply(17, 99)).unwrap() {
+        match decode_reply(&encode_compacted_reply(2, 17, 99)).unwrap() {
             Reply::Compacted {
+                epoch,
                 retained_from,
                 leader_next_seq,
-            } => assert_eq!((retained_from, leader_next_seq), (17, 99)),
+            } => assert_eq!((epoch, retained_from, leader_next_seq), (2, 17, 99)),
             other => panic!("expected compacted, got {other:?}"),
         }
     }
@@ -452,6 +487,7 @@ mod tests {
     fn implausible_frames_count_fails_fast() {
         let mut head = Enc::new();
         head.u8(REPLY_FRAMES);
+        head.u64(1); // epoch
         head.u32(1_000_000);
         head.u64(9);
         head.u64(0);
@@ -469,6 +505,7 @@ mod tests {
     fn implausible_snapshot_segment_count_fails_fast() {
         let mut e = Enc::new();
         e.u8(REPLY_SNAPSHOT);
+        e.u64(1); // epoch
         e.i64(0);
         e.i64(3600);
         e.u64(5);
@@ -493,7 +530,7 @@ mod tests {
             /// entries with the missing ones flagged.
             #[test]
             fn truncated_frames_reply_decodes_or_errors(cut in 0usize..200) {
-                let bytes = encode_frames_reply(&entries(), 6, 2).unwrap();
+                let bytes = encode_frames_reply(11, &entries(), 6, 2).unwrap();
                 let cut = cut.min(bytes.len());
                 match decode_reply(&bytes[..bytes.len() - cut]) {
                     Ok(Reply::Frames(b)) => {
@@ -518,11 +555,12 @@ mod tests {
             fn oversized_declared_count_is_rejected(count in 3u32..u32::MAX) {
                 let mut head = Enc::new();
                 head.u8(REPLY_FRAMES);
+                head.u64(11); // epoch
                 head.u32(count);
                 head.u64(6);
                 head.u64(2);
                 let mut bytes = frame(&head.into_bytes());
-                let tail = encode_frames_reply(&entries(), 6, 2).unwrap();
+                let tail = encode_frames_reply(11, &entries(), 6, 2).unwrap();
                 // Keep the 2 genuine entry frames, swap in our head.
                 let entry_frames = match read_frame(&tail) {
                     FrameRead::Ok { rest, .. } => rest,
@@ -555,7 +593,7 @@ mod tests {
                 .unwrap();
                 ingest.ingest(&[rec(1, 100), rec(2, 4000)]);
                 let mut bytes =
-                    encode_snapshot_reply(ingest.segments(), &ingest.tail_state(), 0, 3600, 9);
+                    encode_snapshot_reply(4, ingest.segments(), &ingest.tail_state(), 0, 3600, 9);
                 let idx = idx % bytes.len();
                 bytes[idx] ^= 1 << bit;
                 prop_assert!(decode_reply(&bytes).is_err());

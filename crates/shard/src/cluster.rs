@@ -2,16 +2,19 @@
 //! cluster root, a persisted membership manifest, and routed ingest.
 //!
 //! On disk a cluster is a directory holding a `SHARDS` manifest (the
-//! serialized [`PartitionerSpec`], CRC-framed like every other store
-//! file) plus one `shard-NNN/` subdirectory per shard, each a complete,
-//! independently recoverable [`DurableIngest`] store. Reopening the
-//! cluster reads the manifest first — the partitioner is part of the
-//! data's identity, not a query-time choice: records were *placed* by
-//! it, so querying with a different one would silently misroute
-//! pruning.
+//! serialized [`ShardManifest`]: configuration **epoch** + partitioner
+//! spec, CRC-framed like every other store file) plus one `shard-NNN/`
+//! subdirectory per shard, each a complete, independently recoverable
+//! [`DurableIngest`] store. Reopening the cluster reads the manifest
+//! first — the partitioner is part of the data's identity, not a
+//! query-time choice: records were *placed* by it, so querying with a
+//! different one would silently misroute pruning. The epoch rises with
+//! every leadership change and committed rebalance; replication fences
+//! it so a superseded configuration can never apply writes (see
+//! [`crate::elastic`]).
 
 use crate::partition::{Partitioner, PartitionerSpec};
-use crate::wire;
+use crate::wire::{self, ShardManifest};
 use gisolap_obs::MetricsRegistry;
 use gisolap_repl::{DirectTransport, Follower, FollowerConfig, Leader};
 use gisolap_store::codec::{frame, header, FileKind};
@@ -27,6 +30,23 @@ use std::sync::{Arc, Mutex};
 
 /// Cluster manifest file name under the cluster root.
 pub const SHARDS_MANIFEST: &str = "SHARDS";
+
+/// Reads and strictly decodes the cluster manifest under `root`.
+pub fn read_manifest(vfs: &dyn Vfs, root: &Path) -> Result<ShardManifest> {
+    let bytes = vfs.read(&root.join(SHARDS_MANIFEST))?;
+    let body =
+        gisolap_store::codec::check_header(&bytes, FileKind::ShardManifest, SHARDS_MANIFEST)?;
+    let payload = decode_single_frame(body, SHARDS_MANIFEST, "shard manifest")?;
+    wire::decode_manifest(payload, SHARDS_MANIFEST)
+}
+
+/// Atomically publishes `manifest` under `root` — the commit point of
+/// every epoch bump (leadership change, rebalance).
+pub fn write_manifest(vfs: &dyn Vfs, root: &Path, manifest: &ShardManifest) -> Result<()> {
+    let mut bytes = header(FileKind::ShardManifest);
+    bytes.extend_from_slice(&frame(&wire::encode_manifest(manifest)));
+    vfs.write_atomic(&root.join(SHARDS_MANIFEST), &bytes, true)
+}
 
 /// Counters for ingest routing across the cluster. Field order is the
 /// single source for [`RouteStats::fields`], metrics names and the
@@ -65,6 +85,7 @@ impl RouteStats {
 pub struct ShardedIngest {
     vfs: Arc<dyn Vfs>,
     root: PathBuf,
+    epoch: u64,
     spec: PartitionerSpec,
     partitioner: Box<dyn Partitioner>,
     shards: Vec<DurableIngest>,
@@ -75,6 +96,7 @@ impl std::fmt::Debug for ShardedIngest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedIngest")
             .field("root", &self.root)
+            .field("epoch", &self.epoch)
             .field("spec", &self.spec)
             .field("stats", &self.stats)
             .finish()
@@ -106,9 +128,7 @@ impl ShardedIngest {
                 root.display()
             )));
         }
-        let mut bytes = header(FileKind::ShardManifest);
-        bytes.extend_from_slice(&frame(&wire::encode_spec(&spec)));
-        vfs.write_atomic(&manifest_path, &bytes, true)?;
+        write_manifest(vfs.as_ref(), root, &ShardManifest { epoch: 0, spec })?;
 
         let mut shards = Vec::with_capacity(partitioner.shards());
         for i in 0..partitioner.shards() {
@@ -124,6 +144,7 @@ impl ShardedIngest {
         Ok(ShardedIngest {
             vfs,
             root: root.to_path_buf(),
+            epoch: 0,
             spec,
             partitioner,
             shards,
@@ -131,36 +152,36 @@ impl ShardedIngest {
         })
     }
 
-    /// Reopens the cluster at `root`: reads the membership manifest,
-    /// rebuilds the partitioner it describes, then opens
-    /// (create-or-recover) every shard store. Per-shard recovery
+    /// Reopens the cluster at `root`: completes any rebalance the
+    /// previous process died inside (roll forward past the manifest
+    /// flip, roll back before it — see [`crate::elastic`]), reads the
+    /// membership manifest, rebuilds the partitioner it describes, then
+    /// opens (create-or-recover) every shard store. Per-shard recovery
     /// reports come back positionally (`None` for shards that were
-    /// created fresh, e.g. after adding capacity by hand).
+    /// created fresh, e.g. after adding capacity by hand); a per-shard
+    /// failure names the shard directory and carries the cause.
     pub fn open(
         vfs: Arc<dyn Vfs>,
         root: &Path,
         stream_config: StreamConfig,
         store_config: StoreConfig,
     ) -> Result<(ShardedIngest, Vec<Option<RecoveryReport>>)> {
-        let manifest_path = root.join(SHARDS_MANIFEST);
-        let bytes = vfs.read(&manifest_path)?;
-        let body =
-            gisolap_store::codec::check_header(&bytes, FileKind::ShardManifest, SHARDS_MANIFEST)?;
-        let payload = decode_single_frame(body, SHARDS_MANIFEST, "shard manifest")?;
-        let spec = wire::decode_spec(payload, SHARDS_MANIFEST)?;
+        crate::elastic::recover_rebalance(vfs.as_ref(), root)?;
+        let manifest = read_manifest(vfs.as_ref(), root)?;
+        let spec = manifest.spec;
         let partitioner = spec.build()?;
 
         let mut shards = Vec::with_capacity(partitioner.shards());
         let mut reports = Vec::with_capacity(partitioner.shards());
         for i in 0..partitioner.shards() {
             let resolver = spec.grid().map(|g| g.resolver());
-            let (shard, report) = DurableIngest::open(
-                vfs.clone(),
-                &shard_dir(root, i),
-                stream_config,
-                store_config,
-                resolver,
-            )?;
+            let dir = shard_dir(root, i);
+            let (shard, report) =
+                DurableIngest::open(vfs.clone(), &dir, stream_config, store_config, resolver)
+                    .map_err(|e| StoreError::Shard {
+                        dir: dir.strip_prefix(root).unwrap_or(&dir).display().to_string(),
+                        source: Box::new(e),
+                    })?;
             shards.push(shard);
             reports.push(report);
         }
@@ -168,6 +189,7 @@ impl ShardedIngest {
             ShardedIngest {
                 vfs,
                 root: root.to_path_buf(),
+                epoch: manifest.epoch,
                 spec,
                 partitioner,
                 shards,
@@ -239,6 +261,11 @@ impl ShardedIngest {
     /// The persisted membership spec.
     pub fn spec(&self) -> PartitionerSpec {
         self.spec
+    }
+
+    /// The configuration epoch this cluster was opened at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The live partitioner (routing + pruning).
@@ -402,6 +429,37 @@ mod tests {
             }
         }
         assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn per_shard_open_failure_names_the_shard_directory() {
+        let scratch = ScratchDir::new("shard-cluster-open-error");
+        let spec = PartitionerSpec::Spatial {
+            shards: 2,
+            grid: grid(),
+        };
+        let stream = StreamConfig::new(3600, 3600).unwrap();
+        let store = StoreConfig::default();
+        let mut cluster =
+            ShardedIngest::create(vfs(), scratch.path(), spec, stream, store).unwrap();
+        cluster.ingest(&records(64)).unwrap();
+        cluster.finish().unwrap();
+        cluster.flush().unwrap();
+        drop(cluster);
+
+        // Scribble over one shard's manifest: that shard must fail to
+        // open, and the error must say which shard directory is sick.
+        std::fs::write(scratch.path().join("shard-001/MANIFEST"), b"garbage").unwrap();
+        let err = ShardedIngest::open(vfs(), scratch.path(), stream, store).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("shard-001"),
+            "error should name the shard dir: {msg}"
+        );
+        assert!(
+            std::error::Error::source(&err).is_some(),
+            "error should carry the underlying cause"
+        );
     }
 
     #[test]

@@ -101,6 +101,14 @@ pub struct ShardExplain {
     /// Gathered cells that merged into an already-present key (always 0
     /// under a spatial partitioner: shard key sets are disjoint).
     pub cells_merged: u64,
+    /// Queried shards whose source violated its staleness bound (lag-
+    /// bounded replica reads): the answer is still served, but flagged —
+    /// degraded is explicit, never silent.
+    pub shards_stale: u64,
+    /// The largest known replica sequence lag among queried shards, if
+    /// any source reported one (`None` when reading primaries, or when
+    /// no replica has synced far enough to know its lag).
+    pub max_lag_seqs: Option<u64>,
     /// Whether the scatter ran on the rayon pool.
     pub parallel: bool,
 }
@@ -121,7 +129,14 @@ impl std::fmt::Display for ShardExplain {
             } else {
                 "sequential"
             },
-        )
+        )?;
+        if self.shards_stale > 0 {
+            write!(f, "; stale: {} shards", self.shards_stale)?;
+            if let Some(lag) = self.max_lag_seqs {
+                write!(f, " (max lag {lag} seqs)")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -151,12 +166,18 @@ pub struct ShardStats {
     pub cells_window_pruned: u64,
     /// Gathered cells merged into an existing key during gather.
     pub gather_merges: u64,
+    /// Shard fetches answered by a source past its staleness bound
+    /// (served, but flagged in the explain).
+    pub stale_fetches: u64,
+    /// Evaluations re-routed after `NotLeader`/`StaleEpoch` (the
+    /// executor re-read leadership and the query was retried).
+    pub leadership_retries: u64,
 }
 
 impl ShardStats {
     /// Every coordinator counter as a `(name, value)` pair, in
     /// declaration order.
-    pub fn fields(&self) -> [(&'static str, u64); 6] {
+    pub fn fields(&self) -> [(&'static str, u64); 8] {
         [
             ("queries", self.queries),
             ("shards_queried", self.shards_queried),
@@ -164,6 +185,8 @@ impl ShardStats {
             ("cells_gathered", self.cells_gathered),
             ("cells_window_pruned", self.cells_window_pruned),
             ("gather_merges", self.gather_merges),
+            ("stale_fetches", self.stale_fetches),
+            ("leadership_retries", self.leadership_retries),
         ]
     }
 
@@ -188,6 +211,22 @@ pub trait ShardExecutor: Sync {
     /// Shard `shard`'s `(hour, geo)` partial cells, ascending by key,
     /// restricted to cells intersecting `region` when one is given.
     fn fetch(&self, shard: usize, region: Option<&BBox>) -> Result<Vec<(GroupKey, CellPartial)>>;
+
+    /// How far shard `shard`'s source lags behind its leader, when this
+    /// executor reads replicas and knows. Primary-read executors return
+    /// `None` (the default).
+    fn lag(&self, _shard: usize) -> Option<gisolap_repl::Lag> {
+        None
+    }
+
+    /// Whether shard `shard`'s source currently violates its staleness
+    /// bound. Reads still succeed — the coordinator surfaces the
+    /// degradation in [`ShardExplain::shards_stale`] instead of serving
+    /// a wrong answer or panicking. Defaults to `false` (primaries are
+    /// never stale).
+    fn is_stale(&self, _shard: usize) -> bool {
+        false
+    }
 }
 
 /// Merges per-shard partial aggregates into single-store-identical
@@ -263,6 +302,21 @@ impl<E: ShardExecutor> Coordinator<E> {
         self.stats.shards_pruned += (total - targets.len()) as u64;
         self.stats.shards_queried += targets.len() as u64;
 
+        // Staleness: when the executor reads lag-bounded replicas, a
+        // source past its bound still answers, but the degradation is
+        // surfaced in the explain (never silent, never a panic).
+        let mut shards_stale = 0u64;
+        let mut max_lag_seqs: Option<u64> = None;
+        for &s in &targets {
+            if self.executor.is_stale(s) {
+                shards_stale += 1;
+            }
+            if let Some(seqs) = self.executor.lag(s).and_then(|lag| lag.seqs) {
+                max_lag_seqs = Some(max_lag_seqs.map_or(seqs, |m| m.max(seqs)));
+            }
+        }
+        self.stats.stale_fetches += shards_stale;
+
         // Scatter. Each shard's cells pass the time-window prune right at
         // the fetch edge, so out-of-window cells never reach the gather;
         // `in_window` keeps `rollup.between` on the same interval, which
@@ -313,6 +367,8 @@ impl<E: ShardExecutor> Coordinator<E> {
             cells_gathered,
             cells_window_pruned,
             cells_merged,
+            shards_stale,
+            max_lag_seqs,
             parallel: self.parallel,
         };
         if self.tracer.enabled() {
@@ -347,6 +403,34 @@ impl<E: ShardExecutor> Coordinator<E> {
         Ok(ShardResult { rows, explain })
     }
 
+    /// Evaluates with a leadership retry loop: when the scatter fails
+    /// because a pinned leader was deposed ([`StoreError::StaleEpoch`])
+    /// or proved superseded ([`StoreError::NotLeader`]), `refresh` is
+    /// called to re-read leadership into the executor (the manifest
+    /// re-read step — e.g.
+    /// [`PinnedExecutor::repin`](crate::elastic::PinnedExecutor::repin))
+    /// and the query is re-evaluated, up to `max_retries` times. Any
+    /// other error, and a leadership error persisting past the budget,
+    /// surfaces unchanged.
+    pub fn eval_rerouted(
+        &mut self,
+        q: &ShardQuery,
+        max_retries: u32,
+        refresh: &mut dyn FnMut(&mut E) -> Result<()>,
+    ) -> Result<ShardResult> {
+        let mut attempts = 0;
+        loop {
+            match self.eval(q) {
+                Err(e) if attempts < max_retries && is_leadership_error(&e) => {
+                    attempts += 1;
+                    self.stats.leadership_retries += 1;
+                    refresh(&mut self.executor)?;
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// The executor (e.g. to reach the underlying cluster or clients).
     pub fn executor(&self) -> &E {
         &self.executor
@@ -376,6 +460,17 @@ impl<E: ShardExecutor> Coordinator<E> {
     /// `GISOLAP_SHARD_PARALLEL` (benchmarks pin both modes explicitly).
     pub fn set_parallel(&mut self, on: bool) {
         self.parallel = on;
+    }
+}
+
+/// Whether `e` means "the leadership you were pinned to is gone, re-read
+/// and retry" — [`StoreError::NotLeader`] or [`StoreError::StaleEpoch`],
+/// possibly wrapped in a per-shard [`StoreError::Shard`] attribution.
+pub fn is_leadership_error(e: &StoreError) -> bool {
+    match e {
+        StoreError::NotLeader { .. } | StoreError::StaleEpoch { .. } => true,
+        StoreError::Shard { source, .. } => is_leadership_error(source),
+        _ => false,
     }
 }
 
@@ -489,6 +584,14 @@ impl<T: gisolap_repl::Transport + Sync> ShardExecutor for FollowerExecutor<'_, T
             ))
         })?;
         filter_region(pipeline.extract_partials(), self.grid, region)
+    }
+
+    fn lag(&self, shard: usize) -> Option<gisolap_repl::Lag> {
+        Some(self.followers[shard].lag())
+    }
+
+    fn is_stale(&self, shard: usize) -> bool {
+        self.followers[shard].stale()
     }
 }
 
@@ -726,5 +829,56 @@ mod tests {
         let got = coord.eval(&q).unwrap();
         assert_eq!(got.rows, eval_single(&single, Some(grid()), &q).unwrap());
         assert_eq!(coord.stats().queries, 1);
+        assert_eq!(got.explain.shards_stale, 0, "caught-up replicas");
+    }
+
+    #[test]
+    fn stale_followers_flag_the_explain_instead_of_panicking() {
+        let scratch = ScratchDir::new("shard-coord-stale");
+        let spec = PartitionerSpec::Spatial {
+            shards: 2,
+            grid: grid(),
+        };
+        let cluster = cluster_with(&scratch, spec, &records(120));
+        let leaders = cluster.into_leaders();
+        // A zero-sequence staleness bound: any lag at all degrades. A
+        // one-entry poll batch keeps the replicas behind after a single
+        // contact, so the lag is *known* without being caught up.
+        let config = gisolap_repl::FollowerConfig {
+            max_lag_seqs: Some(0),
+            max_batch: 1,
+            ..gisolap_repl::FollowerConfig::default()
+        };
+        let mut replicas = crate::cluster::replica_set(&leaders, &spec, config);
+        for r in replicas.iter_mut() {
+            r.sync(64).unwrap();
+        }
+        // The leaders move on; three new WAL entries per shard.
+        for leader in &leaders {
+            let mut leader = leader.lock().unwrap();
+            for chunk in records(120).chunks(40) {
+                leader.ingest(chunk).unwrap();
+            }
+        }
+        for r in replicas.iter_mut() {
+            // One contact applies one entry and learns the leader
+            // frontier — two entries of visible lag remain.
+            let _ = r.poll();
+        }
+        let stale = replicas.iter().filter(|r| r.stale()).count() as u64;
+        assert!(stale > 0, "bound of 0 with fresh writes must show lag");
+
+        let exec = FollowerExecutor::new(&replicas, spec.grid());
+        let mut coord = Coordinator::new(exec, spec).unwrap();
+        let q = ShardQuery::new(RollupQuery::new(TimeLevel::Hour, Measure::X, AggFn::Count));
+        let got = coord.eval(&q).unwrap();
+        assert_eq!(got.explain.shards_stale, stale);
+        assert!(got.explain.max_lag_seqs.is_some());
+        assert_eq!(coord.stats().stale_fetches, stale);
+        let line = got.explain.to_string();
+        assert!(
+            line.contains("stale:"),
+            "explain surfaces staleness: {line}"
+        );
     }
 }

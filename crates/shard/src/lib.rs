@@ -19,6 +19,10 @@
 //!   against.
 //! * [`wire`] — codecs for manifests, regions, grids and shipped cell
 //!   sets, riding the store's CRC framing.
+//! * [`elastic`] — shard elasticity: [`ShardGroup`], a lease-based
+//!   failover controller promoting replicas under epoch fencing, and
+//!   [`rebalance`], journaled cell-range handoff between shard counts
+//!   with crash recovery to a consistent assignment (`DESIGN.md` §5k).
 //!
 //! The correctness core, proved cheap by construction: a shard's
 //! extracted cells
@@ -34,12 +38,17 @@
 
 pub mod cluster;
 pub mod coordinator;
+pub mod elastic;
 pub mod partition;
 pub mod wire;
 
 pub use cluster::{replica_set, shard_dir, RouteStats, ShardedIngest, SHARDS_MANIFEST};
 pub use coordinator::{
-    eval_single, filter_region, filter_window, ClusterExecutor, Coordinator, FollowerExecutor,
-    ShardExecutor, ShardExplain, ShardQuery, ShardResult, ShardStats,
+    eval_single, filter_region, filter_window, is_leadership_error, ClusterExecutor, Coordinator,
+    FollowerExecutor, ShardExecutor, ShardExplain, ShardQuery, ShardResult, ShardStats,
+};
+pub use elastic::{
+    rebalance, recover_rebalance, ElasticConfig, ElasticStats, LeaseGrant, Link, PinnedExecutor,
+    RebalanceRecovery, RebalanceReport, ReplicaHome, ShardGroup, TickOutcome, REBALANCE_JOURNAL,
 };
 pub use partition::{GridSpec, HashPartitioner, Partitioner, PartitionerSpec, SpatialPartitioner};

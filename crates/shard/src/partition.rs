@@ -40,6 +40,13 @@ impl GridSpec {
                 "grid must have at least one cell, got {nx}x{ny}"
             )));
         }
+        // Cell ids are u32; an overflowing product would wrap `cells()`
+        // (decoded manifests can carry arbitrary dimensions).
+        if nx as u64 * ny as u64 > u32::MAX as u64 {
+            return Err(StoreError::BadConfig(format!(
+                "grid {nx}x{ny} exceeds the u32 cell-id space"
+            )));
+        }
         // `> 0.0` fails for NaN extents too, which must be rejected.
         let positive = |v: f64| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
         if bbox.is_empty() || !positive(bbox.width()) || !positive(bbox.height()) {

@@ -16,6 +16,12 @@ pub const WIRE: &str = "shard-wire";
 const KIND_HASH: u8 = 1;
 const KIND_SPATIAL: u8 = 2;
 
+/// Version byte opening a v2 `SHARDS` manifest payload. A v1 payload
+/// began directly with the partitioner kind (1 or 2), so this byte is
+/// deliberately outside the kind space and the two formats can never be
+/// confused.
+const MANIFEST_V2: u8 = 0x32;
+
 fn enc_f64(e: &mut Enc, v: f64) {
     e.u64(v.to_bits());
 }
@@ -91,36 +97,30 @@ pub fn dec_opt_grid(d: &mut Dec<'_>) -> Result<Option<GridSpec>> {
     }
 }
 
-/// The `SHARDS` manifest payload: kind, shard count, grid.
-pub fn encode_spec(spec: &PartitionerSpec) -> Vec<u8> {
-    let mut e = Enc::new();
+fn enc_spec(e: &mut Enc, spec: &PartitionerSpec) {
     match *spec {
         PartitionerSpec::Hash { shards, grid } => {
             e.u8(KIND_HASH);
             e.u32(shards);
-            enc_opt_grid(&mut e, grid.as_ref());
+            enc_opt_grid(e, grid.as_ref());
         }
         PartitionerSpec::Spatial { shards, grid } => {
             e.u8(KIND_SPATIAL);
             e.u32(shards);
-            enc_grid(&mut e, &grid);
+            enc_grid(e, &grid);
         }
     }
-    e.into_bytes()
 }
 
-/// Decodes a `SHARDS` manifest payload, strictly (trailing bytes are
-/// corruption, not extensibility).
-pub fn decode_spec(payload: &[u8], file: &str) -> Result<PartitionerSpec> {
-    let mut d = Dec::new(payload, file);
+fn dec_spec(d: &mut Dec<'_>, file: &str) -> Result<PartitionerSpec> {
     let spec = match d.u8()? {
         KIND_HASH => PartitionerSpec::Hash {
             shards: d.u32()?,
-            grid: dec_opt_grid(&mut d)?,
+            grid: dec_opt_grid(d)?,
         },
         KIND_SPATIAL => PartitionerSpec::Spatial {
             shards: d.u32()?,
-            grid: dec_grid(&mut d)?,
+            grid: dec_grid(d)?,
         },
         b => {
             return Err(StoreError::Corrupt {
@@ -129,9 +129,140 @@ pub fn decode_spec(payload: &[u8], file: &str) -> Result<PartitionerSpec> {
             })
         }
     };
+    Ok(spec)
+}
+
+/// A partitioner-spec payload: kind, shard count, grid. Still used by
+/// wire messages that ship a bare spec (not the manifest, which since
+/// v2 also carries an epoch — see [`encode_manifest`]).
+pub fn encode_spec(spec: &PartitionerSpec) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_spec(&mut e, spec);
+    e.into_bytes()
+}
+
+/// Decodes a bare partitioner-spec payload, strictly (trailing bytes
+/// are corruption, not extensibility).
+pub fn decode_spec(payload: &[u8], file: &str) -> Result<PartitionerSpec> {
+    let mut d = Dec::new(payload, file);
+    let spec = dec_spec(&mut d, file)?;
     d.finish()?;
     spec.build()?; // reject structurally valid but unbuildable specs
     Ok(spec)
+}
+
+/// The decoded `SHARDS` manifest: the cluster's partitioner plus the
+/// configuration **epoch** — bumped by every leadership change and
+/// every committed rebalance, and fenced into the replication protocol
+/// so writes from a superseded configuration are rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardManifest {
+    /// Monotonically increasing configuration epoch.
+    pub epoch: u64,
+    /// The partitioner the cluster routes with.
+    pub spec: PartitionerSpec,
+}
+
+/// The v2 `SHARDS` manifest payload: version byte, epoch, spec.
+pub fn encode_manifest(m: &ShardManifest) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(MANIFEST_V2);
+    e.u64(m.epoch);
+    enc_spec(&mut e, &m.spec);
+    e.into_bytes()
+}
+
+/// Decodes a v2 `SHARDS` manifest payload, strictly.
+///
+/// An epoch-less v1 payload (one that opens with a partitioner kind
+/// byte instead of the v2 version byte) is rejected with an explicit
+/// upgrade error rather than silently defaulting its epoch: a cluster
+/// written before epoch fencing must be re-created (or its manifest
+/// rewritten) by an operator who chose the starting epoch, because a
+/// guessed epoch could un-fence a deposed leader.
+pub fn decode_manifest(payload: &[u8], file: &str) -> Result<ShardManifest> {
+    let mut d = Dec::new(payload, file);
+    match d.u8()? {
+        MANIFEST_V2 => {}
+        b @ (KIND_HASH | KIND_SPATIAL) => {
+            return Err(StoreError::Corrupt {
+                file: file.to_string(),
+                detail: format!(
+                    "epoch-less v1 SHARDS manifest (leading kind byte {b}): this cluster \
+                     predates epoch fencing; upgrade it by re-creating the manifest with \
+                     an explicit epoch before opening"
+                ),
+            })
+        }
+        b => {
+            return Err(StoreError::Corrupt {
+                file: file.to_string(),
+                detail: format!("unknown SHARDS manifest version byte {b}"),
+            })
+        }
+    }
+    let epoch = d.u64()?;
+    let spec = dec_spec(&mut d, file)?;
+    d.finish()?;
+    spec.build()?; // reject structurally valid but unbuildable specs
+    Ok(ShardManifest { epoch, spec })
+}
+
+/// Version byte opening a rebalance-journal payload.
+const JOURNAL_V1: u8 = 0x4A;
+
+/// The staged-rebalance journal: written atomically under the cluster
+/// root before any handoff byte moves, deleted only after the swap and
+/// GC complete. Recovery reads it to decide whether a crashed rebalance
+/// rolls forward (the manifest already flipped to `target_epoch`) or
+/// rolls back (it did not) — see [`crate::elastic::recover_rebalance`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceJournal {
+    /// The epoch the rebalance commits at (current epoch + 1); the
+    /// manifest reaching this epoch *is* the commit point.
+    pub target_epoch: u64,
+    /// The assignment being left.
+    pub from: PartitionerSpec,
+    /// The assignment being built.
+    pub to: PartitionerSpec,
+}
+
+/// A rebalance-journal payload: version byte, target epoch, both specs.
+pub fn encode_journal(j: &RebalanceJournal) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(JOURNAL_V1);
+    e.u64(j.target_epoch);
+    enc_spec(&mut e, &j.from);
+    enc_spec(&mut e, &j.to);
+    e.into_bytes()
+}
+
+/// Decodes a rebalance-journal payload, strictly. Both specs are
+/// re-validated through [`PartitionerSpec::build`]: recovery renames
+/// and deletes shard directories based on these shard counts, so a
+/// journal describing an unbuildable assignment must never drive it.
+pub fn decode_journal(payload: &[u8], file: &str) -> Result<RebalanceJournal> {
+    let mut d = Dec::new(payload, file);
+    match d.u8()? {
+        JOURNAL_V1 => {}
+        b => {
+            return Err(StoreError::Corrupt {
+                file: file.to_string(),
+                detail: format!("unknown rebalance-journal version byte {b}"),
+            })
+        }
+    }
+    let target_epoch = d.u64()?;
+    let from = dec_spec(&mut d, file)?;
+    let to = dec_spec(&mut d, file)?;
+    d.finish()?;
+    from.build()?;
+    to.build()?;
+    Ok(RebalanceJournal {
+        target_epoch,
+        from,
+        to,
+    })
 }
 
 /// One CRC frame holding a shard's extracted cells — what a remote
@@ -201,6 +332,141 @@ mod tests {
         let mut zero = good;
         zero[1..5].copy_from_slice(&0u32.to_le_bytes());
         assert!(decode_spec(&zero, "SHARDS").is_err());
+    }
+
+    #[test]
+    fn manifest_rejects_v1_with_upgrade_error() {
+        // A v1 manifest payload was the bare spec; both kinds must be
+        // refused with a message that names the upgrade path.
+        for spec in [
+            PartitionerSpec::Hash {
+                shards: 3,
+                grid: None,
+            },
+            PartitionerSpec::Spatial {
+                shards: 4,
+                grid: grid(),
+            },
+        ] {
+            let v1 = encode_spec(&spec);
+            let err = decode_manifest(&v1, "SHARDS").unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("epoch-less v1"), "{msg}");
+            assert!(msg.contains("upgrade"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn manifest_rejects_damage() {
+        let good = encode_manifest(&ShardManifest {
+            epoch: 7,
+            spec: PartitionerSpec::Spatial {
+                shards: 4,
+                grid: grid(),
+            },
+        });
+        // Unknown version byte.
+        let mut bad = good.clone();
+        bad[0] = 0xEE;
+        let msg = decode_manifest(&bad, "SHARDS").unwrap_err().to_string();
+        assert!(msg.contains("version byte"), "{msg}");
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_manifest(&long, "SHARDS").is_err());
+        // Truncation anywhere.
+        for cut in 0..good.len() {
+            assert!(decode_manifest(&good[..cut], "SHARDS").is_err());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn manifest_roundtrips(seed in 0u64..500) {
+            // A mixed counter sweeps epochs (incl. extremes) and both
+            // partitioner kinds.
+            let mut z = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut next = move || {
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z ^ (z >> 27)
+            };
+            let epoch = match next() % 4 {
+                0 => 0,
+                1 => u64::MAX,
+                _ => next(),
+            };
+            let shards = (next() % 6 + 1) as u32;
+            let spec = if next() % 2 == 0 {
+                PartitionerSpec::Spatial { shards, grid: grid() }
+            } else {
+                PartitionerSpec::Hash {
+                    shards,
+                    grid: (next() % 2 == 0).then(grid),
+                }
+            };
+            let m = ShardManifest { epoch, spec };
+            let bytes = encode_manifest(&m);
+            prop_assert_eq!(decode_manifest(&bytes, "SHARDS").unwrap(), m);
+        }
+
+        #[test]
+        fn manifest_rejects_bit_flips(flip in 0usize..64) {
+            let m = ShardManifest {
+                epoch: 0x0102_0304_0506_0708,
+                spec: PartitionerSpec::Spatial { shards: 4, grid: grid() },
+            };
+            let mut bytes = encode_manifest(&m);
+            let i = flip % bytes.len();
+            bytes[i] ^= 0x40;
+            // The manifest payload rides a CRC frame on disk; at this
+            // layer a flip must either fail decode or change the value —
+            // never decode back to the original silently.
+            if let Ok(back) = decode_manifest(&bytes, "SHARDS") {
+                prop_assert_ne!(back, m);
+            }
+        }
+    }
+
+    #[test]
+    fn journal_roundtrips_and_rejects_damage() {
+        let j = RebalanceJournal {
+            target_epoch: 9,
+            from: PartitionerSpec::Spatial {
+                shards: 2,
+                grid: grid(),
+            },
+            to: PartitionerSpec::Spatial {
+                shards: 5,
+                grid: grid(),
+            },
+        };
+        let bytes = encode_journal(&j);
+        assert_eq!(decode_journal(&bytes, "REBALANCE").unwrap(), j);
+        // Unknown version byte.
+        let mut bad = bytes.clone();
+        bad[0] = 0x01;
+        let msg = decode_journal(&bad, "REBALANCE").unwrap_err().to_string();
+        assert!(msg.contains("version byte"), "{msg}");
+        // Truncation anywhere.
+        for cut in 0..bytes.len() {
+            assert!(decode_journal(&bytes[..cut], "REBALANCE").is_err());
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_journal(&long, "REBALANCE").is_err());
+        // Whatever a bit flip produces, a decoded journal's specs are
+        // always buildable — recovery renames and deletes shard
+        // directories off these counts, so an unbuildable assignment
+        // must never decode.
+        let mut z = bytes.clone();
+        for i in 0..z.len() {
+            z[i] ^= 0x08;
+            if let Ok(back) = decode_journal(&z, "REBALANCE") {
+                assert!(back.to.build().is_ok() && back.from.build().is_ok());
+            }
+            z[i] ^= 0x08;
+        }
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub enum FileKind {
     /// A delta checkpoint: tail-state changes since the previous
     /// checkpoint (full or delta) in the manifest's chain.
     CheckpointDelta = 6,
+    /// A staged-rebalance journal: the assignment a shard cluster is
+    /// moving between (`gisolap-shard`'s elastic handoff).
+    RebalanceJournal = 7,
 }
 
 impl FileKind {
@@ -66,6 +69,7 @@ impl FileKind {
             4 => Some(FileKind::Checkpoint),
             5 => Some(FileKind::ShardManifest),
             6 => Some(FileKind::CheckpointDelta),
+            7 => Some(FileKind::RebalanceJournal),
             _ => None,
         }
     }

@@ -106,6 +106,31 @@ pub enum StoreError {
         /// The sequence number found instead.
         found: u64,
     },
+    /// The addressed node is no longer the leader for its shard — a
+    /// newer epoch has been fenced in. Recover by re-reading the shard
+    /// manifest and retrying against the current leader, or by degrading
+    /// to a lag-bounded follower read.
+    NotLeader {
+        /// The epoch the deposed node last held.
+        held: u64,
+    },
+    /// An operation carried an epoch older than the one its target has
+    /// already seen — a deposed leader's write, rejected so two leaders
+    /// can never both apply. Recover exactly as for [`Self::NotLeader`].
+    StaleEpoch {
+        /// The epoch the operation carried.
+        held: u64,
+        /// The newer epoch the target has already adopted.
+        current: u64,
+    },
+    /// A per-shard operation failed inside a cluster; names the shard
+    /// directory so multi-store errors stay attributable.
+    Shard {
+        /// The shard's directory (relative to the cluster root).
+        dir: String,
+        /// The underlying failure.
+        source: Box<StoreError>,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -133,11 +158,31 @@ impl std::fmt::Display for StoreError {
                 f,
                 "WAL sequence gap in {file:?}: expected {expected}, found {found}"
             ),
+            StoreError::NotLeader { held } => write!(
+                f,
+                "not the leader: epoch {held} has been fenced; re-read the manifest and retry"
+            ),
+            StoreError::StaleEpoch { held, current } => write!(
+                f,
+                "stale epoch {held}: a leader at epoch {current} has superseded it"
+            ),
+            StoreError::Shard { dir, source } => {
+                write!(f, "shard {dir:?}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Stream(e) => Some(e),
+            StoreError::Shard { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> StoreError {

@@ -43,6 +43,13 @@ pub trait Vfs: Send + Sync {
     fn exists(&self, path: &Path) -> bool;
     /// Truncates the file at `path` to `len` bytes (drops a torn tail).
     fn truncate(&self, path: &Path, len: u64) -> Result<()>;
+    /// Atomically renames `from` to `to` (same filesystem; replaces an
+    /// existing `to`). The rebalance swap leans on this being a single
+    /// metadata operation — either the old name resolves or the new one.
+    fn rename(&self, from: &Path, to: &Path) -> Result<()>;
+    /// Removes a directory tree; a missing directory is not an error
+    /// (GC retries must be idempotent).
+    fn remove_dir_all(&self, path: &Path) -> Result<()>;
 }
 
 // --- RealFs -----------------------------------------------------------
@@ -135,6 +142,20 @@ impl Vfs for RealFs {
         let f = fs::OpenOptions::new().write(true).open(path)?;
         f.set_len(len)?;
         Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        fs::rename(from, to)?;
+        sync_parent_dir(to);
+        Ok(())
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> Result<()> {
+        match fs::remove_dir_all(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 }
 
@@ -283,6 +304,19 @@ impl Vfs for FailpointFs {
         self.check_alive()?;
         self.inner.truncate(path, len)
     }
+
+    // Renames and tree removals are metadata operations: gated on the
+    // crash flag but not charged against the byte budget, so crash
+    // points stay driven by written bytes alone.
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        self.check_alive()?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> Result<()> {
+        self.check_alive()?;
+        self.inner.remove_dir_all(path)
+    }
 }
 
 // --- ScratchDir -------------------------------------------------------
@@ -346,6 +380,40 @@ mod tests {
         assert!(!fs.exists(&q));
         // Removing a missing file is fine.
         fs.remove_file(&q).unwrap();
+    }
+
+    #[test]
+    fn real_fs_rename_and_remove_dir_all() {
+        let dir = ScratchDir::new("vfs-mv");
+        let fs = RealFs;
+        let a = dir.path().join("a");
+        let b = dir.path().join("b");
+        fs.create_dir_all(&a).unwrap();
+        fs.write_atomic(&a.join("f.bin"), b"data", false).unwrap();
+        fs.rename(&a, &b).unwrap();
+        assert!(!fs.exists(&a));
+        assert_eq!(fs.read(&b.join("f.bin")).unwrap(), b"data");
+        fs.remove_dir_all(&b).unwrap();
+        assert!(!fs.exists(&b));
+        // Removing a missing tree is fine.
+        fs.remove_dir_all(&b).unwrap();
+    }
+
+    #[test]
+    fn failpoint_gates_rename_on_crash_without_charging_budget() {
+        let dir = ScratchDir::new("vfs-fp-mv");
+        let fp = FailpointFs::new(4);
+        let a = dir.path().join("a");
+        let b = dir.path().join("b");
+        fp.create_dir_all(&a).unwrap();
+        // Renames consume no budget...
+        fp.rename(&a, &b).unwrap();
+        assert_eq!(fp.bytes_consumed(), 0);
+        // ...but stop working once the crash fires.
+        assert!(fp.write_atomic(&b.join("x"), b"12345", false).is_err());
+        assert!(fp.crashed());
+        assert!(fp.rename(&b, &a).is_err());
+        assert!(fp.remove_dir_all(&b).is_err());
     }
 
     #[test]

@@ -602,6 +602,7 @@ fn busy_reply_is_retryable_for_transports() {
     let request = gisolap_repl::wire::encode_request(&gisolap_repl::Request::Frames {
         from_seq: 0,
         max: 4,
+        epoch: 0,
     });
     match transport.exchange(&request) {
         Err(gisolap_repl::TransportError::Unavailable(msg)) => {
